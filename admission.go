@@ -1,0 +1,165 @@
+package admission
+
+import (
+	"admission/internal/baseline"
+	"admission/internal/core"
+	"admission/internal/opt"
+	"admission/internal/problem"
+	"admission/internal/setcover"
+	"admission/internal/trace"
+)
+
+// Core problem types (see internal/problem for full documentation).
+type (
+	// Request is one communication request: the edge set of its given path
+	// and the cost paid if it is rejected.
+	Request = problem.Request
+	// Instance is an offline instance: edge capacities plus the request
+	// sequence in arrival order.
+	Instance = problem.Instance
+	// Outcome reports an algorithm's reaction to one arrival.
+	Outcome = problem.Outcome
+	// Algorithm is the online contract every algorithm here implements.
+	Algorithm = problem.Algorithm
+	// Config carries the tunable constants of the paper's algorithms.
+	Config = core.Config
+	// AlphaMode selects how the weighted algorithm guesses the optimum
+	// (§2): AlphaDoubling (fully online) or AlphaOracle.
+	AlphaMode = core.AlphaMode
+	// Fractional is the §2 fractional online algorithm.
+	Fractional = core.Fractional
+	// Randomized is the §3 randomized preemptive online algorithm.
+	Randomized = core.Randomized
+	// VictimPolicy selects the preemptive baseline's eviction rule.
+	VictimPolicy = baseline.VictimPolicy
+)
+
+// Alpha-guessing modes (§2).
+const (
+	AlphaDoubling = core.AlphaDoubling
+	AlphaOracle   = core.AlphaOracle
+)
+
+// Victim policies for NewPreemptive.
+const (
+	VictimCheapest = baseline.VictimCheapest
+	VictimNewest   = baseline.VictimNewest
+	VictimOldest   = baseline.VictimOldest
+	VictimRandom   = baseline.VictimRandom
+)
+
+// DefaultConfig returns the paper's weighted-case constants (§3: threshold
+// and probability factor 12, α guessed by doubling).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// UnweightedConfig returns the paper's unweighted-case constants (§3:
+// threshold and probability factor 4, scaling with log m).
+func UnweightedConfig() Config { return core.UnweightedConfig() }
+
+// NewRandomized creates the paper's randomized preemptive algorithm
+// (Theorem 3 weighted / Theorem 4 unweighted) for the capacity vector.
+func NewRandomized(capacities []int, cfg Config) (*Randomized, error) {
+	return core.NewRandomized(capacities, cfg)
+}
+
+// NewFractional creates the §2 fractional online algorithm (Theorem 2).
+func NewFractional(capacities []int, cfg Config) (*Fractional, error) {
+	return core.NewFractional(capacities, cfg)
+}
+
+// NewGreedy creates the non-preemptive accept-if-feasible baseline — the
+// (c+1)-competitive algorithm of Blum, Kalai and Kleinberg.
+func NewGreedy(capacities []int) (Algorithm, error) {
+	return baseline.NewGreedy(capacities)
+}
+
+// NewPreemptive creates a preemptive heuristic baseline with the given
+// victim-selection policy.
+func NewPreemptive(capacities []int, policy VictimPolicy, seed uint64) (Algorithm, error) {
+	return baseline.NewPreemptive(capacities, policy, seed)
+}
+
+// NewDetThreshold creates the deterministic threshold rounding of the §2
+// fractional solution (see DESIGN.md on baselines).
+func NewDetThreshold(capacities []int, cfg Config, threshold float64) (Algorithm, error) {
+	return baseline.NewDetThreshold(capacities, cfg, threshold)
+}
+
+// RunResult summarizes an algorithm's run over an instance.
+type RunResult struct {
+	// RejectedCost is the objective: total cost of rejected and preempted
+	// requests, as re-derived by the independent verifier.
+	RejectedCost float64
+	// Accepted and Rejected list final request states by ID.
+	Accepted, Rejected []int
+	// Preemptions counts accept-then-reject events.
+	Preemptions int
+}
+
+// Run executes alg over the instance. When check is true every step is
+// verified by an algorithm-independent referee (capacity feasibility, legal
+// preemptions, consistent cost reporting) and any violation is returned as
+// an error.
+func Run(alg Algorithm, ins *Instance, check bool) (*RunResult, error) {
+	res, err := trace.Run(alg, ins, trace.Options{Check: check})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		RejectedCost: res.RejectedCost,
+		Accepted:     res.Accepted,
+		Rejected:     res.Rejected,
+		Preemptions:  res.Preemptions,
+	}, nil
+}
+
+// OptFractional returns the fractional offline optimum (LP relaxation) of
+// the instance's rejection problem — the α of §2 and a lower bound on the
+// integral optimum.
+func OptFractional(ins *Instance) (float64, error) { return opt.FractionalOPT(ins) }
+
+// OptExact returns the exact integral offline optimum computed by
+// branch-and-bound, or the best incumbent if maxNodes (0 = generous
+// default) is exhausted; the second result reports whether optimality was
+// proven.
+func OptExact(ins *Instance, maxNodes int) (value float64, proven bool, err error) {
+	res, err := opt.ExactOPT(ins, maxNodes)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Value, res.Proven, nil
+}
+
+// OptGreedy returns the greedy multicover approximation of the offline
+// optimum (an upper bound, H-approximate), for instances too large for
+// OptExact.
+func OptGreedy(ins *Instance) (float64, error) {
+	v, _, err := opt.GreedyOPT(ins)
+	return v, err
+}
+
+// Online set cover with repetitions (§§4–5).
+type (
+	// SetSystem is a ground set with a family of subsets (the offline part
+	// of the online set cover problem; arrivals come separately).
+	SetSystem = setcover.Instance
+	// Bicriteria is the §5 deterministic online algorithm.
+	Bicriteria = setcover.Bicriteria
+	// SetCoverResult reports an online set cover run via the §4 reduction.
+	SetCoverResult = setcover.ReductionResult
+)
+
+// NewBicriteria creates the §5 deterministic bicriteria algorithm: each
+// element requested k times gets covered by at least (1−ε)k distinct sets
+// at cost O(log m·log n)·OPT (Theorem 7).
+func NewBicriteria(sys *SetSystem, eps float64) (*Bicriteria, error) {
+	return setcover.NewBicriteria(sys, eps)
+}
+
+// SolveSetCoverOnline runs the online set cover with repetitions problem
+// through the §4 reduction to admission control, using the randomized
+// algorithm with the given seed. The returned cover is verified before it
+// is returned.
+func SolveSetCoverOnline(sys *SetSystem, arrivals []int, seed uint64) (*SetCoverResult, error) {
+	return setcover.SolveByReduction(sys, arrivals, setcover.ReductionConfig{Seed: seed, Check: true})
+}

@@ -1,0 +1,140 @@
+package admission_test
+
+import (
+	"testing"
+
+	"admission"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	caps := []int{4, 4, 4}
+	alg, err := admission.NewRandomized(caps, admission.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := alg.Offer(0, admission.Request{Edges: []int{0, 1}, Cost: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatal("first request on an empty network must be accepted")
+	}
+	if alg.RejectedCost() != 0 {
+		t.Fatal("nothing rejected yet")
+	}
+}
+
+func TestFacadeRunAndOptima(t *testing.T) {
+	ins := &admission.Instance{Capacities: []int{2}}
+	for i := 0; i < 6; i++ {
+		ins.Requests = append(ins.Requests, admission.Request{Edges: []int{0}, Cost: 1})
+	}
+	cfg := admission.UnweightedConfig()
+	cfg.Seed = 9
+	alg, err := admission.NewRandomized(ins.Capacities, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := admission.Run(alg, ins, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := admission.OptFractional(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, proven, err := admission.OptExact(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := admission.OptGreedy(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proven || exact != 4 || frac != 4 || greedy != 4 {
+		t.Fatalf("optima: frac=%v exact=%v greedy=%v proven=%v", frac, exact, greedy, proven)
+	}
+	if res.RejectedCost < exact {
+		t.Fatalf("online %v below OPT %v", res.RejectedCost, exact)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	caps := []int{1}
+	for _, mk := range []func() (admission.Algorithm, error){
+		func() (admission.Algorithm, error) { return admission.NewGreedy(caps) },
+		func() (admission.Algorithm, error) {
+			return admission.NewPreemptive(caps, admission.VictimCheapest, 1)
+		},
+		func() (admission.Algorithm, error) {
+			return admission.NewDetThreshold(caps, admission.DefaultConfig(), 0.5)
+		},
+	} {
+		alg, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins := &admission.Instance{
+			Capacities: caps,
+			Requests: []admission.Request{
+				{Edges: []int{0}, Cost: 1},
+				{Edges: []int{0}, Cost: 5},
+			},
+		}
+		if _, err := admission.Run(alg, ins, true); err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+	}
+}
+
+func TestFacadeFractional(t *testing.T) {
+	cfg := admission.UnweightedConfig()
+	frac, err := admission.NewFractional([]int{1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := frac.Offer(admission.Request{Edges: []int{0}, Cost: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if frac.Cost() <= 0 {
+		t.Fatal("overload must incur fractional cost")
+	}
+}
+
+func TestFacadeSetCover(t *testing.T) {
+	sys := &admission.SetSystem{
+		N:    3,
+		Sets: [][]int{{0, 1}, {1, 2}, {0, 2}},
+	}
+	res, err := admission.SolveSetCoverOnline(sys, []int{0, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chosen) == 0 {
+		t.Fatal("arrivals must force purchases")
+	}
+	b, err := admission.NewBicriteria(sys, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run([]int{0, 1, 2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckGuarantee(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAlphaModes(t *testing.T) {
+	cfg := admission.DefaultConfig()
+	cfg.AlphaMode = admission.AlphaOracle
+	cfg.Alpha = 10
+	if _, err := admission.NewRandomized([]int{2}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if admission.AlphaDoubling == admission.AlphaOracle {
+		t.Fatal("modes must differ")
+	}
+}

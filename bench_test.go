@@ -1,0 +1,427 @@
+// Benchmarks: one per reproduction experiment (E1–E10, see DESIGN.md §4 and
+// EXPERIMENTS.md) plus micro-benchmarks of the individual algorithms.
+//
+// The experiment benchmarks execute the same code paths as `acbench -exp
+// <id>` at a reduced scale so `go test -bench=.` terminates in minutes; the
+// full-scale tables in EXPERIMENTS.md are produced by cmd/acbench. Each
+// experiment benchmark reports the headline measured quantity (mean
+// competitive ratio of the last sweep point) as a custom metric, so the
+// paper-vs-measured comparison is visible directly in benchmark output.
+package admission_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"admission"
+	"admission/internal/baseline"
+	"admission/internal/core"
+	"admission/internal/graph"
+	"admission/internal/harness"
+	"admission/internal/lp"
+	"admission/internal/opt"
+	"admission/internal/problem"
+	"admission/internal/rng"
+	"admission/internal/setcover"
+	"admission/internal/trace"
+	"admission/internal/workload"
+)
+
+// benchConfig is the reduced-scale configuration used by the experiment
+// benchmarks.
+func benchConfig() harness.Config {
+	return harness.Config{Seed: 2025, Reps: 2, Scale: 0.5, Check: false}
+}
+
+// lastRatio extracts the mean ratio of a table's last row (the largest
+// sweep point), parsing the "x ± y" cell format.
+func lastRatio(t *harness.Table, col int) float64 {
+	if len(t.Rows) == 0 {
+		return 0
+	}
+	cell := t.Rows[len(t.Rows)-1][col]
+	fields := strings.Fields(cell)
+	if len(fields) == 0 {
+		return 0
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// runExperimentBench runs one experiment per iteration and reports the
+// headline ratio metric.
+func runExperimentBench(b *testing.B, id string, ratioCol int) {
+	e, ok := harness.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ratioCol >= 0 {
+			ratio = lastRatio(tables[0], ratioCol)
+		}
+	}
+	if ratioCol >= 0 {
+		b.ReportMetric(ratio, "ratio")
+	}
+}
+
+func BenchmarkE1Fractional(b *testing.B)           { runExperimentBench(b, "E1", 3) }
+func BenchmarkE2RandomizedWeighted(b *testing.B)   { runExperimentBench(b, "E2", 3) }
+func BenchmarkE3RandomizedUnweighted(b *testing.B) { runExperimentBench(b, "E3", 3) }
+func BenchmarkE4Reduction(b *testing.B)            { runExperimentBench(b, "E4", 3) }
+func BenchmarkE5Bicriteria(b *testing.B)           { runExperimentBench(b, "E5", 3) }
+func BenchmarkE6Baselines(b *testing.B)            { runExperimentBench(b, "E6", -1) }
+func BenchmarkE7ZeroOPT(b *testing.B)              { runExperimentBench(b, "E7", -1) }
+func BenchmarkE8ConstantsAblation(b *testing.B)    { runExperimentBench(b, "E8", -1) }
+func BenchmarkE9AlphaDoubling(b *testing.B)        { runExperimentBench(b, "E9", -1) }
+func BenchmarkE10PreemptionNecessity(b *testing.B) { runExperimentBench(b, "E10", -1) }
+
+// --- micro-benchmarks: algorithm throughput -------------------------------
+
+// benchInstance builds a reusable overloaded instance for throughput
+// benchmarks.
+func benchInstance(b *testing.B, unit bool) *problem.Instance {
+	b.Helper()
+	r := rng.New(7)
+	g, err := graph.Random(16, 64, 8, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := workload.CostUniform
+	if unit {
+		model = workload.CostUnit
+	}
+	ins, err := workload.RandomTraffic(g, 2000, model, 0, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ins
+}
+
+func BenchmarkRandomizedOfferWeighted(b *testing.B) {
+	ins := benchInstance(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = uint64(i)
+		alg, err := core.NewRandomized(ins.Capacities, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id, r := range ins.Requests {
+			if _, err := alg.Offer(id, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ins.Requests)), "requests/op")
+}
+
+func BenchmarkRandomizedOfferUnweighted(b *testing.B) {
+	ins := benchInstance(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.UnweightedConfig()
+		cfg.Seed = uint64(i)
+		alg, err := core.NewRandomized(ins.Capacities, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id, r := range ins.Requests {
+			if _, err := alg.Offer(id, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ins.Requests)), "requests/op")
+}
+
+func BenchmarkFractionalOffer(b *testing.B) {
+	ins := benchInstance(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frac, err := core.NewFractional(ins.Capacities, core.UnweightedConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range ins.Requests {
+			if _, err := frac.Offer(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ins.Requests)), "requests/op")
+}
+
+func BenchmarkGreedyOffer(b *testing.B) {
+	ins := benchInstance(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg, err := baseline.NewGreedy(ins.Capacities)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id, r := range ins.Requests {
+			if _, err := alg.Offer(id, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ins.Requests)), "requests/op")
+}
+
+func BenchmarkPreemptCheapestOffer(b *testing.B) {
+	ins := benchInstance(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg, err := baseline.NewPreemptive(ins.Capacities, baseline.VictimCheapest, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id, r := range ins.Requests {
+			if _, err := alg.Offer(id, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ins.Requests)), "requests/op")
+}
+
+func BenchmarkTraceRunnerOverhead(b *testing.B) {
+	ins := benchInstance(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.UnweightedConfig()
+		cfg.Seed = uint64(i)
+		alg, err := core.NewRandomized(ins.Capacities, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.Run(alg, ins, trace.Options{Check: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBicriteriaArrive(b *testing.B) {
+	r := rng.New(11)
+	sys, err := setcover.RandomInstance(64, 128, 0.1, 4, false, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arrivals, err := setcover.RandomArrivals(sys, 128, 1.0, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc, err := setcover.NewBicriteria(sys, 0.25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bc.Run(arrivals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(arrivals)), "arrivals/op")
+}
+
+func BenchmarkSetCoverReduction(b *testing.B) {
+	r := rng.New(13)
+	sys, err := setcover.RandomInstance(48, 96, 0.1, 4, false, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arrivals, err := setcover.RandomArrivals(sys, 96, 1.0, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := setcover.SolveByReduction(sys, arrivals, setcover.ReductionConfig{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(arrivals)), "arrivals/op")
+}
+
+func BenchmarkLPFractionalOPT(b *testing.B) {
+	ins := benchInstance(b, false)
+	small := &problem.Instance{Capacities: ins.Capacities, Requests: ins.Requests[:400]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.FractionalOPT(small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactOPTSmall(b *testing.B) {
+	r := rng.New(17)
+	ins, err := workload.BlockOverload(4, 2, 6, workload.CostUniform, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.ExactOPT(ins, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexCovering(b *testing.B) {
+	r := rng.New(19)
+	c := &lp.CoveringLP{Cost: make([]float64, 300)}
+	for i := range c.Cost {
+		c.Cost[i] = 1 + r.Float64()*99
+	}
+	for k := 0; k < 60; k++ {
+		row := make([]int, 0, 15)
+		for len(row) < 15 {
+			row = append(row, r.Intn(300))
+		}
+		c.Rows = append(c.Rows, row)
+		c.Demand = append(c.Demand, float64(1+r.Intn(8)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.SolveCovering(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFacadeQuickstart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		alg, err := admission.NewRandomized([]int{4, 4, 4}, admission.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := alg.Offer(0, admission.Request{Edges: []int{0, 1}, Cost: 2.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- scaling micro-benchmarks: per-arrival cost as m and c grow ----------
+
+func BenchmarkRandomizedScalingM(b *testing.B) {
+	for _, m := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			r := rng.New(uint64(m))
+			nv := m / 4
+			if nv < 4 {
+				nv = 4
+			}
+			g, err := graph.Random(nv, m, 8, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ins, err := workload.RandomTraffic(g, 1000, workload.CostUnit, 0, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := core.UnweightedConfig()
+				cfg.Seed = uint64(i)
+				alg, err := core.NewRandomized(ins.Capacities, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for id, req := range ins.Requests {
+					if _, err := alg.Offer(id, req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(ins.Requests)), "requests/op")
+		})
+	}
+}
+
+func BenchmarkRandomizedScalingC(b *testing.B) {
+	for _, c := range []int{2, 16, 128} {
+		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
+			r := rng.New(uint64(c))
+			ins, err := workload.SingleEdgeOverload(c, 4*c, workload.CostUnit, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := core.UnweightedConfig()
+				cfg.Seed = uint64(i)
+				alg, err := core.NewRandomized(ins.Capacities, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for id, req := range ins.Requests {
+					if _, err := alg.Offer(id, req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(ins.Requests)), "requests/op")
+		})
+	}
+}
+
+func BenchmarkBicriteriaScalingN(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rng.New(uint64(n))
+			sys, err := setcover.RandomInstance(n, 2*n, 8.0/float64(n), 3, false, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			arrivals, err := setcover.RandomArrivals(sys, n, 1.0, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bc, err := setcover.NewBicriteria(sys, 0.25)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := bc.Run(arrivals); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(arrivals)), "arrivals/op")
+		})
+	}
+}
+
+func BenchmarkReplayAudit(b *testing.B) {
+	ins := benchInstance(b, true)
+	cfg := core.UnweightedConfig()
+	cfg.Seed = 1
+	alg, err := core.NewRandomized(ins.Capacities, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := trace.Run(alg, ins, trace.Options{Record: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Replay(ins, res.Events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Events)), "events/op")
+}

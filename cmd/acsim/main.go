@@ -1,0 +1,198 @@
+// Command acsim runs one admission-control simulation and prints the
+// decision trace and a summary with offline-optimum comparison.
+//
+// The instance comes either from a JSON file produced by acgen
+// (-in instance.json) or from a built-in workload:
+//
+//	acsim -workload single-edge -cap 4 -n 20 -alg randomized -costs unit
+//	acsim -workload grid -n 100 -alg greedy -costs pareto -trace
+//	acsim -in instance.json -alg preempt-cheapest
+//
+// Algorithms: randomized, fractional (reports fractional cost only),
+// greedy, preempt-cheapest, preempt-newest, preempt-oldest, preempt-random,
+// det-threshold.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"admission/internal/baseline"
+	"admission/internal/core"
+	"admission/internal/opt"
+	"admission/internal/problem"
+	"admission/internal/trace"
+	"admission/internal/workload"
+)
+
+func main() {
+	var (
+		inFile    = flag.String("in", "", "JSON instance file (overrides -workload)")
+		wl        = flag.String("workload", "single-edge", "built-in workload (see -h of acgen for the list)")
+		algName   = flag.String("alg", "randomized", "algorithm to run")
+		costs     = flag.String("costs", "unit", "cost model: unit | uniform | pareto")
+		capacity  = flag.Int("cap", 4, "edge capacity for built-in workloads")
+		n         = flag.Int("n", 32, "request count for built-in workloads")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		showTrace = flag.Bool("trace", false, "print the full decision trace")
+		record    = flag.String("record", "", "write an auditable RecordedRun JSON artifact to this file")
+		noCheck   = flag.Bool("nocheck", false, "disable the feasibility verifier")
+	)
+	flag.Parse()
+
+	ins, err := loadInstance(*inFile, *wl, *costs, *capacity, *n, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if err := ins.Validate(); err != nil {
+		fail(err)
+	}
+
+	if *algName == "fractional" {
+		runFractional(ins)
+		return
+	}
+
+	alg, err := buildAlgorithm(*algName, ins, *seed)
+	if err != nil {
+		fail(err)
+	}
+	res, err := trace.Run(alg, ins, trace.Options{Check: !*noCheck, Record: *showTrace || *record != ""})
+	if err != nil {
+		fail(err)
+	}
+	if *record != "" {
+		rr := trace.NewRecordedRun(alg.Name(), ins, res)
+		f, err := os.Create(*record)
+		if err != nil {
+			fail(err)
+		}
+		if err := rr.Save(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "acsim: recorded run written to %s (audit with acreplay)\n", *record)
+	}
+
+	if *showTrace {
+		for _, ev := range res.Events {
+			fmt.Printf("step %4d  %-8s request %d (cost %g)\n", ev.Step, ev.Kind, ev.Request, ev.Cost)
+		}
+	}
+	fmt.Printf("algorithm:      %s\n", alg.Name())
+	fmt.Printf("requests:       %d (m=%d edges, c=%d max capacity)\n", ins.N(), ins.M(), ins.MaxCapacity())
+	fmt.Printf("accepted:       %d\n", len(res.Accepted))
+	fmt.Printf("rejected:       %d (%d by preemption)\n", len(res.Rejected), res.Preemptions)
+	fmt.Printf("rejected cost:  %g\n", res.RejectedCost)
+
+	lb, err := opt.BestLowerBound(ins)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("OPT lower bnd:  %g (LP relaxation%s)\n", lb, qNote(ins))
+	if ex, err := opt.ExactOPT(ins, 1<<20); err == nil && ex.Proven {
+		fmt.Printf("OPT exact:      %g\n", ex.Value)
+		if ex.Value > 0 {
+			fmt.Printf("ratio:          %.3f\n", res.RejectedCost/ex.Value)
+		}
+	} else if lb > 0 {
+		fmt.Printf("ratio (vs LB):  %.3f\n", res.RejectedCost/lb)
+	}
+}
+
+func qNote(ins *problem.Instance) string {
+	if ins.Unweighted() {
+		return fmt.Sprintf(", Q=%d", ins.MaxExcess())
+	}
+	return ""
+}
+
+func loadInstance(inFile, wl, costs string, capacity, n int, seed uint64) (*problem.Instance, error) {
+	if inFile != "" {
+		data, err := os.ReadFile(inFile)
+		if err != nil {
+			return nil, err
+		}
+		var ins problem.Instance
+		if err := json.Unmarshal(data, &ins); err != nil {
+			return nil, fmt.Errorf("acsim: parsing %s: %w", inFile, err)
+		}
+		return &ins, nil
+	}
+	model, err := workload.ParseCostModel(costs)
+	if err != nil {
+		return nil, err
+	}
+	return workload.BuildNamed(wl, model, capacity, n, seed)
+}
+
+func buildAlgorithm(name string, ins *problem.Instance, seed uint64) (problem.Algorithm, error) {
+	caps := ins.Capacities
+	switch name {
+	case "randomized":
+		var cfg core.Config
+		if ins.Unweighted() {
+			cfg = core.UnweightedConfig()
+		} else {
+			cfg = core.DefaultConfig()
+		}
+		cfg.Seed = seed
+		return core.NewRandomized(caps, cfg)
+	case "greedy":
+		return baseline.NewGreedy(caps)
+	case "preempt-cheapest":
+		return baseline.NewPreemptive(caps, baseline.VictimCheapest, seed)
+	case "preempt-newest":
+		return baseline.NewPreemptive(caps, baseline.VictimNewest, seed)
+	case "preempt-oldest":
+		return baseline.NewPreemptive(caps, baseline.VictimOldest, seed)
+	case "preempt-random":
+		return baseline.NewPreemptive(caps, baseline.VictimRandom, seed)
+	case "det-threshold":
+		cfg := core.DefaultConfig()
+		if ins.Unweighted() {
+			cfg = core.UnweightedConfig()
+		}
+		return baseline.NewDetThreshold(caps, cfg, 0.5)
+	default:
+		return nil, fmt.Errorf("acsim: unknown algorithm %q", name)
+	}
+}
+
+func runFractional(ins *problem.Instance) {
+	var cfg core.Config
+	if ins.Unweighted() {
+		cfg = core.UnweightedConfig()
+	} else {
+		cfg = core.DefaultConfig()
+	}
+	frac, err := core.NewFractional(ins.Capacities, cfg)
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range ins.Requests {
+		if _, err := frac.Offer(r); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("algorithm:      fractional (§2)\n")
+	fmt.Printf("requests:       %d\n", ins.N())
+	fmt.Printf("fractional cost: %g\n", frac.Cost())
+	fmt.Printf("augmentations:  %d\n", frac.Augmentations())
+	fmt.Printf("alpha phases:   %d (final α=%g)\n", frac.Phases(), frac.Alpha())
+	if lb, err := opt.FractionalOPT(ins); err == nil {
+		fmt.Printf("fractional OPT: %g\n", lb)
+		if lb > 0 {
+			fmt.Printf("ratio:          %.3f\n", frac.Cost()/lb)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "acsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Package admission is a Go implementation of the online algorithms from
+//
+//	Noga Alon, Yossi Azar, Shai Gutner.
+//	"Admission Control to Minimize Rejections and Online Set Cover with
+//	Repetitions." SPAA 2005.
+//
+// The admission control to minimize rejections problem: communication
+// requests arrive online, each with the path it must be routed on and a
+// rejection cost; the algorithm accepts, rejects, or preempts requests while
+// keeping every edge within its capacity, and pays for everything it rejects.
+// The package provides:
+//
+//   - the §2 fractional online algorithm (O(log(mc))-competitive, Theorem 2),
+//   - the §3 randomized preemptive algorithms (O(log²(mc)) weighted,
+//     O(log m·log c) unweighted — Theorems 3 and 4, settling the open
+//     question of Blum, Kalai and Kleinberg),
+//   - the §4 reduction solving online set cover with repetitions
+//     (O(log m·log n) unweighted, matching the Feige–Korman lower bound),
+//   - the §5 deterministic bicriteria online set cover algorithm (Theorem 7),
+//   - the baselines the paper improves on (greedy accept-if-feasible and
+//     preemptive heuristics), offline optima (exact branch-and-bound, LP
+//     relaxation via a built-in simplex, greedy multicover), workload
+//     generators and adaptive adversaries, and the experiment harness that
+//     reproduces every theorem's scaling law (see EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	caps := []int{4, 4, 4}                      // three edges, capacity 4
+//	alg, _ := admission.NewRandomized(caps, admission.DefaultConfig())
+//	out, _ := alg.Offer(0, admission.Request{Edges: []int{0, 1}, Cost: 2.5})
+//	fmt.Println(out.Accepted, alg.RejectedCost())
+//
+// Use Run to execute an algorithm over a whole Instance under the
+// independent feasibility verifier, and the Opt* helpers to compare against
+// offline optima. Everything is deterministic given the seeds in the
+// configs.
+package admission

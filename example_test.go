@@ -1,0 +1,112 @@
+package admission_test
+
+import (
+	"fmt"
+
+	"admission"
+)
+
+// The simplest possible use: create the randomized algorithm and offer one
+// request.
+func ExampleNewRandomized() {
+	cfg := admission.DefaultConfig()
+	cfg.Seed = 1
+	alg, err := admission.NewRandomized([]int{2, 2}, cfg)
+	if err != nil {
+		panic(err)
+	}
+	out, err := alg.Offer(0, admission.Request{Edges: []int{0, 1}, Cost: 5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out.Accepted, alg.RejectedCost())
+	// Output: true 0
+}
+
+// Run executes a whole instance under the independent feasibility referee.
+// On an overloaded capacity-1 edge, exactly one request survives.
+func ExampleRun() {
+	ins := &admission.Instance{
+		Capacities: []int{1},
+		Requests: []admission.Request{
+			{Edges: []int{0}, Cost: 1},
+			{Edges: []int{0}, Cost: 1},
+			{Edges: []int{0}, Cost: 1},
+		},
+	}
+	cfg := admission.UnweightedConfig()
+	cfg.Seed = 3
+	alg, err := admission.NewRandomized(ins.Capacities, cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := admission.Run(alg, ins, true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rejected %d of %d\n", len(res.Rejected), ins.N())
+	fmt.Printf("objective >= OPT: %v\n", res.RejectedCost >= 2)
+	// Output:
+	// rejected 2 of 3
+	// objective >= OPT: true
+}
+
+// The offline optimum of a single overloaded edge is the number of excess
+// requests (unweighted) or the cheapest excess (weighted).
+func ExampleOptExact() {
+	ins := &admission.Instance{
+		Capacities: []int{1},
+		Requests: []admission.Request{
+			{Edges: []int{0}, Cost: 9},
+			{Edges: []int{0}, Cost: 2},
+			{Edges: []int{0}, Cost: 5},
+		},
+	}
+	v, proven, err := admission.OptExact(ins, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v, proven)
+	// Output: 7 true
+}
+
+// The deterministic bicriteria algorithm covers each element at least
+// (1−ε)k times after its k-th arrival.
+func ExampleNewBicriteria() {
+	sys := &admission.SetSystem{
+		N:    3,
+		Sets: [][]int{{0, 1}, {1, 2}, {0, 2}},
+	}
+	b, err := admission.NewBicriteria(sys, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := b.Run([]int{0, 1, 2}); err != nil {
+		panic(err)
+	}
+	fmt.Println(b.CheckGuarantee() == nil, len(b.Chosen()) > 0)
+	// Output: true true
+}
+
+// The greedy baseline demonstrates the trivial non-preemptive lower bound:
+// it fills the link with a cheap call and is then forced to reject the
+// valuable one.
+func ExampleNewGreedy() {
+	alg, err := admission.NewGreedy([]int{1})
+	if err != nil {
+		panic(err)
+	}
+	ins := &admission.Instance{
+		Capacities: []int{1},
+		Requests: []admission.Request{
+			{Edges: []int{0}, Cost: 1},
+			{Edges: []int{0}, Cost: 100},
+		},
+	}
+	res, err := admission.Run(alg, ins, true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.RejectedCost) // OPT would pay 1
+	// Output: 100
+}

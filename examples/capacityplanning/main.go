@@ -1,0 +1,144 @@
+// Capacity planning with the rejection-minimization objective.
+//
+// The paper motivates minimizing rejections for settings where "rejections
+// are intended to be rare events" and observes that if even the optimal
+// solution rejects a significant fraction, "the network needs to be
+// upgraded". This example turns that observation into a planning tool: given
+// a fixed traffic pattern, find the smallest uniform link capacity at which
+// the online rejected-value fraction drops below a target SLO, by binary
+// search over the capacity.
+//
+// It also demonstrates a finding from the repository's E8 ablation: the
+// paper's constants (threshold/probability factor 12) are chosen for the
+// worst-case proof and multiply mild structural overloads by the full
+// polylog premium, while smaller constants track the offline optimum much
+// more closely on real traffic — so the tool plans with both and reports
+// the difference. The zero-rejection property (OPT = 0 ⇒ no rejections,
+// any constants) anchors the top of the search.
+//
+//	go run ./examples/capacityplanning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"admission"
+)
+
+const (
+	links     = 12
+	calls     = 240
+	sloTarget = 0.02 // at most 2% of traffic value may be rejected
+	maxCap    = 256
+)
+
+// traffic builds a deterministic demand pattern on a ring of links: every
+// call occupies 1-3 consecutive links, with a hotspot around link 0.
+func traffic(capacity int) *admission.Instance {
+	ins := &admission.Instance{Capacities: make([]int, links)}
+	for i := range ins.Capacities {
+		ins.Capacities[i] = capacity
+	}
+	state := uint64(88172645463325252)
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	for i := 0; i < calls; i++ {
+		start := next(links)
+		if i%3 == 0 {
+			start = next(3) // hotspot near link 0
+		}
+		span := 1 + next(3)
+		edges := make([]int, 0, span)
+		for s := 0; s < span; s++ {
+			edges = append(edges, (start+s)%links)
+		}
+		cost := float64(1 + next(5))
+		if i%17 == 0 {
+			cost = 40 // occasional premium call
+		}
+		ins.Requests = append(ins.Requests, admission.Request{Edges: edges, Cost: cost})
+	}
+	return ins
+}
+
+// config returns the algorithm configuration: the paper's constants, or the
+// empirically tuned ones from the E8 ablation.
+func config(tuned bool) admission.Config {
+	cfg := admission.DefaultConfig()
+	cfg.Seed = 1
+	if tuned {
+		cfg.ThresholdFactor = 2
+		cfg.ProbFactor = 2
+	}
+	return cfg
+}
+
+// lossAt runs the algorithm at the given capacity and returns the rejected
+// fraction of total traffic value.
+func lossAt(capacity int, tuned bool) float64 {
+	ins := traffic(capacity)
+	alg, err := admission.NewRandomized(ins.Capacities, config(tuned))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := admission.Run(alg, ins, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.RejectedCost / ins.TotalCost()
+}
+
+// structuralLossAt returns the offline optimum's rejected fraction — the
+// floor no algorithm can beat.
+func structuralLossAt(capacity int) float64 {
+	ins := traffic(capacity)
+	lb, err := admission.OptFractional(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return lb / ins.TotalCost()
+}
+
+// planCapacity binary-searches the smallest capacity meeting the SLO for
+// the given predicate. The predicate must be satisfied at maxCap (it is:
+// the instance is fully feasible there, so the zero-rejection property
+// applies).
+func planCapacity(meets func(c int) bool) int {
+	lo, hi := 1, maxCap
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if meets(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func main() {
+	fmt.Printf("traffic: %d calls over %d ring links; SLO: <= %.0f%% of value rejected\n\n",
+		calls, links, 100*sloTarget)
+	fmt.Printf("%8s %12s %16s %16s\n", "capacity", "structural", "online (paper)", "online (tuned)")
+	for _, c := range []int{8, 16, 32, 64, 96, 128} {
+		fmt.Printf("%8d %11.2f%% %15.2f%% %15.2f%%\n",
+			c, 100*structuralLossAt(c), 100*lossAt(c, false), 100*lossAt(c, true))
+	}
+
+	capPaper := planCapacity(func(c int) bool { return lossAt(c, false) <= sloTarget })
+	capTuned := planCapacity(func(c int) bool { return lossAt(c, true) <= sloTarget })
+	capStruct := planCapacity(func(c int) bool { return structuralLossAt(c) <= sloTarget })
+
+	fmt.Printf("\nsmallest capacity meeting the SLO:\n")
+	fmt.Printf("  clairvoyant offline floor:     %d\n", capStruct)
+	fmt.Printf("  online, paper constants (12):  %d\n", capPaper)
+	fmt.Printf("  online, tuned constants (2):   %d\n", capTuned)
+	fmt.Println("\nthe paper's constants are sized for the worst-case Chernoff argument and")
+	fmt.Println("multiply mild overloads by the full polylog premium; the E8 ablation's")
+	fmt.Println("smaller constants plan much closer to the structural floor.")
+}

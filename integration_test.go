@@ -1,0 +1,227 @@
+package admission_test
+
+// Integration tests: full pipelines across modules — generator → algorithm →
+// independent referee → recorded-log replay → offline optimum — exercising
+// the same composition the experiments use, with hard assertions instead of
+// statistics.
+
+import (
+	"math"
+	"testing"
+
+	"admission/internal/baseline"
+	"admission/internal/core"
+	"admission/internal/graph"
+	"admission/internal/opt"
+	"admission/internal/problem"
+	"admission/internal/rng"
+	"admission/internal/setcover"
+	"admission/internal/trace"
+	"admission/internal/workload"
+)
+
+// allAlgorithms constructs every admission algorithm in the repository for
+// the given capacities.
+func allAlgorithms(t *testing.T, caps []int, unweighted bool, seed uint64) map[string]problem.Algorithm {
+	t.Helper()
+	out := map[string]problem.Algorithm{}
+	var ccfg core.Config
+	if unweighted {
+		ccfg = core.UnweightedConfig()
+	} else {
+		ccfg = core.DefaultConfig()
+	}
+	ccfg.Seed = seed
+	rz, err := core.NewRandomized(caps, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["randomized"] = rz
+	g, err := baseline.NewGreedy(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["greedy"] = g
+	for _, policy := range []baseline.VictimPolicy{
+		baseline.VictimCheapest, baseline.VictimNewest,
+		baseline.VictimOldest, baseline.VictimRandom,
+	} {
+		p, err := baseline.NewPreemptive(caps, policy, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["preempt-"+policy.String()] = p
+	}
+	dt, err := baseline.NewDetThreshold(caps, ccfg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["det-threshold"] = dt
+	return out
+}
+
+func TestPipelineAllAlgorithmsAllTopologies(t *testing.T) {
+	r := rng.New(20250612)
+	topos := []struct {
+		name string
+		mk   func() (*graph.Graph, error)
+	}{
+		{"line", func() (*graph.Graph, error) { return graph.Line(8, 3) }},
+		{"ring", func() (*graph.Graph, error) { return graph.Ring(8, 3) }},
+		{"star", func() (*graph.Graph, error) { return graph.Star(6, 3) }},
+		{"grid", func() (*graph.Graph, error) { return graph.Grid(3, 3, 3) }},
+		{"tree", func() (*graph.Graph, error) { return graph.Tree(9, 3, r) }},
+		{"random", func() (*graph.Graph, error) { return graph.Random(8, 20, 3, r) }},
+	}
+	for _, topo := range topos {
+		g, err := topo.mk()
+		if err != nil {
+			t.Fatalf("%s: %v", topo.name, err)
+		}
+		for _, unweighted := range []bool{true, false} {
+			model := workload.CostPareto
+			if unweighted {
+				model = workload.CostUnit
+			}
+			ins, err := workload.OverloadedTraffic(g, 1.8, model, r)
+			if err != nil {
+				t.Fatalf("%s: %v", topo.name, err)
+			}
+			lb, err := opt.FractionalOPT(ins)
+			if err != nil {
+				t.Fatalf("%s: LP: %v", topo.name, err)
+			}
+			for name, alg := range allAlgorithms(t, ins.Capacities, unweighted, 5) {
+				res, err := trace.Run(alg, ins, trace.Options{Check: true, Record: true})
+				if err != nil {
+					t.Fatalf("%s/%s: %v", topo.name, name, err)
+				}
+				// The referee verified feasibility; the rejected cost must
+				// also dominate the LP lower bound (any feasible final
+				// state does).
+				if res.RejectedCost < lb-1e-6 {
+					t.Fatalf("%s/%s: rejected %v below LP bound %v", topo.name, name, res.RejectedCost, lb)
+				}
+				// And the recorded log replays to the same objective.
+				replayed, err := trace.Replay(ins, res.Events)
+				if err != nil {
+					t.Fatalf("%s/%s: replay: %v", topo.name, name, err)
+				}
+				if math.Abs(replayed-res.RejectedCost) > 1e-9 {
+					t.Fatalf("%s/%s: replay %v != recorded %v", topo.name, name, replayed, res.RejectedCost)
+				}
+			}
+		}
+	}
+}
+
+func TestPipelineSetCoverBothAlgorithmsAgreeOnValidity(t *testing.T) {
+	r := rng.New(777)
+	for trial := 0; trial < 5; trial++ {
+		sys, err := setcover.RandomInstance(14, 20, 0.25, 3, trial%2 == 0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals, err := setcover.RandomArrivals(sys, 20, 1.0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := setcover.SolveByReduction(sys, arrivals, setcover.ReductionConfig{
+			Seed: uint64(trial), Check: true,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b, err := setcover.NewBicriteria(sys, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Run(arrivals); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := b.CheckGuarantee(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Offline sanity: LP ≤ exact ≤ greedy ≤ reduction cost (reduction
+		// fully covers, so it is a feasible integral solution).
+		cov := sys.Covering(arrivals)
+		lpv, _, err := opt.FractionalValue(cov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := opt.Exact(cov, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gv, _, err := opt.Greedy(cov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(lpv <= ex.Value+1e-6) {
+			t.Fatalf("trial %d: LP %v > exact %v", trial, lpv, ex.Value)
+		}
+		if ex.Proven && ex.Value > gv+1e-9 {
+			t.Fatalf("trial %d: exact %v > greedy %v", trial, ex.Value, gv)
+		}
+		if ex.Proven && red.Cost < ex.Value-1e-9 {
+			t.Fatalf("trial %d: reduction cost %v below OPT %v", trial, red.Cost, ex.Value)
+		}
+	}
+}
+
+func TestPipelineAdversarialAllPreemptiveSurvive(t *testing.T) {
+	// Every preemptive algorithm must beat greedy on the weighted trap.
+	for _, seed := range []uint64{1, 2, 3} {
+		greedyAdv := &workload.WeightedRatioAdversary{W: 1000}
+		g, err := baseline.NewGreedy(greedyAdv.Capacities())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gres, err := workload.RunAdversarial(g, greedyAdv, trace.Options{Check: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, policy := range []baseline.VictimPolicy{baseline.VictimCheapest} {
+			adv := &workload.WeightedRatioAdversary{W: 1000}
+			p, err := baseline.NewPreemptive(adv.Capacities(), policy, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, pres, err := workload.RunAdversarial(p, adv, trace.Options{Check: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pres.RejectedCost >= gres.RejectedCost {
+				t.Fatalf("seed %d: preemptive (%v) did not beat greedy (%v)",
+					seed, pres.RejectedCost, gres.RejectedCost)
+			}
+		}
+	}
+}
+
+func TestPipelineCertifiedBoundsAgree(t *testing.T) {
+	// The certified LP bound equals the plain LP bound and is verified.
+	r := rng.New(31)
+	g, err := graph.Grid(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := workload.OverloadedTraffic(g, 2.0, workload.CostUniform, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := opt.FractionalOPT(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certified, cert, err := opt.CertifiedLowerBound(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain-certified) > 1e-6*(1+plain) {
+		t.Fatalf("certified %v != plain %v", certified, plain)
+	}
+	if err := cert.Verify(opt.RejectionCovering(ins)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,407 @@
+package baseline
+
+import (
+	"testing"
+
+	"admission/internal/core"
+	"admission/internal/problem"
+	"admission/internal/rng"
+	"admission/internal/trace"
+)
+
+func unitReq(edges ...int) problem.Request { return problem.Request{Edges: edges, Cost: 1} }
+func costReq(c float64, edges ...int) problem.Request {
+	return problem.Request{Edges: edges, Cost: c}
+}
+
+func TestGreedyAcceptsUntilFull(t *testing.T) {
+	g, err := NewGreedy([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := &problem.Instance{
+		Capacities: []int{2},
+		Requests:   []problem.Request{unitReq(0), unitReq(0), unitReq(0)},
+	}
+	res, err := trace.Run(g, ins, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 2 || res.RejectedCost != 1 {
+		t.Fatalf("accepted=%v rejected=%v", res.Accepted, res.RejectedCost)
+	}
+	if res.Preemptions != 0 {
+		t.Fatal("greedy must never preempt")
+	}
+}
+
+func TestGreedyTrivialLowerBound(t *testing.T) {
+	// The E10 phenomenon: greedy accepts the cheap request, then must
+	// reject the expensive one. OPT rejects only the cheap one.
+	g, _ := NewGreedy([]int{1})
+	ins := &problem.Instance{
+		Capacities: []int{1},
+		Requests:   []problem.Request{costReq(1, 0), costReq(1000, 0)},
+	}
+	res, err := trace.Run(g, ins, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedCost != 1000 {
+		t.Fatalf("greedy should be forced to reject the expensive request, paid %v", res.RejectedCost)
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	if _, err := NewGreedy(nil); err == nil {
+		t.Error("no edges must error")
+	}
+	if _, err := NewGreedy([]int{0}); err == nil {
+		t.Error("zero capacity must error")
+	}
+	g, _ := NewGreedy([]int{1})
+	if _, err := g.Offer(0, problem.Request{Edges: []int{7}, Cost: 1}); err == nil {
+		t.Error("bad request must error")
+	}
+}
+
+func TestGreedyShrinkWithSlack(t *testing.T) {
+	g, _ := NewGreedy([]int{2})
+	rn, _ := trace.NewRunner(g, []int{2}, trace.Options{Check: true})
+	if _, err := rn.Offer(unitReq(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rn.ShrinkCapacity(0); err != nil {
+		t.Fatal(err)
+	}
+	// Now saturated: another shrink cannot be repaired by greedy.
+	if _, err := rn.ShrinkCapacity(0); err == nil {
+		t.Fatal("greedy shrink on saturated edge must error")
+	}
+	g2, _ := NewGreedy([]int{1})
+	if _, err := g2.ShrinkCapacity(9); err == nil {
+		t.Fatal("bad edge must error")
+	}
+}
+
+func TestPreemptiveCheapestKeepsExpensive(t *testing.T) {
+	p, err := NewPreemptive([]int{1}, VictimCheapest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := &problem.Instance{
+		Capacities: []int{1},
+		Requests:   []problem.Request{costReq(1, 0), costReq(1000, 0)},
+	}
+	res, err := trace.Run(p, ins, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preempts the cheap one to admit the expensive one: pays 1 (= OPT).
+	if res.RejectedCost != 1 {
+		t.Fatalf("rejected cost = %v, want 1", res.RejectedCost)
+	}
+	if res.Preemptions != 1 {
+		t.Fatalf("preemptions = %d", res.Preemptions)
+	}
+}
+
+func TestPreemptiveCheapestRejectsWorthlessArrival(t *testing.T) {
+	p, _ := NewPreemptive([]int{1}, VictimCheapest, 1)
+	ins := &problem.Instance{
+		Capacities: []int{1},
+		Requests:   []problem.Request{costReq(1000, 0), costReq(1, 0)},
+	}
+	res, err := trace.Run(p, ins, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must not displace cost-1000 for cost-1: reject the arrival instead.
+	if res.RejectedCost != 1 {
+		t.Fatalf("rejected cost = %v, want 1", res.RejectedCost)
+	}
+	if res.Preemptions != 0 {
+		t.Fatal("no preemption expected")
+	}
+}
+
+func TestPreemptivePoliciesFeasibleOnRandom(t *testing.T) {
+	r := rng.New(404)
+	for _, policy := range []VictimPolicy{VictimCheapest, VictimNewest, VictimOldest, VictimRandom} {
+		for trial := 0; trial < 10; trial++ {
+			m := 1 + r.Intn(4)
+			caps := make([]int, m)
+			for e := range caps {
+				caps[e] = 1 + r.Intn(3)
+			}
+			p, err := NewPreemptive(caps, policy, uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ins := &problem.Instance{Capacities: caps}
+			n := 5 + r.Intn(25)
+			for i := 0; i < n; i++ {
+				size := 1 + r.Intn(m)
+				perm := r.Perm(m)
+				ins.Requests = append(ins.Requests, problem.Request{
+					Edges: append([]int(nil), perm[:size]...),
+					Cost:  1 + r.Float64()*9,
+				})
+			}
+			if _, err := trace.Run(p, ins, trace.Options{Check: true}); err != nil {
+				t.Fatalf("%v trial %d: %v", policy, trial, err)
+			}
+		}
+	}
+}
+
+func TestPreemptiveNewestVsOldest(t *testing.T) {
+	run := func(policy VictimPolicy) []int {
+		p, _ := NewPreemptive([]int{1}, policy, 0)
+		rn, _ := trace.NewRunner(p, []int{1}, trace.Options{Check: true})
+		var firstPreempted []int
+		for i := 0; i < 3; i++ {
+			out, err := rn.Offer(unitReq(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Preempted) > 0 && firstPreempted == nil {
+				firstPreempted = out.Preempted
+			}
+		}
+		return firstPreempted
+	}
+	if got := run(VictimOldest); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("oldest policy preempted %v, want [0]", got)
+	}
+	if got := run(VictimNewest); len(got) != 1 || got[0] != 0 {
+		// ids: 0 accepted; arrival 1 preempts the only candidate, 0.
+		t.Fatalf("newest policy preempted %v, want [0]", got)
+	}
+}
+
+func TestPreemptiveValidation(t *testing.T) {
+	if _, err := NewPreemptive(nil, VictimCheapest, 0); err == nil {
+		t.Error("no edges must error")
+	}
+	if _, err := NewPreemptive([]int{1}, VictimPolicy(99), 0); err == nil {
+		t.Error("bad policy must error")
+	}
+	p, _ := NewPreemptive([]int{1}, VictimCheapest, 0)
+	if _, err := p.Offer(0, problem.Request{Edges: nil, Cost: 1}); err == nil {
+		t.Error("bad request must error")
+	}
+}
+
+func TestPreemptiveShrink(t *testing.T) {
+	p, _ := NewPreemptive([]int{2}, VictimOldest, 0)
+	rn, _ := trace.NewRunner(p, []int{2}, trace.Options{Check: true})
+	for i := 0; i < 2; i++ {
+		if _, err := rn.Offer(unitReq(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := rn.ShrinkCapacity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Preempted) != 1 {
+		t.Fatalf("shrink must preempt exactly one, got %v", out.Preempted)
+	}
+	if _, err := p.ShrinkCapacity(9); err == nil {
+		t.Error("bad edge must error")
+	}
+}
+
+func TestVictimPolicyString(t *testing.T) {
+	for _, p := range []VictimPolicy{VictimCheapest, VictimNewest, VictimOldest, VictimRandom, VictimPolicy(9)} {
+		if p.String() == "" {
+			t.Fatal("empty policy string")
+		}
+	}
+}
+
+func TestDetThresholdBasic(t *testing.T) {
+	cfg := core.UnweightedConfig()
+	d, err := NewDetThreshold([]int{2}, cfg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := &problem.Instance{Capacities: []int{2}}
+	for i := 0; i < 10; i++ {
+		ins.Requests = append(ins.Requests, unitReq(0))
+	}
+	res, err := trace.Run(d, ins, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OPT = 8; deterministic rounding must reject at least that many.
+	if res.RejectedCost < 8 {
+		t.Fatalf("rejected %v < OPT 8: infeasible", res.RejectedCost)
+	}
+}
+
+func TestDetThresholdZeroRejectionFeasible(t *testing.T) {
+	d, _ := NewDetThreshold([]int{3}, core.UnweightedConfig(), 0.5)
+	ins := &problem.Instance{Capacities: []int{3}}
+	for i := 0; i < 3; i++ {
+		ins.Requests = append(ins.Requests, unitReq(0))
+	}
+	res, err := trace.Run(d, ins, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedCost != 0 {
+		t.Fatalf("rejected %v on feasible input", res.RejectedCost)
+	}
+}
+
+func TestDetThresholdWeighted(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.AlphaMode = core.AlphaOracle
+	cfg.Alpha = 6
+	d, err := NewDetThreshold([]int{2}, cfg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := &problem.Instance{Capacities: []int{2}}
+	for i := 0; i < 6; i++ {
+		ins.Requests = append(ins.Requests, costReq(2, 0))
+	}
+	if _, err := trace.Run(d, ins, trace.Options{Check: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetThresholdValidation(t *testing.T) {
+	if _, err := NewDetThreshold([]int{1}, core.UnweightedConfig(), 0); err == nil {
+		t.Error("threshold 0 must error")
+	}
+	if _, err := NewDetThreshold([]int{1}, core.UnweightedConfig(), 1.5); err == nil {
+		t.Error("threshold > 1 must error")
+	}
+	if _, err := NewDetThreshold([]int{0}, core.UnweightedConfig(), 0.5); err == nil {
+		t.Error("bad capacities must error")
+	}
+	d, _ := NewDetThreshold([]int{1}, core.UnweightedConfig(), 0.5)
+	if _, err := d.Offer(0, problem.Request{Edges: []int{4}, Cost: 1}); err == nil {
+		t.Error("bad request must error")
+	}
+}
+
+func TestDetThresholdRandomFeasibility(t *testing.T) {
+	r := rng.New(31337)
+	for trial := 0; trial < 15; trial++ {
+		m := 1 + r.Intn(4)
+		caps := make([]int, m)
+		for e := range caps {
+			caps[e] = 1 + r.Intn(3)
+		}
+		d, err := NewDetThreshold(caps, core.UnweightedConfig(), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins := &problem.Instance{Capacities: caps}
+		for i := 0; i < 20; i++ {
+			size := 1 + r.Intn(m)
+			perm := r.Perm(m)
+			ins.Requests = append(ins.Requests, problem.Request{
+				Edges: append([]int(nil), perm[:size]...),
+				Cost:  1,
+			})
+		}
+		if _, err := trace.Run(d, ins, trace.Options{Check: true}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	g, _ := NewGreedy([]int{1})
+	if g.Name() != "greedy" {
+		t.Fatal("greedy name")
+	}
+	p, _ := NewPreemptive([]int{1}, VictimRandom, 0)
+	if p.Name() != "preempt-random" {
+		t.Fatalf("preemptive name = %q", p.Name())
+	}
+	d, _ := NewDetThreshold([]int{1}, core.UnweightedConfig(), 0.5)
+	if d.Name() != "det-threshold" {
+		t.Fatal("det name")
+	}
+	if g.RejectedCost() != 0 || p.RejectedCost() != 0 || d.RejectedCost() != 0 {
+		t.Fatal("fresh algorithms must report zero cost")
+	}
+}
+
+func TestDetThresholdPermanentAcceptRepair(t *testing.T) {
+	// Regression companion to the core test of the same name: the
+	// deterministic rounding must repair edges saturated by cheap requests
+	// when an expensive (permanently accepted) request arrives.
+	const c = 16
+	d, err := NewDetThreshold([]int{c}, core.DefaultConfig(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := &problem.Instance{Capacities: []int{c}}
+	for i := 0; i < 3*c; i++ {
+		ins.Requests = append(ins.Requests, costReq(1, 0))
+	}
+	for i := 0; i < c; i++ {
+		ins.Requests = append(ins.Requests, costReq(100, 0))
+	}
+	res, err := trace.Run(d, ins, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OPT rejects the 3c cheap requests (cost 3c = 48). The deterministic
+	// rounding should avoid paying for the expensive burst.
+	if res.RejectedCost >= 100 {
+		t.Fatalf("det-threshold paid %v: dumped an expensive request", res.RejectedCost)
+	}
+}
+
+func TestPreemptiveShrinkInterleaving(t *testing.T) {
+	// Mirror of the core shrink-interleaving property for the baselines:
+	// random offers and shrinks, runner-verified at every step.
+	r := rng.New(8642)
+	for _, policy := range []VictimPolicy{VictimCheapest, VictimNewest, VictimOldest, VictimRandom} {
+		for trial := 0; trial < 5; trial++ {
+			m := 1 + r.Intn(3)
+			caps := make([]int, m)
+			for e := range caps {
+				caps[e] = 2 + r.Intn(3)
+			}
+			p, err := NewPreemptive(caps, policy, uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rn, err := trace.NewRunner(p, caps, trace.Options{Check: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			remaining := append([]int(nil), caps...)
+			for step := 0; step < 25; step++ {
+				if r.Bernoulli(0.3) {
+					e := r.Intn(m)
+					if remaining[e] > 0 {
+						if _, err := rn.ShrinkCapacity(e); err != nil {
+							t.Fatalf("%v: %v", policy, err)
+						}
+						remaining[e]--
+					}
+					continue
+				}
+				size := 1 + r.Intn(m)
+				perm := r.Perm(m)
+				req := problem.Request{Edges: append([]int(nil), perm[:size]...), Cost: 1 + r.Float64()*9}
+				if _, err := rn.Offer(req); err != nil {
+					t.Fatalf("%v: %v", policy, err)
+				}
+			}
+			if _, err := rn.Finish(); err != nil {
+				t.Fatalf("%v: %v", policy, err)
+			}
+		}
+	}
+}

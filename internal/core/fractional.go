@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"admission/internal/problem"
+)
+
+// reqStatus tracks a request's fate inside the fractional algorithm.
+type reqStatus uint8
+
+const (
+	statusAlive reqStatus = iota
+	// statusFullyRejected: weight reached 1 (or the request was force-
+	// rejected by the caller); it contributes its full cost.
+	statusFullyRejected
+	// statusPermAccepted: cost exceeded 2α, so the request was accepted
+	// permanently and a capacity unit was reserved on each of its edges
+	// (§2's transformation of the optimum).
+	statusPermAccepted
+	// statusPrunedRejected: cost below α/(mc); rejected immediately (§2's
+	// R_small argument).
+	statusPrunedRejected
+)
+
+// WeightChange reports that request ID's weight increased by Delta during
+// one Offer/ShrinkCapacity call. The randomized layer turns these into
+// rejection probabilities.
+type WeightChange struct {
+	ID    int
+	Delta float64
+}
+
+// Changeset describes everything that happened inside the fractional
+// algorithm during a single arrival or capacity shrink.
+type Changeset struct {
+	// NewID is the ID assigned to the arriving request (-1 for shrinks).
+	NewID int
+	// PrunedRejected is true when the arrival was rejected outright by the
+	// R_small rule.
+	PrunedRejected bool
+	// PermAccepted is true when the arrival was accepted permanently by the
+	// R_big rule.
+	PermAccepted bool
+	// Changes lists positive weight increases, one entry per affected
+	// request, in request-ID order.
+	Changes []WeightChange
+	// FullyRejected lists requests whose weight reached 1 this call.
+	FullyRejected []int
+	// PhaseReset is true when the α-doubling scheme advanced at least one
+	// phase during this call.
+	PhaseReset bool
+}
+
+// fracReq is the per-request fractional state.
+type fracReq struct {
+	edges  []int
+	cost   float64
+	norm   float64 // normalized cost in [1, g]; recomputed per phase
+	f      float64 // current weight (resets on phase change)
+	paid   float64 // monotone: max over time of min(f,1)·cost
+	status reqStatus
+}
+
+// Fractional is the §2 online fractional algorithm. It is deterministic.
+// Not safe for concurrent use.
+type Fractional struct {
+	cfg  Config
+	caps []int // remaining capacities: original − permanent accepts − shrinks
+	m    int
+	cmax int // original maximum capacity (fixes g = 2mc and initial weights)
+	g    float64
+
+	reqs  []fracReq
+	edges [][]int // per edge: request IDs that use it (alive and not; pruned lazily)
+
+	alpha     float64 // current α guess; 0 means not yet determined (doubling mode)
+	phasePaid float64
+	paid      float64 // Σ_i paid_i, maintained incrementally
+
+	augmentations int
+	phases        int // number of α doublings performed
+}
+
+// NewFractional creates the fractional algorithm for the given capacity
+// vector.
+func NewFractional(capacities []int, cfg Config) (*Fractional, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("core: no edges")
+	}
+	cmax := 0
+	for e, c := range capacities {
+		if c <= 0 {
+			return nil, fmt.Errorf("core: edge %d capacity %d, want > 0", e, c)
+		}
+		if c > cmax {
+			cmax = c
+		}
+	}
+	f := &Fractional{
+		cfg:   cfg,
+		caps:  append([]int(nil), capacities...),
+		m:     len(capacities),
+		cmax:  cmax,
+		edges: make([][]int, len(capacities)),
+	}
+	if cfg.Unweighted {
+		f.g = 1
+	} else {
+		f.g = 2 * float64(f.m) * float64(cmax)
+		if cfg.AlphaMode == AlphaOracle {
+			f.alpha = cfg.Alpha
+		}
+	}
+	return f, nil
+}
+
+// M returns the number of edges.
+func (f *Fractional) M() int { return f.m }
+
+// MaxCapacity returns the original maximum capacity c.
+func (f *Fractional) MaxCapacity() int { return f.cmax }
+
+// Cost returns the fractional objective Σ_i min(f_i,1)·p_i accumulated so
+// far (monotone across α-doubling phases).
+func (f *Fractional) Cost() float64 { return f.paid }
+
+// Augmentations returns the total number of weight-augmentation steps
+// performed (the quantity bounded by Lemma 1).
+func (f *Fractional) Augmentations() int { return f.augmentations }
+
+// Phases returns how many times the α guess was doubled.
+func (f *Fractional) Phases() int { return f.phases }
+
+// Alpha returns the current α guess (0 if not yet set in doubling mode).
+func (f *Fractional) Alpha() float64 { return f.alpha }
+
+// Weight returns request id's current fractional weight, capped at 1.
+func (f *Fractional) Weight(id int) float64 {
+	if id < 0 || id >= len(f.reqs) {
+		return 0
+	}
+	return math.Min(f.reqs[id].f, 1)
+}
+
+// Status returns the request's internal status; exposed for the randomized
+// layer and for tests.
+func (f *Fractional) Status(id int) (alive, fullyRejected, permAccepted, pruned bool) {
+	if id < 0 || id >= len(f.reqs) {
+		return false, false, false, false
+	}
+	switch f.reqs[id].status {
+	case statusAlive:
+		return true, false, false, false
+	case statusFullyRejected:
+		return false, true, false, false
+	case statusPermAccepted:
+		return false, false, true, false
+	default:
+		return false, false, false, true
+	}
+}
+
+// RemainingCapacity returns the adjusted capacity of edge e (original minus
+// permanent accepts and shrinks).
+func (f *Fractional) RemainingCapacity(e int) int {
+	if e < 0 || e >= f.m {
+		return 0
+	}
+	return f.caps[e]
+}
+
+// pay charges the monotone fractional cost for request id at its current
+// weight.
+func (f *Fractional) pay(id int) {
+	r := &f.reqs[id]
+	charge := math.Min(r.f, 1) * r.cost
+	if charge > r.paid {
+		f.paid += charge - r.paid
+		f.phasePaid += charge - r.paid
+		r.paid = charge
+	}
+}
+
+// normalize recomputes request id's normalized cost for the current α.
+// Normalized costs live in [1, g]: p̂ = p·mc/α clamped.
+func (f *Fractional) normalize(id int) {
+	r := &f.reqs[id]
+	if f.cfg.Unweighted {
+		r.norm = 1
+		return
+	}
+	if f.alpha <= 0 {
+		// No α yet (doubling mode before the first overload): no
+		// augmentation can occur either, so norm is not used. Set 1.
+		r.norm = 1
+		return
+	}
+	scale := float64(f.m) * float64(f.cmax) / f.alpha
+	n := r.cost * scale
+	if n < 1 {
+		n = 1
+	}
+	if n > f.g {
+		n = f.g
+	}
+	r.norm = n
+}
+
+// Offer processes an arriving request and returns the changeset.
+func (f *Fractional) Offer(r problem.Request) (Changeset, error) {
+	if err := r.Validate(f.m); err != nil {
+		return Changeset{}, err
+	}
+	if f.cfg.Unweighted && r.Cost != 1 {
+		return Changeset{}, fmt.Errorf("core: unweighted mode requires cost 1, got %v", r.Cost)
+	}
+	id := len(f.reqs)
+	cs := Changeset{NewID: id}
+	f.reqs = append(f.reqs, fracReq{
+		edges:  append([]int(nil), r.Edges...),
+		cost:   r.Cost,
+		status: statusAlive,
+	})
+
+	// §2 cost-window pruning (weighted with a live α only).
+	if !f.cfg.Unweighted && f.alpha > 0 {
+		switch {
+		case r.Cost > 2*f.alpha:
+			if f.tryPermanentAccept(id) {
+				cs.PermAccepted = true
+				// Reserving capacity may have created excess for the other
+				// alive requests; restore the covering invariant.
+				reset := f.augmentEdges(r.Edges, &cs)
+				cs.PhaseReset = cs.PhaseReset || reset
+				return cs, nil
+			}
+			// No spare capacity to reserve (α was guessed too low, or the
+			// adversary saturated the edge with big requests): fall through
+			// and treat the request as a normal one at the clamped cost.
+		case r.Cost < f.alpha/(float64(f.m)*float64(f.cmax)):
+			f.reqs[id].status = statusPrunedRejected
+			f.reqs[id].f = 1
+			f.pay(id)
+			cs.PrunedRejected = true
+			return cs, nil
+		}
+	}
+
+	f.normalize(id)
+	for _, e := range r.Edges {
+		f.edges[e] = append(f.edges[e], id)
+	}
+	reset := f.augmentEdges(r.Edges, &cs)
+	cs.PhaseReset = cs.PhaseReset || reset
+	return cs, nil
+}
+
+// tryPermanentAccept reserves one capacity unit on each edge of request id
+// if possible. Returns false (and reserves nothing) when any edge has no
+// remaining adjusted capacity.
+func (f *Fractional) tryPermanentAccept(id int) bool {
+	r := &f.reqs[id]
+	for _, e := range r.edges {
+		if f.caps[e] <= 0 {
+			return false
+		}
+	}
+	for _, e := range r.edges {
+		f.caps[e]--
+	}
+	r.status = statusPermAccepted
+	return true
+}
+
+// ShrinkCapacity permanently removes one capacity unit from edge e (the §4
+// reduction's phase-2 arrival) and restores the covering invariant.
+func (f *Fractional) ShrinkCapacity(e int) (Changeset, error) {
+	if e < 0 || e >= f.m {
+		return Changeset{}, fmt.Errorf("core: shrink of unknown edge %d", e)
+	}
+	if f.caps[e] <= 0 {
+		return Changeset{}, fmt.Errorf("core: edge %d has no capacity left to shrink", e)
+	}
+	f.caps[e]--
+	cs := Changeset{NewID: -1}
+	reset := f.augmentEdges([]int{e}, &cs)
+	cs.PhaseReset = reset
+	return cs, nil
+}
+
+// RegisterInert appends a request that the caller has already rejected
+// outside the fractional accounting (the §3 |REQ_e| safeguard), so that
+// caller request IDs stay aligned with fractional IDs. The request joins no
+// edge lists and is charged no fractional cost. Returns the assigned ID.
+func (f *Fractional) RegisterInert(r problem.Request) int {
+	id := len(f.reqs)
+	f.reqs = append(f.reqs, fracReq{
+		edges:  append([]int(nil), r.Edges...),
+		cost:   r.Cost,
+		f:      1,
+		status: statusPrunedRejected,
+	})
+	return id
+}
+
+// ForceReject marks an alive request as fully rejected (used by the
+// randomized layer's |REQ_e| safeguard). Its cost is charged in full.
+func (f *Fractional) ForceReject(id int) error {
+	if id < 0 || id >= len(f.reqs) {
+		return fmt.Errorf("core: ForceReject of unknown request %d", id)
+	}
+	r := &f.reqs[id]
+	switch r.status {
+	case statusAlive:
+		r.status = statusFullyRejected
+		r.f = 1
+		f.pay(id)
+		return nil
+	case statusPermAccepted:
+		return fmt.Errorf("core: ForceReject of permanently accepted request %d", id)
+	default:
+		return nil // already rejected: idempotent
+	}
+}
+
+// aliveOn compacts edge e's request list in place, dropping non-alive
+// entries, and returns the alive IDs.
+func (f *Fractional) aliveOn(e int) []int {
+	list := f.edges[e]
+	w := 0
+	for _, id := range list {
+		if f.reqs[id].status == statusAlive {
+			list[w] = id
+			w++
+		}
+	}
+	f.edges[e] = list[:w]
+	return f.edges[e]
+}
+
+// augmentEdges restores Σ_{alive} f ≥ n_e on every listed edge, iterating to
+// a fixpoint because an augmentation on one edge can fully-reject a request
+// and disturb another. It reports whether any α-doubling phase reset
+// occurred. Weight increases are accumulated into cs.
+func (f *Fractional) augmentEdges(edgeList []int, cs *Changeset) (reset bool) {
+	// before[id] is the weight at the start of the (current phase of the)
+	// call, for delta reporting.
+	before := make(map[int]float64)
+	snapshot := func(id int) {
+		if _, ok := before[id]; !ok {
+			before[id] = f.reqs[id].f
+		}
+	}
+
+	for pass := 0; ; pass++ {
+		satisfied := true
+		for _, e := range edgeList {
+			for {
+				alive := f.aliveOn(e)
+				ne := len(alive) - f.caps[e]
+				if ne <= 0 {
+					break
+				}
+				sum := 0.0
+				for _, id := range alive {
+					sum += f.reqs[id].f
+				}
+				if sum >= float64(ne) {
+					break
+				}
+				satisfied = false
+				// One weight augmentation (§2 steps a–c).
+				f.augmentations++
+				if f.needsAlpha() {
+					f.initAlpha(e, alive)
+					// α initialization changes the normalization of every
+					// alive request.
+					reset = true
+					before = make(map[int]float64)
+				}
+				initW := 1 / (f.g * float64(f.cmax))
+				for _, id := range alive {
+					snapshot(id)
+					r := &f.reqs[id]
+					if r.f == 0 {
+						r.f = initW
+					}
+				}
+				for _, id := range alive {
+					r := &f.reqs[id]
+					r.f *= 1 + 1/(float64(ne)*r.norm)
+					f.pay(id)
+					if r.f >= 1 {
+						r.status = statusFullyRejected
+						cs.FullyRejected = append(cs.FullyRejected, id)
+					}
+				}
+				if f.overBudget() {
+					f.doublePhase()
+					reset = true
+					before = make(map[int]float64)
+				}
+			}
+		}
+		if satisfied || pass > 64 {
+			// pass > 64 cannot happen with bounded weights; the guard keeps
+			// a logic bug from looping forever.
+			break
+		}
+	}
+
+	for id, b := range before {
+		cur := f.reqs[id].f
+		if cur > b {
+			cs.Changes = append(cs.Changes, WeightChange{ID: id, Delta: cur - b})
+		}
+	}
+	sortChanges(cs.Changes)
+	return reset
+}
+
+func sortChanges(ch []WeightChange) {
+	// Insertion sort: change lists are short and this avoids pulling in
+	// sort for a hot path.
+	for i := 1; i < len(ch); i++ {
+		for j := i; j > 0 && ch[j].ID < ch[j-1].ID; j-- {
+			ch[j], ch[j-1] = ch[j-1], ch[j]
+		}
+	}
+}
+
+// needsAlpha reports whether the doubling scheme still awaits its first
+// overload.
+func (f *Fractional) needsAlpha() bool {
+	return !f.cfg.Unweighted && f.alpha == 0
+}
+
+// initAlpha sets the initial guess α = min cost over the overloaded edge's
+// alive requests (§2), and normalizes every alive request.
+func (f *Fractional) initAlpha(e int, alive []int) {
+	minCost := math.Inf(1)
+	for _, id := range alive {
+		if c := f.reqs[id].cost; c < minCost {
+			minCost = c
+		}
+	}
+	if math.IsInf(minCost, 1) {
+		minCost = 1
+	}
+	f.alpha = minCost
+	f.phasePaid = 0
+	for id := range f.reqs {
+		if f.reqs[id].status == statusAlive {
+			f.normalize(id)
+		}
+	}
+}
+
+// overBudget reports whether the current phase has spent beyond the
+// doubling budget K·α·log₂(2gc).
+func (f *Fractional) overBudget() bool {
+	if f.cfg.Unweighted || f.cfg.AlphaMode != AlphaDoubling || f.alpha == 0 {
+		return false
+	}
+	budget := f.cfg.DoublingBudgetFactor * f.alpha * math.Log2(2*f.g*float64(f.cmax))
+	return f.phasePaid > budget
+}
+
+// doublePhase advances the guess-and-double scheme: α doubles, the phase
+// cost counter resets, alive weights restart from zero ("forget about all
+// the request fractions rejected so far"), and normalized costs are
+// recomputed. Cost already charged (paid) is never un-charged.
+func (f *Fractional) doublePhase() {
+	f.alpha *= 2
+	f.phases++
+	f.phasePaid = 0
+	for id := range f.reqs {
+		r := &f.reqs[id]
+		if r.status == statusAlive {
+			r.f = 0
+			f.normalize(id)
+		}
+	}
+}
+
+// CheckCovered verifies the covering invariant Σ_{alive} f_i ≥ n_e on the
+// given edges (nil = all edges whose excess is positive). Intended for
+// tests: the §2 algorithm guarantees it on the edges of each arrival.
+func (f *Fractional) CheckCovered(edgeList []int) error {
+	if edgeList == nil {
+		edgeList = make([]int, f.m)
+		for e := range edgeList {
+			edgeList[e] = e
+		}
+	}
+	for _, e := range edgeList {
+		if e < 0 || e >= f.m {
+			return fmt.Errorf("core: CheckCovered: bad edge %d", e)
+		}
+		alive := f.aliveOn(e)
+		ne := len(alive) - f.caps[e]
+		if ne <= 0 {
+			continue
+		}
+		sum := 0.0
+		for _, id := range alive {
+			sum += f.reqs[id].f
+		}
+		if sum < float64(ne)-1e-9 {
+			return fmt.Errorf("core: edge %d: Σf = %v < n_e = %d", e, sum, ne)
+		}
+	}
+	return nil
+}
+
+// AliveCount returns the number of alive fractional requests on edge e.
+func (f *Fractional) AliveCount(e int) int {
+	if e < 0 || e >= f.m {
+		return 0
+	}
+	return len(f.aliveOn(e))
+}
+
+// NumRequests returns how many requests have been offered.
+func (f *Fractional) NumRequests() int { return len(f.reqs) }
+
+// RequestEdges returns the edge set of request id (shared slice; do not
+// modify).
+func (f *Fractional) RequestEdges(id int) []int {
+	if id < 0 || id >= len(f.reqs) {
+		return nil
+	}
+	return f.reqs[id].edges
+}
+
+// RequestCost returns the original cost of request id.
+func (f *Fractional) RequestCost(id int) float64 {
+	if id < 0 || id >= len(f.reqs) {
+		return 0
+	}
+	return f.reqs[id].cost
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"admission/internal/problem"
+	"admission/internal/rng"
+	"admission/internal/trace"
+)
+
+// genInstance derives a random instance from a quick-check seed.
+func genInstance(seed uint64, unweighted bool) *problem.Instance {
+	r := rng.New(seed)
+	m := 1 + r.Intn(6)
+	caps := make([]int, m)
+	for e := range caps {
+		caps[e] = 1 + r.Intn(5)
+	}
+	ins := &problem.Instance{Capacities: caps}
+	n := 1 + r.Intn(50)
+	for i := 0; i < n; i++ {
+		size := 1 + r.Intn(m)
+		perm := r.Perm(m)
+		cost := 1.0
+		if !unweighted {
+			cost = float64(1 + r.Intn(200))
+		}
+		ins.Requests = append(ins.Requests, problem.Request{
+			Edges: append([]int(nil), perm[:size]...),
+			Cost:  cost,
+		})
+	}
+	return ins
+}
+
+// Property: the fractional covering invariant holds on every edge of every
+// arrival, weights are monotone within a phase, and the fractional cost is
+// monotone non-decreasing overall.
+func TestPropertyFractionalInvariants(t *testing.T) {
+	check := func(seed uint64, unweighted bool) bool {
+		ins := genInstance(seed, unweighted)
+		var cfg Config
+		if unweighted {
+			cfg = UnweightedConfig()
+		} else {
+			cfg = DefaultConfig()
+		}
+		f, err := NewFractional(ins.Capacities, cfg)
+		if err != nil {
+			return false
+		}
+		prevCost := 0.0
+		for _, r := range ins.Requests {
+			if _, err := f.Offer(r); err != nil {
+				return false
+			}
+			if err := f.CheckCovered(r.Edges); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if f.Cost() < prevCost-1e-9 {
+				t.Logf("seed %d: cost decreased %v -> %v", seed, prevCost, f.Cost())
+				return false
+			}
+			prevCost = f.Cost()
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the randomized algorithm never violates feasibility (verified
+// by the independent runner), never rejects more than the total cost, and
+// its recorded event log replays cleanly.
+func TestPropertyRandomizedSafety(t *testing.T) {
+	check := func(seed uint64, unweighted bool) bool {
+		ins := genInstance(seed, unweighted)
+		var cfg Config
+		if unweighted {
+			cfg = UnweightedConfig()
+		} else {
+			cfg = DefaultConfig()
+		}
+		cfg.Seed = seed * 31
+		alg, err := NewRandomized(ins.Capacities, cfg)
+		if err != nil {
+			return false
+		}
+		res, err := trace.Run(alg, ins, trace.Options{Check: true, Record: true})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.RejectedCost > ins.TotalCost()+1e-9 {
+			return false
+		}
+		replayed, err := trace.Replay(ins, res.Events)
+		if err != nil {
+			t.Logf("seed %d replay: %v", seed, err)
+			return false
+		}
+		return math.Abs(replayed-res.RejectedCost) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the randomized algorithm's rejected cost always upper-bounds
+// the instance's unweighted lower bound Q (it must reject at least the
+// excess), and accepted+rejected partitions the requests.
+func TestPropertyRandomizedAccounting(t *testing.T) {
+	check := func(seed uint64) bool {
+		ins := genInstance(seed, true)
+		cfg := UnweightedConfig()
+		cfg.Seed = seed
+		alg, err := NewRandomized(ins.Capacities, cfg)
+		if err != nil {
+			return false
+		}
+		res, err := trace.Run(alg, ins, trace.Options{Check: true})
+		if err != nil {
+			return false
+		}
+		if len(res.Accepted)+len(res.Rejected) != ins.N() {
+			return false
+		}
+		// Unweighted: any feasible final state rejects >= Q requests.
+		return res.RejectedCost >= float64(ins.MaxExcess())-1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: feasible prefixes reject nothing — for any instance, truncating
+// to a prefix that fits within capacities yields zero rejections.
+func TestPropertyZeroRejectionOnFeasiblePrefix(t *testing.T) {
+	check := func(seed uint64) bool {
+		ins := genInstance(seed, true)
+		// Build the maximal feasible prefix.
+		load := make([]int, ins.M())
+		var prefix []problem.Request
+		for _, r := range ins.Requests {
+			fits := true
+			for _, e := range r.Edges {
+				if load[e]+1 > ins.Capacities[e] {
+					fits = false
+					break
+				}
+			}
+			if !fits {
+				break
+			}
+			for _, e := range r.Edges {
+				load[e]++
+			}
+			prefix = append(prefix, r)
+		}
+		sub := &problem.Instance{Capacities: ins.Capacities, Requests: prefix}
+		cfg := UnweightedConfig()
+		cfg.Seed = seed
+		alg, err := NewRandomized(sub.Capacities, cfg)
+		if err != nil {
+			return false
+		}
+		res, err := trace.Run(alg, sub, trace.Options{Check: true})
+		if err != nil {
+			return false
+		}
+		return res.RejectedCost == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shrink sequences keep the system feasible — interleave offers
+// and random shrinks (when capacity remains) and rely on the runner to
+// verify every step.
+func TestPropertyShrinkInterleaving(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := 1 + r.Intn(4)
+		caps := make([]int, m)
+		for e := range caps {
+			caps[e] = 2 + r.Intn(4)
+		}
+		cfg := UnweightedConfig()
+		cfg.Seed = seed
+		alg, err := NewRandomized(caps, cfg)
+		if err != nil {
+			return false
+		}
+		rn, err := trace.NewRunner(alg, caps, trace.Options{Check: true})
+		if err != nil {
+			return false
+		}
+		remaining := append([]int(nil), caps...)
+		for step := 0; step < 30; step++ {
+			if r.Bernoulli(0.3) {
+				e := r.Intn(m)
+				if remaining[e] > 0 {
+					if _, err := rn.ShrinkCapacity(e); err != nil {
+						t.Logf("seed %d shrink: %v", seed, err)
+						return false
+					}
+					remaining[e]--
+				}
+				continue
+			}
+			size := 1 + r.Intn(m)
+			perm := r.Perm(m)
+			req := problem.Request{Edges: append([]int(nil), perm[:size]...), Cost: 1}
+			if _, err := rn.Offer(req); err != nil {
+				t.Logf("seed %d offer: %v", seed, err)
+				return false
+			}
+		}
+		_, err = rn.Finish()
+		return err == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"admission/internal/problem"
+	"admission/internal/rng"
+)
+
+// intState is the integral (physical) state of a request in the randomized
+// algorithm, as opposed to its fractional weight.
+type intState uint8
+
+const (
+	intAccepted intState = iota
+	intRejected
+)
+
+// Randomized is the §3 randomized preemptive online algorithm. It maintains
+// the §2 fractional solution internally and rounds it online:
+//
+//  1. run the fractional weight augmentations for the arrival;
+//  2. preempt every request whose weight reached 1/(T·L);
+//  3. for every request whose weight increased by δ, reject it with
+//     probability P·δ·L;
+//  4. if the arriving request still does not fit, reject it — this restores
+//     feasibility deterministically, because before the arrival the solution
+//     was feasible and only the arrival's own edges can now be violated.
+//
+// L is log(mc) in the weighted case and log m in the unweighted case.
+// It implements problem.Algorithm and problem.CapacityShrinker.
+type Randomized struct {
+	cfg  Config
+	frac *Fractional
+	rand *rng.RNG
+
+	threshold  float64 // preempt when weight >= threshold
+	probScale  float64 // reject probability per unit of weight increase
+	reqCapStop float64 // |REQ_e| safeguard bound: 4mc²
+
+	// effCap is the capacity available to this layer: original minus
+	// shrinks. Permanent accepts count against load instead.
+	effCap []int
+	load   []int
+
+	state        []intState
+	edgesOf      [][]int
+	costOf       []float64
+	rejectedCost float64
+	preemptions  int
+
+	reqCount []int  // |REQ_e| per edge, for the 4mc² safeguard
+	poisoned []bool // edges whose requests are all rejected (safeguard fired)
+
+	// arrivalKilled is scratch state for the Offer/Shrink call in flight:
+	// set when the arriving request is rejected during rounding, consulted
+	// by step 4. Randomized is not safe for concurrent use.
+	arrivalKilled bool
+}
+
+var _ problem.Algorithm = (*Randomized)(nil)
+var _ problem.CapacityShrinker = (*Randomized)(nil)
+
+// NewRandomized creates the randomized algorithm over the capacity vector.
+func NewRandomized(capacities []int, cfg Config) (*Randomized, error) {
+	frac, err := NewFractional(capacities, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := float64(len(capacities))
+	c := float64(frac.MaxCapacity())
+	var l float64
+	if cfg.Unweighted {
+		l = cfg.logB(m)
+	} else {
+		l = cfg.logB(m * c)
+	}
+	return &Randomized{
+		cfg:        cfg,
+		frac:       frac,
+		rand:       rng.New(cfg.Seed),
+		threshold:  1 / (cfg.ThresholdFactor * l),
+		probScale:  cfg.ProbFactor * l,
+		reqCapStop: 4 * m * c * c,
+		effCap:     append([]int(nil), capacities...),
+		load:       make([]int, len(capacities)),
+		reqCount:   make([]int, len(capacities)),
+		poisoned:   make([]bool, len(capacities)),
+	}, nil
+}
+
+// Name implements problem.Algorithm.
+func (a *Randomized) Name() string {
+	if a.cfg.Unweighted {
+		return "randomized-unweighted"
+	}
+	return "randomized-weighted"
+}
+
+// RejectedCost implements problem.Algorithm.
+func (a *Randomized) RejectedCost() float64 { return a.rejectedCost }
+
+// Preemptions returns how many accepted requests were later rejected.
+func (a *Randomized) Preemptions() int { return a.preemptions }
+
+// FractionalCost exposes the internal fractional objective, the quantity
+// Theorem 2 bounds; the randomized analysis charges O(log) times it.
+func (a *Randomized) FractionalCost() float64 { return a.frac.Cost() }
+
+// Augmentations exposes the internal augmentation count (Lemma 1).
+func (a *Randomized) Augmentations() int { return a.frac.Augmentations() }
+
+// Threshold returns the preemption threshold 1/(T·L); exposed for tests.
+func (a *Randomized) Threshold() float64 { return a.threshold }
+
+// Offer implements problem.Algorithm.
+func (a *Randomized) Offer(id int, r problem.Request) (problem.Outcome, error) {
+	if id != len(a.state) {
+		return problem.Outcome{}, fmt.Errorf("core: Offer ids must be sequential: got %d, want %d", id, len(a.state))
+	}
+	if err := r.Validate(a.frac.M()); err != nil {
+		return problem.Outcome{}, err
+	}
+	a.state = append(a.state, intRejected) // provisional; flipped on accept
+	a.edgesOf = append(a.edgesOf, append([]int(nil), r.Edges...))
+	a.costOf = append(a.costOf, r.Cost)
+
+	var out problem.Outcome
+
+	// §3 safeguard: an edge requested ≥ 4mc² times has all of its requests
+	// rejected (weighted case only; Theorem 4's proof does not need it).
+	if !a.cfg.Unweighted && !a.cfg.DisableReqPruning {
+		trip := false
+		for _, e := range r.Edges {
+			a.reqCount[e]++
+			if a.poisoned[e] {
+				trip = true
+			} else if float64(a.reqCount[e]) >= a.reqCapStop {
+				a.poisonEdge(e, &out)
+				trip = true
+			}
+		}
+		if trip {
+			a.frac.RegisterInert(r) // keep fractional IDs aligned
+			a.rejectedCost += r.Cost
+			return out, nil
+		}
+	}
+
+	cs, err := a.frac.Offer(r)
+	if err != nil {
+		return problem.Outcome{}, err
+	}
+	if cs.PrunedRejected {
+		a.rejectedCost += r.Cost
+		return out, nil
+	}
+	if cs.PermAccepted {
+		// The fractional layer reserved capacity; physically accept. Weight
+		// changes caused by the reservation still round below, and — since
+		// a permanent accept consumes a slot like a shrink does — any edge
+		// left over capacity is repaired by preempting the heaviest-weight
+		// ordinary requests.
+		a.state[id] = intAccepted
+		for _, e := range r.Edges {
+			a.load[e]++
+		}
+		out.Accepted = true
+		a.roundChanges(id, cs, &out)
+		for _, e := range r.Edges {
+			if err := a.repairEdge(e, &out); err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	}
+
+	a.roundChanges(id, cs, &out)
+
+	// Step 4: if the arrival survived the rounding, accept it iff it fits.
+	if a.state[id] != intRejected {
+		return out, fmt.Errorf("core: internal error: arrival %d in unexpected state", id)
+	}
+	if !a.arrivalKilled {
+		fits := true
+		for _, e := range r.Edges {
+			if a.load[e]+1 > a.effCap[e] {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			a.state[id] = intAccepted
+			for _, e := range r.Edges {
+				a.load[e]++
+			}
+			out.Accepted = true
+			return out, nil
+		}
+	}
+	a.rejectedCost += r.Cost
+	return out, nil
+}
+
+// roundChanges applies §3 steps 2 and 3 to a changeset. The arriving
+// request (cs.NewID, may be -1 for shrinks) is special: it is not yet
+// accepted, so "rejecting" it merely marks it killed for step 4.
+func (a *Randomized) roundChanges(arrivalID int, cs Changeset, out *problem.Outcome) {
+	a.arrivalKilled = false
+
+	kill := func(id int) {
+		if id == arrivalID {
+			a.arrivalKilled = true
+			return
+		}
+		if a.state[id] != intAccepted {
+			return
+		}
+		a.state[id] = intRejected
+		for _, e := range a.edgesOf[id] {
+			a.load[e]--
+		}
+		a.rejectedCost += a.costOf[id]
+		a.preemptions++
+		out.Preempted = append(out.Preempted, id)
+	}
+
+	// Step 2 (plus fractional full rejections, which always exceed the
+	// threshold since threshold < 1): preempt requests at or above the
+	// weight threshold. Only requests whose weight changed can newly cross.
+	for _, ch := range cs.Changes {
+		if a.frac.Weight(ch.ID) >= a.threshold {
+			kill(ch.ID)
+		}
+	}
+	for _, id := range cs.FullyRejected {
+		kill(id)
+	}
+	// Step 3: probabilistic rejection proportional to the weight increase.
+	for _, ch := range cs.Changes {
+		if ch.ID != arrivalID && a.state[ch.ID] != intAccepted {
+			continue
+		}
+		if ch.ID == arrivalID && a.arrivalKilled {
+			continue
+		}
+		p := a.probScale * ch.Delta
+		if a.rand.Bernoulli(p) {
+			kill(ch.ID)
+		}
+	}
+}
+
+// poisonEdge rejects every accepted request using edge e and marks it so
+// all future requests touching it are rejected on arrival.
+func (a *Randomized) poisonEdge(e int, out *problem.Outcome) {
+	a.poisoned[e] = true
+	for id, st := range a.state {
+		if st != intAccepted {
+			continue
+		}
+		uses := false
+		for _, ee := range a.edgesOf[id] {
+			if ee == e {
+				uses = true
+				break
+			}
+		}
+		if !uses {
+			continue
+		}
+		a.state[id] = intRejected
+		for _, ee := range a.edgesOf[id] {
+			a.load[ee]--
+		}
+		a.rejectedCost += a.costOf[id]
+		a.preemptions++
+		out.Preempted = append(out.Preempted, id)
+		_ = a.frac.ForceReject(id)
+	}
+}
+
+// ShrinkCapacity implements problem.CapacityShrinker: one unit of edge e's
+// capacity is permanently consumed (the §4 reduction's phase-2 arrival).
+// If the integral solution no longer fits, accepted requests on e are
+// preempted in decreasing fractional-weight order until it does.
+func (a *Randomized) ShrinkCapacity(e int) (problem.Outcome, error) {
+	var out problem.Outcome
+	if e < 0 || e >= a.frac.M() {
+		return out, fmt.Errorf("core: shrink of unknown edge %d", e)
+	}
+	if a.effCap[e] <= 0 {
+		return out, fmt.Errorf("core: edge %d has no capacity left to shrink", e)
+	}
+	cs, err := a.frac.ShrinkCapacity(e)
+	if err != nil {
+		return out, err
+	}
+	a.effCap[e]--
+	a.roundChanges(-1, cs, &out)
+	if err := a.repairEdge(e, &out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// repairEdge restores integral feasibility on edge e after a shrink or a
+// permanent accept: while the edge is over capacity, it preempts the
+// ordinary (non-permanently-accepted) accepted request with the largest
+// fractional weight. The rounding usually freed the slot already, so this
+// is rarely more than a no-op.
+func (a *Randomized) repairEdge(e int, out *problem.Outcome) error {
+	if a.load[e] <= a.effCap[e] {
+		return nil
+	}
+	var onEdge []int
+	for id, st := range a.state {
+		if st != intAccepted {
+			continue
+		}
+		if _, _, perm, _ := a.frac.Status(id); perm {
+			continue // permanent accepts are never preempted
+		}
+		for _, ee := range a.edgesOf[id] {
+			if ee == e {
+				onEdge = append(onEdge, id)
+				break
+			}
+		}
+	}
+	sort.Slice(onEdge, func(i, j int) bool {
+		wi, wj := a.frac.Weight(onEdge[i]), a.frac.Weight(onEdge[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return onEdge[i] > onEdge[j]
+	})
+	for _, id := range onEdge {
+		if a.load[e] <= a.effCap[e] {
+			break
+		}
+		a.state[id] = intRejected
+		for _, ee := range a.edgesOf[id] {
+			a.load[ee]--
+		}
+		a.rejectedCost += a.costOf[id]
+		a.preemptions++
+		out.Preempted = append(out.Preempted, id)
+		_ = a.frac.ForceReject(id)
+	}
+	if a.load[e] > a.effCap[e] {
+		return fmt.Errorf("core: repair failed on edge %d: load %d > cap %d", e, a.load[e], a.effCap[e])
+	}
+	return nil
+}
+
+// Accepted reports whether request id is currently accepted.
+func (a *Randomized) Accepted(id int) bool {
+	return id >= 0 && id < len(a.state) && a.state[id] == intAccepted
+}
+
+// Loads returns a copy of the current integral edge loads (including
+// permanently accepted requests).
+func (a *Randomized) Loads() []int { return append([]int(nil), a.load...) }
+
+// weightOf is a test hook.
+func (a *Randomized) weightOf(id int) float64 { return a.frac.Weight(id) }

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"admission/internal/problem"
+	"admission/internal/rng"
+	"admission/internal/trace"
+)
+
+func mustRandomized(t *testing.T, caps []int, cfg Config) *Randomized {
+	t.Helper()
+	a, err := NewRandomized(caps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRandomizedZeroRejectionWhenFeasible(t *testing.T) {
+	// The defining property the paper designs for: if OPT rejects nothing,
+	// the algorithm rejects nothing (weights all stay at zero).
+	for _, cfg := range []Config{DefaultConfig(), UnweightedConfig()} {
+		a := mustRandomized(t, []int{2, 3}, cfg)
+		ins := &problem.Instance{
+			Capacities: []int{2, 3},
+			Requests: []problem.Request{
+				unitReq(0), unitReq(0, 1), unitReq(1), unitReq(1),
+			},
+		}
+		res, err := trace.Run(a, ins, trace.Options{Check: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RejectedCost != 0 {
+			t.Fatalf("%s: rejected %v on a feasible instance", a.Name(), res.RejectedCost)
+		}
+		if len(res.Accepted) != 4 {
+			t.Fatalf("%s: accepted %v", a.Name(), res.Accepted)
+		}
+	}
+}
+
+func TestRandomizedFeasibilityRandomInstances(t *testing.T) {
+	// Core safety property: the runner verifies capacity feasibility after
+	// every arrival, across random weighted and unweighted instances.
+	r := rng.New(909)
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + r.Intn(5)
+		caps := make([]int, m)
+		for e := range caps {
+			caps[e] = 1 + r.Intn(4)
+		}
+		unweighted := r.Bernoulli(0.5)
+		var cfg Config
+		if unweighted {
+			cfg = UnweightedConfig()
+		} else {
+			cfg = DefaultConfig()
+		}
+		cfg.Seed = uint64(trial)
+		n := 5 + r.Intn(40)
+		ins := &problem.Instance{Capacities: caps}
+		for i := 0; i < n; i++ {
+			size := 1 + r.Intn(m)
+			perm := r.Perm(m)
+			edges := append([]int(nil), perm[:size]...)
+			cost := 1.0
+			if !unweighted {
+				cost = 1 + math.Floor(r.Float64()*99)
+			}
+			ins.Requests = append(ins.Requests, problem.Request{Edges: edges, Cost: cost})
+		}
+		a := mustRandomized(t, caps, cfg)
+		res, err := trace.Run(a, ins, trace.Options{Check: true})
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, a.Name(), err)
+		}
+		if res.RejectedCost > ins.TotalCost()+1e-9 {
+			t.Fatalf("trial %d: rejected more than total cost", trial)
+		}
+	}
+}
+
+func TestRandomizedDeterministicPerSeed(t *testing.T) {
+	mk := func(seed uint64) *trace.Result {
+		cfg := UnweightedConfig()
+		cfg.Seed = seed
+		a := mustRandomized(t, []int{2}, cfg)
+		ins := &problem.Instance{Capacities: []int{2}}
+		for i := 0; i < 20; i++ {
+			ins.Requests = append(ins.Requests, unitReq(0))
+		}
+		res, err := trace.Run(a, ins, trace.Options{Check: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(5), mk(5)
+	if a.RejectedCost != b.RejectedCost || a.Preemptions != b.Preemptions {
+		t.Fatal("same seed must reproduce identical runs")
+	}
+}
+
+func TestRandomizedCompetitiveSingleEdge(t *testing.T) {
+	// Single edge, capacity c, N unit requests: OPT = N - c. The algorithm
+	// must stay within a (generous) O(log m log c) factor.
+	const c, n = 4, 40
+	cfg := UnweightedConfig()
+	cfg.Seed = 7
+	a := mustRandomized(t, []int{c}, cfg)
+	ins := &problem.Instance{Capacities: []int{c}}
+	for i := 0; i < n; i++ {
+		ins.Requests = append(ins.Requests, unitReq(0))
+	}
+	res, err := trace.Run(a, ins, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := float64(n - c)
+	if res.RejectedCost < opt {
+		t.Fatalf("rejected %v below OPT %v: infeasible?", res.RejectedCost, opt)
+	}
+	if res.RejectedCost > 5*opt {
+		t.Fatalf("rejected %v too far above OPT %v", res.RejectedCost, opt)
+	}
+}
+
+func TestRandomizedWeightedCompetitive(t *testing.T) {
+	// Weighted single-edge: cheap requests then expensive ones. OPT rejects
+	// the cheap ones; the algorithm must not pay a large multiple.
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	const c = 2
+	a := mustRandomized(t, []int{c}, cfg)
+	ins := &problem.Instance{Capacities: []int{c}}
+	for i := 0; i < 6; i++ {
+		ins.Requests = append(ins.Requests, costReq(1, 0))
+	}
+	for i := 0; i < c; i++ {
+		ins.Requests = append(ins.Requests, costReq(50, 0))
+	}
+	res, err := trace.Run(a, ins, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OPT rejects the 6 cheap requests (cost 6). A competitive run must
+	// avoid paying for the expensive ones more than occasionally.
+	if res.RejectedCost > 60 {
+		t.Fatalf("rejected cost %v suggests the algorithm dumps expensive requests", res.RejectedCost)
+	}
+}
+
+func TestRandomizedSequentialIDEnforced(t *testing.T) {
+	a := mustRandomized(t, []int{1}, UnweightedConfig())
+	if _, err := a.Offer(3, unitReq(0)); err == nil {
+		t.Fatal("non-sequential id must error")
+	}
+}
+
+func TestRandomizedOfferValidation(t *testing.T) {
+	a := mustRandomized(t, []int{1}, UnweightedConfig())
+	if _, err := a.Offer(0, problem.Request{Edges: []int{9}, Cost: 1}); err == nil {
+		t.Fatal("bad edge must error")
+	}
+}
+
+func TestRandomizedShrinkPath(t *testing.T) {
+	// Fill a 2-capacity edge, then shrink twice: the algorithm must
+	// preempt to stay feasible; the runner verifies.
+	cfg := UnweightedConfig()
+	cfg.Seed = 3
+	a := mustRandomized(t, []int{2}, cfg)
+	rn, err := trace.NewRunner(a, []int{2}, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := rn.Offer(unitReq(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := rn.ShrinkCapacity(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := rn.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 0 {
+		t.Fatalf("after shrinking to zero, nothing can stay accepted: %v", res.Accepted)
+	}
+	if res.RejectedCost != 2 {
+		t.Fatalf("rejected cost = %v", res.RejectedCost)
+	}
+}
+
+func TestRandomizedShrinkErrors(t *testing.T) {
+	a := mustRandomized(t, []int{1}, UnweightedConfig())
+	if _, err := a.ShrinkCapacity(5); err == nil {
+		t.Error("bad edge must error")
+	}
+	if _, err := a.ShrinkCapacity(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ShrinkCapacity(0); err == nil {
+		t.Error("exhausted edge must error")
+	}
+}
+
+func TestRandomizedPoisoningSafeguard(t *testing.T) {
+	// m=1, c=1 => 4mc² = 4: the 4th request poisons the edge and every
+	// later request is rejected on arrival.
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	a := mustRandomized(t, []int{1}, cfg)
+	ins := &problem.Instance{Capacities: []int{1}}
+	for i := 0; i < 8; i++ {
+		ins.Requests = append(ins.Requests, costReq(2, 0))
+	}
+	res, err := trace.Run(a, ins, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 0 {
+		t.Fatalf("poisoned edge must end with nothing accepted, got %v", res.Accepted)
+	}
+	if res.RejectedCost != 16 {
+		t.Fatalf("rejected cost = %v, want all 16", res.RejectedCost)
+	}
+}
+
+func TestRandomizedPoisoningDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	cfg.DisableReqPruning = true
+	a := mustRandomized(t, []int{1}, cfg)
+	ins := &problem.Instance{Capacities: []int{1}}
+	for i := 0; i < 8; i++ {
+		ins.Requests = append(ins.Requests, costReq(2, 0))
+	}
+	res, err := trace.Run(a, ins, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the safeguard the algorithm keeps running normally; it may
+	// accept one request at the end.
+	if res.RejectedCost > 16 {
+		t.Fatalf("rejected cost = %v", res.RejectedCost)
+	}
+}
+
+func TestRandomizedAcceptedAndLoads(t *testing.T) {
+	a := mustRandomized(t, []int{2}, UnweightedConfig())
+	out, err := a.Offer(0, unitReq(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted || !a.Accepted(0) {
+		t.Fatal("first request must be accepted")
+	}
+	if a.Accepted(-1) || a.Accepted(9) {
+		t.Fatal("out-of-range Accepted must be false")
+	}
+	if l := a.Loads(); l[0] != 1 {
+		t.Fatalf("loads = %v", l)
+	}
+}
+
+func TestRandomizedNames(t *testing.T) {
+	w := mustRandomized(t, []int{1}, DefaultConfig())
+	u := mustRandomized(t, []int{1}, UnweightedConfig())
+	if w.Name() == u.Name() {
+		t.Fatal("names must distinguish variants")
+	}
+}
+
+func TestRandomizedThresholdScaling(t *testing.T) {
+	// Threshold is 1/(T·log(mc)); bigger networks get smaller thresholds.
+	small := mustRandomized(t, []int{2}, DefaultConfig())
+	bigCaps := make([]int, 64)
+	for i := range bigCaps {
+		bigCaps[i] = 8
+	}
+	big := mustRandomized(t, bigCaps, DefaultConfig())
+	if big.Threshold() >= small.Threshold() {
+		t.Fatalf("threshold should shrink with mc: small=%v big=%v", small.Threshold(), big.Threshold())
+	}
+}
+
+func TestRandomizedFractionalConsistency(t *testing.T) {
+	// The internal fractional cost must be positive whenever the integral
+	// algorithm was forced to reject, and augmentations must have happened.
+	cfg := UnweightedConfig()
+	cfg.Seed = 17
+	a := mustRandomized(t, []int{2}, cfg)
+	ins := &problem.Instance{Capacities: []int{2}}
+	for i := 0; i < 20; i++ {
+		ins.Requests = append(ins.Requests, unitReq(0))
+	}
+	res, err := trace.Run(a, ins, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedCost == 0 {
+		t.Fatal("overload must cause rejections")
+	}
+	if a.FractionalCost() <= 0 {
+		t.Fatal("fractional cost must be positive under overload")
+	}
+	if a.Augmentations() == 0 {
+		t.Fatal("augmentations must be positive under overload")
+	}
+}
+
+func TestRandomizedManySeedsAgreeOnFeasibleInput(t *testing.T) {
+	// Whatever the coins, a feasible input is never rejected from.
+	ins := &problem.Instance{Capacities: []int{3}}
+	for i := 0; i < 3; i++ {
+		ins.Requests = append(ins.Requests, unitReq(0))
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		cfg := UnweightedConfig()
+		cfg.Seed = seed
+		a := mustRandomized(t, []int{3}, cfg)
+		res, err := trace.Run(a, ins, trace.Options{Check: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RejectedCost != 0 {
+			t.Fatalf("seed %d rejected on feasible input", seed)
+		}
+	}
+}
+
+func TestRandomizedPermanentAcceptRepair(t *testing.T) {
+	// Regression: permanent accepts (cost > 2α) consume capacity like a
+	// shrink; if rounding has not yet preempted enough cheap requests, the
+	// algorithm must repair the edge instead of going over capacity.
+	// (Found by E6's cheap-then-expensive workload.)
+	for seed := uint64(0); seed < 10; seed++ {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		const c = 16
+		a := mustRandomized(t, []int{c}, cfg)
+		ins := &problem.Instance{Capacities: []int{c}}
+		for i := 0; i < 3*c; i++ {
+			ins.Requests = append(ins.Requests, costReq(1, 0))
+		}
+		for i := 0; i < c; i++ {
+			ins.Requests = append(ins.Requests, costReq(100, 0))
+		}
+		if _, err := trace.Run(a, ins, trace.Options{Check: true}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// noRoundingConfig disables both rounding mechanisms: the threshold is
+// pushed above 1 (tiny ThresholdFactor) and the rejection probabilities to
+// ~0 (tiny ProbFactor), so feasibility after shrinks and permanent accepts
+// must come entirely from the deterministic repair path.
+func noRoundingConfig(alpha float64) Config {
+	cfg := DefaultConfig()
+	cfg.ThresholdFactor = 1e-3
+	cfg.ProbFactor = 1e-9
+	cfg.AlphaMode = AlphaOracle
+	cfg.Alpha = alpha
+	cfg.Seed = 1
+	return cfg
+}
+
+func TestRandomizedRepairOnShrinkWithoutRounding(t *testing.T) {
+	// Two in-window requests fill a capacity-2 edge; the shrink's
+	// augmentation leaves both below full rejection (f ≈ 0.5 each), the
+	// disabled rounding kills nothing, and repairEdge must evict exactly
+	// one (the heavier), keeping the runner's invariant.
+	a := mustRandomized(t, []int{2}, noRoundingConfig(10))
+	rn, err := trace.NewRunner(a, []int{2}, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		out, err := rn.Offer(costReq(10, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Accepted {
+			t.Fatal("in-window request must be accepted while it fits")
+		}
+	}
+	out, err := rn.ShrinkCapacity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Preempted) != 1 {
+		t.Fatalf("repair must preempt exactly one request, got %v", out.Preempted)
+	}
+	if a.Preemptions() != 1 {
+		t.Fatalf("Preemptions() = %d", a.Preemptions())
+	}
+	victim := out.Preempted[0]
+	if a.Accepted(victim) {
+		t.Fatal("victim still reported accepted")
+	}
+	// The surviving request keeps a fractional weight below 1.
+	survivor := 1 - victim
+	if w := a.weightOf(survivor); w <= 0 || w >= 1 {
+		t.Fatalf("survivor weight = %v, want in (0,1)", w)
+	}
+	if _, err := rn.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedRepairOnPermanentAcceptWithoutRounding(t *testing.T) {
+	// Same setup, but the slot is consumed by an R_big permanent accept
+	// (cost > 2α) instead of a shrink: the arrival must be accepted and
+	// one ordinary request evicted by the repair.
+	a := mustRandomized(t, []int{2}, noRoundingConfig(10))
+	rn, err := trace.NewRunner(a, []int{2}, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := rn.Offer(costReq(10, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := rn.Offer(costReq(100, 0)) // > 2α = 20: permanent accept
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatal("R_big request must be permanently accepted")
+	}
+	if len(out.Preempted) != 1 {
+		t.Fatalf("repair must preempt exactly one ordinary request, got %v", out.Preempted)
+	}
+	// The permanent accept itself must never be the victim.
+	if out.Preempted[0] == 2 {
+		t.Fatal("repair evicted the permanent accept")
+	}
+	// Fractional status bookkeeping is visible through the layers.
+	alive, fully, perm, pruned := a.frac.Status(2)
+	if !perm || alive || fully || pruned {
+		t.Fatalf("status of permanent accept = %v %v %v %v", alive, fully, perm, pruned)
+	}
+	if a.frac.RequestCost(2) != 100 || len(a.frac.RequestEdges(2)) != 1 {
+		t.Fatal("request metadata lost")
+	}
+	if err := a.frac.CheckCovered(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rn.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

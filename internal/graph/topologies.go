@@ -1,0 +1,231 @@
+package graph
+
+import (
+	"fmt"
+
+	"admission/internal/rng"
+)
+
+// Line returns a path graph v0 -> v1 -> ... -> v_{n-1} with n-1 edges of the
+// given capacity. This is the "call control on the line" topology from the
+// admission-control literature.
+func Line(n, capacity int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: Line requires n >= 2, got %d", n)
+	}
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v+1 < n; v++ {
+		if _, err := g.AddEdge(v, v+1, capacity); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Ring returns a directed cycle on n vertices with uniform capacity.
+func Ring(n, capacity int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: Ring requires n >= 2, got %d", n)
+	}
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		if _, err := g.AddEdge(v, (v+1)%n, capacity); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Star returns a hub-and-spoke graph: vertex 0 is the hub, and each spoke
+// vertex has one edge to and one edge from the hub, all with the given
+// capacity. Any spoke-to-spoke route crosses the hub, so the hub edges are
+// natural contention points.
+func Star(spokes, capacity int) (*Graph, error) {
+	if spokes < 1 {
+		return nil, fmt.Errorf("graph: Star requires spokes >= 1, got %d", spokes)
+	}
+	g, err := New(spokes + 1)
+	if err != nil {
+		return nil, err
+	}
+	for v := 1; v <= spokes; v++ {
+		if _, err := g.AddEdge(0, v, capacity); err != nil {
+			return nil, err
+		}
+		if _, err := g.AddEdge(v, 0, capacity); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Grid returns a rows×cols grid with bidirected edges of uniform capacity.
+// Vertex (r, c) is numbered r*cols + c.
+func Grid(rows, cols, capacity int) (*Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("graph: Grid requires positive dimensions, got %dx%d", rows, cols)
+	}
+	g, err := New(rows * cols)
+	if err != nil {
+		return nil, err
+	}
+	id := func(r, c int) int { return r*cols + c }
+	add := func(a, b int) error {
+		if _, err := g.AddEdge(a, b, capacity); err != nil {
+			return err
+		}
+		_, err := g.AddEdge(b, a, capacity)
+		return err
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := add(id(r, c), id(r, c+1)); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := add(id(r, c), id(r+1, c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Tree returns a random tree on n vertices with bidirected edges of uniform
+// capacity, built by attaching each vertex i >= 1 to a uniformly random
+// earlier vertex. This is the topology of the tree call-control results
+// cited in the paper's introduction.
+func Tree(n, capacity int, r *rng.RNG) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: Tree requires n >= 2, got %d", n)
+	}
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for v := 1; v < n; v++ {
+		parent := r.Intn(v)
+		if _, err := g.AddEdge(parent, v, capacity); err != nil {
+			return nil, err
+		}
+		if _, err := g.AddEdge(v, parent, capacity); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Random returns a strongly-connected-ish random graph: a directed ring
+// (guaranteeing reachability) plus extra random edges until the graph has
+// exactly m edges, all with uniform capacity. m must be at least n.
+func Random(n, m, capacity int, r *rng.RNG) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: Random requires n >= 2, got %d", n)
+	}
+	if m < n {
+		return nil, fmt.Errorf("graph: Random requires m >= n (ring backbone), got m=%d n=%d", m, n)
+	}
+	g, err := Ring(n, capacity)
+	if err != nil {
+		return nil, err
+	}
+	for g.M() < m {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if u == v {
+			continue
+		}
+		if _, err := g.AddEdge(u, v, capacity); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Bundle returns a graph of k parallel 2-edge corridors sharing no edges:
+// source -> mid_i -> sink for i in [0,k). Each corridor is an independent
+// contention point; used by the block-overload experiments.
+func Bundle(k, capacity int) (*Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: Bundle requires k >= 1, got %d", k)
+	}
+	g, err := New(k + 2)
+	if err != nil {
+		return nil, err
+	}
+	// vertex 0 = source, vertex k+1 = sink, 1..k = mids
+	for i := 1; i <= k; i++ {
+		if _, err := g.AddEdge(0, i, capacity); err != nil {
+			return nil, err
+		}
+		if _, err := g.AddEdge(i, k+1, capacity); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Hypercube returns the d-dimensional hypercube with bidirected edges of
+// uniform capacity: 2^d vertices, d·2^d directed edges, diameter d. A
+// standard HPC interconnect topology with high path diversity.
+func Hypercube(d, capacity int) (*Graph, error) {
+	if d < 1 || d > 20 {
+		return nil, fmt.Errorf("graph: Hypercube requires 1 <= d <= 20, got %d", d)
+	}
+	n := 1 << d
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			w := v ^ (1 << bit)
+			if _, err := g.AddEdge(v, w, capacity); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// SingleEdge returns a 2-vertex graph with one edge of the given capacity —
+// the minimal instance, used heavily by unit tests and the single-edge
+// overload experiments.
+func SingleEdge(capacity int) (*Graph, error) {
+	g, err := New(2)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.AddEdge(0, 1, capacity); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WithCapacities returns a copy of g whose edge capacities are replaced by
+// caps (indexed by EdgeID). Used to build heterogeneous-capacity variants of
+// the uniform topologies.
+func (g *Graph) WithCapacities(caps []int) (*Graph, error) {
+	if len(caps) != g.M() {
+		return nil, fmt.Errorf("graph: WithCapacities got %d capacities for %d edges", len(caps), g.M())
+	}
+	out, err := New(g.n)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range g.edges {
+		if _, err := out.AddEdge(e.From, e.To, caps[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

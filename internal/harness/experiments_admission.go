@@ -1,0 +1,745 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"admission/internal/baseline"
+	"admission/internal/core"
+	"admission/internal/graph"
+	"admission/internal/opt"
+	"admission/internal/problem"
+	"admission/internal/rng"
+	"admission/internal/stats"
+	"admission/internal/workload"
+)
+
+// sweepPoint is one (m, c) configuration of the scaling experiments.
+type sweepPoint struct {
+	m, c int
+	x    float64 // the control parameter predicted by the theorem
+}
+
+// admissionSweeps returns the two standard sweeps: m varying at fixed c and
+// c varying at fixed m, sized by the scale factor.
+func admissionSweeps(cfg Config, xOf func(m, c int) float64) (varyM, varyC []sweepPoint) {
+	for _, m := range []int{8, 16, 32, 64, 128} {
+		mm := cfg.scaledInt(m, 4)
+		varyM = append(varyM, sweepPoint{m: mm, c: 4, x: xOf(mm, 4)})
+	}
+	for _, c := range []int{2, 4, 8, 16, 32} {
+		varyC = append(varyC, sweepPoint{m: cfg.scaledInt(32, 8), c: c, x: xOf(cfg.scaledInt(32, 8), c)})
+	}
+	return varyM, varyC
+}
+
+// genOverloaded builds the standard scaling workload: a random graph with m
+// edges and uniform capacity c, oversubscribed 2x.
+func genOverloaded(m, c int, model workload.CostModel, r *rng.RNG) (*problem.Instance, error) {
+	nv := m / 4
+	if nv < 4 {
+		nv = 4
+	}
+	if m < nv {
+		m = nv
+	}
+	g, err := graph.Random(nv, m, c, r)
+	if err != nil {
+		return nil, err
+	}
+	return workload.OverloadedTraffic(g, 2.0, model, r)
+}
+
+// ratioSeries measures mean ratios across a sweep in parallel, one summary
+// per point. measure must return (onlineCost, lowerBound).
+func ratioSeries(cfg Config, points []sweepPoint,
+	measure func(p sweepPoint, r *rng.RNG) (on, lb float64, err error)) ([]*stats.Summary, error) {
+
+	sums := make([]*stats.Summary, len(points))
+	var mu sync.Mutex
+	err := parallelEach(len(points)*cfg.reps(), cfg.workers(), func(i int) error {
+		pi, rep := i/cfg.reps(), i%cfg.reps()
+		p := points[pi]
+		r := rng.New(cfg.Seed ^ (uint64(pi)<<32 | uint64(rep)<<8 | 0x5eed))
+		on, lb, err := measure(p, r)
+		if err != nil {
+			return fmt.Errorf("point (m=%d,c=%d) rep %d: %w", p.m, p.c, rep, err)
+		}
+		ratio := 1.0
+		if lb > 0 {
+			ratio = on / lb
+		} else if on > 0 {
+			return fmt.Errorf("point (m=%d,c=%d): online cost %v with OPT 0", p.m, p.c, on)
+		}
+		mu.Lock()
+		if sums[pi] == nil {
+			sums[pi] = &stats.Summary{}
+		}
+		sums[pi].Add(ratio)
+		mu.Unlock()
+		return nil
+	})
+	return sums, err
+}
+
+// seriesTable renders a sweep as a table and appends the fit verdict.
+func seriesTable(id, title, xLabel string, points []sweepPoint, sums []*stats.Summary) *Table {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"m", "c", xLabel, "ratio (mean ± ci95)", "max"},
+	}
+	var xs, ys []float64
+	for i, p := range points {
+		s := sums[i]
+		t.AddRow(fmt.Sprint(p.m), fmt.Sprint(p.c), fmt.Sprintf("%.2f", p.x), ratioCell(s), fmt.Sprintf("%.3f", s.Max()))
+		xs = append(xs, p.x)
+		ys = append(ys, s.Mean())
+	}
+	t.AddNote("%s", fitNote("ratio vs "+xLabel, xs, ys))
+	if len(xs) >= 3 {
+		t.AddNote("%s", growthNote(xs, ys))
+	}
+	return t
+}
+
+// --- E1: fractional algorithm, Theorem 2 --------------------------------
+
+func runE1(cfg Config) ([]*Table, error) {
+	xOf := func(m, c int) float64 { return math.Log2(float64(m) * float64(c)) }
+	varyM, varyC := admissionSweeps(cfg, xOf)
+
+	measure := func(p sweepPoint, r *rng.RNG) (float64, float64, error) {
+		ins, err := genOverloaded(p.m, p.c, workload.CostUniform, r)
+		if err != nil {
+			return 0, 0, err
+		}
+		lb, err := opt.FractionalOPT(ins)
+		if err != nil {
+			return 0, 0, err
+		}
+		ccfg := core.DefaultConfig()
+		if lb > 0 {
+			ccfg.AlphaMode = core.AlphaOracle
+			ccfg.Alpha = lb
+		}
+		frac, err := core.NewFractional(ins.Capacities, ccfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, req := range ins.Requests {
+			if _, err := frac.Offer(req); err != nil {
+				return 0, 0, err
+			}
+		}
+		return frac.Cost(), lb, nil
+	}
+
+	var tables []*Table
+	for _, sw := range []struct {
+		name   string
+		points []sweepPoint
+	}{{"vary-m", varyM}, {"vary-c", varyC}} {
+		sums, err := ratioSeries(cfg, sw.points, measure)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, seriesTable("E1/"+sw.name,
+			"Fractional ratio vs fractional OPT (Thm 2 predicts O(log mc))",
+			"log2(mc)", sw.points, sums))
+	}
+
+	// Theorem 2's second clause: with unit costs the fractional algorithm
+	// is O(log c)-competitive, independent of m. Sweep c at fixed m with
+	// unit costs and fit against log2(c) alone.
+	var unitPoints []sweepPoint
+	for _, c := range []int{2, 4, 8, 16, 32} {
+		lc := math.Log2(float64(c))
+		if lc < 1 {
+			lc = 1
+		}
+		unitPoints = append(unitPoints, sweepPoint{m: cfg.scaledInt(32, 8), c: c, x: lc})
+	}
+	measureUnit := func(p sweepPoint, r *rng.RNG) (float64, float64, error) {
+		ins, err := genOverloaded(p.m, p.c, workload.CostUnit, r)
+		if err != nil {
+			return 0, 0, err
+		}
+		lb, err := opt.FractionalOPT(ins)
+		if err != nil {
+			return 0, 0, err
+		}
+		frac, err := core.NewFractional(ins.Capacities, core.UnweightedConfig())
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, req := range ins.Requests {
+			if _, err := frac.Offer(req); err != nil {
+				return 0, 0, err
+			}
+		}
+		return frac.Cost(), lb, nil
+	}
+	sums, err := ratioSeries(cfg, unitPoints, measureUnit)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, seriesTable("E1/unweighted-vary-c",
+		"Unweighted fractional ratio (Thm 2 predicts O(log c), no m dependence)",
+		"log2(c)", unitPoints, sums))
+	return tables, nil
+}
+
+// --- E2: randomized weighted, Theorem 3 ---------------------------------
+
+func runE2(cfg Config) ([]*Table, error) {
+	xOf := func(m, c int) float64 {
+		l := math.Log2(float64(m) * float64(c))
+		return l * l
+	}
+	varyM, varyC := admissionSweeps(cfg, xOf)
+
+	measure := func(p sweepPoint, r *rng.RNG) (float64, float64, error) {
+		ins, err := genOverloaded(p.m, p.c, workload.CostUniform, r)
+		if err != nil {
+			return 0, 0, err
+		}
+		lb, err := opt.FractionalOPT(ins)
+		if err != nil {
+			return 0, 0, err
+		}
+		ccfg := core.DefaultConfig()
+		ccfg.Seed = r.Uint64()
+		alg, err := core.NewRandomized(ins.Capacities, ccfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		on, _, err := runMeasured(alg, ins, cfg.Check)
+		return on, lb, err
+	}
+
+	var tables []*Table
+	for _, sw := range []struct {
+		name   string
+		points []sweepPoint
+	}{{"vary-m", varyM}, {"vary-c", varyC}} {
+		sums, err := ratioSeries(cfg, sw.points, measure)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, seriesTable("E2/"+sw.name,
+			"Randomized weighted ratio vs fractional OPT (Thm 3 predicts O(log²(mc)))",
+			"log2(mc)^2", sw.points, sums))
+	}
+	return tables, nil
+}
+
+// --- E3: randomized unweighted, Theorem 4 -------------------------------
+
+func runE3(cfg Config) ([]*Table, error) {
+	xOf := func(m, c int) float64 {
+		lm := math.Log2(float64(m))
+		lc := math.Log2(float64(c))
+		if lm < 1 {
+			lm = 1
+		}
+		if lc < 1 {
+			lc = 1
+		}
+		return lm * lc
+	}
+	varyM, varyC := admissionSweeps(cfg, xOf)
+
+	measure := func(p sweepPoint, r *rng.RNG) (float64, float64, error) {
+		ins, err := genOverloaded(p.m, p.c, workload.CostUnit, r)
+		if err != nil {
+			return 0, 0, err
+		}
+		lb, err := opt.BestLowerBound(ins)
+		if err != nil {
+			return 0, 0, err
+		}
+		ccfg := core.UnweightedConfig()
+		ccfg.Seed = r.Uint64()
+		alg, err := core.NewRandomized(ins.Capacities, ccfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		on, _, err := runMeasured(alg, ins, cfg.Check)
+		return on, lb, err
+	}
+
+	var tables []*Table
+	for _, sw := range []struct {
+		name   string
+		points []sweepPoint
+	}{{"vary-m", varyM}, {"vary-c", varyC}} {
+		sums, err := ratioSeries(cfg, sw.points, measure)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, seriesTable("E3/"+sw.name,
+			"Randomized unweighted ratio vs max(LP, Q) (Thm 4 predicts O(log m·log c))",
+			"log2(m)*log2(c)", sw.points, sums))
+	}
+	return tables, nil
+}
+
+// --- E6: baselines -------------------------------------------------------
+
+// weightedAlgorithms builds the standard weighted comparison set.
+func weightedAlgorithms(caps []int, seed uint64) (map[string]problem.Algorithm, error) {
+	out := map[string]problem.Algorithm{}
+	g, err := baseline.NewGreedy(caps)
+	if err != nil {
+		return nil, err
+	}
+	out["greedy (BKK c+1)"] = g
+	pc, err := baseline.NewPreemptive(caps, baseline.VictimCheapest, seed)
+	if err != nil {
+		return nil, err
+	}
+	out["preempt-cheapest"] = pc
+	pr, err := baseline.NewPreemptive(caps, baseline.VictimRandom, seed)
+	if err != nil {
+		return nil, err
+	}
+	out["preempt-random"] = pr
+	dt, err := baseline.NewDetThreshold(caps, core.DefaultConfig(), 0.5)
+	if err != nil {
+		return nil, err
+	}
+	out["det-threshold"] = dt
+	ccfg := core.DefaultConfig()
+	ccfg.Seed = seed
+	rz, err := core.NewRandomized(caps, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	out["randomized (§3)"] = rz
+	return out, nil
+}
+
+// cheapThenExpensive builds the E6 stress pattern on a single edge: 3c unit
+// requests followed by c cost-100 requests. OPT rejects the 3c cheap ones.
+func cheapThenExpensive(c int) *problem.Instance {
+	ins := &problem.Instance{Capacities: []int{c}}
+	for i := 0; i < 3*c; i++ {
+		ins.Requests = append(ins.Requests, problem.Request{Edges: []int{0}, Cost: 1})
+	}
+	for i := 0; i < c; i++ {
+		ins.Requests = append(ins.Requests, problem.Request{Edges: []int{0}, Cost: 100})
+	}
+	return ins
+}
+
+func runE6(cfg Config) ([]*Table, error) {
+	capSweep := []int{2, 4, 8, 16, 32}
+	algNames := []string{"greedy (BKK c+1)", "preempt-cheapest", "preempt-random", "det-threshold", "randomized (§3)"}
+
+	t := &Table{
+		ID:      "E6/cheap-then-expensive",
+		Title:   "Weighted single-edge trap: ratio vs OPT per algorithm",
+		Columns: append([]string{"c", "OPT"}, algNames...),
+	}
+	type rowResult struct {
+		opt   float64
+		cells map[string]string
+	}
+	rows := make([]rowResult, len(capSweep))
+	err := parallelEach(len(capSweep), cfg.workers(), func(i int) error {
+		c := capSweep[i]
+		ins := cheapThenExpensive(c)
+		lb, err := opt.FractionalOPT(ins) // exact here: reject the 3c cheapest
+		if err != nil {
+			return err
+		}
+		cells := map[string]string{}
+		for _, name := range algNames {
+			sum := &stats.Summary{}
+			for rep := 0; rep < cfg.reps(); rep++ {
+				algs, err := weightedAlgorithms(ins.Capacities, cfg.Seed+uint64(i*1000+rep))
+				if err != nil {
+					return err
+				}
+				on, _, err := runMeasured(algs[name], ins, cfg.Check)
+				if err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				sum.Add(on / lb)
+			}
+			cells[name] = fmt.Sprintf("%.2f", sum.Mean())
+		}
+		rows[i] = rowResult{opt: lb, cells: cells}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range capSweep {
+		cells := []string{fmt.Sprint(c), fmt.Sprintf("%.0f", rows[i].opt)}
+		for _, name := range algNames {
+			cells = append(cells, rows[i].cells[name])
+		}
+		t.AddRow(cells...)
+	}
+	t.AddNote("greedy cannot preempt and pays for the expensive burst; the §3 algorithm and preempt-cheapest shed the cheap requests instead")
+
+	// Second table: random weighted traffic on a grid.
+	t2 := &Table{
+		ID:      "E6/grid-pareto",
+		Title:   "Grid with Pareto costs, 2x oversubscribed: mean ratio vs LP bound",
+		Columns: append([]string{"workload"}, algNames...),
+	}
+	side := cfg.scaledInt(5, 3)
+	g, err := graph.Grid(side, side, 4)
+	if err != nil {
+		return nil, err
+	}
+	sums := map[string]*stats.Summary{}
+	for _, n := range algNames {
+		sums[n] = &stats.Summary{}
+	}
+	var mu sync.Mutex
+	err = parallelEach(cfg.reps(), cfg.workers(), func(rep int) error {
+		r := rng.New(cfg.Seed + 77*uint64(rep+1))
+		ins, err := workload.OverloadedTraffic(g, 2.0, workload.CostPareto, r)
+		if err != nil {
+			return err
+		}
+		lb, err := opt.FractionalOPT(ins)
+		if err != nil {
+			return err
+		}
+		if lb <= 0 {
+			return nil // feasible draw; skip
+		}
+		algs, err := weightedAlgorithms(ins.Capacities, cfg.Seed+uint64(rep))
+		if err != nil {
+			return err
+		}
+		for _, name := range algNames {
+			on, _, err := runMeasured(algs[name], ins, cfg.Check)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			mu.Lock()
+			sums[name].Add(on / lb)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells := []string{fmt.Sprintf("grid %dx%d pareto", side, side)}
+	for _, name := range algNames {
+		cells = append(cells, ratioCell(sums[name]))
+	}
+	t2.AddRow(cells...)
+	return []*Table{t, t2}, nil
+}
+
+// --- E7: zero-rejection property -----------------------------------------
+
+func runE7(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Title:   "Feasible workloads (OPT = 0): rejected cost per algorithm",
+		Columns: []string{"topology", "algorithm", "rejected cost", "runs"},
+	}
+	r := rng.New(cfg.Seed + 7)
+	topos := map[string]*graph.Graph{}
+	if g, err := graph.Grid(cfg.scaledInt(5, 3), cfg.scaledInt(5, 3), 3); err == nil {
+		topos["grid"] = g
+	}
+	if g, err := graph.Tree(cfg.scaledInt(24, 8), 3, r); err == nil {
+		topos["tree"] = g
+	}
+	if g, err := graph.Star(cfg.scaledInt(12, 4), 4); err == nil {
+		topos["star"] = g
+	}
+	for _, name := range sortedKeys(topos) {
+		g := topos[name]
+		total := map[string]float64{}
+		runs := 0
+		for rep := 0; rep < cfg.reps(); rep++ {
+			ins, err := workload.Feasible(g, 4*g.M(), workload.CostUniform, r)
+			if err != nil {
+				return nil, err
+			}
+			algs, err := weightedAlgorithms(ins.Capacities, cfg.Seed+uint64(rep))
+			if err != nil {
+				return nil, err
+			}
+			for _, an := range sortedKeys(algs) {
+				on, _, err := runMeasured(algs[an], ins, cfg.Check)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", name, an, err)
+				}
+				total[an] += on
+			}
+			runs++
+		}
+		for _, an := range sortedKeys(total) {
+			t.AddRow(name, an, fmt.Sprintf("%.0f", total[an]), fmt.Sprint(runs))
+		}
+	}
+	t.AddNote("every algorithm must show 0: the paper's algorithms start at weight 0 and reject nothing until an edge overloads")
+	return []*Table{t}, nil
+}
+
+// --- E8: constants ablation ----------------------------------------------
+
+func runE8(cfg Config) ([]*Table, error) {
+	factors := []float64{0.25, 0.5, 1, 2, 4}
+	t := &Table{
+		ID:      "E8",
+		Title:   "Ablation: scaling the §3 threshold/probability constants (unweighted)",
+		Columns: []string{"c", "factor", "T", "P", "ratio (mean ± ci95)", "preemptions"},
+	}
+	// Two capacity regimes: at small c the §2 initial weight 1/c already
+	// exceeds every threshold 1/(T·log m), so T barely matters; at large c
+	// the threshold binds and the constants separate. The large-c row uses
+	// a single-edge workload whose optimum is known in closed form, which
+	// keeps the ablation cheap at full scale.
+	for _, c := range []int{8, 64} {
+		if err := runE8Capacity(cfg, t, factors, cfg.scaledInt(32, 8), c); err != nil {
+			return nil, err
+		}
+	}
+	t.AddNote("the paper's constants (factor 1.00: T=P=4) trade rejection volume against the probability of step-4 feasibility repairs")
+	t.AddNote("at c=8 the initial fractional weight 1/c crosses all thresholds at once, so factors >= 0.5 coincide; c=64 separates them")
+	return []*Table{t}, nil
+}
+
+func runE8Capacity(cfg Config, t *Table, factors []float64, m, c int) error {
+	for _, f := range factors {
+		sum := &stats.Summary{}
+		preempts := &stats.Summary{}
+		var mu sync.Mutex
+		err := parallelEach(cfg.reps(), cfg.workers(), func(rep int) error {
+			r := rng.New(cfg.Seed ^ (uint64(rep+1) * 7919))
+			var ins *problem.Instance
+			var lb float64
+			var err error
+			if c >= 32 {
+				n := 4 * c
+				ins, err = workload.SingleEdgeOverload(c, n, workload.CostUnit, r)
+				if err != nil {
+					return err
+				}
+				lb = float64(n - c)
+			} else {
+				ins, err = genOverloaded(m, c, workload.CostUnit, r)
+				if err != nil {
+					return err
+				}
+				lb, err = opt.BestLowerBound(ins)
+				if err != nil {
+					return err
+				}
+			}
+			if lb <= 0 {
+				return nil
+			}
+			ccfg := core.UnweightedConfig()
+			ccfg.ThresholdFactor *= f
+			ccfg.ProbFactor *= f
+			ccfg.Seed = r.Uint64()
+			alg, err := core.NewRandomized(ins.Capacities, ccfg)
+			if err != nil {
+				return err
+			}
+			on, res, err := runMeasured(alg, ins, cfg.Check)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			sum.Add(on / lb)
+			preempts.Add(float64(res.Preemptions))
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		base := core.UnweightedConfig()
+		t.AddRow(fmt.Sprint(c), fmt.Sprintf("%.2f", f),
+			fmt.Sprintf("%.0f", base.ThresholdFactor*f),
+			fmt.Sprintf("%.0f", base.ProbFactor*f),
+			ratioCell(sum),
+			fmt.Sprintf("%.1f", preempts.Mean()))
+	}
+	return nil
+}
+
+// --- E9: α doubling vs oracle --------------------------------------------
+
+func runE9(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Fractional algorithm: guess-and-double vs oracle α (§2)",
+		Columns: []string{"m", "c", "oracle cost", "doubling cost", "doubling/oracle", "phases"},
+	}
+	points := []sweepPoint{{m: cfg.scaledInt(16, 4), c: 4}, {m: cfg.scaledInt(32, 8), c: 8}, {m: cfg.scaledInt(64, 8), c: 8}}
+	for _, p := range points {
+		var oSum, dSum, phSum stats.Summary
+		var mu sync.Mutex
+		err := parallelEach(cfg.reps(), cfg.workers(), func(rep int) error {
+			r := rng.New(cfg.Seed ^ (uint64(rep+13) * 104729))
+			ins, err := genOverloaded(p.m, p.c, workload.CostUniform, r)
+			if err != nil {
+				return err
+			}
+			lb, err := opt.FractionalOPT(ins)
+			if err != nil {
+				return err
+			}
+			if lb <= 0 {
+				return nil
+			}
+			run := func(ccfg core.Config) (float64, int, error) {
+				frac, err := core.NewFractional(ins.Capacities, ccfg)
+				if err != nil {
+					return 0, 0, err
+				}
+				for _, req := range ins.Requests {
+					if _, err := frac.Offer(req); err != nil {
+						return 0, 0, err
+					}
+				}
+				return frac.Cost(), frac.Phases(), nil
+			}
+			oc := core.DefaultConfig()
+			oc.AlphaMode = core.AlphaOracle
+			oc.Alpha = lb
+			oCost, _, err := run(oc)
+			if err != nil {
+				return err
+			}
+			dCost, phases, err := run(core.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			oSum.Add(oCost)
+			dSum.Add(dCost)
+			phSum.Add(float64(phases))
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ratio := math.Inf(1)
+		if oSum.Mean() > 0 {
+			ratio = dSum.Mean() / oSum.Mean()
+		}
+		t.AddRow(fmt.Sprint(p.m), fmt.Sprint(p.c),
+			fmt.Sprintf("%.1f", oSum.Mean()), fmt.Sprintf("%.1f", dSum.Mean()),
+			fmt.Sprintf("%.2f", ratio), fmt.Sprintf("%.1f", phSum.Mean()))
+	}
+	t.AddNote("§2 argues doubling costs at most a constant factor over a correct guess; phases counts α doublings")
+	return []*Table{t}, nil
+}
+
+// --- E10: preemption necessity -------------------------------------------
+
+func runE10(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "E10/weighted-trap",
+		Title:   "Adaptive weighted trap (capacity-1 edge): cost vs OPT",
+		Columns: []string{"W", "algorithm", "online cost", "OPT", "ratio"},
+	}
+	for _, w := range []float64{10, 100, 1000} {
+		type entry struct {
+			name string
+			mk   func() (problem.Algorithm, error)
+		}
+		entries := []entry{
+			{"greedy (non-preemptive)", func() (problem.Algorithm, error) {
+				return baseline.NewGreedy([]int{1})
+			}},
+			{"preempt-cheapest", func() (problem.Algorithm, error) {
+				return baseline.NewPreemptive([]int{1}, baseline.VictimCheapest, cfg.Seed)
+			}},
+			{"randomized (§3)", func() (problem.Algorithm, error) {
+				ccfg := core.DefaultConfig()
+				ccfg.Seed = cfg.Seed + uint64(w)
+				return core.NewRandomized([]int{1}, ccfg)
+			}},
+		}
+		for _, e := range entries {
+			alg, err := e.mk()
+			if err != nil {
+				return nil, err
+			}
+			adv := &workload.WeightedRatioAdversary{W: w}
+			ins, res, err := workload.RunAdversarial(alg, adv, traceOptions(cfg))
+			if err != nil {
+				return nil, err
+			}
+			ex, err := opt.ExactOPT(ins, 0)
+			if err != nil {
+				return nil, err
+			}
+			ratio := "∞"
+			if ex.Value > 0 {
+				ratio = fmt.Sprintf("%.2f", res.RejectedCost/ex.Value)
+			} else if res.RejectedCost == 0 {
+				ratio = "1.00"
+			}
+			t.AddRow(fmt.Sprintf("%.0f", w), e.name,
+				fmt.Sprintf("%.0f", res.RejectedCost), fmt.Sprintf("%.0f", ex.Value), ratio)
+		}
+	}
+	t.AddNote("non-preemptive algorithms suffer ratio Θ(W) here ([10]'s trivial lower bound); preemption escapes it")
+
+	t2 := &Table{
+		ID:      "E10/path-trap",
+		Title:   "Adaptive unweighted path trap (K disjoint capacity-1 edges)",
+		Columns: []string{"K", "algorithm", "online cost", "OPT", "ratio"},
+	}
+	for _, k := range []int{4, 16, 64} {
+		entries := []struct {
+			name string
+			mk   func(caps []int) (problem.Algorithm, error)
+		}{
+			{"greedy (non-preemptive)", func(caps []int) (problem.Algorithm, error) {
+				return baseline.NewGreedy(caps)
+			}},
+			{"randomized-unweighted (§3)", func(caps []int) (problem.Algorithm, error) {
+				ccfg := core.UnweightedConfig()
+				ccfg.Seed = cfg.Seed + uint64(k)
+				return core.NewRandomized(caps, ccfg)
+			}},
+		}
+		for _, e := range entries {
+			adv := &workload.PathRatioAdversary{K: k}
+			alg, err := e.mk(adv.Capacities())
+			if err != nil {
+				return nil, err
+			}
+			ins, res, err := workload.RunAdversarial(alg, adv, traceOptions(cfg))
+			if err != nil {
+				return nil, err
+			}
+			ex, err := opt.ExactOPT(ins, 0)
+			if err != nil {
+				return nil, err
+			}
+			ratio := "∞"
+			if ex.Value > 0 {
+				ratio = fmt.Sprintf("%.2f", res.RejectedCost/ex.Value)
+			} else if res.RejectedCost == 0 {
+				ratio = "1.00"
+			}
+			t2.AddRow(fmt.Sprint(k), e.name,
+				fmt.Sprintf("%.0f", res.RejectedCost), fmt.Sprintf("%.0f", ex.Value), ratio)
+		}
+	}
+	t2.AddNote("the greedy ratio grows linearly in K; the preemptive randomized algorithm evicts the long request")
+	return []*Table{t, t2}, nil
+}

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"admission/internal/core"
+	"admission/internal/graph"
+	"admission/internal/opt"
+	"admission/internal/rng"
+	"admission/internal/setcover"
+	"admission/internal/stats"
+	"admission/internal/workload"
+)
+
+// E11 and E12 extend the reproduction beyond the theorem-by-theorem sweeps:
+// E11 checks that the admission-control guarantee is topology-independent
+// (the paper's algorithms work on general graphs and, per §6, even on
+// arbitrary edge subsets), and E12 puts the paper's two online set cover
+// algorithms head to head, including the weighted case where the reduction
+// gives O(log²(mn)).
+
+func init() {
+	registry = append(registry,
+		Experiment{"E11", "Topology sensitivity of the randomized algorithm", runE11},
+		Experiment{"E12", "Set cover head-to-head: §4 reduction vs §5 bicriteria", runE12},
+	)
+}
+
+// runE11 measures the unweighted randomized algorithm across topologies at
+// matched overload.
+func runE11(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Title:   "Randomized unweighted ratio across topologies (2x oversubscribed)",
+		Columns: []string{"topology", "m", "c", "ratio (mean ± ci95)", "preemption rate"},
+	}
+	c := 4
+	type topo struct {
+		name string
+		mk   func(r *rng.RNG) (*graph.Graph, error)
+	}
+	topos := []topo{
+		{"line", func(*rng.RNG) (*graph.Graph, error) { return graph.Line(cfg.scaledInt(33, 5), c) }},
+		{"ring", func(*rng.RNG) (*graph.Graph, error) { return graph.Ring(cfg.scaledInt(32, 5), c) }},
+		{"star", func(*rng.RNG) (*graph.Graph, error) { return graph.Star(cfg.scaledInt(16, 4), c) }},
+		{"tree", func(r *rng.RNG) (*graph.Graph, error) { return graph.Tree(cfg.scaledInt(17, 5), c, r) }},
+		{"grid", func(*rng.RNG) (*graph.Graph, error) {
+			s := cfg.scaledInt(4, 2)
+			return graph.Grid(s, s, c)
+		}},
+		{"random", func(r *rng.RNG) (*graph.Graph, error) {
+			nv := cfg.scaledInt(8, 4)
+			return graph.Random(nv, cfg.scaledInt(32, 8), c, r)
+		}},
+	}
+	for ti, tp := range topos {
+		ratio := &stats.Summary{}
+		prate := &stats.Summary{}
+		var mu sync.Mutex
+		var mEdges int
+		err := parallelEach(cfg.reps(), cfg.workers(), func(rep int) error {
+			r := rng.New(cfg.Seed ^ (uint64(ti*1000+rep+1) * 48271))
+			g, err := tp.mk(r)
+			if err != nil {
+				return err
+			}
+			ins, err := workload.OverloadedTraffic(g, 2.0, workload.CostUnit, r)
+			if err != nil {
+				return err
+			}
+			lb, err := opt.BestLowerBound(ins)
+			if err != nil {
+				return err
+			}
+			if lb <= 0 {
+				return nil
+			}
+			ccfg := core.UnweightedConfig()
+			ccfg.Seed = r.Uint64()
+			alg, err := core.NewRandomized(ins.Capacities, ccfg)
+			if err != nil {
+				return err
+			}
+			on, res, err := runMeasured(alg, ins, cfg.Check)
+			if err != nil {
+				return fmt.Errorf("%s: %w", tp.name, err)
+			}
+			mu.Lock()
+			mEdges = g.M()
+			ratio.Add(on / lb)
+			prate.Add(float64(res.Preemptions) / float64(ins.N()))
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ratio.N() == 0 {
+			continue
+		}
+		t.AddRow(tp.name, fmt.Sprint(mEdges), fmt.Sprint(c),
+			ratioCell(ratio), fmt.Sprintf("%.2f", prate.Mean()))
+	}
+	t.AddNote("the guarantee is topology-free (requests are treated as edge subsets, §6); ratios should stay in one band across rows")
+	return []*Table{t}, nil
+}
+
+// runE12 compares the two online set cover algorithms on identical inputs,
+// in both the unweighted (Thm 4 ⇒ O(log m·log n)) and weighted
+// (Thm 3 ⇒ O(log²(mn))) regimes.
+func runE12(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "Online set cover: §4 reduction (randomized) vs §5 bicriteria (deterministic, ε=0.25)",
+		Columns: []string{"costs", "n", "m", "reduction ratio", "bicriteria ratio",
+			"reduction sets", "bicriteria sets"},
+	}
+	for _, weighted := range []bool{false, true} {
+		for _, base := range []int{16, 32} {
+			n := cfg.scaledInt(base, 8)
+			m := 2 * n
+			redRatio, bicRatio := &stats.Summary{}, &stats.Summary{}
+			redSets, bicSets := &stats.Summary{}, &stats.Summary{}
+			var mu sync.Mutex
+			err := parallelEach(cfg.reps(), cfg.workers(), func(rep int) error {
+				seed := cfg.Seed ^ (uint64(rep+1) * 6700417)
+				if weighted {
+					seed ^= 0xabcdef
+				}
+				r := rng.New(seed ^ uint64(n))
+				ins, err := setcover.RandomInstance(n, m, 0.2, 3, weighted, r)
+				if err != nil {
+					return err
+				}
+				arrivals, err := setcover.RandomArrivals(ins, 2*n, 1.0, r)
+				if err != nil {
+					return err
+				}
+				lower, _, err := scOPT(ins, arrivals)
+				if err != nil {
+					return err
+				}
+				if lower <= 0 {
+					return nil
+				}
+				red, err := setcover.SolveByReduction(ins, arrivals, setcover.ReductionConfig{
+					Seed: r.Uint64(), Check: cfg.Check,
+				})
+				if err != nil {
+					return err
+				}
+				b, err := setcover.NewBicriteria(ins, 0.25)
+				if err != nil {
+					return err
+				}
+				chosen, err := b.Run(arrivals)
+				if err != nil {
+					return err
+				}
+				if err := b.CheckGuarantee(); err != nil {
+					return err
+				}
+				mu.Lock()
+				redRatio.Add(red.Cost / lower)
+				bicRatio.Add(b.Cost() / lower)
+				redSets.Add(float64(len(red.Chosen)))
+				bicSets.Add(float64(len(chosen)))
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if redRatio.N() == 0 {
+				continue
+			}
+			label := "unit"
+			if weighted {
+				label = "pareto"
+			}
+			t.AddRow(label, fmt.Sprint(n), fmt.Sprint(m),
+				ratioCell(redRatio), ratioCell(bicRatio),
+				fmt.Sprintf("%.1f", redSets.Mean()), fmt.Sprintf("%.1f", bicSets.Mean()))
+		}
+	}
+	t.AddNote("the reduction covers every demand fully (ratio >= 1); bicriteria may dip below 1 because it buys only (1-ε) of each demand")
+	t.AddNote("weighted rows exercise the O(log²(mn)) regime of Theorem 3 through the reduction")
+	return []*Table{t}, nil
+}

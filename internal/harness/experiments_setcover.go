@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"admission/internal/opt"
+	"admission/internal/rng"
+	"admission/internal/setcover"
+	"admission/internal/stats"
+	"admission/internal/trace"
+)
+
+// traceOptions derives runner options from the harness config.
+func traceOptions(cfg Config) trace.Options { return trace.Options{Check: cfg.Check} }
+
+// setcoverPoint is one (n, m) configuration of the set-cover sweeps.
+type setcoverPoint struct {
+	n, m int
+	x    float64 // log2(m)·log2(n)
+}
+
+func setcoverSweep(cfg Config) []setcoverPoint {
+	var points []setcoverPoint
+	for _, n := range []int{8, 16, 32, 64} {
+		nn := cfg.scaledInt(n, 6)
+		mm := 2 * nn
+		lm, ln := math.Log2(float64(mm)), math.Log2(float64(nn))
+		if lm < 1 {
+			lm = 1
+		}
+		if ln < 1 {
+			ln = 1
+		}
+		points = append(points, setcoverPoint{n: nn, m: mm, x: lm * ln})
+	}
+	return points
+}
+
+// genSetCover draws a random instance and arrival sequence for one point.
+func genSetCover(p setcoverPoint, r *rng.RNG) (*setcover.Instance, []int, error) {
+	ins, err := setcover.RandomInstance(p.n, p.m, 0.2, 3, false, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	arrivals, err := setcover.RandomArrivals(ins, 2*p.n, 1.0, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ins, arrivals, nil
+}
+
+// scOPT returns the best available offline bounds for a set-cover run:
+// the LP lower bound and an integral upper bound (exact when provable
+// within the node budget, else greedy).
+func scOPT(ins *setcover.Instance, arrivals []int) (lower, upper float64, err error) {
+	cov := ins.Covering(arrivals)
+	lower, _, err = opt.FractionalValue(cov)
+	if err != nil {
+		return 0, 0, err
+	}
+	ex, err := opt.Exact(cov, 1<<18)
+	if err != nil {
+		return 0, 0, err
+	}
+	upper = ex.Value
+	if ex.Proven && ex.Value > lower {
+		lower = ex.Value // integral optimum known exactly: tighten the bound
+	}
+	return lower, upper, nil
+}
+
+// --- E4: reduction to admission control (§4) ------------------------------
+
+func runE4(cfg Config) ([]*Table, error) {
+	points := setcoverSweep(cfg)
+	t := &Table{
+		ID:      "E4",
+		Title:   "Online set cover with repetitions via the §4 reduction (unweighted)",
+		Columns: []string{"n", "m", "log2(m)*log2(n)", "ratio vs OPT (mean ± ci95)", "preemptions"},
+	}
+	var xs, ys []float64
+	for pi, p := range points {
+		sum := &stats.Summary{}
+		pre := &stats.Summary{}
+		var mu sync.Mutex
+		err := parallelEach(cfg.reps(), cfg.workers(), func(rep int) error {
+			r := rng.New(cfg.Seed ^ (uint64(pi*100+rep+1) * 2654435761))
+			ins, arrivals, err := genSetCover(p, r)
+			if err != nil {
+				return err
+			}
+			res, err := setcover.SolveByReduction(ins, arrivals, setcover.ReductionConfig{
+				Seed:  r.Uint64(),
+				Check: cfg.Check,
+			})
+			if err != nil {
+				return err
+			}
+			lower, _, err := scOPT(ins, arrivals)
+			if err != nil {
+				return err
+			}
+			if lower <= 0 {
+				return nil // no arrivals demanded anything
+			}
+			mu.Lock()
+			sum.Add(res.Cost / lower)
+			pre.Add(float64(res.Preemptions))
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(p.n), fmt.Sprint(p.m), fmt.Sprintf("%.2f", p.x),
+			ratioCell(sum), fmt.Sprintf("%.1f", pre.Mean()))
+		xs = append(xs, p.x)
+		ys = append(ys, sum.Mean())
+	}
+	t.AddNote("%s", fitNote("ratio vs log2(m)*log2(n)", xs, ys))
+	if len(xs) >= 3 {
+		t.AddNote("%s", growthNote(xs, ys))
+	}
+	t.AddNote("Theorem 4 + §4 give O(log m·log n); Feige–Korman's Ω(log m·log n) makes this tight")
+	return []*Table{t}, nil
+}
+
+// --- E5: deterministic bicriteria (Thm 7) ---------------------------------
+
+func runE5(cfg Config) ([]*Table, error) {
+	points := setcoverSweep(cfg)
+	epsilons := []float64{0.1, 0.25, 0.5}
+
+	t := &Table{
+		ID:      "E5",
+		Title:   "Deterministic bicriteria online set cover (Thm 7): ratio and coverage",
+		Columns: []string{"n", "m", "eps", "ratio vs OPT", "min coverage frac", "augmentations"},
+	}
+	type key struct {
+		pi, ei int
+	}
+	type cell struct {
+		ratio, minFrac, aug stats.Summary
+	}
+	cells := map[key]*cell{}
+	var mu sync.Mutex
+	total := len(points) * len(epsilons) * cfg.reps()
+	err := parallelEach(total, cfg.workers(), func(i int) error {
+		rep := i % cfg.reps()
+		ei := (i / cfg.reps()) % len(epsilons)
+		pi := i / (cfg.reps() * len(epsilons))
+		p, eps := points[pi], epsilons[ei]
+		r := rng.New(cfg.Seed ^ (uint64(i+1) * 11400714819323198485))
+		ins, arrivals, err := genSetCover(p, r)
+		if err != nil {
+			return err
+		}
+		b, err := setcover.NewBicriteria(ins, eps)
+		if err != nil {
+			return err
+		}
+		if _, err := b.Run(arrivals); err != nil {
+			return err
+		}
+		if err := b.CheckGuarantee(); err != nil {
+			return fmt.Errorf("bicriteria guarantee violated: %w", err)
+		}
+		lower, _, err := scOPT(ins, arrivals)
+		if err != nil {
+			return err
+		}
+		if lower <= 0 {
+			return nil
+		}
+		// Minimum coverage fraction across requested elements.
+		minFrac := 1.0
+		counts := map[int]int{}
+		for _, j := range arrivals {
+			counts[j]++
+		}
+		for j, k := range counts {
+			frac := float64(b.CoverCount(j)) / float64(k)
+			if frac < minFrac {
+				minFrac = frac
+			}
+		}
+		mu.Lock()
+		c := cells[key{pi, ei}]
+		if c == nil {
+			c = &cell{}
+			cells[key{pi, ei}] = c
+		}
+		c.ratio.Add(b.Cost() / lower)
+		c.minFrac.Add(minFrac)
+		c.aug.Add(float64(b.Augmentations()))
+		mu.Unlock()
+		_ = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for pi, p := range points {
+		for ei, eps := range epsilons {
+			c := cells[key{pi, ei}]
+			if c == nil {
+				continue
+			}
+			t.AddRow(fmt.Sprint(p.n), fmt.Sprint(p.m), fmt.Sprintf("%.2f", eps),
+				ratioCell(&c.ratio), fmt.Sprintf("%.2f", c.minFrac.Min()),
+				fmt.Sprintf("%.0f", c.aug.Mean()))
+			if eps == 0.25 {
+				xs = append(xs, p.x)
+				ys = append(ys, c.ratio.Mean())
+			}
+		}
+	}
+	t.AddNote("%s", fitNote("ratio (eps=0.25) vs log2(m)*log2(n)", xs, ys))
+	t.AddNote("min coverage frac must stay >= 1-eps; the optimum is charged for full k-coverage")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,244 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig shrinks everything so the full suite runs in seconds.
+func testConfig() Config {
+	return Config{Seed: 42, Reps: 2, Scale: 0.3, Workers: 4, Check: true}
+}
+
+func TestTableASCII(t *testing.T) {
+	tbl := &Table{
+		ID:      "T1",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.AddNote("hello %d", 5)
+	out := tbl.ASCII()
+	for _, want := range []string{"T1", "demo", "333", "note: hello 5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ASCII missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Columns: []string{"x", "y"}}
+	tbl.AddRow("a,b", `q"q`)
+	out := tbl.CSV()
+	if !strings.Contains(out, `"a,b"`) || !strings.Contains(out, `"q""q"`) {
+		t.Fatalf("CSV quoting broken:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "x,y\n") {
+		t.Fatalf("CSV header broken:\n%s", out)
+	}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(reg))
+	}
+	ids := map[string]bool{}
+	for _, e := range reg {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if _, ok := Lookup("e3"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+}
+
+func TestParallelEach(t *testing.T) {
+	n := 100
+	hits := make([]bool, n)
+	var err error
+	err = parallelEach(n, 7, func(i int) error {
+		hits[i] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+	if err := parallelEach(0, 3, func(int) error { return nil }); err != nil {
+		t.Fatal("empty run must succeed")
+	}
+}
+
+func TestParallelEachPropagatesError(t *testing.T) {
+	err := parallelEach(10, 3, func(i int) error {
+		if i%2 == 1 {
+			return errTest
+		}
+		return nil
+	})
+	if err != errTest {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errTest = errString("boom")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.reps() != 5 || c.scale() != 1 {
+		t.Fatal("zero config defaults wrong")
+	}
+	if c.workers() < 1 {
+		t.Fatal("workers must be positive")
+	}
+	if c.scaledInt(10, 3) != 10 {
+		t.Fatal("scaledInt at scale 1")
+	}
+	c.Scale = 0.1
+	if c.scaledInt(10, 3) != 3 {
+		t.Fatal("scaledInt floor")
+	}
+}
+
+// The experiment smoke tests run every experiment end to end at reduced
+// scale: structure checks only (row counts, no errors), the scientific
+// verdicts live in EXPERIMENTS.md at full scale.
+
+func runExperiment(t *testing.T, id string, wantTables int) []*Table {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %s missing", id)
+	}
+	tables, err := e.Run(testConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) != wantTables {
+		t.Fatalf("%s produced %d tables, want %d", id, len(tables), wantTables)
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s: empty table %s", id, tbl.ID)
+		}
+		if tbl.ASCII() == "" || tbl.CSV() == "" {
+			t.Fatalf("%s: unrenderable table", id)
+		}
+	}
+	return tables
+}
+
+func TestE1Smoke(t *testing.T)  { runExperiment(t, "E1", 3) }
+func TestE2Smoke(t *testing.T)  { runExperiment(t, "E2", 2) }
+func TestE3Smoke(t *testing.T)  { runExperiment(t, "E3", 2) }
+func TestE4Smoke(t *testing.T)  { runExperiment(t, "E4", 1) }
+func TestE5Smoke(t *testing.T)  { runExperiment(t, "E5", 1) }
+func TestE6Smoke(t *testing.T)  { runExperiment(t, "E6", 2) }
+func TestE8Smoke(t *testing.T)  { runExperiment(t, "E8", 1) }
+func TestE9Smoke(t *testing.T)  { runExperiment(t, "E9", 1) }
+func TestE10Smoke(t *testing.T) { runExperiment(t, "E10", 2) }
+
+func TestE7ZeroRejection(t *testing.T) {
+	tables := runExperiment(t, "E7", 1)
+	// Scientific assertion: every rejected-cost cell must be exactly 0.
+	for _, row := range tables[0].Rows {
+		if row[2] != "0" {
+			t.Fatalf("E7 violated: %v", row)
+		}
+	}
+}
+
+func TestE10GreedyTrapped(t *testing.T) {
+	tables := runExperiment(t, "E10", 2)
+	// Scientific assertion: greedy's ratio in the weighted trap equals W.
+	found := false
+	for _, row := range tables[0].Rows {
+		if row[0] == "1000" && strings.Contains(row[1], "greedy") {
+			found = true
+			if row[4] != "1000.00" {
+				t.Fatalf("greedy trap ratio = %s, want 1000.00", row[4])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("greedy W=1000 row missing")
+	}
+}
+
+func TestE11Smoke(t *testing.T) { runExperiment(t, "E11", 1) }
+func TestE12Smoke(t *testing.T) { runExperiment(t, "E12", 1) }
+
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	// Per-point seeds make every experiment's output independent of the
+	// worker count and scheduling; tables must be byte-identical.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(workers int) string {
+		cfg := testConfig()
+		cfg.Workers = workers
+		var out strings.Builder
+		for _, id := range []string{"E1", "E3", "E4", "E8"} {
+			e, _ := Lookup(id)
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			for _, tbl := range tables {
+				out.WriteString(tbl.ASCII())
+			}
+		}
+		return out.String()
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial != parallel {
+		t.Fatal("experiment output depends on worker count")
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Reps <= 0 || cfg.Scale != 1 || !cfg.Check {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+}
+
+func TestRunAllAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{Seed: 3, Reps: 1, Scale: 0.2, Workers: 4, Check: true}
+	var buf strings.Builder
+	tables, err := RunAll(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 12 {
+		t.Fatalf("RunAll produced %d tables", len(tables))
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E4", "E10", "E12"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("RunAll output missing %s", id)
+		}
+	}
+}

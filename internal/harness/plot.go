@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"admission/internal/stats"
+)
+
+// Series is one plottable data series: points (X[i], Y[i]) with a label.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Figure is a terminal-renderable scatter plot. The reproduction's
+// "figures" are ratio-vs-control-parameter series with an optional
+// least-squares fit overlay — the moral equivalent of the scaling plots a
+// systems paper would print.
+type Figure struct {
+	ID, Title      string
+	XLabel, YLabel string
+	Series         []Series
+	// Fit, when true, overlays the OLS fit of the first series as '·' marks
+	// and reports it in the caption.
+	Fit bool
+	// Width and Height are the plot area size in characters (defaults
+	// 60×16).
+	Width, Height int
+}
+
+// seriesMarks assigns one rune per series.
+var seriesMarks = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// ASCII renders the figure as a fixed-grid character plot with axes and a
+// caption. Rendering never fails; degenerate inputs produce an explanatory
+// placeholder instead.
+func (f *Figure) ASCII() string {
+	w, h := f.Width, f.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s: %s --\n", f.ID, f.Title)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			points++
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Pad the y range slightly so extreme points don't sit on the frame.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	put := func(x, y float64, mark rune) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+		row := int(math.Round((maxY - y) / (maxY - minY) * float64(h-1)))
+		if col < 0 || col >= w || row < 0 || row >= h {
+			return
+		}
+		if grid[row][col] == ' ' || grid[row][col] == '·' {
+			grid[row][col] = mark
+		}
+	}
+
+	var fit stats.FitResult
+	haveFit := false
+	if f.Fit && len(f.Series) > 0 {
+		if fr, err := stats.Fit(f.Series[0].X, f.Series[0].Y); err == nil {
+			fit, haveFit = fr, true
+			for c := 0; c < w; c++ {
+				x := minX + (maxX-minX)*float64(c)/float64(w-1)
+				put(x, fit.Slope*x+fit.Intercept, '·')
+			}
+		}
+	}
+	for si, s := range f.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			if i < len(s.Y) {
+				put(s.X[i], s.Y[i], mark)
+			}
+		}
+	}
+
+	yLo := fmt.Sprintf("%.3g", minY+pad)
+	yHi := fmt.Sprintf("%.3g", maxY-pad)
+	lw := len(yHi)
+	if len(yLo) > lw {
+		lw = len(yLo)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", lw)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", lw, yHi)
+		}
+		if r == h-1 {
+			label = fmt.Sprintf("%*s", lw, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", lw), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", lw), w-len(fmt.Sprintf("%.3g", maxX)), fmt.Sprintf("%.3g", minX), fmt.Sprintf("%.3g", maxX))
+	fmt.Fprintf(&b, "x: %s   y: %s\n", f.XLabel, f.YLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.Label)
+	}
+	if haveFit {
+		fmt.Fprintf(&b, "  · fit: %s\n", fit.String())
+	}
+	return b.String()
+}
+
+// FigureFromTable builds a scaling figure from a series table produced by
+// seriesTable: xCol must hold floats, and ratioCol cells look like
+// "1.234 ± 0.05".
+func FigureFromTable(t *Table, xCol, ratioCol int, xLabel string) (*Figure, error) {
+	var xs, ys []float64
+	for _, row := range t.Rows {
+		if xCol >= len(row) || ratioCol >= len(row) {
+			return nil, fmt.Errorf("harness: table %s rows too short for figure", t.ID)
+		}
+		var x, y float64
+		if _, err := fmt.Sscanf(row[xCol], "%g", &x); err != nil {
+			return nil, fmt.Errorf("harness: table %s x cell %q: %w", t.ID, row[xCol], err)
+		}
+		if _, err := fmt.Sscanf(row[ratioCol], "%g", &y); err != nil {
+			return nil, fmt.Errorf("harness: table %s ratio cell %q: %w", t.ID, row[ratioCol], err)
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return &Figure{
+		ID:     t.ID + "/fig",
+		Title:  t.Title,
+		XLabel: xLabel,
+		YLabel: "competitive ratio",
+		Series: []Series{{Label: "measured mean ratio", X: xs, Y: ys}},
+		Fit:    true,
+	}, nil
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureASCIIBasic(t *testing.T) {
+	f := &Figure{
+		ID:     "F1",
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{{Label: "s", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}}},
+		Fit:    true,
+	}
+	out := f.ASCII()
+	for _, want := range []string{"F1", "demo", "*", "fit:", "x: x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureASCIIEmpty(t *testing.T) {
+	f := &Figure{ID: "F0", Title: "empty"}
+	if !strings.Contains(f.ASCII(), "(no data)") {
+		t.Fatal("empty figure must render placeholder")
+	}
+}
+
+func TestFigureASCIIDegenerate(t *testing.T) {
+	// Single point: ranges collapse; must not panic or divide by zero.
+	f := &Figure{
+		ID:     "F2",
+		Title:  "single",
+		Series: []Series{{Label: "s", X: []float64{5}, Y: []float64{1}}},
+	}
+	if f.ASCII() == "" {
+		t.Fatal("degenerate figure rendered empty")
+	}
+	// Constant y with fit enabled.
+	f3 := &Figure{
+		ID:     "F3",
+		Title:  "flat",
+		Series: []Series{{Label: "s", X: []float64{1, 2, 3}, Y: []float64{2, 2, 2}}},
+		Fit:    true,
+	}
+	if !strings.Contains(f3.ASCII(), "fit:") {
+		t.Fatal("flat series should still fit")
+	}
+}
+
+func TestFigureMultiSeriesMarks(t *testing.T) {
+	f := &Figure{
+		ID:    "F4",
+		Title: "two",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{1, 2}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{2, 1}},
+		},
+	}
+	out := f.ASCII()
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestFigureMismatchedXYLengths(t *testing.T) {
+	f := &Figure{
+		ID:     "F5",
+		Title:  "ragged",
+		Series: []Series{{Label: "s", X: []float64{1, 2, 3}, Y: []float64{1}}},
+	}
+	if f.ASCII() == "" {
+		t.Fatal("ragged series must render (extra x ignored)")
+	}
+}
+
+func TestFigureFromTable(t *testing.T) {
+	tbl := &Table{
+		ID:      "E1/vary-m",
+		Title:   "demo",
+		Columns: []string{"m", "c", "x", "ratio", "max"},
+	}
+	tbl.AddRow("8", "4", "5.00", "1.25 ± 0.03", "1.3")
+	tbl.AddRow("16", "4", "6.00", "1.27 ± 0.01", "1.3")
+	fig, err := FigureFromTable(tbl, 2, 3, "log2(mc)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series[0].X) != 2 || fig.Series[0].Y[0] != 1.25 {
+		t.Fatalf("series = %+v", fig.Series[0])
+	}
+	if !strings.Contains(fig.ASCII(), "log2(mc)") {
+		t.Fatal("x label missing")
+	}
+}
+
+func TestFigureFromTableErrors(t *testing.T) {
+	tbl := &Table{ID: "T", Columns: []string{"a"}}
+	tbl.AddRow("z")
+	if _, err := FigureFromTable(tbl, 0, 0, "x"); err == nil {
+		t.Fatal("non-numeric cell must error")
+	}
+	tbl2 := &Table{ID: "T2", Columns: []string{"a"}}
+	tbl2.AddRow("1")
+	if _, err := FigureFromTable(tbl2, 0, 5, "x"); err == nil {
+		t.Fatal("short row must error")
+	}
+}

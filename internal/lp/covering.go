@@ -1,0 +1,256 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CoveringLP is the special covering form used throughout this repository:
+//
+//	minimize    Σ cost[i]·x[i]
+//	subject to  Σ_{i ∈ Rows[k]} x[i] >= Demand[k]   for every row k
+//	            0 <= x[i] <= 1
+//
+// For admission control, variable i is "fraction of request i rejected",
+// row k is an overloaded edge, and Demand[k] = |REQ_e| − c_e is the excess.
+// For set cover with repetitions, variable i is "fraction of set i bought"
+// and Demand[k] is the number of times element k was requested.
+type CoveringLP struct {
+	Cost   []float64
+	Rows   [][]int // variable indices per constraint, duplicates allowed
+	Demand []float64
+}
+
+// Validate checks index ranges and signs.
+func (c *CoveringLP) Validate() error {
+	if len(c.Rows) != len(c.Demand) {
+		return fmt.Errorf("lp: covering has %d rows but %d demands", len(c.Rows), len(c.Demand))
+	}
+	for i, cost := range c.Cost {
+		if cost < 0 || math.IsNaN(cost) {
+			return fmt.Errorf("lp: covering cost[%d] = %v invalid", i, cost)
+		}
+	}
+	for k, row := range c.Rows {
+		for _, i := range row {
+			if i < 0 || i >= len(c.Cost) {
+				return fmt.Errorf("lp: covering row %d references variable %d (have %d)", k, i, len(c.Cost))
+			}
+		}
+		if c.Demand[k] > float64(len(row)) {
+			return fmt.Errorf("lp: covering row %d demands %v from %d variables: infeasible by construction", k, c.Demand[k], len(row))
+		}
+	}
+	return nil
+}
+
+// ToProblem expands the covering LP into the general dense Problem form.
+func (c *CoveringLP) ToProblem() *Problem {
+	n := len(c.Cost)
+	p := &Problem{
+		C:  append([]float64(nil), c.Cost...),
+		UB: make([]float64, n),
+	}
+	for j := range p.UB {
+		p.UB[j] = 1
+	}
+	for k, row := range c.Rows {
+		if c.Demand[k] <= 0 {
+			continue // trivially satisfied
+		}
+		coeff := make([]float64, n)
+		for _, i := range row {
+			coeff[i]++ // duplicates accumulate
+		}
+		p.A = append(p.A, coeff)
+		p.B = append(p.B, c.Demand[k])
+		p.Rel = append(p.Rel, GE)
+	}
+	return p
+}
+
+// SolveCovering solves the covering LP. Fast paths:
+//   - no positive demand: the zero vector, objective 0;
+//   - constraints that decompose into independent components are solved
+//     separately, which keeps the dense simplex small on block workloads;
+//   - single-row components have the closed-form fractional-knapsack
+//     solution (take the cheapest variables first).
+func SolveCovering(c *CoveringLP) (Solution, error) {
+	if err := c.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(c.Cost)
+	x := make([]float64, n)
+
+	active := make([]int, 0, len(c.Rows))
+	for k := range c.Rows {
+		if c.Demand[k] > 0 {
+			active = append(active, k)
+		}
+	}
+	if len(active) == 0 {
+		return Solution{Status: Optimal, X: x}, nil
+	}
+
+	comps := components(c, active)
+	for _, comp := range comps {
+		if err := solveComponent(c, comp, x); err != nil {
+			return Solution{}, err
+		}
+	}
+	obj := 0.0
+	for i, v := range x {
+		obj += v * c.Cost[i]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// components groups the active rows into connected components of the
+// row-variable incidence graph via union-find over variables.
+func components(c *CoveringLP, active []int) [][]int {
+	parent := map[int]int{}
+	var find func(v int) int
+	find = func(v int) int {
+		p, ok := parent[v]
+		if !ok {
+			parent[v] = v
+			return v
+		}
+		if p != v {
+			parent[v] = find(p)
+		}
+		return parent[v]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, k := range active {
+		row := c.Rows[k]
+		if len(row) == 0 {
+			continue
+		}
+		for _, v := range row[1:] {
+			union(row[0], v)
+		}
+	}
+	groups := map[int][]int{}
+	for _, k := range active {
+		if len(c.Rows[k]) == 0 {
+			// Demand > 0 with no variables: isolated infeasible row; keep it
+			// as its own component so solveComponent reports it.
+			groups[-k-1] = append(groups[-k-1], k)
+			continue
+		}
+		r := find(c.Rows[k][0])
+		groups[r] = append(groups[r], k)
+	}
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys) // deterministic order
+	out := make([][]int, 0, len(groups))
+	for _, k := range keys {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+// solveComponent solves the sub-LP induced by rows and writes the solution
+// into x.
+func solveComponent(c *CoveringLP, rows []int, x []float64) error {
+	if len(rows) == 1 {
+		return solveSingleRow(c, rows[0], x)
+	}
+	// Build a compact sub-problem over the variables that appear.
+	varIdx := map[int]int{}
+	var vars []int
+	for _, k := range rows {
+		for _, i := range c.Rows[k] {
+			if _, ok := varIdx[i]; !ok {
+				varIdx[i] = len(vars)
+				vars = append(vars, i)
+			}
+		}
+	}
+	sub := &CoveringLP{Cost: make([]float64, len(vars))}
+	for si, i := range vars {
+		sub.Cost[si] = c.Cost[i]
+	}
+	for _, k := range rows {
+		row := make([]int, len(c.Rows[k]))
+		for j, i := range c.Rows[k] {
+			row[j] = varIdx[i]
+		}
+		sub.Rows = append(sub.Rows, row)
+		sub.Demand = append(sub.Demand, c.Demand[k])
+	}
+	sol, err := Solve(sub.ToProblem())
+	if err != nil {
+		return err
+	}
+	if sol.Status != Optimal {
+		return fmt.Errorf("lp: covering component solve: %v", sol.Status)
+	}
+	for si, i := range vars {
+		x[i] = sol.X[si]
+	}
+	return nil
+}
+
+// solveSingleRow solves one covering row in closed form: order variables by
+// cost and take the cheapest until the demand is met, with the marginal
+// variable taken fractionally.
+func solveSingleRow(c *CoveringLP, k int, x []float64) error {
+	row := c.Rows[k]
+	demand := c.Demand[k]
+	if demand > float64(len(row)) {
+		return fmt.Errorf("lp: covering row %d infeasible: demand %v > %d variables", k, demand, len(row))
+	}
+	// A variable may appear multiple times in a row; each appearance
+	// contributes its x value, so an r-fold appearance effectively has r
+	// units of coverage per unit of x. Handle multiplicity by weighting.
+	mult := map[int]float64{}
+	for _, i := range row {
+		mult[i]++
+	}
+	type item struct {
+		idx      int
+		unitCost float64 // cost per unit of coverage
+		cover    float64 // total coverage if x_i = 1
+	}
+	items := make([]item, 0, len(mult))
+	for i, m := range mult {
+		uc := math.Inf(1)
+		if m > 0 {
+			uc = c.Cost[i] / m
+		}
+		items = append(items, item{idx: i, unitCost: uc, cover: m})
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].unitCost != items[b].unitCost {
+			return items[a].unitCost < items[b].unitCost
+		}
+		return items[a].idx < items[b].idx
+	})
+	remaining := demand
+	for _, it := range items {
+		if remaining <= 0 {
+			break
+		}
+		take := 1.0
+		if it.cover > remaining {
+			take = remaining / it.cover
+		}
+		x[it.idx] = take
+		remaining -= take * it.cover
+	}
+	if remaining > feasTol {
+		return fmt.Errorf("lp: covering row %d could not be satisfied (residual %v)", k, remaining)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"admission/internal/rng"
+)
+
+func TestDualCertificateSingleRow(t *testing.T) {
+	c := &CoveringLP{
+		Cost:   []float64{5, 1, 3},
+		Rows:   [][]int{{0, 1, 2}},
+		Demand: []float64{1.5},
+	}
+	sol, cert, err := CertifiedCovering(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.Verify(c); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cert.Bound-sol.Objective) > 1e-6 {
+		t.Fatalf("bound %v != objective %v", cert.Bound, sol.Objective)
+	}
+}
+
+func TestDualCertificateZeroDemand(t *testing.T) {
+	c := &CoveringLP{
+		Cost:   []float64{1},
+		Rows:   [][]int{{0}},
+		Demand: []float64{0},
+	}
+	sol, cert, err := CertifiedCovering(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 0 || cert.Bound != 0 {
+		t.Fatalf("objective %v bound %v", sol.Objective, cert.Bound)
+	}
+}
+
+func TestDualCertificateRandomTight(t *testing.T) {
+	// On random covering LPs the constructed certificate must be valid
+	// (Verify) and near-tight (CertifiedCovering errors otherwise).
+	r := rng.New(4242)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(8)
+		rows := 1 + r.Intn(4)
+		c := &CoveringLP{Cost: make([]float64, n)}
+		for i := range c.Cost {
+			c.Cost[i] = 1 + math.Floor(r.Float64()*9)
+		}
+		for k := 0; k < rows; k++ {
+			size := 1 + r.Intn(n)
+			perm := r.Perm(n)
+			c.Rows = append(c.Rows, append([]int(nil), perm[:size]...))
+			c.Demand = append(c.Demand, float64(r.Intn(size))+0.5)
+		}
+		sol, cert, err := CertifiedCovering(c)
+		if err != nil {
+			t.Fatalf("trial %d: %v (objective %v, bound %v)", trial, err, sol.Objective, certBound(cert))
+		}
+		if cert.Bound > sol.Objective+1e-6 {
+			t.Fatalf("trial %d: bound %v exceeds objective %v", trial, cert.Bound, sol.Objective)
+		}
+	}
+}
+
+func certBound(c *DualCertificate) float64 {
+	if c == nil {
+		return math.NaN()
+	}
+	return c.Bound
+}
+
+func TestDualVerifyRejectsBadCertificates(t *testing.T) {
+	c := &CoveringLP{
+		Cost:   []float64{2, 2},
+		Rows:   [][]int{{0, 1}},
+		Demand: []float64{1},
+	}
+	cases := map[string]*DualCertificate{
+		"wrong y len":    {Y: []float64{1, 2}, Z: []float64{0, 0}, Bound: 1},
+		"wrong z len":    {Y: []float64{1}, Z: []float64{0}, Bound: 1},
+		"negative y":     {Y: []float64{-1}, Z: []float64{0, 0}, Bound: -1},
+		"negative z":     {Y: []float64{0}, Z: []float64{-1, 0}, Bound: 1},
+		"infeasible":     {Y: []float64{5}, Z: []float64{0, 0}, Bound: 5},
+		"bound mismatch": {Y: []float64{1}, Z: []float64{0, 0}, Bound: 7},
+	}
+	for name, cert := range cases {
+		if err := cert.Verify(c); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	good := &DualCertificate{Y: []float64{2}, Z: []float64{0, 0}, Bound: 2}
+	if err := good.Verify(c); err != nil {
+		t.Errorf("valid certificate rejected: %v", err)
+	}
+}
+
+func TestDualBoundIsLowerBoundOnIntegral(t *testing.T) {
+	// Weak duality: the certified bound never exceeds the cost of any
+	// integral cover, sampled randomly.
+	r := rng.New(31415)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(6)
+		c := &CoveringLP{Cost: make([]float64, n)}
+		for i := range c.Cost {
+			c.Cost[i] = 1 + math.Floor(r.Float64()*9)
+		}
+		for k := 0; k < 1+r.Intn(3); k++ {
+			size := 1 + r.Intn(n)
+			perm := r.Perm(n)
+			c.Rows = append(c.Rows, append([]int(nil), perm[:size]...))
+			c.Demand = append(c.Demand, float64(1+r.Intn(size)))
+		}
+		_, cert, err := CertifiedCovering(c)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Check against random feasible integral covers.
+		for s := 0; s < 100; s++ {
+			pick := make([]bool, n)
+			cost := 0.0
+			for i := 0; i < n; i++ {
+				if r.Bernoulli(0.7) {
+					pick[i] = true
+					cost += c.Cost[i]
+				}
+			}
+			feasible := true
+			for k, row := range c.Rows {
+				got := 0.0
+				for _, i := range row {
+					if pick[i] {
+						got++
+					}
+				}
+				if got < c.Demand[k] {
+					feasible = false
+					break
+				}
+			}
+			if feasible && cost < cert.Bound-1e-6 {
+				t.Fatalf("trial %d: integral cover cost %v below certified bound %v", trial, cost, cert.Bound)
+			}
+		}
+	}
+}

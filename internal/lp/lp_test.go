@@ -1,0 +1,519 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"admission/internal/rng"
+)
+
+func solveOK(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if err := CheckFeasible(p, s.X); err != nil {
+		t.Fatalf("infeasible solution: %v", err)
+	}
+	return s
+}
+
+func TestSolveTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Dantzig's example)
+	// => min -3x - 5y, optimum at (2, 6), objective -36.
+	p := &Problem{
+		C: []float64{-3, -5},
+		A: [][]float64{
+			{1, 0},
+			{0, 2},
+			{3, 2},
+		},
+		B:   []float64{4, 12, 18},
+		Rel: []Relation{LE, LE, LE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-36)) > 1e-6 {
+		t.Fatalf("objective = %v, want -36", s.Objective)
+	}
+	if math.Abs(s.X[0]-2) > 1e-6 || math.Abs(s.X[1]-6) > 1e-6 {
+		t.Fatalf("x = %v, want (2,6)", s.X)
+	}
+}
+
+func TestSolveGE(t *testing.T) {
+	// min x + 2y s.t. x + y >= 3, y >= 1. Optimum (2, 1), obj 4.
+	p := &Problem{
+		C:   []float64{1, 2},
+		A:   [][]float64{{1, 1}, {0, 1}},
+		B:   []float64{3, 1},
+		Rel: []Relation{GE, GE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-4) > 1e-6 {
+		t.Fatalf("objective = %v, want 4", s.Objective)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// min x + y s.t. x + 2y == 4, x,y >= 0. Optimum (0,2), obj 2.
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 2}},
+		B:   []float64{4},
+		Rel: []Relation{EQ},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestSolveWithUpperBounds(t *testing.T) {
+	// min x + 3y s.t. x + y >= 2, x <= 1, y <= 5. Optimum (1,1), obj 4.
+	p := &Problem{
+		C:   []float64{1, 3},
+		A:   [][]float64{{1, 1}},
+		B:   []float64{2},
+		Rel: []Relation{GE},
+		UB:  []float64{1, 5},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-4) > 1e-6 {
+		t.Fatalf("objective = %v, want 4", s.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x >= 2 with x <= 1 bound.
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}},
+		B:   []float64{2},
+		Rel: []Relation{GE},
+		UB:  []float64{1},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x s.t. x >= 1 with no upper bound.
+	p := &Problem{
+		C:   []float64{-1},
+		A:   [][]float64{{1}},
+		B:   []float64{1},
+		Rel: []Relation{GE},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveNoConstraints(t *testing.T) {
+	p := &Problem{C: []float64{1, 2}}
+	s := solveOK(t, p)
+	if s.Objective != 0 || s.X[0] != 0 || s.X[1] != 0 {
+		t.Fatalf("unconstrained min over x>=0 should be 0 at origin, got %v at %v", s.Objective, s.X)
+	}
+	p2 := &Problem{C: []float64{-1}}
+	s2, err := Solve(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Status != Unbounded {
+		t.Fatalf("negative cost with no constraints must be unbounded, got %v", s2.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// -x <= -2  is  x >= 2; min x => 2.
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{-1}},
+		B:   []float64{-2},
+		Rel: []Relation{LE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Classic degenerate LP; checks the Bland fallback terminates.
+	p := &Problem{
+		C: []float64{-0.75, 150, -0.02, 6},
+		A: [][]float64{
+			{0.25, -60, -0.04, 9},
+			{0.5, -90, -0.02, 3},
+			{0, 0, 1, 0},
+		},
+		B:   []float64{0, 0, 1},
+		Rel: []Relation{LE, LE, LE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-0.05)) > 1e-6 {
+		t.Fatalf("objective = %v, want -0.05", s.Objective)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*Problem{
+		{},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}, Rel: []Relation{GE}},
+		{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}, Rel: []Relation{GE}},
+		{C: []float64{1}, UB: []float64{1, 2}},
+		{C: []float64{1}, UB: []float64{-1}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestRandomLPsOptimalityProperty(t *testing.T) {
+	// Property: no randomly sampled feasible point beats the simplex
+	// objective. Catches gross optimality bugs without a reference solver.
+	r := rng.New(2024)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(4)
+		m := 1 + r.Intn(4)
+		p := &Problem{C: make([]float64, n), UB: make([]float64, n)}
+		for j := 0; j < n; j++ {
+			p.C[j] = r.Float64() * 10
+			p.UB[j] = 1
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			nz := 0
+			for j := 0; j < n; j++ {
+				if r.Bernoulli(0.6) {
+					row[j] = 1
+					nz++
+				}
+			}
+			if nz == 0 {
+				row[r.Intn(n)] = 1
+				nz = 1
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, float64(r.Intn(nz))+r.Float64()*0.5)
+			p.Rel = append(p.Rel, GE)
+		}
+		// Ensure feasibility: demand <= number of variables in the row,
+		// so the all-ones vector is feasible by construction when demand <= nz.
+		for i := range p.B {
+			nz := 0.0
+			for _, v := range p.A[i] {
+				nz += v
+			}
+			if p.B[i] > nz {
+				p.B[i] = nz
+			}
+		}
+		s := solveOK(t, p)
+		// Sample feasible points and compare.
+		for k := 0; k < 300; k++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = r.Float64()
+			}
+			if CheckFeasible(p, x) != nil {
+				continue
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.C[j] * x[j]
+			}
+			if obj < s.Objective-1e-6 {
+				t.Fatalf("trial %d: sampled point %v with objective %v beats simplex %v", trial, x, obj, s.Objective)
+			}
+		}
+	}
+}
+
+func TestCoveringSingleRowClosedForm(t *testing.T) {
+	c := &CoveringLP{
+		Cost:   []float64{5, 1, 3},
+		Rows:   [][]int{{0, 1, 2}},
+		Demand: []float64{1.5},
+	}
+	s, err := SolveCovering(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cheapest first: x1=1 (cost 1), then half of x2 (cost 1.5) => 2.5
+	if math.Abs(s.Objective-2.5) > 1e-9 {
+		t.Fatalf("objective = %v, want 2.5", s.Objective)
+	}
+	if s.X[1] != 1 || math.Abs(s.X[2]-0.5) > 1e-9 || s.X[0] != 0 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestCoveringZeroDemand(t *testing.T) {
+	c := &CoveringLP{
+		Cost:   []float64{1, 2},
+		Rows:   [][]int{{0, 1}},
+		Demand: []float64{0},
+	}
+	s, err := SolveCovering(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Objective != 0 {
+		t.Fatalf("objective = %v, want 0", s.Objective)
+	}
+}
+
+func TestCoveringNegativeDemandTrivial(t *testing.T) {
+	c := &CoveringLP{
+		Cost:   []float64{1},
+		Rows:   [][]int{{0}},
+		Demand: []float64{-3},
+	}
+	s, err := SolveCovering(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Objective != 0 {
+		t.Fatalf("objective = %v, want 0", s.Objective)
+	}
+}
+
+func TestCoveringMultiplicity(t *testing.T) {
+	// Variable 0 appears twice in the row: one unit of x0 covers 2.
+	c := &CoveringLP{
+		Cost:   []float64{3, 2},
+		Rows:   [][]int{{0, 0, 1}},
+		Demand: []float64{2},
+	}
+	s, err := SolveCovering(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// unit costs: x0 3/2 per coverage, x1 2 per coverage => x0=1 covers 2, obj 3.
+	if math.Abs(s.Objective-3) > 1e-9 {
+		t.Fatalf("objective = %v, want 3", s.Objective)
+	}
+}
+
+func TestCoveringDecomposition(t *testing.T) {
+	// Two independent blocks, each solvable in closed form; plus a coupled
+	// pair solved by the simplex.
+	c := &CoveringLP{
+		Cost: []float64{1, 2, 4, 8, 16, 32},
+		Rows: [][]int{
+			{0, 1},    // block A
+			{2, 3},    // block B row 1
+			{3, 4},    // block B row 2 (shares var 3)
+			{5, 5, 5}, // block C, multiplicity 3
+		},
+		Demand: []float64{1, 1, 1, 2},
+	}
+	s, err := SolveCovering(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block A: x0 = 1 -> 1. Block B: x3 = 1 covers both rows -> 8.
+	// Block C: x5 = 2/3 -> 32*2/3.
+	want := 1.0 + 8 + 32*2.0/3
+	if math.Abs(s.Objective-want) > 1e-6 {
+		t.Fatalf("objective = %v, want %v (x=%v)", s.Objective, want, s.X)
+	}
+}
+
+func TestCoveringMatchesGeneralSolver(t *testing.T) {
+	// Cross-validate SolveCovering's decomposed path against the plain
+	// dense simplex on random instances.
+	r := rng.New(77)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(6)
+		m := 1 + r.Intn(5)
+		c := &CoveringLP{Cost: make([]float64, n)}
+		for i := range c.Cost {
+			c.Cost[i] = 1 + r.Float64()*9
+		}
+		for k := 0; k < m; k++ {
+			size := 1 + r.Intn(n)
+			row := make([]int, 0, size)
+			for len(row) < size {
+				row = append(row, r.Intn(n))
+			}
+			c.Rows = append(c.Rows, row)
+			c.Demand = append(c.Demand, float64(r.Intn(size))+0.25)
+		}
+		fast, err := SolveCovering(c)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		slow, err := Solve(c.ToProblem())
+		if err != nil {
+			t.Fatalf("trial %d general: %v", trial, err)
+		}
+		if slow.Status != Optimal {
+			t.Fatalf("trial %d general status: %v", trial, slow.Status)
+		}
+		if math.Abs(fast.Objective-slow.Objective) > 1e-5 {
+			t.Fatalf("trial %d: decomposed %v vs general %v", trial, fast.Objective, slow.Objective)
+		}
+	}
+}
+
+func TestCoveringValidate(t *testing.T) {
+	bad := []*CoveringLP{
+		{Cost: []float64{1}, Rows: [][]int{{0}}, Demand: []float64{1, 2}},
+		{Cost: []float64{-1}, Rows: [][]int{{0}}, Demand: []float64{1}},
+		{Cost: []float64{1}, Rows: [][]int{{1}}, Demand: []float64{1}},
+		{Cost: []float64{1}, Rows: [][]int{{0}}, Demand: []float64{2}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestRelationAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("relation strings wrong")
+	}
+	if Relation(9).String() == "" {
+		t.Fatal("unknown relation string empty")
+	}
+	for _, s := range []Status{Optimal, Infeasible, Unbounded, IterLimit, Status(9)} {
+		if s.String() == "" {
+			t.Fatal("status string empty")
+		}
+	}
+}
+
+func TestCheckFeasibleErrors(t *testing.T) {
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 1}},
+		B:   []float64{1},
+		Rel: []Relation{GE},
+		UB:  []float64{1, 1},
+	}
+	if err := CheckFeasible(p, []float64{1}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if err := CheckFeasible(p, []float64{-1, 2}); err == nil {
+		t.Error("negative entry must error")
+	}
+	if err := CheckFeasible(p, []float64{1, 2}); err == nil {
+		t.Error("ub violation must error")
+	}
+	if err := CheckFeasible(p, []float64{0.2, 0.2}); err == nil {
+		t.Error("GE violation must error")
+	}
+	pEq := &Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1}, Rel: []Relation{EQ}}
+	if err := CheckFeasible(pEq, []float64{0.5}); err == nil {
+		t.Error("EQ violation must error")
+	}
+	pLe := &Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1}, Rel: []Relation{LE}}
+	if err := CheckFeasible(pLe, []float64{2}); err == nil {
+		t.Error("LE violation must error")
+	}
+}
+
+func BenchmarkSolveCovering(b *testing.B) {
+	r := rng.New(1)
+	c := &CoveringLP{Cost: make([]float64, 200)}
+	for i := range c.Cost {
+		c.Cost[i] = 1 + r.Float64()*99
+	}
+	for k := 0; k < 40; k++ {
+		row := make([]int, 0, 20)
+		for len(row) < 20 {
+			row = append(row, r.Intn(200))
+		}
+		c.Rows = append(c.Rows, row)
+		c.Demand = append(c.Demand, float64(1+r.Intn(10)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveCovering(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSolveRedundantConstraints(t *testing.T) {
+	// Duplicate equality rows leave an artificial variable basic at zero
+	// after phase 1; the solver must still reach the optimum.
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 2}, {1, 2}, {2, 4}},
+		B:   []float64{4, 4, 8},
+		Rel: []Relation{EQ, EQ, EQ},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestSolveMixedRelations(t *testing.T) {
+	// min x + y s.t. x + y >= 2, x - y == 0, x <= 3.
+	// Symmetric optimum x = y = 1, objective 2.
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 1}, {1, -1}, {1, 0}},
+		B:   []float64{2, 0, 3},
+		Rel: []Relation{GE, EQ, LE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+	if math.Abs(s.X[0]-s.X[1]) > 1e-6 {
+		t.Fatalf("equality violated: %v", s.X)
+	}
+}
+
+func TestSolveLargeCoveringStress(t *testing.T) {
+	// A moderately large covering LP (the size E2 actually solves) as a
+	// smoke test for performance regressions and numerical robustness.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := rng.New(5150)
+	c := &CoveringLP{Cost: make([]float64, 600)}
+	for i := range c.Cost {
+		c.Cost[i] = 1 + math.Floor(r.Float64()*99)
+	}
+	for k := 0; k < 80; k++ {
+		row := make([]int, 0, 25)
+		for len(row) < 25 {
+			row = append(row, r.Intn(600))
+		}
+		c.Rows = append(c.Rows, row)
+		c.Demand = append(c.Demand, float64(1+r.Intn(12)))
+	}
+	sol, err := SolveCovering(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if err := CheckFeasible(c.ToProblem(), sol.X); err != nil {
+		t.Fatal(err)
+	}
+}

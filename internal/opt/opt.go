@@ -1,0 +1,386 @@
+// Package opt computes offline optima (exact, fractional, and greedy
+// approximations) for the covering problems this repository measures
+// competitive ratios against.
+//
+// Both objectives in the paper reduce to the same combinatorial core, a
+// binary covering program with demands:
+//
+//   - admission control: choose a set of requests to reject so that every
+//     edge e loses at least |REQ_e| − c_e of its requests, minimizing the
+//     rejected cost;
+//   - set cover with repetitions: choose sets so that every element j is
+//     covered at least (number of arrivals of j) times, minimizing set cost.
+//
+// The exact solver is a branch-and-bound over the lp.CoveringLP form with a
+// greedy incumbent and per-row fractional bounds; the LP relaxation (solved
+// by internal/lp) is a valid lower bound used for large instances, matching
+// the paper's own practice of analyzing §2 against the fractional optimum.
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"admission/internal/lp"
+	"admission/internal/problem"
+)
+
+// RejectionCovering builds the covering program whose binary solutions are
+// exactly the feasible rejection sets of the instance: variable i = "reject
+// request i", one row per edge with positive excess, demand = excess.
+func RejectionCovering(ins *problem.Instance) *lp.CoveringLP {
+	c := &lp.CoveringLP{Cost: make([]float64, len(ins.Requests))}
+	for i, r := range ins.Requests {
+		c.Cost[i] = r.Cost
+	}
+	byEdge := make([][]int, len(ins.Capacities))
+	for i, r := range ins.Requests {
+		for _, e := range r.Edges {
+			byEdge[e] = append(byEdge[e], i)
+		}
+	}
+	for e, reqs := range byEdge {
+		excess := len(reqs) - ins.Capacities[e]
+		if excess > 0 {
+			c.Rows = append(c.Rows, reqs)
+			c.Demand = append(c.Demand, float64(excess))
+		}
+	}
+	return c
+}
+
+// FractionalValue solves the LP relaxation and returns its optimum value
+// and solution vector. This is the paper's fractional OPT (denoted α in §2)
+// and a lower bound on the integral optimum.
+func FractionalValue(c *lp.CoveringLP) (float64, []float64, error) {
+	sol, err := lp.SolveCovering(c)
+	if err != nil {
+		return 0, nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, nil, fmt.Errorf("opt: LP relaxation: %v", sol.Status)
+	}
+	return sol.Objective, sol.X, nil
+}
+
+// FractionalOPT is FractionalValue over the admission instance's rejection
+// covering.
+func FractionalOPT(ins *problem.Instance) (float64, error) {
+	v, _, err := FractionalValue(RejectionCovering(ins))
+	return v, err
+}
+
+// intDemands converts the covering demands to the integers the combinatorial
+// solvers need (demands are counts in both problems; ceil guards float dust).
+func intDemands(c *lp.CoveringLP) []int {
+	d := make([]int, len(c.Demand))
+	for k, v := range c.Demand {
+		if v > 0 {
+			d[k] = int(math.Ceil(v - 1e-9))
+		}
+	}
+	return d
+}
+
+// CheckCover verifies that the chosen variable set satisfies every integral
+// demand of the covering program.
+func CheckCover(c *lp.CoveringLP, chosen []int) error {
+	pick := make([]bool, len(c.Cost))
+	for _, i := range chosen {
+		if i < 0 || i >= len(c.Cost) {
+			return fmt.Errorf("opt: chosen variable %d out of range", i)
+		}
+		if pick[i] {
+			return fmt.Errorf("opt: variable %d chosen twice", i)
+		}
+		pick[i] = true
+	}
+	demands := intDemands(c)
+	for k, row := range c.Rows {
+		got := 0
+		for _, i := range row {
+			if pick[i] {
+				got++
+			}
+		}
+		if got < demands[k] {
+			return fmt.Errorf("opt: row %d covered %d times, need %d", k, got, demands[k])
+		}
+	}
+	return nil
+}
+
+// Greedy runs the classical multicover greedy (pick the variable with the
+// best cost per unit of residual coverage) and returns the cover's value and
+// chosen variables. It is an H_d-approximation and serves as the incumbent
+// for Exact and as the scalable OPT surrogate for large experiments.
+func Greedy(c *lp.CoveringLP) (float64, []int, error) {
+	if err := c.Validate(); err != nil {
+		return 0, nil, err
+	}
+	demands := intDemands(c)
+	residual := append([]int(nil), demands...)
+	// mult[k][i] = multiplicity of variable i in row k (usually 1).
+	mult := make([]map[int]int, len(c.Rows))
+	varRows := make(map[int][]int) // variable -> rows containing it
+	for k, row := range c.Rows {
+		mult[k] = map[int]int{}
+		for _, i := range row {
+			if mult[k][i] == 0 {
+				varRows[i] = append(varRows[i], k)
+			}
+			mult[k][i]++
+		}
+	}
+	chosen := []int{}
+	used := make([]bool, len(c.Cost))
+	total := 0.0
+	remaining := 0
+	for _, d := range residual {
+		remaining += d
+	}
+	for remaining > 0 {
+		best := -1
+		bestRatio := math.Inf(1)
+		bestCover := 0
+		for i := range c.Cost {
+			if used[i] {
+				continue
+			}
+			cover := 0
+			for _, k := range varRows[i] {
+				if residual[k] > 0 {
+					cv := mult[k][i]
+					if cv > residual[k] {
+						cv = residual[k]
+					}
+					cover += cv
+				}
+			}
+			if cover == 0 {
+				continue
+			}
+			ratio := c.Cost[i] / float64(cover)
+			if ratio < bestRatio || (ratio == bestRatio && (best == -1 || i < best)) {
+				bestRatio = ratio
+				best = i
+				bestCover = cover
+			}
+		}
+		if best == -1 {
+			return 0, nil, errors.New("opt: greedy found no variable covering residual demand: infeasible")
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		total += c.Cost[best]
+		for _, k := range varRows[best] {
+			if residual[k] > 0 {
+				cv := mult[k][best]
+				if cv > residual[k] {
+					cv = residual[k]
+				}
+				residual[k] -= cv
+				remaining -= cv
+			}
+		}
+		_ = bestCover
+	}
+	sort.Ints(chosen)
+	return total, chosen, nil
+}
+
+// GreedyOPT is Greedy over the admission instance's rejection covering.
+func GreedyOPT(ins *problem.Instance) (float64, []int, error) {
+	return Greedy(RejectionCovering(ins))
+}
+
+// ExactResult is the outcome of the branch-and-bound solver.
+type ExactResult struct {
+	Value  float64
+	Chosen []int
+	// Proven is true when the search completed within the node budget; when
+	// false, Value/Chosen hold the best incumbent found (an upper bound).
+	Proven bool
+	Nodes  int
+}
+
+// ErrInfeasible is returned when no variable assignment satisfies the
+// demands.
+var ErrInfeasible = errors.New("opt: infeasible covering instance")
+
+// Exact solves the binary covering program by branch-and-bound. maxNodes
+// bounds the search; exceeding it returns the incumbent with Proven=false.
+func Exact(c *lp.CoveringLP, maxNodes int) (ExactResult, error) {
+	if err := c.Validate(); err != nil {
+		return ExactResult{}, err
+	}
+	if maxNodes <= 0 {
+		maxNodes = 1 << 20
+	}
+	demands := intDemands(c)
+
+	// Incumbent from greedy.
+	incumbentVal := math.Inf(1)
+	var incumbent []int
+	if v, ch, err := Greedy(c); err == nil {
+		incumbentVal, incumbent = v, ch
+	} else {
+		return ExactResult{}, ErrInfeasible
+	}
+
+	// Branch over variables ordered by decreasing "usefulness" (coverage
+	// per cost), which tends to find good solutions early.
+	n := len(c.Cost)
+	varRows := make([][]int, n)
+	mult := make([]map[int]int, len(c.Rows))
+	for k, row := range c.Rows {
+		mult[k] = map[int]int{}
+		for _, i := range row {
+			if mult[k][i] == 0 {
+				varRows[i] = append(varRows[i], k)
+			}
+			mult[k][i]++
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	score := func(i int) float64 {
+		cov := 0
+		for _, k := range varRows[i] {
+			cov += mult[k][i]
+		}
+		if cov == 0 {
+			return math.Inf(1)
+		}
+		return c.Cost[i] / float64(cov)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := score(order[a]), score(order[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return order[a] < order[b]
+	})
+
+	// maxRemCover[pos][k]: total coverage of row k available from variables
+	// at positions >= pos; used to prune infeasible branches.
+	maxRemCover := make([][]int, n+1)
+	maxRemCover[n] = make([]int, len(c.Rows))
+	for pos := n - 1; pos >= 0; pos-- {
+		row := append([]int(nil), maxRemCover[pos+1]...)
+		i := order[pos]
+		for _, k := range varRows[i] {
+			row[k] += mult[k][i]
+		}
+		maxRemCover[pos] = row
+	}
+
+	residual := append([]int(nil), demands...)
+	var chosen []int
+	nodes := 0
+	proven := true
+
+	var rec func(pos int, cost float64)
+	rec = func(pos int, cost float64) {
+		nodes++
+		if nodes > maxNodes {
+			proven = false
+			return
+		}
+		if cost >= incumbentVal-1e-12 {
+			return
+		}
+		done := true
+		for k, r := range residual {
+			if r > 0 {
+				done = false
+				// Feasibility prune: not enough coverage left.
+				if maxRemCover[pos][k] < r {
+					return
+				}
+			}
+			_ = k
+		}
+		if done {
+			incumbentVal = cost
+			incumbent = append([]int(nil), chosen...)
+			return
+		}
+		if pos == n {
+			return
+		}
+		i := order[pos]
+		// Branch 1: take variable i if it still helps.
+		helps := false
+		for _, k := range varRows[i] {
+			if residual[k] > 0 {
+				helps = true
+				break
+			}
+		}
+		if helps {
+			var deltas [][2]int
+			for _, k := range varRows[i] {
+				if residual[k] > 0 {
+					dec := mult[k][i]
+					if dec > residual[k] {
+						dec = residual[k]
+					}
+					residual[k] -= dec
+					deltas = append(deltas, [2]int{k, dec})
+				}
+			}
+			chosen = append(chosen, i)
+			rec(pos+1, cost+c.Cost[i])
+			chosen = chosen[:len(chosen)-1]
+			for _, d := range deltas {
+				residual[d[0]] += d[1]
+			}
+		}
+		// Branch 2: skip variable i.
+		rec(pos+1, cost)
+	}
+	rec(0, 0)
+
+	sort.Ints(incumbent)
+	return ExactResult{Value: incumbentVal, Chosen: incumbent, Proven: proven, Nodes: nodes}, nil
+}
+
+// ExactOPT is Exact over the admission instance's rejection covering.
+func ExactOPT(ins *problem.Instance, maxNodes int) (ExactResult, error) {
+	return Exact(RejectionCovering(ins), maxNodes)
+}
+
+// BestLowerBound returns the strongest cheap lower bound on the integral
+// optimum: the LP relaxation value (and, for unweighted instances, at least
+// the max-excess bound Q that Theorem 4 uses).
+func BestLowerBound(ins *problem.Instance) (float64, error) {
+	v, err := FractionalOPT(ins)
+	if err != nil {
+		return 0, err
+	}
+	if ins.Unweighted() {
+		if q := float64(ins.MaxExcess()); q > v {
+			v = q
+		}
+	}
+	return v, nil
+}
+
+// CertifiedLowerBound computes the fractional optimum of the instance's
+// rejection covering together with an arithmetically verified dual
+// certificate: the returned bound is provably at most the true (integral)
+// optimum regardless of any bug in the simplex that produced it. Used by
+// experiments that want auditable ratios.
+func CertifiedLowerBound(ins *problem.Instance) (float64, *lp.DualCertificate, error) {
+	cov := RejectionCovering(ins)
+	sol, cert, err := lp.CertifiedCovering(cov)
+	if err != nil {
+		return 0, nil, err
+	}
+	return sol.Objective, cert, nil
+}

@@ -1,0 +1,64 @@
+package problem
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	ins := &Instance{
+		Capacities: []int{2, 3},
+		Requests: []Request{
+			{Edges: []int{0}, Cost: 1},
+			{Edges: []int{0, 1}, Cost: 2.5},
+		},
+	}
+	data, err := json.Marshal(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ins, &back) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", ins, back)
+	}
+}
+
+func TestInstanceJSONFieldNames(t *testing.T) {
+	// The acgen/acsim file format is part of the tool contract: lowercase
+	// keys "capacities", "requests", "edges", "cost".
+	ins := &Instance{
+		Capacities: []int{1},
+		Requests:   []Request{{Edges: []int{0}, Cost: 7}},
+	}
+	data, err := json.Marshal(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, key := range []string{`"capacities"`, `"requests"`, `"edges"`, `"cost"`} {
+		if !strings.Contains(s, key) {
+			t.Fatalf("JSON missing key %s: %s", key, s)
+		}
+	}
+}
+
+func TestInstanceJSONHandwritten(t *testing.T) {
+	// A hand-written file (the documented acsim input format) parses and
+	// validates.
+	src := `{"capacities":[2,1],"requests":[{"edges":[0,1],"cost":3}]}`
+	var ins Instance
+	if err := json.Unmarshal([]byte(src), &ins); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ins.Requests[0].Cost != 3 {
+		t.Fatalf("cost = %v", ins.Requests[0].Cost)
+	}
+}

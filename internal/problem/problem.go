@@ -1,0 +1,190 @@
+// Package problem defines the admission-control-to-minimize-rejections
+// problem model shared by every algorithm in this repository: requests,
+// offline instances, the online algorithm interface, and outcome types.
+//
+// Following the paper's §6 remark — none of the algorithms use the fact that
+// requests are simple paths — a request here is an arbitrary multiset-free
+// set of edge indices plus a positive cost. The internal/graph package
+// produces genuine routed paths for the network experiments; by the time
+// they reach an algorithm they are just edge sets.
+package problem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Request is one communication request: the set of edges its (given) path
+// uses, and the cost incurred if it is rejected.
+type Request struct {
+	Edges []int   `json:"edges"`
+	Cost  float64 `json:"cost"`
+}
+
+// Clone returns a deep copy of the request.
+func (r Request) Clone() Request {
+	return Request{Edges: append([]int(nil), r.Edges...), Cost: r.Cost}
+}
+
+// Validate checks the request against an instance with numEdges edges.
+// Costs must be positive and finite (the problem statement has p_i > 0);
+// edges must be in range and duplicate-free.
+func (r Request) Validate(numEdges int) error {
+	if len(r.Edges) == 0 {
+		return fmt.Errorf("problem: request with empty edge set")
+	}
+	if !(r.Cost > 0) || math.IsInf(r.Cost, 1) || math.IsNaN(r.Cost) {
+		return fmt.Errorf("problem: request cost %v not in (0, +inf)", r.Cost)
+	}
+	seen := make(map[int]bool, len(r.Edges))
+	for _, e := range r.Edges {
+		if e < 0 || e >= numEdges {
+			return fmt.Errorf("problem: request references edge %d, have %d edges", e, numEdges)
+		}
+		if seen[e] {
+			return fmt.Errorf("problem: request repeats edge %d", e)
+		}
+		seen[e] = true
+	}
+	return nil
+}
+
+// Instance is a complete offline instance: the network's capacity vector
+// and the full request sequence in arrival order.
+type Instance struct {
+	Capacities []int     `json:"capacities"`
+	Requests   []Request `json:"requests"`
+}
+
+// M returns the number of edges.
+func (ins *Instance) M() int { return len(ins.Capacities) }
+
+// N returns the number of requests.
+func (ins *Instance) N() int { return len(ins.Requests) }
+
+// MaxCapacity returns c = max_e c_e, or 0 if there are no edges.
+func (ins *Instance) MaxCapacity() int {
+	c := 0
+	for _, v := range ins.Capacities {
+		if v > c {
+			c = v
+		}
+	}
+	return c
+}
+
+// Validate checks the whole instance.
+func (ins *Instance) Validate() error {
+	if len(ins.Capacities) == 0 {
+		return fmt.Errorf("problem: instance has no edges")
+	}
+	for e, c := range ins.Capacities {
+		if c <= 0 {
+			return fmt.Errorf("problem: edge %d has capacity %d, want > 0", e, c)
+		}
+	}
+	for i, r := range ins.Requests {
+		if err := r.Validate(len(ins.Capacities)); err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Unweighted reports whether every request has cost exactly 1.
+func (ins *Instance) Unweighted() bool {
+	for _, r := range ins.Requests {
+		if r.Cost != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgeLoads returns, per edge, how many requests of the whole sequence use
+// it (|REQ_e| at the end of the input).
+func (ins *Instance) EdgeLoads() []int {
+	loads := make([]int, len(ins.Capacities))
+	for _, r := range ins.Requests {
+		for _, e := range r.Edges {
+			loads[e]++
+		}
+	}
+	return loads
+}
+
+// MaxExcess returns Q = max_e (|REQ_e| − c_e), clamped at 0. The paper's
+// Theorem 4 uses Q as the unweighted lower bound on OPT: any feasible
+// solution must reject at least Q requests.
+func (ins *Instance) MaxExcess() int {
+	q := 0
+	loads := ins.EdgeLoads()
+	for e, l := range loads {
+		if ex := l - ins.Capacities[e]; ex > q {
+			q = ex
+		}
+	}
+	return q
+}
+
+// TotalCost returns Σ p_i over all requests.
+func (ins *Instance) TotalCost() float64 {
+	s := 0.0
+	for _, r := range ins.Requests {
+		s += r.Cost
+	}
+	return s
+}
+
+// Clone returns a deep copy of the instance.
+func (ins *Instance) Clone() *Instance {
+	out := &Instance{Capacities: append([]int(nil), ins.Capacities...)}
+	out.Requests = make([]Request, len(ins.Requests))
+	for i, r := range ins.Requests {
+		out.Requests[i] = r.Clone()
+	}
+	return out
+}
+
+// Outcome describes an algorithm's reaction to one arrival.
+type Outcome struct {
+	// Accepted reports whether the arriving request was accepted (it may
+	// still be preempted later).
+	Accepted bool
+	// Preempted lists the IDs of previously accepted requests rejected in
+	// response to this arrival, in the order they were preempted.
+	Preempted []int
+}
+
+// Algorithm is the online contract. Requests are offered one at a time with
+// sequential IDs starting at 0; the algorithm must keep the capacity
+// constraints satisfied at all times, preempting earlier requests if
+// necessary. A rejected (or preempted) request can never be accepted later.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment tables.
+	Name() string
+	// Offer presents request id; the returned outcome says whether it was
+	// accepted and which earlier requests were preempted to make room.
+	Offer(id int, r Request) (Outcome, error)
+	// RejectedCost returns the running objective: Σ cost of rejected and
+	// preempted requests.
+	RejectedCost() float64
+}
+
+// CapacityShrinker is implemented by algorithms that support the dynamic
+// capacity decrement used by the §4 set-cover reduction: an arrival of
+// element j is equivalent to permanently occupying one unit of capacity on
+// edge e_j. Shrinking below zero load forces preemptions, reported like an
+// Offer outcome.
+type CapacityShrinker interface {
+	ShrinkCapacity(edge int) (Outcome, error)
+}
+
+// SortedCopy returns a sorted copy of ids; convenience for deterministic
+// assertions on outcome sets.
+func SortedCopy(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,138 @@
+package problem
+
+import (
+	"math"
+	"testing"
+)
+
+func validReq() Request { return Request{Edges: []int{0, 2}, Cost: 1.5} }
+
+func TestRequestValidate(t *testing.T) {
+	if err := validReq().Validate(3); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		r    Request
+	}{
+		{"empty edges", Request{Cost: 1}},
+		{"zero cost", Request{Edges: []int{0}, Cost: 0}},
+		{"negative cost", Request{Edges: []int{0}, Cost: -1}},
+		{"inf cost", Request{Edges: []int{0}, Cost: math.Inf(1)}},
+		{"nan cost", Request{Edges: []int{0}, Cost: math.NaN()}},
+		{"edge out of range", Request{Edges: []int{3}, Cost: 1}},
+		{"negative edge", Request{Edges: []int{-1}, Cost: 1}},
+		{"duplicate edge", Request{Edges: []int{1, 1}, Cost: 1}},
+	}
+	for _, c := range cases {
+		if err := c.r.Validate(3); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestRequestClone(t *testing.T) {
+	r := validReq()
+	c := r.Clone()
+	c.Edges[0] = 99
+	if r.Edges[0] == 99 {
+		t.Fatal("Clone shares edge slice")
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	ins := &Instance{
+		Capacities: []int{1, 2, 3},
+		Requests:   []Request{validReq()},
+	}
+	if err := ins.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	if err := (&Instance{}).Validate(); err == nil {
+		t.Error("empty instance must error")
+	}
+	if err := (&Instance{Capacities: []int{0}}).Validate(); err == nil {
+		t.Error("zero capacity must error")
+	}
+	bad := &Instance{Capacities: []int{1}, Requests: []Request{{Edges: []int{5}, Cost: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad request must error")
+	}
+}
+
+func TestInstanceStats(t *testing.T) {
+	ins := &Instance{
+		Capacities: []int{2, 1},
+		Requests: []Request{
+			{Edges: []int{0}, Cost: 1},
+			{Edges: []int{0, 1}, Cost: 1},
+			{Edges: []int{0}, Cost: 1},
+			{Edges: []int{1}, Cost: 1},
+		},
+	}
+	if ins.M() != 2 || ins.N() != 4 {
+		t.Fatalf("M=%d N=%d", ins.M(), ins.N())
+	}
+	if ins.MaxCapacity() != 2 {
+		t.Fatalf("MaxCapacity = %d", ins.MaxCapacity())
+	}
+	loads := ins.EdgeLoads()
+	if loads[0] != 3 || loads[1] != 2 {
+		t.Fatalf("loads = %v", loads)
+	}
+	// excess: edge0 = 3-2 = 1, edge1 = 2-1 = 1 -> Q = 1
+	if ins.MaxExcess() != 1 {
+		t.Fatalf("MaxExcess = %d", ins.MaxExcess())
+	}
+	if !ins.Unweighted() {
+		t.Fatal("unit costs must report unweighted")
+	}
+	if ins.TotalCost() != 4 {
+		t.Fatalf("TotalCost = %v", ins.TotalCost())
+	}
+}
+
+func TestMaxExcessClampsAtZero(t *testing.T) {
+	ins := &Instance{
+		Capacities: []int{10},
+		Requests:   []Request{{Edges: []int{0}, Cost: 1}},
+	}
+	if ins.MaxExcess() != 0 {
+		t.Fatalf("MaxExcess = %d, want 0", ins.MaxExcess())
+	}
+}
+
+func TestUnweightedFalse(t *testing.T) {
+	ins := &Instance{
+		Capacities: []int{1},
+		Requests:   []Request{{Edges: []int{0}, Cost: 2}},
+	}
+	if ins.Unweighted() {
+		t.Fatal("cost-2 request must not be unweighted")
+	}
+}
+
+func TestInstanceClone(t *testing.T) {
+	ins := &Instance{
+		Capacities: []int{1},
+		Requests:   []Request{{Edges: []int{0}, Cost: 1}},
+	}
+	c := ins.Clone()
+	c.Capacities[0] = 9
+	c.Requests[0].Edges[0] = 0 // same value; mutate slice identity check below
+	c.Requests[0].Cost = 7
+	if ins.Capacities[0] != 1 || ins.Requests[0].Cost != 1 {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	in := []int{3, 1, 2}
+	out := SortedCopy(in)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("out = %v", out)
+	}
+	if in[0] != 3 {
+		t.Fatal("SortedCopy mutated input")
+	}
+}

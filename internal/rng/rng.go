@@ -1,0 +1,201 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by every stochastic component in this repository.
+//
+// Reproducibility is a hard requirement for the experiment harness: every
+// experiment row is tagged with the seed that produced it, and re-running
+// with the same seed must yield byte-identical output. The standard library's
+// math/rand is seedable too, but its global state and historical Go-version
+// drift make it awkward for a research artifact; this package pins a specific
+// algorithm (SplitMix64 seeding a xoshiro256**-like core) whose behaviour is
+// fixed forever by this code.
+//
+// The generator is intentionally not safe for concurrent use. Parallel sweeps
+// in internal/harness derive an independent child generator per task with
+// Split, which is the idiomatic way to get deterministic parallelism.
+package rng
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator.
+// The zero value is not usable; construct with New.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used only for seeding, as recommended by the xoshiro authors.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator deterministically derived from seed.
+// Distinct seeds yield statistically independent streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// A xoshiro state of all zeros is a fixed point; SplitMix64 cannot
+	// produce four zero outputs from any seed, but keep the guard explicit.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is independent of the parent's
+// future outputs. The parent advances, so successive Splits differ.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd2b74407b1ce6e93)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation with rejection to
+	// remove modulo bias.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function, via the Fisher-Yates algorithm.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Exp returns an exponentially distributed value with rate lambda.
+func (r *RNG) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exp requires lambda > 0")
+	}
+	u := r.Float64()
+	// 1-u is in (0,1], so the log is finite.
+	return -math.Log(1-u) / lambda
+}
+
+// Pareto returns a Pareto(alpha)-distributed value with minimum xm.
+// Used by the weighted workload generators to get heavy-tailed costs.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("rng: Pareto requires xm > 0 and alpha > 0")
+	}
+	u := r.Float64()
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// Zipf returns an integer in [0, n) drawn from a Zipf(s) distribution,
+// where rank 0 is the most likely. It uses inverse-CDF sampling over a
+// precomputed table-free harmonic sum, which is O(n) per draw; callers that
+// need many draws should use NewZipf.
+func (r *RNG) Zipf(n int, s float64) int {
+	z := NewZipf(r, n, s)
+	return z.Draw()
+}
+
+// Zipfian samples ranks from a Zipf distribution using a precomputed CDF.
+type Zipfian struct {
+	r   *RNG
+	cdf []float64
+}
+
+// NewZipf precomputes a Zipf(s) sampler over ranks [0, n).
+func NewZipf(r *RNG, n int, s float64) *Zipfian {
+	if n <= 0 {
+		panic("rng: NewZipf requires n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipfian{r: r, cdf: cdf}
+}
+
+// Draw returns the next Zipf-distributed rank.
+func (z *Zipfian) Draw() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,281 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("seed 0 produced a degenerate stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first outputs")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(7).Split()
+	b := New(7).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split streams diverged at %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(2) {
+			t.Fatal("Bernoulli(2) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(19)
+	const p, n = 0.3, 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) rate %v", p, got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	check := func(n uint8) bool {
+		m := int(n%64) + 1
+		p := r.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(29)
+	xs := []int{1, 2, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset sum: %d != %d", got, sum)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(31)
+	const lambda, n = 2.0, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(lambda)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/lambda) > 0.01 {
+		t.Fatalf("Exp(%v) mean %v, want %v", lambda, mean, 1/lambda)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestParetoMinimum(t *testing.T) {
+	r := New(37)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(3, 2); v < 3 {
+			t.Fatalf("Pareto(3,2) = %v < xm", v)
+		}
+	}
+}
+
+func TestParetoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pareto(0,1) did not panic")
+		}
+	}()
+	New(1).Pareto(0, 1)
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := New(41)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfSingleton(t *testing.T) {
+	r := New(43)
+	z := NewZipf(r, 1, 1)
+	for i := 0; i < 100; i++ {
+		if z.Draw() != 0 {
+			t.Fatal("Zipf over 1 rank must always return 0")
+		}
+	}
+}
+
+func TestNewZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1)
+}
+
+func TestZipfConvenience(t *testing.T) {
+	r := New(47)
+	for i := 0; i < 100; i++ {
+		if v := r.Zipf(10, 1); v < 0 || v >= 10 {
+			t.Fatalf("Zipf(10,1) = %d out of range", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(12345)
+	}
+}

@@ -1,0 +1,269 @@
+package setcover
+
+import (
+	"math"
+	"testing"
+
+	"admission/internal/core"
+	"admission/internal/opt"
+	"admission/internal/rng"
+)
+
+// coreUnweighted is shared by reduction tests.
+func coreUnweighted() core.Config { return core.UnweightedConfig() }
+
+func TestNewBicriteriaValidation(t *testing.T) {
+	ins := triangleInstance()
+	if _, err := NewBicriteria(ins, 0); err == nil {
+		t.Error("eps=0 must error")
+	}
+	if _, err := NewBicriteria(ins, 1); err == nil {
+		t.Error("eps=1 must error")
+	}
+	if _, err := NewBicriteria(&Instance{N: 0}, 0.5); err == nil {
+		t.Error("invalid instance must error")
+	}
+}
+
+func TestBicriteriaSingleArrival(t *testing.T) {
+	b, err := NewBicriteria(triangleInstance(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := b.Arrive(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1-ε)k = 0.5: one covering set suffices and must be bought.
+	if len(added) == 0 {
+		t.Fatal("first arrival must buy at least one set")
+	}
+	if b.CoverCount(0) < 1 {
+		t.Fatal("element 0 not covered")
+	}
+	if err := b.CheckGuarantee(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBicriteriaGuaranteeOverFullSequence(t *testing.T) {
+	r := rng.New(11)
+	for _, eps := range []float64{0.1, 0.25, 0.5} {
+		ins, err := RandomInstance(20, 15, 0.25, 4, false, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals, err := RandomArrivals(ins, 40, 1.0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewBicriteria(ins, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chosen, err := b.Run(arrivals)
+		if err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		if err := b.CheckGuarantee(); err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		// Chosen sets are distinct and within range.
+		seen := map[int]bool{}
+		for _, i := range chosen {
+			if i < 0 || i >= ins.M() || seen[i] {
+				t.Fatalf("eps=%v: bad chosen list %v", eps, chosen)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestBicriteriaRepetitions(t *testing.T) {
+	// Element 0 has degree 2; it arrives twice with eps=0.25:
+	// after k=2, cover must be >= ceil(0.75*2) = 2.
+	b, err := NewBicriteria(triangleInstance(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Arrive(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Arrive(0); err != nil {
+		t.Fatal(err)
+	}
+	if b.CoverCount(0) < 2 {
+		t.Fatalf("cover(0) = %d, want >= 2", b.CoverCount(0))
+	}
+	if err := b.CheckGuarantee(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBicriteriaCostCompetitive(t *testing.T) {
+	r := rng.New(321)
+	ins, err := RandomInstance(16, 12, 0.3, 3, false, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := RandomArrivals(ins, 30, 1.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBicriteria(ins, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(arrivals); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := opt.Exact(ins.Covering(arrivals), 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := b.Cost() / ex.Value
+	// O(log m log n) with log2(12)*log2(16) ≈ 14; generous sanity cap.
+	if ratio > 14 {
+		t.Fatalf("ratio %v too high (cost %v, opt %v)", ratio, b.Cost(), ex.Value)
+	}
+}
+
+func TestBicriteriaErrors(t *testing.T) {
+	b, _ := NewBicriteria(triangleInstance(), 0.5)
+	if _, err := b.Arrive(-1); err == nil {
+		t.Error("negative element must error")
+	}
+	if _, err := b.Arrive(9); err == nil {
+		t.Error("unknown element must error")
+	}
+	// Element in no set.
+	ins := &Instance{N: 2, Sets: [][]int{{0}}}
+	b2, err := NewBicriteria(ins, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Arrive(1); err == nil {
+		t.Error("uncoverable element must error")
+	}
+}
+
+func TestBicriteriaQueriesOutOfRange(t *testing.T) {
+	b, _ := NewBicriteria(triangleInstance(), 0.5)
+	if b.CoverCount(-1) != 0 || b.CoverCount(9) != 0 {
+		t.Fatal("out-of-range CoverCount must be 0")
+	}
+	if b.Arrivals(-1) != 0 || b.Arrivals(9) != 0 {
+		t.Fatal("out-of-range Arrivals must be 0")
+	}
+}
+
+func TestBicriteriaWeightedCosts(t *testing.T) {
+	ins := triangleInstance()
+	ins.Costs = []float64{1, 10, 100}
+	b, err := NewBicriteria(ins, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run([]int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Cost() <= 0 {
+		t.Fatal("weighted cost must accumulate")
+	}
+	if err := b.CheckGuarantee(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBicriteriaSingleElementInstance(t *testing.T) {
+	ins := &Instance{N: 1, Sets: [][]int{{0}, {0}, {0}}}
+	b, err := NewBicriteria(ins, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Arrive(0); err != nil {
+			t.Fatalf("arrival %d: %v", i, err)
+		}
+	}
+	if err := b.CheckGuarantee(); err != nil {
+		t.Fatal(err)
+	}
+	// k=3, (1-ε)k = 1.5 => at least 2 distinct sets.
+	if b.CoverCount(0) < 2 {
+		t.Fatalf("cover = %d", b.CoverCount(0))
+	}
+}
+
+func TestBicriteriaLemma5AugmentationBound(t *testing.T) {
+	// Lemma 5: augmentations = O(OPT·log m). Check with a generous
+	// constant; OPT bounded above by greedy.
+	r := rng.New(404)
+	ins, err := RandomInstance(20, 16, 0.25, 3, false, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := RandomArrivals(ins, 30, 1.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBicriteria(ins, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(arrivals); err != nil {
+		t.Fatal(err)
+	}
+	gv, _, err := opt.Greedy(ins.Covering(arrivals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 40 * (gv + 1) * math.Log2(float64(2*ins.M()))
+	if float64(b.Augmentations()) > bound {
+		t.Fatalf("%d augmentations exceed bound %v (greedy OPT ub %v)", b.Augmentations(), bound, gv)
+	}
+}
+
+func TestBicriteriaExtendedRoundsRare(t *testing.T) {
+	// Lemma 6 predicts the 2⌈log₂ n⌉ budget suffices; greedy should very
+	// rarely exceed it.
+	r := rng.New(777)
+	ins, err := RandomInstance(24, 18, 0.25, 3, false, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := RandomArrivals(ins, 40, 1.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBicriteria(ins, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(arrivals); err != nil {
+		t.Fatal(err)
+	}
+	if b.ExtendedRounds() > b.Augmentations() {
+		t.Fatalf("extended rounds %d exceed augmentations %d", b.ExtendedRounds(), b.Augmentations())
+	}
+}
+
+func TestBicriteriaDeterministic(t *testing.T) {
+	run := func() []int {
+		b, _ := NewBicriteria(triangleInstance(), 0.3)
+		chosen, err := b.Run([]int{0, 1, 2, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return chosen
+	}
+	a, bb := run(), run()
+	if len(a) != len(bb) {
+		t.Fatal("nondeterministic cover size")
+	}
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatal("nondeterministic cover")
+		}
+	}
+}

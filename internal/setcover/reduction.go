@@ -1,0 +1,140 @@
+package setcover
+
+import (
+	"fmt"
+
+	"admission/internal/core"
+	"admission/internal/problem"
+	"admission/internal/trace"
+)
+
+// The §4 reduction, faithfully: build an admission-control instance with one
+// edge per element whose capacity is the element's degree (the number of
+// sets containing it). Phase 1 offers one request per set (its edge set is
+// the set's elements; its cost the set's cost); every request fits exactly,
+// filling each edge to capacity. Phase 2 translates each element arrival
+// into a single-edge request that is never rejected — implemented as a
+// permanent capacity decrement (problem.CapacityShrinker), which is
+// equivalent and avoids the bookkeeping of infinite-cost requests. The
+// admission algorithm must then preempt phase-1 requests; the preempted
+// requests are exactly the chosen sets.
+
+// ReductionResult reports an online run of set cover via the reduction.
+type ReductionResult struct {
+	// Chosen lists the set ids bought by the online algorithm (the phase-1
+	// requests that ended up rejected), ascending.
+	Chosen []int
+	// Cost is the total cost of the chosen sets.
+	Cost float64
+	// Preemptions counts preemption events during phase 2.
+	Preemptions int
+	// FractionalCost is the internal fractional objective (weighted variant
+	// of Theorem 2's guarantee under the reduction).
+	FractionalCost float64
+}
+
+// ReductionConfig configures SolveByReduction.
+type ReductionConfig struct {
+	// Core configures the underlying admission-control algorithm. If the
+	// zero value is given, the config is derived from the instance:
+	// UnweightedConfig for unit costs, DefaultConfig otherwise.
+	Core *core.Config
+	// Seed drives the randomized admission algorithm (used only when Core
+	// is nil).
+	Seed uint64
+	// Check enables the trace runner's independent verification.
+	Check bool
+}
+
+// BuildAdmissionInstance constructs the §4 admission-control instance's
+// static part: the per-element capacities and the phase-1 requests.
+func BuildAdmissionInstance(ins *Instance) (capacities []int, phase1 []problem.Request, err error) {
+	if err := ins.Validate(); err != nil {
+		return nil, nil, err
+	}
+	capacities = make([]int, ins.N)
+	for _, s := range ins.Sets {
+		for _, j := range s {
+			capacities[j]++
+		}
+	}
+	for j, c := range capacities {
+		if c == 0 {
+			// Edge capacities must be positive; an element in no set cannot
+			// arrive anyway, so give it a unit-capacity edge that nothing
+			// touches.
+			capacities[j] = 1
+			_ = j
+		}
+	}
+	phase1 = make([]problem.Request, ins.M())
+	for i, s := range ins.Sets {
+		phase1[i] = problem.Request{Edges: append([]int(nil), s...), Cost: ins.Cost(i)}
+	}
+	return capacities, phase1, nil
+}
+
+// SolveByReduction runs the full online pipeline: phase 1 fills the network,
+// then each arrival shrinks its element's edge; the final rejected set is
+// returned as the cover. The returned cover is guaranteed valid (it is
+// checked against the arrivals before returning).
+func SolveByReduction(ins *Instance, arrivals []int, cfg ReductionConfig) (*ReductionResult, error) {
+	if err := ins.ValidateArrivals(arrivals); err != nil {
+		return nil, err
+	}
+	capacities, phase1, err := BuildAdmissionInstance(ins)
+	if err != nil {
+		return nil, err
+	}
+
+	var ccfg core.Config
+	if cfg.Core != nil {
+		ccfg = *cfg.Core
+	} else if ins.Unweighted() {
+		ccfg = core.UnweightedConfig()
+		ccfg.Seed = cfg.Seed
+	} else {
+		ccfg = core.DefaultConfig()
+		ccfg.Seed = cfg.Seed
+	}
+	alg, err := core.NewRandomized(capacities, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	rn, err := trace.NewRunner(alg, capacities, trace.Options{Check: cfg.Check})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: one request per set. They all fit (capacity = degree), but a
+	// competitive algorithm may reject some anyway — those count as chosen.
+	for i := range phase1 {
+		if _, err := rn.Offer(phase1[i]); err != nil {
+			return nil, fmt.Errorf("setcover: phase 1 request %d: %w", i, err)
+		}
+	}
+	// Phase 2: each arrival permanently occupies one capacity unit.
+	for t, j := range arrivals {
+		if _, err := rn.ShrinkCapacity(j); err != nil {
+			return nil, fmt.Errorf("setcover: phase 2 arrival %d (element %d): %w", t, j, err)
+		}
+	}
+	res, err := rn.Finish()
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ReductionResult{
+		Preemptions:    res.Preemptions,
+		FractionalCost: alg.FractionalCost(),
+	}
+	for _, id := range res.Rejected {
+		out.Chosen = append(out.Chosen, id) // phase-1 ids == set ids
+		out.Cost += ins.Cost(id)
+	}
+	out.Chosen = sortedUnique(out.Chosen)
+	if err := CheckMultiCover(ins, arrivals, out.Chosen); err != nil {
+		return nil, fmt.Errorf("setcover: reduction produced an invalid cover: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package setcover
+
+import (
+	"testing"
+
+	"admission/internal/opt"
+	"admission/internal/rng"
+)
+
+func TestBuildAdmissionInstance(t *testing.T) {
+	ins := triangleInstance()
+	caps, phase1, err := BuildAdmissionInstance(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every element has degree 2.
+	for j, c := range caps {
+		if c != 2 {
+			t.Fatalf("capacity[%d] = %d, want 2", j, c)
+		}
+	}
+	if len(phase1) != 3 {
+		t.Fatalf("phase1 = %v", phase1)
+	}
+	for i, r := range phase1 {
+		if len(r.Edges) != len(ins.Sets[i]) {
+			t.Fatalf("request %d edges %v", i, r.Edges)
+		}
+		if r.Cost != 1 {
+			t.Fatalf("request %d cost %v", i, r.Cost)
+		}
+	}
+}
+
+func TestBuildAdmissionInstanceIsolatedElement(t *testing.T) {
+	// Element 1 is in no set: it must get a placeholder capacity-1 edge.
+	ins := &Instance{N: 2, Sets: [][]int{{0}}}
+	caps, _, err := BuildAdmissionInstance(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps[1] != 1 {
+		t.Fatalf("isolated element capacity = %d", caps[1])
+	}
+}
+
+func TestBuildAdmissionInstanceInvalid(t *testing.T) {
+	if _, _, err := BuildAdmissionInstance(&Instance{N: 0}); err == nil {
+		t.Fatal("invalid instance must error")
+	}
+}
+
+func TestSolveByReductionTriangle(t *testing.T) {
+	ins := triangleInstance()
+	arrivals := []int{0, 1, 2, 0, 1, 2} // each element twice = full degree
+	res, err := SolveByReduction(ins, arrivals, ReductionConfig{Seed: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Covering each element twice requires all 3 sets.
+	if len(res.Chosen) != 3 {
+		t.Fatalf("chosen = %v, want all 3 sets", res.Chosen)
+	}
+	if res.Cost != 3 {
+		t.Fatalf("cost = %v", res.Cost)
+	}
+}
+
+func TestSolveByReductionValidCoverRandom(t *testing.T) {
+	r := rng.New(2025)
+	for trial := 0; trial < 8; trial++ {
+		ins, err := RandomInstance(12, 10, 0.3, 2, trial%2 == 1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals, err := RandomArrivals(ins, 15, 1.0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SolveByReduction(ins, arrivals, ReductionConfig{Seed: uint64(trial), Check: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// SolveByReduction already verifies the cover; double-check here.
+		if err := CheckMultiCover(ins, arrivals, res.Chosen); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveByReductionCompetitive(t *testing.T) {
+	// Measured cost must be within a plausible multiple of the offline
+	// optimum on a moderate instance.
+	r := rng.New(99)
+	ins, err := RandomInstance(15, 12, 0.3, 3, false, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := RandomArrivals(ins, 20, 1.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveByReduction(ins, arrivals, ReductionConfig{Seed: 5, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := opt.Exact(ins.Covering(arrivals), 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost < ex.Value-1e-9 {
+		t.Fatalf("online %v below OPT %v: invalid cover?", res.Cost, ex.Value)
+	}
+	ratio := res.Cost / ex.Value
+	if ratio > 12 { // log2(12)*log2(15) ≈ 14; generous sanity bound
+		t.Fatalf("ratio %v implausibly high (online %v, opt %v)", ratio, res.Cost, ex.Value)
+	}
+}
+
+func TestSolveByReductionRejectsBadArrivals(t *testing.T) {
+	ins := triangleInstance()
+	if _, err := SolveByReduction(ins, []int{0, 0, 0}, ReductionConfig{}); err == nil {
+		t.Fatal("overdemanding arrivals must error")
+	}
+	if _, err := SolveByReduction(ins, []int{7}, ReductionConfig{}); err == nil {
+		t.Fatal("unknown element must error")
+	}
+}
+
+func TestSolveByReductionEmptyArrivals(t *testing.T) {
+	ins := triangleInstance()
+	res, err := SolveByReduction(ins, nil, ReductionConfig{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing arrived; the algorithm shouldn't have bought anything (the
+	// phase-1 requests all fit).
+	if len(res.Chosen) != 0 || res.Cost != 0 {
+		t.Fatalf("bought %v without arrivals", res.Chosen)
+	}
+}
+
+func TestSolveByReductionCustomConfig(t *testing.T) {
+	ins := triangleInstance()
+	cfg := ReductionConfig{Check: true}
+	ccfg := coreUnweighted()
+	cfg.Core = &ccfg
+	res, err := SolveByReduction(ins, []int{0, 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chosen) == 0 {
+		t.Fatal("arrivals must force purchases")
+	}
+}

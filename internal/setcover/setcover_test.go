@@ -1,0 +1,298 @@
+package setcover
+
+import (
+	"math"
+	"testing"
+
+	"admission/internal/opt"
+	"admission/internal/rng"
+)
+
+func triangleInstance() *Instance {
+	// 3 elements, 3 sets: {0,1}, {1,2}, {0,2}. Each element has degree 2.
+	return &Instance{
+		N:    3,
+		Sets: [][]int{{0, 1}, {1, 2}, {0, 2}},
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	if err := triangleInstance().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Instance{
+		{N: 0, Sets: [][]int{{0}}},
+		{N: 1, Sets: nil},
+		{N: 1, Sets: [][]int{{}}},
+		{N: 1, Sets: [][]int{{2}}},
+		{N: 1, Sets: [][]int{{-1}}},
+		{N: 2, Sets: [][]int{{0, 0}}},
+		{N: 1, Sets: [][]int{{0}}, Costs: []float64{1, 2}},
+		{N: 1, Sets: [][]int{{0}}, Costs: []float64{0}},
+	}
+	for i, ins := range bad {
+		if err := ins.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestInstanceQueries(t *testing.T) {
+	ins := triangleInstance()
+	if ins.M() != 3 {
+		t.Fatalf("M = %d", ins.M())
+	}
+	if ins.Cost(0) != 1 {
+		t.Fatal("nil costs must mean unit cost")
+	}
+	if !ins.Unweighted() {
+		t.Fatal("unit instance must be unweighted")
+	}
+	ins.Costs = []float64{1, 2, 3}
+	if ins.Unweighted() {
+		t.Fatal("weighted instance misreported")
+	}
+	if ins.Cost(2) != 3 {
+		t.Fatal("cost lookup wrong")
+	}
+	if ins.Degree(0) != 2 || ins.Degree(1) != 2 {
+		t.Fatalf("degrees: %d %d", ins.Degree(0), ins.Degree(1))
+	}
+	byElem := ins.SetsOf()
+	if len(byElem[1]) != 2 {
+		t.Fatalf("SetsOf(1) = %v", byElem[1])
+	}
+}
+
+func TestValidateArrivals(t *testing.T) {
+	ins := triangleInstance()
+	if err := ins.ValidateArrivals([]int{0, 1, 2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.ValidateArrivals([]int{5}); err == nil {
+		t.Error("unknown element must error")
+	}
+	if err := ins.ValidateArrivals([]int{-1}); err == nil {
+		t.Error("negative element must error")
+	}
+	if err := ins.ValidateArrivals([]int{0, 0, 0}); err == nil {
+		t.Error("element arriving beyond its degree must error")
+	}
+}
+
+func TestCoveringConstruction(t *testing.T) {
+	ins := triangleInstance()
+	c := ins.Covering([]int{0, 1, 1})
+	if len(c.Rows) != 2 {
+		t.Fatalf("rows = %v", c.Rows)
+	}
+	// element 1 demanded twice
+	found := false
+	for k := range c.Rows {
+		if c.Demand[k] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("demand-2 row missing")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckMultiCover(t *testing.T) {
+	ins := triangleInstance()
+	arrivals := []int{0, 1, 1}
+	// element 1 needs 2 distinct sets: sets 0 and 1; element 0 needs 1.
+	if err := CheckMultiCover(ins, arrivals, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMultiCover(ins, arrivals, []int{0}); err == nil {
+		t.Error("undercover must error")
+	}
+	if err := CheckMultiCover(ins, arrivals, []int{0, 0}); err == nil {
+		t.Error("duplicate set must error")
+	}
+	if err := CheckMultiCover(ins, arrivals, []int{9}); err == nil {
+		t.Error("bogus set must error")
+	}
+}
+
+func TestChosenCost(t *testing.T) {
+	ins := triangleInstance()
+	if ChosenCost(ins, []int{0, 2}) != 2 {
+		t.Fatal("unit costs sum wrong")
+	}
+	ins.Costs = []float64{2, 3, 4}
+	if ChosenCost(ins, []int{0, 2}) != 6 {
+		t.Fatal("weighted costs sum wrong")
+	}
+}
+
+func TestRandomInstanceProperties(t *testing.T) {
+	r := rng.New(42)
+	ins, err := RandomInstance(20, 15, 0.2, 3, false, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < ins.N; j++ {
+		if ins.Degree(j) < 3 {
+			t.Fatalf("element %d degree %d < minDegree 3", j, ins.Degree(j))
+		}
+	}
+	w, err := RandomInstance(10, 8, 0.3, 1, true, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Costs == nil {
+		t.Fatal("weighted instance must have costs")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomInstanceErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := RandomInstance(0, 5, 0.5, 1, false, r); err == nil {
+		t.Error("n=0 must error")
+	}
+	if _, err := RandomInstance(5, 0, 0.5, 1, false, r); err == nil {
+		t.Error("m=0 must error")
+	}
+	if _, err := RandomInstance(5, 5, 0, 1, false, r); err == nil {
+		t.Error("density 0 must error")
+	}
+	if _, err := RandomInstance(5, 5, 0.5, 9, false, r); err == nil {
+		t.Error("minDegree > m must error")
+	}
+}
+
+func TestRandomArrivalsCoverable(t *testing.T) {
+	r := rng.New(7)
+	ins, err := RandomInstance(15, 12, 0.25, 2, false, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := RandomArrivals(ins, 25, 1.1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.ValidateArrivals(arr); err != nil {
+		t.Fatalf("generated arrivals invalid: %v", err)
+	}
+	if _, err := RandomArrivals(ins, -1, 1, r); err == nil {
+		t.Error("negative length must error")
+	}
+}
+
+func TestRandomArrivalsSaturation(t *testing.T) {
+	// Tiny instance: 1 element in 1 set; at most one arrival possible.
+	ins := &Instance{N: 1, Sets: [][]int{{0}}}
+	r := rng.New(3)
+	arr, err := RandomArrivals(ins, 10, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) > 1 {
+		t.Fatalf("arrivals %v exceed coverability", arr)
+	}
+}
+
+func TestOfflineOptimaOnSetCover(t *testing.T) {
+	ins := triangleInstance()
+	arrivals := []int{0, 1, 2}
+	c := ins.Covering(arrivals)
+	ex, err := opt.Exact(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sets cover all three elements (e.g. {0,1} and {1,2} miss nothing:
+	// 0,1 from set0; 2 from set1). OPT = 2.
+	if !ex.Proven || math.Abs(ex.Value-2) > 1e-9 {
+		t.Fatalf("OPT = %+v, want 2", ex)
+	}
+	if err := CheckMultiCover(ins, arrivals, ex.Chosen); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedUnique(t *testing.T) {
+	got := sortedUnique([]int{3, 1, 3, 2, 1})
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if out := sortedUnique(nil); len(out) != 0 {
+		t.Fatal("nil input must give empty output")
+	}
+}
+
+// Classic online set cover (no repetitions — each element arrives at most
+// once) is the special case the paper generalizes; both algorithms must
+// handle it.
+func TestNoRepetitionSpecialCase(t *testing.T) {
+	r := rng.New(606)
+	ins, err := RandomInstance(20, 16, 0.25, 1, false, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each element at most once: a permutation prefix.
+	perm := r.Perm(ins.N)
+	arrivals := perm[:12]
+	if err := ins.ValidateArrivals(arrivals); err != nil {
+		t.Fatal(err)
+	}
+	red, err := SolveByReduction(ins, arrivals, ReductionConfig{Seed: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMultiCover(ins, arrivals, red.Chosen); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBicriteria(ins, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(arrivals); err != nil {
+		t.Fatal(err)
+	}
+	// With k=1 and eps<1, (1-eps)k in (0,1) forces full single coverage.
+	for _, j := range arrivals {
+		if b.CoverCount(j) < 1 {
+			t.Fatalf("element %d not covered in no-repetition mode", j)
+		}
+	}
+}
+
+// Property test: the reduction's cover is always valid and never cheaper
+// than the LP bound, across random instances and seeds.
+func TestPropertyReductionSound(t *testing.T) {
+	r := rng.New(9999)
+	for trial := 0; trial < 12; trial++ {
+		n := 6 + r.Intn(12)
+		m := n + r.Intn(n)
+		ins, err := RandomInstance(n, m, 0.3, 2, trial%2 == 0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals, err := RandomArrivals(ins, n, 1.2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SolveByReduction(ins, arrivals, ReductionConfig{Seed: uint64(trial), Check: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lp, _, err := opt.FractionalValue(ins.Covering(arrivals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost < lp-1e-6 {
+			t.Fatalf("trial %d: online cost %v below LP bound %v", trial, res.Cost, lp)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// GrowthClass labels the best-fitting growth model of a (x, y) series.
+// The experiment harness uses it to phrase scaling verdicts: a theorem
+// predicting O(log x) growth is consistent with GrowthFlat or GrowthLog but
+// falsified by GrowthLinear or a super-linear GrowthPower.
+type GrowthClass string
+
+// Growth classes, from slowest to fastest.
+const (
+	GrowthFlat   GrowthClass = "flat"
+	GrowthLog    GrowthClass = "logarithmic"
+	GrowthLinear GrowthClass = "linear"
+	GrowthPower  GrowthClass = "power"
+)
+
+// GrowthFit is one candidate model evaluated on the original scale.
+type GrowthFit struct {
+	Class GrowthClass
+	// Predict evaluates the fitted model.
+	Predict func(x float64) float64
+	// R2 is the coefficient of determination computed on the *original*
+	// y values (comparable across models, unlike R² of transformed fits).
+	R2 float64
+	// Desc is a human-readable formula.
+	Desc string
+}
+
+// r2Original computes 1 − SS_res/SS_tot for predictions on the raw data.
+func r2Original(xs, ys []float64, predict func(float64) float64) float64 {
+	my := 0.0
+	for _, y := range ys {
+		my += y
+	}
+	my /= float64(len(ys))
+	ssTot, ssRes := 0.0, 0.0
+	for i := range xs {
+		ssTot += (ys[i] - my) * (ys[i] - my)
+		d := ys[i] - predict(xs[i])
+		ssRes += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// FitGrowthModels fits the four candidate models. xs must be positive for
+// the log and power models; series violating that only get flat and linear
+// candidates. ys must have at least 3 points.
+func FitGrowthModels(xs, ys []float64) ([]GrowthFit, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("stats: growth fit length mismatch %d != %d", len(xs), len(ys))
+	}
+	if len(xs) < 3 {
+		return nil, errors.New("stats: growth fit needs at least 3 points")
+	}
+	var fits []GrowthFit
+
+	// Flat: y = mean.
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	flatPred := func(float64) float64 { return mean }
+	fits = append(fits, GrowthFit{
+		Class:   GrowthFlat,
+		Predict: flatPred,
+		R2:      r2Original(xs, ys, flatPred),
+		Desc:    fmt.Sprintf("y = %.4g", mean),
+	})
+
+	// Linear: y = a·x + b.
+	if lin, err := Fit(xs, ys); err == nil {
+		pred := func(x float64) float64 { return lin.Slope*x + lin.Intercept }
+		fits = append(fits, GrowthFit{
+			Class:   GrowthLinear,
+			Predict: pred,
+			R2:      r2Original(xs, ys, pred),
+			Desc:    fmt.Sprintf("y = %.4g*x + %.4g", lin.Slope, lin.Intercept),
+		})
+	}
+
+	positiveX := true
+	for _, x := range xs {
+		if x <= 0 {
+			positiveX = false
+			break
+		}
+	}
+	if positiveX {
+		// Logarithmic: y = a·log2(x) + b.
+		lx := make([]float64, len(xs))
+		for i, x := range xs {
+			lx[i] = math.Log2(x)
+		}
+		if lf, err := Fit(lx, ys); err == nil {
+			pred := func(x float64) float64 { return lf.Slope*math.Log2(x) + lf.Intercept }
+			fits = append(fits, GrowthFit{
+				Class:   GrowthLog,
+				Predict: pred,
+				R2:      r2Original(xs, ys, pred),
+				Desc:    fmt.Sprintf("y = %.4g*log2(x) + %.4g", lf.Slope, lf.Intercept),
+			})
+		}
+		// Power: y = A·x^B (requires positive y too).
+		positiveY := true
+		for _, y := range ys {
+			if y <= 0 {
+				positiveY = false
+				break
+			}
+		}
+		if positiveY {
+			ly := make([]float64, len(ys))
+			for i, y := range ys {
+				ly[i] = math.Log(y)
+			}
+			llx := make([]float64, len(xs))
+			for i, x := range xs {
+				llx[i] = math.Log(x)
+			}
+			if pf, err := Fit(llx, ly); err == nil {
+				a := math.Exp(pf.Intercept)
+				b := pf.Slope
+				pred := func(x float64) float64 { return a * math.Pow(x, b) }
+				fits = append(fits, GrowthFit{
+					Class:   GrowthPower,
+					Predict: pred,
+					R2:      r2Original(xs, ys, pred),
+					Desc:    fmt.Sprintf("y = %.4g*x^%.3g", a, b),
+				})
+			}
+		}
+	}
+	return fits, nil
+}
+
+// ClassifyGrowth picks the best-fitting model with a parsimony bias: models
+// are considered from simplest to most complex (flat < log < linear <
+// power), and a more complex model displaces a simpler one only if it both
+// explains the data substantially (R² ≥ 0.5 — the flat model's R² is 0 by
+// construction, so noise alone never promotes) and improves on the current
+// best by more than margin (default 0.05 when margin <= 0).
+func ClassifyGrowth(xs, ys []float64, margin float64) (GrowthFit, error) {
+	if margin <= 0 {
+		margin = 0.05
+	}
+	fits, err := FitGrowthModels(xs, ys)
+	if err != nil {
+		return GrowthFit{}, err
+	}
+	complexity := map[GrowthClass]int{
+		GrowthFlat: 0, GrowthLog: 1, GrowthLinear: 2, GrowthPower: 3,
+	}
+	ordered := append([]GrowthFit(nil), fits...)
+	for a := 0; a < len(ordered); a++ {
+		for b := a + 1; b < len(ordered); b++ {
+			if complexity[ordered[b].Class] < complexity[ordered[a].Class] {
+				ordered[a], ordered[b] = ordered[b], ordered[a]
+			}
+		}
+	}
+	best := ordered[0]
+	const mustExplain = 0.5
+	for _, f := range ordered[1:] {
+		if f.R2 >= mustExplain && f.R2 > best.R2+margin {
+			best = f
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"admission/internal/rng"
+)
+
+func genSeries(n int, f func(x float64) float64, noise float64, r *rng.RNG) ([]float64, []float64) {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(2 + i*4)
+		ys[i] = f(xs[i]) + (r.Float64()-0.5)*noise
+	}
+	return xs, ys
+}
+
+func TestClassifyGrowthRecognizesModels(t *testing.T) {
+	r := rng.New(7)
+	cases := []struct {
+		name string
+		f    func(x float64) float64
+		want GrowthClass
+	}{
+		{"flat", func(x float64) float64 { return 3 }, GrowthFlat},
+		{"log", func(x float64) float64 { return 2*math.Log2(x) + 1 }, GrowthLog},
+		{"linear", func(x float64) float64 { return 0.8*x + 2 }, GrowthLinear},
+		{"quadratic", func(x float64) float64 { return 0.05 * x * x }, GrowthPower},
+	}
+	for _, c := range cases {
+		xs, ys := genSeries(12, c.f, 0.02, r)
+		fit, err := ClassifyGrowth(xs, ys, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if fit.Class != c.want {
+			t.Errorf("%s: classified as %s (R²=%.3f, %s), want %s",
+				c.name, fit.Class, fit.R2, fit.Desc, c.want)
+		}
+	}
+}
+
+func TestClassifyGrowthParsimony(t *testing.T) {
+	// Pure noise around a constant must classify as flat even though more
+	// complex models always fit noise slightly better.
+	r := rng.New(99)
+	xs, ys := genSeries(20, func(float64) float64 { return 5 }, 0.5, r)
+	fit, err := ClassifyGrowth(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Class != GrowthFlat {
+		t.Fatalf("noise classified as %s (%s)", fit.Class, fit.Desc)
+	}
+}
+
+func TestFitGrowthModelsErrors(t *testing.T) {
+	if _, err := FitGrowthModels([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := FitGrowthModels([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("2 points must error")
+	}
+}
+
+func TestFitGrowthModelsNonPositiveX(t *testing.T) {
+	// Zero/negative x: log and power candidates are skipped, flat and
+	// linear still produced.
+	fits, err := FitGrowthModels([]float64{0, 1, 2, 3}, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fits {
+		if f.Class == GrowthLog || f.Class == GrowthPower {
+			t.Fatalf("model %s should be skipped for x <= 0", f.Class)
+		}
+	}
+	if len(fits) != 2 {
+		t.Fatalf("got %d fits, want 2", len(fits))
+	}
+}
+
+func TestFitGrowthModelsNonPositiveY(t *testing.T) {
+	fits, err := FitGrowthModels([]float64{1, 2, 3, 4}, []float64{-1, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fits {
+		if f.Class == GrowthPower {
+			t.Fatal("power model should be skipped for y <= 0")
+		}
+	}
+}
+
+func TestGrowthFitR2InOriginalSpace(t *testing.T) {
+	// Exact log data: the log model must reach R² = 1 in original space.
+	xs := []float64{2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*math.Log2(x) + 1
+	}
+	fits, err := FitGrowthModels(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fits {
+		if f.Class == GrowthLog && math.Abs(f.R2-1) > 1e-9 {
+			t.Fatalf("log fit R² = %v on exact log data", f.R2)
+		}
+		if f.Predict == nil || f.Desc == "" {
+			t.Fatalf("fit %s incomplete", f.Class)
+		}
+	}
+}
+
+func TestGrowthConstantSeries(t *testing.T) {
+	// Constant y: flat model is exact; degenerate SS_tot handled.
+	fit, err := ClassifyGrowth([]float64{1, 2, 3}, []float64{4, 4, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Class != GrowthFlat || fit.R2 != 1 {
+		t.Fatalf("constant series: %s R²=%v", fit.Class, fit.R2)
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"admission/internal/problem"
+)
+
+// eventKindNames is the canonical wire spelling of each kind.
+var eventKindNames = map[EventKind]string{
+	EventArrival: "arrival",
+	EventAccept:  "accept",
+	EventReject:  "reject",
+	EventPreempt: "preempt",
+	EventShrink:  "shrink",
+}
+
+// MarshalJSON encodes the kind as its readable name, making recorded runs
+// diffable and hand-editable.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	name, ok := eventKindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("trace: cannot marshal unknown event kind %d", uint8(k))
+	}
+	return json.Marshal(name)
+}
+
+// UnmarshalJSON decodes the readable kind name.
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for kind, n := range eventKindNames {
+		if n == name {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown event kind %q", name)
+}
+
+// RecordedRun is the on-disk artifact of one simulation: the instance, the
+// full decision log, and the claimed objective. It can be audited offline
+// with Verify (which replays the log independently) — the artifact a
+// skeptical reviewer would ask for alongside an experiment table.
+type RecordedRun struct {
+	Algorithm    string            `json:"algorithm"`
+	Instance     *problem.Instance `json:"instance"`
+	Events       []Event           `json:"events"`
+	RejectedCost float64           `json:"rejected_cost"`
+	Metadata     map[string]string `json:"metadata,omitempty"`
+}
+
+// NewRecordedRun packages a result produced with Options.Record.
+func NewRecordedRun(algorithm string, ins *problem.Instance, res *Result) *RecordedRun {
+	return &RecordedRun{
+		Algorithm:    algorithm,
+		Instance:     ins.Clone(),
+		Events:       append([]Event(nil), res.Events...),
+		RejectedCost: res.RejectedCost,
+	}
+}
+
+// Verify replays the event log against the instance and checks the claimed
+// objective. A nil error means the artifact is internally consistent.
+func (rr *RecordedRun) Verify() error {
+	if rr.Instance == nil {
+		return fmt.Errorf("trace: recorded run has no instance")
+	}
+	cost, err := Replay(rr.Instance, rr.Events)
+	if err != nil {
+		return err
+	}
+	if math.Abs(cost-rr.RejectedCost) > 1e-6*(1+math.Abs(cost)) {
+		return fmt.Errorf("trace: recorded run claims rejected cost %v, replay derives %v", rr.RejectedCost, cost)
+	}
+	return nil
+}
+
+// Save writes the artifact as indented JSON.
+func (rr *RecordedRun) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rr)
+}
+
+// LoadRecordedRun parses a recorded run; it does not Verify it — callers
+// decide whether to audit.
+func LoadRecordedRun(r io.Reader) (*RecordedRun, error) {
+	var rr RecordedRun
+	if err := json.NewDecoder(r).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("trace: parsing recorded run: %w", err)
+	}
+	return &rr, nil
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"admission/internal/problem"
+)
+
+func recordedRunFixture(t *testing.T) (*problem.Instance, *RecordedRun) {
+	t.Helper()
+	alg := &scriptAlg{
+		name: "fixture",
+		outcomes: []problem.Outcome{
+			{Accepted: true},
+			{Accepted: true, Preempted: []int{0}},
+			{Accepted: false},
+		},
+		reported: 2,
+	}
+	ins := &problem.Instance{Capacities: []int{1}}
+	for i := 0; i < 3; i++ {
+		ins.Requests = append(ins.Requests, oneEdgeReq())
+	}
+	res, err := Run(alg, ins, Options{Check: true, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins, NewRecordedRun("fixture", ins, res)
+}
+
+func TestRecordedRunRoundTrip(t *testing.T) {
+	_, rr := recordedRunFixture(t)
+	if err := rr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind": "preempt"`) {
+		t.Fatalf("JSON lacks readable kinds:\n%s", buf.String())
+	}
+	back, err := LoadRecordedRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(); err != nil {
+		t.Fatalf("round-tripped artifact fails verification: %v", err)
+	}
+	if back.Algorithm != "fixture" || back.RejectedCost != rr.RejectedCost {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+}
+
+func TestRecordedRunDetectsTampering(t *testing.T) {
+	_, rr := recordedRunFixture(t)
+
+	// Claimed objective tampered.
+	rr.RejectedCost += 1
+	if err := rr.Verify(); err == nil {
+		t.Fatal("cost tampering must fail verification")
+	}
+	rr.RejectedCost -= 1
+
+	// Event log tampered: drop the preemption that repaired capacity.
+	var filtered []Event
+	for _, ev := range rr.Events {
+		if ev.Kind != EventPreempt {
+			filtered = append(filtered, ev)
+		}
+	}
+	tampered := &RecordedRun{Instance: rr.Instance, Events: filtered, RejectedCost: rr.RejectedCost}
+	if err := tampered.Verify(); err == nil {
+		t.Fatal("log tampering must fail verification")
+	}
+
+	// Missing instance.
+	empty := &RecordedRun{}
+	if err := empty.Verify(); err == nil {
+		t.Fatal("missing instance must fail verification")
+	}
+}
+
+func TestEventKindJSON(t *testing.T) {
+	for k, name := range eventKindNames {
+		data, err := k.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != `"`+name+`"` {
+			t.Fatalf("kind %v marshals to %s", k, data)
+		}
+		var back EventKind
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v -> %v", k, back)
+		}
+	}
+	if _, err := EventKind(99).MarshalJSON(); err == nil {
+		t.Fatal("unknown kind must not marshal")
+	}
+	var k EventKind
+	if err := k.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Fatal("bogus kind must not unmarshal")
+	}
+	if err := k.UnmarshalJSON([]byte(`7`)); err == nil {
+		t.Fatal("non-string kind must not unmarshal")
+	}
+}
+
+func TestLoadRecordedRunErrors(t *testing.T) {
+	if _, err := LoadRecordedRun(strings.NewReader("{nope")); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"testing"
+
+	"admission/internal/problem"
+)
+
+func replayInstance(n int) *problem.Instance {
+	ins := &problem.Instance{Capacities: []int{2}}
+	for i := 0; i < n; i++ {
+		ins.Requests = append(ins.Requests, oneEdgeReq())
+	}
+	return ins
+}
+
+func TestReplayAcceptsValidLog(t *testing.T) {
+	ins := replayInstance(3)
+	events := []Event{
+		{Kind: EventArrival, Step: 0, Request: 0},
+		{Kind: EventAccept, Step: 0, Request: 0, Cost: 1},
+		{Kind: EventArrival, Step: 1, Request: 1},
+		{Kind: EventAccept, Step: 1, Request: 1, Cost: 1},
+		{Kind: EventArrival, Step: 2, Request: 2},
+		{Kind: EventPreempt, Step: 2, Request: 0, Cost: 1},
+		{Kind: EventAccept, Step: 2, Request: 2, Cost: 1},
+	}
+	cost, err := Replay(ins, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 1 {
+		t.Fatalf("replayed cost = %v", cost)
+	}
+}
+
+func TestReplayRejectsBadLogs(t *testing.T) {
+	ins := replayInstance(3)
+	cases := map[string][]Event{
+		"unknown request": {{Kind: EventArrival, Request: 9}},
+		"out of order":    {{Kind: EventArrival, Request: 1}},
+		"accept before arrival": {
+			{Kind: EventAccept, Request: 0},
+		},
+		"double accept": {
+			{Kind: EventArrival, Request: 0},
+			{Kind: EventAccept, Request: 0},
+			{Kind: EventAccept, Request: 0},
+		},
+		"preempt pending": {
+			{Kind: EventArrival, Request: 0},
+			{Kind: EventPreempt, Request: 0},
+		},
+		"reject accepted": {
+			{Kind: EventArrival, Request: 0},
+			{Kind: EventAccept, Request: 0},
+			{Kind: EventReject, Request: 0},
+		},
+		"over capacity": {
+			{Kind: EventArrival, Step: 0, Request: 0},
+			{Kind: EventAccept, Step: 0, Request: 0},
+			{Kind: EventArrival, Step: 1, Request: 1},
+			{Kind: EventAccept, Step: 1, Request: 1},
+			{Kind: EventArrival, Step: 2, Request: 2},
+			{Kind: EventAccept, Step: 2, Request: 2},
+		},
+		"shrink bad edge": {{Kind: EventShrink, Request: 7}},
+		"unknown kind":    {{Kind: EventKind(42), Request: 0}},
+	}
+	for name, events := range cases {
+		if _, err := Replay(ins, events); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReplayShrinkAndRepairWithinStep(t *testing.T) {
+	ins := replayInstance(2)
+	events := []Event{
+		{Kind: EventArrival, Step: 0, Request: 0},
+		{Kind: EventAccept, Step: 0, Request: 0},
+		{Kind: EventArrival, Step: 1, Request: 1},
+		{Kind: EventAccept, Step: 1, Request: 1},
+		// Shrink makes the edge transiently over capacity; the preempt in
+		// the same step repairs it.
+		{Kind: EventShrink, Step: 2, Request: 0},
+		{Kind: EventPreempt, Step: 2, Request: 1, Cost: 1},
+	}
+	cost, err := Replay(ins, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 1 {
+		t.Fatalf("cost = %v", cost)
+	}
+	// Without the repairing preempt the same log must fail.
+	if _, err := Replay(ins, events[:5]); err == nil {
+		t.Fatal("unrepaired shrink must fail")
+	}
+}
+
+func TestReplayShrinkExhausted(t *testing.T) {
+	ins := replayInstance(0)
+	events := []Event{
+		{Kind: EventShrink, Step: 0, Request: 0},
+		{Kind: EventShrink, Step: 1, Request: 0},
+		{Kind: EventShrink, Step: 2, Request: 0},
+	}
+	if _, err := Replay(ins, events); err == nil {
+		t.Fatal("shrinking below zero must fail")
+	}
+}
+
+func TestReplayMatchesRunner(t *testing.T) {
+	// Round trip: record a real run, then audit it with Replay.
+	alg := &scriptAlg{
+		name: "rt",
+		outcomes: []problem.Outcome{
+			{Accepted: true},
+			{Accepted: true},
+			{Accepted: true, Preempted: []int{0}},
+			{Accepted: false},
+		},
+		reported: 2,
+	}
+	ins := replayInstance(4)
+	res, err := Run(alg, ins, Options{Check: true, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Replay(ins, res.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != res.RejectedCost {
+		t.Fatalf("replayed %v != recorded %v", replayed, res.RejectedCost)
+	}
+}
+
+func TestReplayValidatesInstance(t *testing.T) {
+	bad := &problem.Instance{Capacities: []int{0}}
+	if _, err := Replay(bad, nil); err == nil {
+		t.Fatal("invalid instance must fail")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: EventAccept, Step: 3, Request: 7, Cost: 2}
+	if e.String() == "" {
+		t.Fatal("empty event string")
+	}
+}

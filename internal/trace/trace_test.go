@@ -1,0 +1,296 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"admission/internal/problem"
+)
+
+// scriptAlg is a configurable fake algorithm for exercising the runner's
+// verification logic.
+type scriptAlg struct {
+	name     string
+	outcomes []problem.Outcome
+	reported float64
+	calls    int
+}
+
+func (s *scriptAlg) Name() string { return s.name }
+func (s *scriptAlg) Offer(id int, r problem.Request) (problem.Outcome, error) {
+	out := s.outcomes[s.calls]
+	s.calls++
+	return out, nil
+}
+func (s *scriptAlg) RejectedCost() float64 { return s.reported }
+
+func oneEdgeReq() problem.Request { return problem.Request{Edges: []int{0}, Cost: 1} }
+
+func TestRunnerAcceptReject(t *testing.T) {
+	alg := &scriptAlg{
+		name: "fake",
+		outcomes: []problem.Outcome{
+			{Accepted: true},
+			{Accepted: false},
+		},
+		reported: 1,
+	}
+	ins := &problem.Instance{
+		Capacities: []int{1},
+		Requests:   []problem.Request{oneEdgeReq(), oneEdgeReq()},
+	}
+	res, err := Run(alg, ins, Options{Check: true, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedCost != 1 {
+		t.Fatalf("rejected cost = %v", res.RejectedCost)
+	}
+	if len(res.Accepted) != 1 || res.Accepted[0] != 0 {
+		t.Fatalf("accepted = %v", res.Accepted)
+	}
+	if len(res.Rejected) != 1 || res.Rejected[0] != 1 {
+		t.Fatalf("rejected = %v", res.Rejected)
+	}
+	// events: arrival, accept, arrival, reject
+	kinds := []EventKind{EventArrival, EventAccept, EventArrival, EventReject}
+	if len(res.Events) != len(kinds) {
+		t.Fatalf("events = %v", res.Events)
+	}
+	for i, k := range kinds {
+		if res.Events[i].Kind != k {
+			t.Fatalf("event %d = %v, want %v", i, res.Events[i].Kind, k)
+		}
+	}
+}
+
+func TestRunnerDetectsOverCapacity(t *testing.T) {
+	alg := &scriptAlg{
+		name: "cheater",
+		outcomes: []problem.Outcome{
+			{Accepted: true},
+			{Accepted: true}, // second accept overflows capacity 1
+		},
+	}
+	ins := &problem.Instance{
+		Capacities: []int{1},
+		Requests:   []problem.Request{oneEdgeReq(), oneEdgeReq()},
+	}
+	_, err := Run(alg, ins, Options{Check: true})
+	if err == nil || !strings.Contains(err.Error(), "over") && !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("want capacity violation, got %v", err)
+	}
+}
+
+func TestRunnerAllowsOverCapacityUnchecked(t *testing.T) {
+	alg := &scriptAlg{
+		name:     "cheater",
+		outcomes: []problem.Outcome{{Accepted: true}, {Accepted: true}},
+		reported: 0,
+	}
+	ins := &problem.Instance{
+		Capacities: []int{1},
+		Requests:   []problem.Request{oneEdgeReq(), oneEdgeReq()},
+	}
+	if _, err := Run(alg, ins, Options{}); err != nil {
+		t.Fatalf("unchecked run should pass: %v", err)
+	}
+}
+
+func TestRunnerDetectsBadPreempt(t *testing.T) {
+	cases := map[string][]problem.Outcome{
+		"preempt unknown":  {{Accepted: true, Preempted: []int{7}}},
+		"preempt self":     {{Accepted: false, Preempted: []int{0}}},
+		"preempt pending":  {{Accepted: true}, {Accepted: true, Preempted: []int{1}}},
+		"preempt rejected": {{Accepted: false}, {Accepted: true, Preempted: []int{0}}},
+		"double preempt":   {{Accepted: true}, {Accepted: true, Preempted: []int{0, 0}}},
+		"negative preempt": {{Accepted: true, Preempted: []int{-1}}},
+	}
+	for name, outs := range cases {
+		reqs := make([]problem.Request, len(outs))
+		for i := range reqs {
+			reqs[i] = oneEdgeReq()
+		}
+		ins := &problem.Instance{Capacities: []int{5}, Requests: reqs}
+		alg := &scriptAlg{name: "bad", outcomes: outs}
+		if _, err := Run(alg, ins, Options{Check: true}); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestRunnerPreemptAccounting(t *testing.T) {
+	alg := &scriptAlg{
+		name: "preempter",
+		outcomes: []problem.Outcome{
+			{Accepted: true},
+			{Accepted: true, Preempted: []int{0}},
+		},
+		reported: 2.5,
+	}
+	ins := &problem.Instance{
+		Capacities: []int{1},
+		Requests: []problem.Request{
+			{Edges: []int{0}, Cost: 2.5},
+			{Edges: []int{0}, Cost: 1},
+		},
+	}
+	res, err := Run(alg, ins, Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedCost != 2.5 {
+		t.Fatalf("rejected cost = %v", res.RejectedCost)
+	}
+	if res.Preemptions != 1 {
+		t.Fatalf("preemptions = %d", res.Preemptions)
+	}
+	if len(res.Accepted) != 1 || res.Accepted[0] != 1 {
+		t.Fatalf("accepted = %v", res.Accepted)
+	}
+}
+
+func TestRunnerDetectsMisreportedCost(t *testing.T) {
+	alg := &scriptAlg{
+		name:     "liar",
+		outcomes: []problem.Outcome{{Accepted: false}},
+		reported: 0, // actually rejected cost 1
+	}
+	ins := &problem.Instance{Capacities: []int{1}, Requests: []problem.Request{oneEdgeReq()}}
+	if _, err := Run(alg, ins, Options{Check: true}); err == nil {
+		t.Fatal("want misreport error")
+	}
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(nil, []int{1}, Options{}); err == nil {
+		t.Error("nil algorithm must error")
+	}
+	alg := &scriptAlg{name: "x"}
+	if _, err := NewRunner(alg, nil, Options{}); err == nil {
+		t.Error("no edges must error")
+	}
+	if _, err := NewRunner(alg, []int{0}, Options{}); err == nil {
+		t.Error("zero capacity must error")
+	}
+}
+
+func TestRunnerRejectsInvalidRequest(t *testing.T) {
+	alg := &scriptAlg{name: "x", outcomes: []problem.Outcome{{}}}
+	rn, err := NewRunner(alg, []int{1}, Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rn.Offer(problem.Request{Edges: []int{9}, Cost: 1}); err == nil {
+		t.Fatal("invalid request must error")
+	}
+}
+
+// shrinkAlg implements CapacityShrinker for shrink-path tests.
+type shrinkAlg struct {
+	scriptAlg
+	shrinkOut problem.Outcome
+}
+
+func (s *shrinkAlg) ShrinkCapacity(e int) (problem.Outcome, error) {
+	return s.shrinkOut, nil
+}
+
+func TestRunnerShrink(t *testing.T) {
+	alg := &shrinkAlg{
+		scriptAlg: scriptAlg{name: "sh", outcomes: []problem.Outcome{{Accepted: true}}, reported: 1},
+		shrinkOut: problem.Outcome{Preempted: []int{0}},
+	}
+	rn, err := NewRunner(alg, []int{1}, Options{Check: true, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rn.Offer(oneEdgeReq()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rn.ShrinkCapacity(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rn.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedCost != 1 || res.Preemptions != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunnerShrinkErrors(t *testing.T) {
+	alg := &shrinkAlg{scriptAlg: scriptAlg{name: "sh"}}
+	rn, _ := NewRunner(alg, []int{1}, Options{Check: true})
+	if _, err := rn.ShrinkCapacity(5); err == nil {
+		t.Error("bad edge must error")
+	}
+	if _, err := rn.ShrinkCapacity(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rn.ShrinkCapacity(0); err == nil {
+		t.Error("shrink below zero must error")
+	}
+	// non-shrinker algorithm
+	plain := &scriptAlg{name: "plain"}
+	rn2, _ := NewRunner(plain, []int{1}, Options{})
+	if _, err := rn2.ShrinkCapacity(0); err == nil {
+		t.Error("non-shrinker must error")
+	}
+}
+
+func TestRunnerShrinkRejectsAcceptOutcome(t *testing.T) {
+	alg := &shrinkAlg{
+		scriptAlg: scriptAlg{name: "sh"},
+		shrinkOut: problem.Outcome{Accepted: true},
+	}
+	rn, _ := NewRunner(alg, []int{2}, Options{Check: true})
+	if _, err := rn.ShrinkCapacity(0); err == nil {
+		t.Fatal("accepting shrink outcome must error")
+	}
+}
+
+func TestRunnerShrinkOverCapacityDetected(t *testing.T) {
+	// Algorithm accepts once, then ignores the shrink that makes it
+	// infeasible.
+	alg := &shrinkAlg{
+		scriptAlg: scriptAlg{name: "sh", outcomes: []problem.Outcome{{Accepted: true}}},
+		shrinkOut: problem.Outcome{},
+	}
+	rn, _ := NewRunner(alg, []int{1}, Options{Check: true})
+	if _, err := rn.Offer(oneEdgeReq()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rn.ShrinkCapacity(0); err == nil {
+		t.Fatal("runner must detect shrink-induced violation")
+	}
+}
+
+func TestLoads(t *testing.T) {
+	alg := &scriptAlg{name: "x", outcomes: []problem.Outcome{{Accepted: true}}}
+	rn, _ := NewRunner(alg, []int{2, 2}, Options{Check: true})
+	if _, err := rn.Offer(problem.Request{Edges: []int{1}, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l := rn.Loads()
+	if l[0] != 0 || l[1] != 1 {
+		t.Fatalf("loads = %v", l)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for _, k := range []EventKind{EventArrival, EventAccept, EventReject, EventPreempt, EventShrink, EventKind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty event kind string")
+		}
+	}
+}
+
+func TestRunValidatesInstance(t *testing.T) {
+	alg := &scriptAlg{name: "x"}
+	ins := &problem.Instance{Capacities: []int{0}}
+	if _, err := Run(alg, ins, Options{Check: true}); err == nil {
+		t.Fatal("invalid instance must error")
+	}
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"fmt"
+
+	"admission/internal/problem"
+	"admission/internal/trace"
+)
+
+// Adversary is an adaptive request generator: it observes every outcome and
+// decides the next request, modelling the adversaries behind the online
+// lower bounds the paper's introduction cites (an online algorithm that
+// cannot preempt, or that must also route, "easily admits a trivial lower
+// bound" [10]).
+type Adversary interface {
+	// Capacities returns the capacity vector of the network the adversary
+	// plays on; fixed before the game starts.
+	Capacities() []int
+	// Next returns the next request, given the outcome of the previous one
+	// (zero Outcome for the first call). ok=false ends the game.
+	Next(prev problem.Outcome) (r problem.Request, ok bool)
+}
+
+// RunAdversarial plays an algorithm against an adversary and returns the
+// realized instance (for offline OPT computation) together with the run
+// result.
+func RunAdversarial(alg problem.Algorithm, adv Adversary, opts trace.Options) (*problem.Instance, *trace.Result, error) {
+	caps := adv.Capacities()
+	rn, err := trace.NewRunner(alg, caps, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ins := &problem.Instance{Capacities: append([]int(nil), caps...)}
+	var prev problem.Outcome
+	for {
+		req, ok := adv.Next(prev)
+		if !ok {
+			break
+		}
+		ins.Requests = append(ins.Requests, req.Clone())
+		out, err := rn.Offer(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		prev = out
+	}
+	res, err := rn.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return ins, res, nil
+}
+
+// WeightedRatioAdversary implements the trivial weighted lower bound for
+// non-preemptive algorithms on a single capacity-1 edge: offer a cost-1
+// request; if the algorithm accepts it, follow with a cost-W request that a
+// non-preemptive algorithm is forced to reject (OPT rejects only the cheap
+// one → ratio W); if the algorithm rejects the cheap request, stop — OPT
+// rejects nothing and the ratio is unbounded. Preemptive algorithms escape
+// by evicting the cheap request, paying exactly OPT.
+type WeightedRatioAdversary struct {
+	// W is the expensive request's cost.
+	W    float64
+	step int
+}
+
+var _ Adversary = (*WeightedRatioAdversary)(nil)
+
+// Capacities implements Adversary.
+func (a *WeightedRatioAdversary) Capacities() []int { return []int{1} }
+
+// Next implements Adversary.
+func (a *WeightedRatioAdversary) Next(prev problem.Outcome) (problem.Request, bool) {
+	defer func() { a.step++ }()
+	switch a.step {
+	case 0:
+		return problem.Request{Edges: []int{0}, Cost: 1}, true
+	case 1:
+		if !prev.Accepted {
+			// The cheap request was rejected although everything fit:
+			// OPT = 0, the algorithm already lost by an unbounded factor.
+			return problem.Request{}, false
+		}
+		w := a.W
+		if w <= 0 {
+			w = 1000
+		}
+		return problem.Request{Edges: []int{0}, Cost: w}, true
+	default:
+		return problem.Request{}, false
+	}
+}
+
+// PathRatioAdversary implements the unweighted version of the same trap on
+// K disjoint capacity-1 edges: offer one long request using all K edges; if
+// accepted, offer K single-edge requests — a non-preemptive algorithm
+// rejects all K (each edge is blocked) while OPT rejects only the long one
+// (ratio K); if the long request is rejected, stop (OPT = 0).
+type PathRatioAdversary struct {
+	// K is the number of edges (the achievable ratio).
+	K    int
+	step int
+}
+
+var _ Adversary = (*PathRatioAdversary)(nil)
+
+// Capacities implements Adversary.
+func (a *PathRatioAdversary) Capacities() []int {
+	k := a.K
+	if k < 1 {
+		k = 1
+	}
+	caps := make([]int, k)
+	for i := range caps {
+		caps[i] = 1
+	}
+	return caps
+}
+
+// Next implements Adversary.
+func (a *PathRatioAdversary) Next(prev problem.Outcome) (problem.Request, bool) {
+	k := a.K
+	if k < 1 {
+		k = 1
+	}
+	defer func() { a.step++ }()
+	switch {
+	case a.step == 0:
+		edges := make([]int, k)
+		for i := range edges {
+			edges[i] = i
+		}
+		return problem.Request{Edges: edges, Cost: 1}, true
+	case a.step == 1 && !prev.Accepted:
+		return problem.Request{}, false // OPT = 0; game over
+	case a.step <= k:
+		return problem.Request{Edges: []int{a.step - 1}, Cost: 1}, true
+	default:
+		return problem.Request{}, false
+	}
+}
+
+// RepeatedTrapAdversary chains R independent rounds of the weighted trap on
+// the same capacity-1 edge... it cannot (requests never expire), so instead
+// it plays R weighted traps on R disjoint edges, accumulating the gap. It
+// demonstrates that the non-preemptive deficit compounds across the network
+// rather than being a one-off.
+type RepeatedTrapAdversary struct {
+	// Rounds is the number of disjoint traps; W the expensive cost.
+	Rounds int
+	W      float64
+	step   int
+}
+
+var _ Adversary = (*RepeatedTrapAdversary)(nil)
+
+// Capacities implements Adversary.
+func (a *RepeatedTrapAdversary) Capacities() []int {
+	r := a.Rounds
+	if r < 1 {
+		r = 1
+	}
+	caps := make([]int, r)
+	for i := range caps {
+		caps[i] = 1
+	}
+	return caps
+}
+
+// Next implements Adversary. Requests alternate cheap/expensive per edge;
+// the expensive follow-up is sent only if the cheap one was accepted.
+func (a *RepeatedTrapAdversary) Next(prev problem.Outcome) (problem.Request, bool) {
+	rounds := a.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	w := a.W
+	if w <= 0 {
+		w = 1000
+	}
+	for {
+		edge := a.step / 2
+		phase := a.step % 2
+		if edge >= rounds {
+			return problem.Request{}, false
+		}
+		a.step++
+		if phase == 0 {
+			return problem.Request{Edges: []int{edge}, Cost: 1}, true
+		}
+		if prev.Accepted || len(prev.Preempted) > 0 {
+			// The cheap request is (still) in the system or was preempted
+			// already; either way the slot may be contested: fire the trap.
+			return problem.Request{Edges: []int{edge}, Cost: w}, true
+		}
+		// Cheap request was rejected: skip the trap on this edge.
+	}
+}
+
+// FixedSequenceAdversary replays a precomputed instance as a (non-adaptive)
+// adversary; convenience for running the adversarial harness on ordinary
+// workloads.
+type FixedSequenceAdversary struct {
+	Instance *problem.Instance
+	pos      int
+}
+
+var _ Adversary = (*FixedSequenceAdversary)(nil)
+
+// Capacities implements Adversary.
+func (a *FixedSequenceAdversary) Capacities() []int { return a.Instance.Capacities }
+
+// Next implements Adversary.
+func (a *FixedSequenceAdversary) Next(problem.Outcome) (problem.Request, bool) {
+	if a.pos >= len(a.Instance.Requests) {
+		return problem.Request{}, false
+	}
+	r := a.Instance.Requests[a.pos]
+	a.pos++
+	return r, true
+}
+
+// Describe returns a short human-readable label for known adversaries.
+func Describe(adv Adversary) string {
+	switch a := adv.(type) {
+	case *WeightedRatioAdversary:
+		return fmt.Sprintf("weighted-trap(W=%g)", a.W)
+	case *PathRatioAdversary:
+		return fmt.Sprintf("path-trap(K=%d)", a.K)
+	case *RepeatedTrapAdversary:
+		return fmt.Sprintf("repeated-trap(R=%d,W=%g)", a.Rounds, a.W)
+	case *FixedSequenceAdversary:
+		return "fixed-sequence"
+	default:
+		return "adversary"
+	}
+}

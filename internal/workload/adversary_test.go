@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"testing"
+
+	"admission/internal/baseline"
+	"admission/internal/core"
+	"admission/internal/opt"
+	"admission/internal/problem"
+	"admission/internal/rng"
+	"admission/internal/trace"
+)
+
+func TestWeightedTrapPunishesGreedy(t *testing.T) {
+	adv := &WeightedRatioAdversary{W: 500}
+	g, err := baseline.NewGreedy(adv.Capacities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, res, err := RunAdversarial(g, adv, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedCost != 500 {
+		t.Fatalf("greedy paid %v, want 500", res.RejectedCost)
+	}
+	ex, err := opt.ExactOPT(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Value != 1 {
+		t.Fatalf("OPT = %v, want 1", ex.Value)
+	}
+}
+
+func TestWeightedTrapSparesPreemptive(t *testing.T) {
+	adv := &WeightedRatioAdversary{W: 500}
+	p, err := baseline.NewPreemptive(adv.Capacities(), baseline.VictimCheapest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := RunAdversarial(p, adv, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedCost != 1 {
+		t.Fatalf("preemptive paid %v, want 1 (= OPT)", res.RejectedCost)
+	}
+}
+
+func TestWeightedTrapVsRandomized(t *testing.T) {
+	// The paper's algorithm must stay within a small factor of OPT = 1.
+	adv := &WeightedRatioAdversary{W: 500}
+	cfg := core.DefaultConfig()
+	cfg.Seed = 13
+	a, err := core.NewRandomized(adv.Capacities(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := RunAdversarial(a, adv, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedCost >= 500 {
+		t.Fatalf("randomized fell into the trap: paid %v", res.RejectedCost)
+	}
+}
+
+func TestWeightedTrapStopsOnEarlyRejection(t *testing.T) {
+	// An algorithm that rejects the cheap request ends the game with OPT=0.
+	adv := &WeightedRatioAdversary{W: 500}
+	rej := &alwaysReject{}
+	ins, res, err := RunAdversarial(rej, adv, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.Requests) != 1 {
+		t.Fatalf("game should stop after 1 request, got %d", len(ins.Requests))
+	}
+	if res.RejectedCost != 1 {
+		t.Fatalf("paid %v", res.RejectedCost)
+	}
+	v, err := opt.FractionalOPT(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("OPT = %v, want 0", v)
+	}
+}
+
+// alwaysReject rejects everything; a degenerate probe algorithm.
+type alwaysReject struct{ cost float64 }
+
+func (a *alwaysReject) Name() string { return "always-reject" }
+func (a *alwaysReject) Offer(id int, r problem.Request) (problem.Outcome, error) {
+	a.cost += r.Cost
+	return problem.Outcome{}, nil
+}
+func (a *alwaysReject) RejectedCost() float64 { return a.cost }
+
+func TestPathTrapPunishesGreedy(t *testing.T) {
+	const k = 8
+	adv := &PathRatioAdversary{K: k}
+	g, err := baseline.NewGreedy(adv.Capacities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, res, err := RunAdversarial(g, adv, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy accepts the long request, then rejects all k singles.
+	if res.RejectedCost != k {
+		t.Fatalf("greedy paid %v, want %d", res.RejectedCost, k)
+	}
+	ex, err := opt.ExactOPT(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Value != 1 {
+		t.Fatalf("OPT = %v, want 1", ex.Value)
+	}
+}
+
+func TestPathTrapVsRandomizedUnweighted(t *testing.T) {
+	const k = 8
+	adv := &PathRatioAdversary{K: k}
+	cfg := core.UnweightedConfig()
+	cfg.Seed = 7
+	a, err := core.NewRandomized(adv.Capacities(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := RunAdversarial(a, adv, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedCost >= k {
+		t.Fatalf("randomized paid the full trap cost %v", res.RejectedCost)
+	}
+}
+
+func TestRepeatedTrapAccumulates(t *testing.T) {
+	adv := &RepeatedTrapAdversary{Rounds: 5, W: 100}
+	g, err := baseline.NewGreedy(adv.Capacities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, res, err := RunAdversarial(g, adv, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedCost != 500 {
+		t.Fatalf("greedy paid %v, want 500 across 5 traps", res.RejectedCost)
+	}
+	ex, err := opt.ExactOPT(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Value != 5 {
+		t.Fatalf("OPT = %v, want 5", ex.Value)
+	}
+}
+
+func TestFixedSequenceAdversary(t *testing.T) {
+	r := rng.New(9)
+	ins, err := SingleEdgeOverload(2, 6, CostUnit, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &FixedSequenceAdversary{Instance: ins}
+	g, _ := baseline.NewGreedy(adv.Capacities())
+	replayed, res, err := RunAdversarial(g, adv, trace.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.N() != 6 {
+		t.Fatalf("replayed %d requests", replayed.N())
+	}
+	if res.RejectedCost != 4 {
+		t.Fatalf("greedy paid %v, want 4", res.RejectedCost)
+	}
+}
+
+func TestDefaultsInAdversaries(t *testing.T) {
+	// Zero-valued knobs fall back to sane defaults instead of breaking.
+	w := &WeightedRatioAdversary{}
+	if caps := w.Capacities(); len(caps) != 1 || caps[0] != 1 {
+		t.Fatal("weighted trap capacities")
+	}
+	p := &PathRatioAdversary{}
+	if caps := p.Capacities(); len(caps) != 1 {
+		t.Fatal("path trap capacities default")
+	}
+	rp := &RepeatedTrapAdversary{}
+	if caps := rp.Capacities(); len(caps) != 1 {
+		t.Fatal("repeated trap capacities default")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, adv := range []Adversary{
+		&WeightedRatioAdversary{W: 2},
+		&PathRatioAdversary{K: 3},
+		&RepeatedTrapAdversary{Rounds: 2, W: 5},
+		&FixedSequenceAdversary{},
+	} {
+		if Describe(adv) == "" {
+			t.Fatal("empty description")
+		}
+	}
+}
