@@ -1,5 +1,6 @@
-// Benchmarks: one per reproduction experiment (E1–E10, see DESIGN.md §4 and
-// EXPERIMENTS.md) plus micro-benchmarks of the individual algorithms.
+// Benchmarks: one per reproduction experiment (E1–E13, see DESIGN.md §4 and
+// EXPERIMENTS.md), micro-benchmarks of the individual algorithms, and
+// throughput benchmarks of the sharded concurrent engine (DESIGN.md §5).
 //
 // The experiment benchmarks execute the same code paths as `acbench -exp
 // <id>` at a reduced scale so `go test -bench=.` terminates in minutes; the
@@ -13,11 +14,13 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"admission"
 	"admission/internal/baseline"
 	"admission/internal/core"
+	"admission/internal/engine"
 	"admission/internal/graph"
 	"admission/internal/harness"
 	"admission/internal/lp"
@@ -85,6 +88,9 @@ func BenchmarkE7ZeroOPT(b *testing.B)              { runExperimentBench(b, "E7",
 func BenchmarkE8ConstantsAblation(b *testing.B)    { runExperimentBench(b, "E8", -1) }
 func BenchmarkE9AlphaDoubling(b *testing.B)        { runExperimentBench(b, "E9", -1) }
 func BenchmarkE10PreemptionNecessity(b *testing.B) { runExperimentBench(b, "E10", -1) }
+func BenchmarkE11ShardedEngine(b *testing.B)       { runExperimentBench(b, "E11", 3) }
+func BenchmarkE12Topologies(b *testing.B)          { runExperimentBench(b, "E12", -1) }
+func BenchmarkE13SetCoverHeadToHead(b *testing.B)  { runExperimentBench(b, "E13", -1) }
 
 // --- micro-benchmarks: algorithm throughput -------------------------------
 
@@ -402,6 +408,66 @@ func BenchmarkBicriteriaScalingN(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(arrivals)), "arrivals/op")
 		})
+	}
+}
+
+// --- engine throughput: scaling with shards and submitters ---------------
+
+// BenchmarkEngineThroughput measures end-to-end Submit throughput of the
+// sharded engine across shard counts and concurrent submitter counts on the
+// standard overloaded workload. requests/op stays constant; compare ns/op
+// across the grid to see the scaling. The shards=1/workers=1 cell is the
+// channel-hop overhead over BenchmarkRandomizedOfferWeighted.
+func BenchmarkEngineThroughput(b *testing.B) {
+	ins := benchInstance(b, false)
+	parts := func(k int) [][]int {
+		p, err := admission.PartitionEdges(len(ins.Capacities), k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+				partition := parts(shards)
+				for i := 0; i < b.N; i++ {
+					acfg := core.DefaultConfig()
+					acfg.Seed = uint64(i)
+					eng, err := engine.New(ins.Capacities, engine.Config{
+						Partition: partition, Algorithm: acfg,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					var wg sync.WaitGroup
+					reqCh := make(chan problem.Request)
+					for w := 0; w < workers; w++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							// Drain even after an error so the feeder
+							// cannot block on an abandoned channel.
+							for r := range reqCh {
+								if b.Failed() {
+									continue
+								}
+								if _, err := eng.Submit(r); err != nil {
+									b.Error(err)
+								}
+							}
+						}()
+					}
+					for _, r := range ins.Requests {
+						reqCh <- r
+					}
+					close(reqCh)
+					wg.Wait()
+					eng.Close()
+				}
+				b.ReportMetric(float64(len(ins.Requests)), "requests/op")
+			})
+		}
 	}
 }
 

@@ -1,11 +1,13 @@
-// Command acbench regenerates the reproduction experiments E1–E10 (see
+// Command acbench regenerates the reproduction experiments E1–E13 (see
 // DESIGN.md §4 and EXPERIMENTS.md): empirical competitive-ratio sweeps for
-// every theorem of Alon–Azar–Gutner (SPAA 2005), with scaling-law fits.
+// every theorem of Alon–Azar–Gutner (SPAA 2005), with scaling-law fits,
+// plus the sharded-engine validation sweep (E11, DESIGN.md §5).
 //
 // Usage:
 //
 //	acbench                      # run everything at full scale, ASCII tables
 //	acbench -exp E3              # one experiment
+//	acbench -exp E11             # sharded engine: ratio vs shard count
 //	acbench -list                # list experiments
 //	acbench -scale 0.5 -reps 3   # faster, smaller
 //	acbench -csv out/            # additionally write one CSV per table

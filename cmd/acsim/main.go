@@ -11,6 +11,14 @@
 // Algorithms: randomized, fractional (reports fractional cost only),
 // greedy, preempt-cheapest, preempt-newest, preempt-oldest, preempt-random,
 // det-threshold.
+//
+// The -engine mode serves the instance through the sharded concurrent
+// engine (DESIGN.md §5) instead of a single sequential algorithm:
+//
+//	acsim -engine -shards 4 -workers 8 -workload grid -n 2000 -costs unit
+//
+// It reports the same summary plus engine-specific counters (cross-shard
+// traffic, shard count) and submission throughput.
 package main
 
 import (
@@ -18,9 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"admission/internal/baseline"
 	"admission/internal/core"
+	"admission/internal/engine"
 	"admission/internal/opt"
 	"admission/internal/problem"
 	"admission/internal/trace"
@@ -39,6 +51,9 @@ func main() {
 		showTrace = flag.Bool("trace", false, "print the full decision trace")
 		record    = flag.String("record", "", "write an auditable RecordedRun JSON artifact to this file")
 		noCheck   = flag.Bool("nocheck", false, "disable the feasibility verifier")
+		engMode   = flag.Bool("engine", false, "serve through the sharded concurrent engine")
+		shards    = flag.Int("shards", 1, "engine mode: number of edge shards")
+		workers   = flag.Int("workers", 1, "engine mode: concurrent submitting goroutines")
 	)
 	flag.Parse()
 
@@ -48,6 +63,11 @@ func main() {
 	}
 	if err := ins.Validate(); err != nil {
 		fail(err)
+	}
+
+	if *engMode {
+		runEngine(ins, *shards, *workers, *seed, !*noCheck)
+		return
 	}
 
 	if *algName == "fractional" {
@@ -160,6 +180,100 @@ func buildAlgorithm(name string, ins *problem.Instance, seed uint64) (problem.Al
 		return baseline.NewDetThreshold(caps, cfg, 0.5)
 	default:
 		return nil, fmt.Errorf("acsim: unknown algorithm %q", name)
+	}
+}
+
+// runEngine serves the instance through the sharded engine with the given
+// number of concurrent submitters and prints summary, engine counters, and
+// throughput. With workers=1 the submission order (and, at shards=1, every
+// decision) matches the sequential -alg randomized run for the same seed.
+func runEngine(ins *problem.Instance, shards, workers int, seed uint64, check bool) {
+	if workers < 1 {
+		workers = 1
+	}
+	acfg := core.DefaultConfig()
+	if ins.Unweighted() {
+		acfg = core.UnweightedConfig()
+	}
+	acfg.Seed = seed
+	eng, err := engine.New(ins.Capacities, engine.Config{Shards: shards, Algorithm: acfg})
+	if err != nil {
+		fail(err)
+	}
+
+	start := time.Now()
+	if workers == 1 {
+		for _, r := range ins.Requests {
+			if _, err := eng.Submit(r); err != nil {
+				fail(err)
+			}
+		}
+	} else {
+		var (
+			wg     sync.WaitGroup
+			failed atomic.Bool
+		)
+		reqCh := make(chan problem.Request)
+		errCh := make(chan error, 1)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Keep draining after a failure so the feeder never blocks
+				// on a channel nobody reads.
+				for r := range reqCh {
+					if failed.Load() {
+						continue
+					}
+					if _, err := eng.Submit(r); err != nil {
+						failed.Store(true)
+						select {
+						case errCh <- err:
+						default:
+						}
+					}
+				}
+			}()
+		}
+		for _, r := range ins.Requests {
+			reqCh <- r
+		}
+		close(reqCh)
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			fail(err)
+		default:
+		}
+	}
+	elapsed := time.Since(start)
+	eng.Close()
+	st := eng.Stats()
+
+	if check {
+		for e, load := range st.Loads {
+			if load > ins.Capacities[e] {
+				fail(fmt.Errorf("acsim: edge %d over capacity: load %d > %d", e, load, ins.Capacities[e]))
+			}
+		}
+	}
+
+	fmt.Printf("engine:         %d shards, %d workers\n", eng.Shards(), workers)
+	fmt.Printf("requests:       %d (m=%d edges, c=%d max capacity)\n", ins.N(), ins.M(), ins.MaxCapacity())
+	fmt.Printf("accepted:       %d\n", st.Accepted)
+	fmt.Printf("rejected:       %d decisions (%d preemptions)\n", st.Requests-st.Accepted, st.Preemptions)
+	fmt.Printf("cross-shard:    %d submitted, %d accepted\n", st.CrossShard, st.CrossShardAccepted)
+	fmt.Printf("rejected cost:  %g\n", st.RejectedCost)
+	fmt.Printf("throughput:     %.0f requests/s (%.2fms total)\n",
+		float64(ins.N())/elapsed.Seconds(), float64(elapsed.Microseconds())/1000)
+
+	lb, err := opt.BestLowerBound(ins)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("OPT lower bnd:  %g (LP relaxation%s)\n", lb, qNote(ins))
+	if lb > 0 {
+		fmt.Printf("ratio (vs LB):  %.3f\n", st.RejectedCost/lb)
 	}
 }
 

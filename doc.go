@@ -21,7 +21,10 @@
 //     preemptive heuristics), offline optima (exact branch-and-bound, LP
 //     relaxation via a built-in simplex, greedy multicover), workload
 //     generators and adaptive adversaries, and the experiment harness that
-//     reproduces every theorem's scaling law (see EXPERIMENTS.md).
+//     reproduces every theorem's scaling law (see EXPERIMENTS.md),
+//   - a sharded concurrent serving engine (NewEngine) that partitions the
+//     edge set and runs per-shard §2/§3 instances behind channel-based
+//     event loops, for concurrent traffic (see DESIGN.md §5).
 //
 // # Quick start
 //

@@ -1,0 +1,45 @@
+package admission
+
+import (
+	"admission/internal/engine"
+	"admission/internal/graph"
+)
+
+// Sharded concurrent serving layer (see DESIGN.md §5). The Engine partitions
+// the edge set into shards, runs an independent §2/§3 instance inside each
+// shard's event loop, and serves concurrent Submit calls: single-shard
+// requests take a lock-free fast path through the owning shard, cross-shard
+// requests a two-phase reserve/commit path.
+type (
+	// Engine is the sharded concurrent admission server.
+	Engine = engine.Engine
+	// EngineConfig configures shard count, partition, and the per-shard
+	// algorithm constants.
+	EngineConfig = engine.Config
+	// Decision reports the engine's reaction to one submitted request.
+	Decision = engine.Decision
+	// EngineStats is a snapshot of the engine's aggregate state.
+	EngineStats = engine.Stats
+)
+
+// ErrEngineClosed is returned by Engine.Submit after Close.
+var ErrEngineClosed = engine.ErrClosed
+
+// DefaultEngineConfig returns a single-shard engine configuration over the
+// paper's weighted constants (equivalent to the unsharded §3 algorithm).
+func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
+
+// NewEngine creates a sharded admission engine over the capacity vector.
+// Set cfg.Shards (or provide an explicit cfg.Partition, e.g. from
+// PartitionEdges on a topology) to scale across cores; Submit is safe for
+// concurrent use by any number of goroutines.
+func NewEngine(capacities []int, cfg EngineConfig) (*Engine, error) {
+	return engine.New(capacities, cfg)
+}
+
+// PartitionEdges computes a locality-preserving partition of the index range
+// [0, m) into at most k contiguous balanced shards, suitable for
+// EngineConfig.Partition when no topology is available. Experiments with a
+// real topology should use the graph package's BFS partition instead (the
+// harness's E11 does).
+func PartitionEdges(m, k int) ([][]int, error) { return graph.PartitionRange(m, k) }

@@ -1,0 +1,3 @@
+module admission
+
+go 1.24

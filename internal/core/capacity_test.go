@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"admission/internal/problem"
+)
+
+// TestGrowCapacityRoundTrip: grow undoes shrink on both layers and restores
+// admission of new requests.
+func TestGrowCapacityRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := NewRandomized([]int{1, 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free := a.FreeCapacity(0); free != 1 {
+		t.Fatalf("free(0) = %d, want 1", free)
+	}
+	if _, err := a.ShrinkCapacity(0); err != nil {
+		t.Fatal(err)
+	}
+	if free := a.FreeCapacity(0); free != 0 {
+		t.Fatalf("after shrink: free(0) = %d, want 0", free)
+	}
+	// Edge 0 full: the arrival cannot fit.
+	out, err := a.Offer(0, problem.Request{Edges: []int{0}, Cost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Fatal("accepted onto a fully shrunk edge")
+	}
+	if err := a.GrowCapacity(0); err != nil {
+		t.Fatal(err)
+	}
+	if free := a.FreeCapacity(0); free != 1 {
+		t.Fatalf("after grow: free(0) = %d, want 1", free)
+	}
+	if a.frac.RemainingCapacity(0) != 1 {
+		t.Fatalf("fractional capacity not restored: %d", a.frac.RemainingCapacity(0))
+	}
+	out, err = a.Offer(1, problem.Request{Edges: []int{0}, Cost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatal("rejected after capacity was restored")
+	}
+}
+
+// TestGrowCapacityGuards: growing past the original capacity or out of range
+// fails.
+func TestGrowCapacityGuards(t *testing.T) {
+	a, err := NewRandomized([]int{2}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.GrowCapacity(0); err == nil {
+		t.Fatal("grow at original capacity: want error")
+	}
+	if err := a.GrowCapacity(-1); err == nil {
+		t.Fatal("grow of edge -1: want error")
+	}
+	if err := a.GrowCapacity(1); err == nil {
+		t.Fatal("grow of unknown edge: want error")
+	}
+	if a.FreeCapacity(-1) != 0 || a.FreeCapacity(5) != 0 {
+		t.Fatal("FreeCapacity out of range should be 0")
+	}
+	f, err := NewFractional([]int{2}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.GrowCapacity(7); err == nil {
+		t.Fatal("fractional grow of unknown edge: want error")
+	}
+}

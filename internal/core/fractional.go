@@ -293,6 +293,21 @@ func (f *Fractional) ShrinkCapacity(e int) (Changeset, error) {
 	return cs, nil
 }
 
+// GrowCapacity restores one unit of edge e's capacity, undoing a prior
+// ShrinkCapacity (the engine's two-phase cross-shard path reserves by
+// shrinking and aborts by growing back). Growing only loosens the covering
+// constraint Σ f ≥ n_e, so no weight work is needed; weights raised by the
+// paired shrink stay raised, which is conservative (the fractional solution
+// over-covers slightly). Callers must pair every grow with an earlier shrink
+// on the same edge.
+func (f *Fractional) GrowCapacity(e int) error {
+	if e < 0 || e >= f.m {
+		return fmt.Errorf("core: grow of unknown edge %d", e)
+	}
+	f.caps[e]++
+	return nil
+}
+
 // RegisterInert appends a request that the caller has already rejected
 // outside the fractional accounting (the §3 |REQ_e| safeguard), so that
 // caller request IDs stay aligned with fractional IDs. The request joins no

@@ -41,8 +41,9 @@ type Randomized struct {
 
 	// effCap is the capacity available to this layer: original minus
 	// shrinks. Permanent accepts count against load instead.
-	effCap []int
-	load   []int
+	effCap  []int
+	origCap []int // original capacities; bounds GrowCapacity
+	load    []int
 
 	state        []intState
 	edgesOf      [][]int
@@ -84,6 +85,7 @@ func NewRandomized(capacities []int, cfg Config) (*Randomized, error) {
 		probScale:  cfg.ProbFactor * l,
 		reqCapStop: 4 * m * c * c,
 		effCap:     append([]int(nil), capacities...),
+		origCap:    append([]int(nil), capacities...),
 		load:       make([]int, len(capacities)),
 		reqCount:   make([]int, len(capacities)),
 		poisoned:   make([]bool, len(capacities)),
@@ -303,6 +305,38 @@ func (a *Randomized) ShrinkCapacity(e int) (problem.Outcome, error) {
 		return out, err
 	}
 	return out, nil
+}
+
+// GrowCapacity restores one unit of edge e's capacity, undoing a prior
+// ShrinkCapacity. It is the abort half of the engine's two-phase cross-shard
+// reservation protocol: reserve = shrink, abort = grow. Growing never
+// violates feasibility (load ≤ effCap still holds after effCap increases)
+// and needs no preemptions. It fails if the edge is already at its original
+// capacity, which catches unpaired grows.
+func (a *Randomized) GrowCapacity(e int) error {
+	if e < 0 || e >= a.frac.M() {
+		return fmt.Errorf("core: grow of unknown edge %d", e)
+	}
+	if a.effCap[e] >= a.origCap[e] {
+		return fmt.Errorf("core: edge %d already at original capacity %d", e, a.origCap[e])
+	}
+	if err := a.frac.GrowCapacity(e); err != nil {
+		return err
+	}
+	a.effCap[e]++
+	return nil
+}
+
+// FreeCapacity returns the number of unused integral slots on edge e:
+// effective capacity (original minus shrinks) minus current load. The
+// engine's cross-shard path reserves only on edges with free capacity, which
+// guarantees the reserving shrink's deterministic feasibility repair preempts
+// nothing (the probabilistic §3 rounding may still preempt).
+func (a *Randomized) FreeCapacity(e int) int {
+	if e < 0 || e >= a.frac.M() {
+		return 0
+	}
+	return a.effCap[e] - a.load[e]
 }
 
 // repairEdge restores integral feasibility on edge e after a shrink or a

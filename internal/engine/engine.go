@@ -1,0 +1,475 @@
+// Package engine implements the sharded concurrent admission engine (see
+// DESIGN.md §5): a thread-safe serving layer that partitions the edge set
+// into K shards, runs an independent instance of the paper's §2/§3
+// algorithms inside each shard's event loop, and routes every incoming
+// request to the shard(s) owning its edges.
+//
+// Concurrency model. Each shard is a single goroutine that owns all of its
+// state — the §3 randomized algorithm over the shard's local capacity
+// vector, the local→global ID maps, and the cross-shard reservation
+// counters. Shards communicate exclusively over channels (no mutexes on the
+// admission path): submitters send operations into a shard's queue and block
+// on a per-operation reply channel; the shard drains its queue in batches
+// and decides each operation in arrival order. Shards never send to other
+// shards, so the topology is acyclic and deadlock-free.
+//
+// Requests whose edges all live in one shard take the fast path: a single
+// Offer against that shard's §3 instance, preserving the paper's
+// competitive guarantee within the shard. Requests spanning shards take the
+// two-phase path: the submitting goroutine reserves one capacity unit per
+// edge on every involved shard (reserve = §4 capacity shrink, granted only
+// when the edge has a free integral slot), then commits if every shard
+// granted, or aborts (grow back) if any refused. Cross-shard accepts are
+// permanent — they are never preempted — which is exactly the semantics the
+// §4 reduction gives a shrunk capacity unit.
+//
+// Determinism: with a single submitting goroutine and one shard the engine
+// reproduces the unsharded §3 algorithm decision-for-decision given the same
+// seed (tested); with K shards each shard's decision stream is deterministic
+// in its own arrival order.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"admission/internal/core"
+	"admission/internal/graph"
+	"admission/internal/problem"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Config configures the engine.
+type Config struct {
+	// Shards is the number of edge-set partitions K (default 1, clamped to
+	// the number of edges). Ignored when Partition is set.
+	Shards int
+	// Algorithm configures the per-shard §3 instances. Shard i's seed is
+	// derived from Algorithm.Seed so distinct shards flip independent coins;
+	// shard 0 uses Algorithm.Seed itself, which makes the single-shard
+	// engine bit-identical to the unsharded algorithm.
+	Algorithm core.Config
+	// Partition optionally fixes the edge partition: Partition[s] lists the
+	// global edge IDs owned by shard s. Every edge must appear exactly once.
+	// When nil, a contiguous balanced partition over [0, m) is used
+	// (graph.PartitionRange); callers with a topology should prefer
+	// (*graph.Graph).PartitionEdges for locality.
+	Partition [][]int
+	// BatchSize bounds how many queued operations a shard drains per loop
+	// iteration (default 64).
+	BatchSize int
+	// QueueLen is each shard's operation queue capacity (default 256).
+	QueueLen int
+}
+
+// DefaultConfig returns a single-shard engine over the paper's weighted
+// constants.
+func DefaultConfig() Config {
+	return Config{Shards: 1, Algorithm: core.DefaultConfig()}
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize <= 0 {
+		return 64
+	}
+	return c.BatchSize
+}
+
+func (c Config) queueLen() int {
+	if c.QueueLen <= 0 {
+		return 256
+	}
+	return c.QueueLen
+}
+
+// Decision reports the engine's reaction to one submitted request.
+type Decision struct {
+	// ID is the engine-assigned global request ID.
+	ID int
+	// Accepted reports whether the request was admitted. Single-shard
+	// accepts may later be preempted (their IDs then appear in a subsequent
+	// Decision's Preempted list); cross-shard accepts are permanent.
+	Accepted bool
+	// CrossShard reports whether the request spanned multiple shards and
+	// took the two-phase path.
+	CrossShard bool
+	// Preempted lists global IDs of previously accepted requests rejected
+	// as a consequence of this decision.
+	Preempted []int
+}
+
+// Stats is a snapshot of the engine's aggregate state. Under concurrent
+// submission it is a consistent per-shard snapshot but only approximately
+// consistent across shards; after Close it is exact.
+type Stats struct {
+	Requests           int64
+	Accepted           int64
+	CrossShard         int64
+	CrossShardAccepted int64
+	// Preemptions counts accept-then-reject events across all shards.
+	Preemptions int64
+	// RejectedCost is the objective: Σ cost of rejected and preempted
+	// requests, aggregated over shards and the cross-shard path.
+	RejectedCost float64
+	// Loads is the per-global-edge integral load, counting both shard-local
+	// accepts and cross-shard reservations. Loads[e] ≤ capacity[e] always.
+	Loads []int
+}
+
+// Engine is the sharded concurrent admission server. Submit is safe for
+// concurrent use by any number of goroutines.
+type Engine struct {
+	caps      []int
+	algCfg    core.Config
+	edgeShard []int32 // global edge -> owning shard
+	edgeLocal []int32 // global edge -> index within the shard
+	shards    []*shard
+
+	nextID        atomic.Int64
+	requests      atomic.Int64
+	accepted      atomic.Int64
+	crossShard    atomic.Int64
+	crossAccepted atomic.Int64
+	crossRejected atomicFloat64 // Σ cost of rejected cross-shard requests
+
+	closed   atomic.Bool
+	inflight atomic.Int64 // active Submit/Stats entries; see enter/exit
+	loops    sync.WaitGroup
+}
+
+// enter registers a caller on the admission path. It returns false once the
+// engine is closed. The counter-then-flag order pairs with Close's
+// flag-then-drain order: a caller that incremented before Close set the flag
+// is drained; one that incremented after observes the flag and backs out.
+// (A plain WaitGroup would panic here: Add may not race with Wait.)
+func (e *Engine) enter() bool {
+	e.inflight.Add(1)
+	if e.closed.Load() {
+		e.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// exit balances enter.
+func (e *Engine) exit() { e.inflight.Add(-1) }
+
+// drainInflight blocks until no callers remain on the admission path. Only
+// Close (and post-close snapshot reads) call it, so polling is fine.
+func (e *Engine) drainInflight() {
+	for e.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+// New creates an engine over the capacity vector.
+func New(capacities []int, cfg Config) (*Engine, error) {
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("engine: no edges")
+	}
+	for e, c := range capacities {
+		if c <= 0 {
+			return nil, fmt.Errorf("engine: edge %d has capacity %d, want > 0", e, c)
+		}
+	}
+	if err := cfg.Algorithm.Validate(); err != nil {
+		return nil, err
+	}
+	parts := cfg.Partition
+	if parts == nil {
+		k := cfg.Shards
+		if k <= 0 {
+			k = 1
+		}
+		var err error
+		parts, err = graph.PartitionRange(len(capacities), k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := checkPartition(parts, len(capacities)); err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		caps:      append([]int(nil), capacities...),
+		algCfg:    cfg.Algorithm,
+		edgeShard: make([]int32, len(capacities)),
+		edgeLocal: make([]int32, len(capacities)),
+	}
+	for si, part := range parts {
+		localCaps := make([]int, len(part))
+		globalEdges := make([]int, len(part))
+		for li, ge := range part {
+			e.edgeShard[ge] = int32(si)
+			e.edgeLocal[ge] = int32(li)
+			localCaps[li] = capacities[ge]
+			globalEdges[li] = ge
+		}
+		acfg := cfg.Algorithm
+		acfg.Seed = shardSeed(cfg.Algorithm.Seed, si)
+		alg, err := core.NewRandomized(localCaps, acfg)
+		if err != nil {
+			return nil, fmt.Errorf("engine: shard %d: %w", si, err)
+		}
+		s := &shard{
+			idx:         si,
+			ops:         make(chan op, cfg.queueLen()),
+			batchSize:   cfg.batchSize(),
+			alg:         alg,
+			globalEdges: globalEdges,
+			reserved:    make([]int, len(part)),
+		}
+		e.shards = append(e.shards, s)
+		e.loops.Add(1)
+		go func() {
+			defer e.loops.Done()
+			s.loop()
+		}()
+	}
+	return e, nil
+}
+
+// checkPartition verifies parts is an exact, non-empty cover of [0, m).
+func checkPartition(parts [][]int, m int) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("engine: empty partition")
+	}
+	owner := make([]int, m)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for si, part := range parts {
+		if len(part) == 0 {
+			return fmt.Errorf("engine: partition shard %d is empty", si)
+		}
+		for _, ge := range part {
+			if ge < 0 || ge >= m {
+				return fmt.Errorf("engine: partition shard %d references edge %d, have %d edges", si, ge, m)
+			}
+			if owner[ge] != -1 {
+				return fmt.Errorf("engine: edge %d in both shard %d and shard %d", ge, owner[ge], si)
+			}
+			owner[ge] = si
+		}
+	}
+	for ge, s := range owner {
+		if s == -1 {
+			return fmt.Errorf("engine: edge %d missing from partition", ge)
+		}
+	}
+	return nil
+}
+
+// shardSeed derives shard i's RNG seed. Shard 0 keeps the base seed so a
+// one-shard engine is bit-identical to the unsharded algorithm.
+func shardSeed(base uint64, i int) uint64 {
+	return base ^ (uint64(i) * 0x9e3779b97f4a7c15)
+}
+
+// Shards returns the number of shards.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Submit offers one request to the engine and blocks until it is decided.
+// It is safe for concurrent use; each call is assigned a fresh global ID.
+func (e *Engine) Submit(r problem.Request) (Decision, error) {
+	if !e.enter() {
+		return Decision{}, ErrClosed
+	}
+	defer e.exit()
+	if err := r.Validate(len(e.caps)); err != nil {
+		return Decision{}, err
+	}
+	if e.algCfg.Unweighted && r.Cost != 1 {
+		return Decision{}, fmt.Errorf("engine: unweighted mode requires cost 1, got %v", r.Cost)
+	}
+
+	id := int(e.nextID.Add(1) - 1)
+	e.requests.Add(1)
+
+	// Fast path: all edges in one shard (the common case under a locality
+	// partition) — one local slice, no map.
+	single := int(e.edgeShard[r.Edges[0]])
+	for _, ge := range r.Edges[1:] {
+		if int(e.edgeShard[ge]) != single {
+			single = -1
+			break
+		}
+	}
+	if single >= 0 {
+		local := make([]int, len(r.Edges))
+		for i, ge := range r.Edges {
+			local[i] = int(e.edgeLocal[ge])
+		}
+		return e.submitLocal(id, single, local, r.Cost)
+	}
+
+	// Group the request's edges by owning shard.
+	byShard := map[int][]int{}
+	for _, ge := range r.Edges {
+		si := int(e.edgeShard[ge])
+		byShard[si] = append(byShard[si], int(e.edgeLocal[ge]))
+	}
+	return e.submitCross(id, byShard, r.Cost)
+}
+
+// submitLocal runs the single-shard fast path.
+func (e *Engine) submitLocal(id, si int, localEdges []int, cost float64) (Decision, error) {
+	rep := e.shards[si].call(op{kind: opOffer, globalID: id, edges: localEdges, cost: cost})
+	if rep.err != nil {
+		return Decision{}, rep.err
+	}
+	if rep.ok {
+		e.accepted.Add(1)
+	}
+	return Decision{ID: id, Accepted: rep.ok, Preempted: rep.preempted}, nil
+}
+
+// submitCross runs the two-phase cross-shard path: reserve on every involved
+// shard, then commit (keep the reservations) or abort (grow them back).
+func (e *Engine) submitCross(id int, byShard map[int][]int, cost float64) (Decision, error) {
+	e.crossShard.Add(1)
+	order := make([]int, 0, len(byShard))
+	for si := range byShard {
+		order = append(order, si)
+	}
+	sort.Ints(order)
+
+	// Phase 1: fire all reservations, then collect. Shards work in
+	// parallel; replies arrive on per-op buffered channels.
+	replies := make([]chan reply, len(order))
+	for i, si := range order {
+		replies[i] = e.shards[si].send(op{kind: opReserve, globalID: id, edges: byShard[si]})
+	}
+	granted := make([]int, 0, len(order))
+	var preempted []int
+	ok := true
+	var firstErr error
+	for i, si := range order {
+		rep := <-replies[i]
+		if rep.err != nil && firstErr == nil {
+			firstErr = rep.err
+		}
+		preempted = append(preempted, rep.preempted...)
+		if rep.err == nil && rep.ok {
+			granted = append(granted, si)
+		} else {
+			ok = false
+		}
+	}
+
+	// Phase 2: abort on any refusal, releasing the granted reservations.
+	if !ok {
+		for _, si := range granted {
+			rep := e.shards[si].call(op{kind: opRelease, edges: byShard[si]})
+			if rep.err != nil && firstErr == nil {
+				firstErr = rep.err
+			}
+		}
+		if firstErr != nil {
+			return Decision{}, firstErr
+		}
+		e.crossRejected.Add(cost)
+		return Decision{ID: id, CrossShard: true, Preempted: preempted}, nil
+	}
+	e.accepted.Add(1)
+	e.crossAccepted.Add(1)
+	return Decision{ID: id, Accepted: true, CrossShard: true, Preempted: preempted}, nil
+}
+
+// RejectedCost returns the engine's running objective: total cost of
+// rejected and preempted requests across all shards plus rejected
+// cross-shard requests. See Stats for the consistency caveat under
+// concurrent submission.
+func (e *Engine) RejectedCost() float64 {
+	total := e.crossRejected.Load()
+	for _, snap := range e.snapshots() {
+		total += snap.rejectedCost
+	}
+	return total
+}
+
+// Stats returns a snapshot of the engine's aggregate state.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Requests:           e.requests.Load(),
+		Accepted:           e.accepted.Load(),
+		CrossShard:         e.crossShard.Load(),
+		CrossShardAccepted: e.crossAccepted.Load(),
+		RejectedCost:       e.crossRejected.Load(),
+		Loads:              make([]int, len(e.caps)),
+	}
+	for si, snap := range e.snapshots() {
+		st.RejectedCost += snap.rejectedCost
+		st.Preemptions += int64(snap.preemptions)
+		for li, load := range snap.loads {
+			st.Loads[e.shards[si].globalEdges[li]] = load
+		}
+	}
+	return st
+}
+
+// snapshots collects one state snapshot per shard: live via stats ops while
+// the engine is open, or the final snapshots recorded at loop exit after
+// Close. The enter registration makes a live snapshot safe against a
+// concurrent Close (Close drains it before closing the shard queues).
+func (e *Engine) snapshots() []shardSnapshot {
+	out := make([]shardSnapshot, len(e.shards))
+	if !e.enter() {
+		// Closed: read the final snapshots once the loops have exited.
+		e.loops.Wait()
+		for i, s := range e.shards {
+			out[i] = s.final
+		}
+		return out
+	}
+	replies := make([]chan reply, len(e.shards))
+	for i, s := range e.shards {
+		replies[i] = s.send(op{kind: opStats})
+	}
+	// The ops are queued; shards answer them even if Close runs now, so the
+	// admission path can be released before collecting.
+	e.exit()
+	for i := range replies {
+		out[i] = (<-replies[i]).stats
+	}
+	return out
+}
+
+// Close shuts the engine down: subsequent Submits fail with ErrClosed,
+// in-flight submissions finish, and every shard loop exits after recording
+// its final snapshot. Stats and RejectedCost remain usable (and exact)
+// afterwards. Close is idempotent.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		e.loops.Wait()
+		return
+	}
+	e.drainInflight()
+	for _, s := range e.shards {
+		close(s.ops)
+	}
+	e.loops.Wait()
+}
+
+// atomicFloat64 is a lock-free accumulating float64 (CAS loop over bits).
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat64) Add(delta float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat64) Load() float64 { return math.Float64frombits(a.bits.Load()) }

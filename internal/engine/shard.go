@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"fmt"
+
+	"admission/internal/core"
+	"admission/internal/problem"
+)
+
+// opKind enumerates shard operations.
+type opKind uint8
+
+const (
+	// opOffer runs the shard's §3 instance on a single-shard request.
+	opOffer opKind = iota
+	// opReserve tentatively consumes one capacity unit per listed edge
+	// (two-phase cross-shard, phase 1). Granted only if every edge has a
+	// free integral slot.
+	opReserve
+	// opRelease undoes a granted reservation (two-phase abort).
+	opRelease
+	// opStats asks for a state snapshot.
+	opStats
+)
+
+// op is one message into a shard's queue. edges are local indices.
+type op struct {
+	kind     opKind
+	globalID int
+	edges    []int
+	cost     float64
+	reply    chan reply
+}
+
+// reply is a shard's answer, sent on the op's buffered reply channel.
+type reply struct {
+	ok        bool
+	preempted []int // global request IDs
+	err       error
+	stats     shardSnapshot
+}
+
+// shardSnapshot is a consistent view of one shard's accounting.
+type shardSnapshot struct {
+	requests     int
+	rejectedCost float64
+	preemptions  int
+	loads        []int // per local edge: algorithm load + reservations
+}
+
+// shard owns one edge partition. All fields are touched only by the shard's
+// own goroutine (loop); other goroutines communicate via ops.
+type shard struct {
+	idx       int
+	ops       chan op
+	batchSize int
+
+	alg         *core.Randomized
+	globalEdges []int // local edge -> global edge ID
+	reserved    []int // per local edge: granted cross-shard reservations
+	reqGlobal   []int // local request ID -> global request ID
+
+	// final is the snapshot taken when the loop exits; readable by other
+	// goroutines after Engine.loops.Wait() (happens-before via join).
+	final shardSnapshot
+
+	batch []op // scratch
+}
+
+// send enqueues an op and returns its reply channel without waiting.
+func (s *shard) send(o op) chan reply {
+	o.reply = make(chan reply, 1)
+	s.ops <- o
+	return o.reply
+}
+
+// call enqueues an op and waits for the reply.
+func (s *shard) call(o op) reply { return <-s.send(o) }
+
+// loop is the shard's event loop: drain a batch of queued operations, decide
+// each in arrival order, answer on the per-op reply channels. It exits when
+// the ops channel is closed, leaving the final snapshot behind.
+func (s *shard) loop() {
+	for o := range s.ops {
+		s.batch = append(s.batch[:0], o)
+	drain:
+		for len(s.batch) < s.batchSize {
+			select {
+			case next, open := <-s.ops:
+				if !open {
+					break drain
+				}
+				s.batch = append(s.batch, next)
+			default:
+				break drain
+			}
+		}
+		for _, o := range s.batch {
+			o.reply <- s.handle(o)
+		}
+	}
+	s.final = s.snapshot()
+}
+
+// handle decides one operation.
+func (s *shard) handle(o op) reply {
+	switch o.kind {
+	case opOffer:
+		return s.offer(o)
+	case opReserve:
+		return s.reserve(o)
+	case opRelease:
+		return s.release(o)
+	case opStats:
+		return reply{stats: s.snapshot()}
+	default:
+		return reply{err: fmt.Errorf("engine: shard %d: unknown op %d", s.idx, o.kind)}
+	}
+}
+
+// offer runs the local §3 instance on a fully-local request.
+func (s *shard) offer(o op) reply {
+	lid := len(s.reqGlobal)
+	s.reqGlobal = append(s.reqGlobal, o.globalID)
+	out, err := s.alg.Offer(lid, problem.Request{Edges: o.edges, Cost: o.cost})
+	if err != nil {
+		return reply{err: fmt.Errorf("engine: shard %d: %w", s.idx, err)}
+	}
+	return reply{ok: out.Accepted, preempted: s.toGlobal(out.Preempted)}
+}
+
+// reserve grants a cross-shard reservation iff every listed edge has a free
+// integral slot, consuming one capacity unit per edge via the §4 shrink. The
+// shrink's weight augmentations may preempt local requests probabilistically
+// (reported in the reply); its deterministic feasibility repair never fires
+// because a free slot was verified first and preemptions only free load.
+func (s *shard) reserve(o op) reply {
+	for _, le := range o.edges {
+		if s.alg.FreeCapacity(le) <= 0 {
+			return reply{ok: false}
+		}
+	}
+	var preempted []int
+	for i, le := range o.edges {
+		out, err := s.alg.ShrinkCapacity(le)
+		if err != nil {
+			// Cannot happen given the free-slot check; undo defensively so
+			// an engine bug degrades to a rejection instead of a leak.
+			for _, undo := range o.edges[:i] {
+				if gerr := s.alg.GrowCapacity(undo); gerr != nil {
+					return reply{err: fmt.Errorf("engine: shard %d: rollback: %w", s.idx, gerr)}
+				}
+				s.reserved[undo]--
+			}
+			return reply{preempted: preempted, err: fmt.Errorf("engine: shard %d: reserve: %w", s.idx, err)}
+		}
+		s.reserved[le]++
+		preempted = append(preempted, s.toGlobal(out.Preempted)...)
+	}
+	return reply{ok: true, preempted: preempted}
+}
+
+// release aborts a granted reservation, restoring the shrunk capacity.
+func (s *shard) release(o op) reply {
+	for _, le := range o.edges {
+		if s.reserved[le] <= 0 {
+			return reply{err: fmt.Errorf("engine: shard %d: release of unreserved edge %d", s.idx, le)}
+		}
+		if err := s.alg.GrowCapacity(le); err != nil {
+			return reply{err: fmt.Errorf("engine: shard %d: release: %w", s.idx, err)}
+		}
+		s.reserved[le]--
+	}
+	return reply{ok: true}
+}
+
+// snapshot captures the shard's accounting.
+func (s *shard) snapshot() shardSnapshot {
+	loads := s.alg.Loads()
+	for le, r := range s.reserved {
+		loads[le] += r
+	}
+	return shardSnapshot{
+		requests:     len(s.reqGlobal),
+		rejectedCost: s.alg.RejectedCost(),
+		preemptions:  s.alg.Preemptions(),
+		loads:        loads,
+	}
+}
+
+// toGlobal maps local request IDs to global ones.
+func (s *shard) toGlobal(local []int) []int {
+	if len(local) == 0 {
+		return nil
+	}
+	out := make([]int, len(local))
+	for i, lid := range local {
+		out[i] = s.reqGlobal[lid]
+	}
+	return out
+}

@@ -37,6 +37,13 @@ func admissionSweeps(cfg Config, xOf func(m, c int) float64) (varyM, varyC []swe
 // genOverloaded builds the standard scaling workload: a random graph with m
 // edges and uniform capacity c, oversubscribed 2x.
 func genOverloaded(m, c int, model workload.CostModel, r *rng.RNG) (*problem.Instance, error) {
+	_, ins, err := genOverloadedGraph(m, c, model, r)
+	return ins, err
+}
+
+// genOverloadedGraph is genOverloaded exposing the topology too, for
+// experiments that need it (E11 partitions the graph into engine shards).
+func genOverloadedGraph(m, c int, model workload.CostModel, r *rng.RNG) (*graph.Graph, *problem.Instance, error) {
 	nv := m / 4
 	if nv < 4 {
 		nv = 4
@@ -46,9 +53,13 @@ func genOverloaded(m, c int, model workload.CostModel, r *rng.RNG) (*problem.Ins
 	}
 	g, err := graph.Random(nv, m, c, r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return workload.OverloadedTraffic(g, 2.0, model, r)
+	ins, err := workload.OverloadedTraffic(g, 2.0, model, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, ins, nil
 }
 
 // ratioSeries measures mean ratios across a sweep in parallel, one summary

@@ -13,25 +13,26 @@ import (
 	"admission/internal/workload"
 )
 
-// E11 and E12 extend the reproduction beyond the theorem-by-theorem sweeps:
-// E11 checks that the admission-control guarantee is topology-independent
+// E12 and E13 extend the reproduction beyond the theorem-by-theorem sweeps:
+// E12 checks that the admission-control guarantee is topology-independent
 // (the paper's algorithms work on general graphs and, per §6, even on
-// arbitrary edge subsets), and E12 puts the paper's two online set cover
+// arbitrary edge subsets), and E13 puts the paper's two online set cover
 // algorithms head to head, including the weighted case where the reduction
-// gives O(log²(mn)).
+// gives O(log²(mn)). (E11, the sharded-engine validation, lives in
+// experiments_engine.go.)
 
 func init() {
 	registry = append(registry,
-		Experiment{"E11", "Topology sensitivity of the randomized algorithm", runE11},
-		Experiment{"E12", "Set cover head-to-head: §4 reduction vs §5 bicriteria", runE12},
+		Experiment{"E12", "Topology sensitivity of the randomized algorithm", runE12},
+		Experiment{"E13", "Set cover head-to-head: §4 reduction vs §5 bicriteria", runE13},
 	)
 }
 
-// runE11 measures the unweighted randomized algorithm across topologies at
+// runE12 measures the unweighted randomized algorithm across topologies at
 // matched overload.
-func runE11(cfg Config) ([]*Table, error) {
+func runE12(cfg Config) ([]*Table, error) {
 	t := &Table{
-		ID:      "E11",
+		ID:      "E12",
 		Title:   "Randomized unweighted ratio across topologies (2x oversubscribed)",
 		Columns: []string{"topology", "m", "c", "ratio (mean ± ci95)", "preemption rate"},
 	}
@@ -106,12 +107,12 @@ func runE11(cfg Config) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
-// runE12 compares the two online set cover algorithms on identical inputs,
+// runE13 compares the two online set cover algorithms on identical inputs,
 // in both the unweighted (Thm 4 ⇒ O(log m·log n)) and weighted
 // (Thm 3 ⇒ O(log²(mn))) regimes.
-func runE12(cfg Config) ([]*Table, error) {
+func runE13(cfg Config) ([]*Table, error) {
 	t := &Table{
-		ID:    "E12",
+		ID:    "E13",
 		Title: "Online set cover: §4 reduction (randomized) vs §5 bicriteria (deterministic, ε=0.25)",
 		Columns: []string{"costs", "n", "m", "reduction ratio", "bicriteria ratio",
 			"reduction sets", "bicriteria sets"},

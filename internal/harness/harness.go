@@ -1,8 +1,9 @@
-// Package harness defines and runs the reproduction experiments E1–E10 (see
+// Package harness defines and runs the reproduction experiments E1–E11 (see
 // DESIGN.md §4): for each theorem of the paper it measures empirical
 // competitive ratios against offline optima across parameter sweeps, fits
 // the predicted scaling law, and renders tables (ASCII for the terminal, CSV
-// for plotting).
+// for plotting). E11 additionally validates the sharded serving engine
+// (DESIGN.md §5) against the unsharded algorithm it parallelizes.
 //
 // The paper has no empirical section, so these experiments *are* the
 // reproduction targets: each checks that the measured ratio of the §2/§3/§5
@@ -178,6 +179,7 @@ var registry = []Experiment{
 	{"E8", "Ablation: threshold/probability constants", runE8},
 	{"E9", "Ablation: α oracle vs guess-and-double (§2)", runE9},
 	{"E10", "Preemption necessity: adaptive adversaries ([10] lower bound)", runE10},
+	{"E11", "Sharded engine: ratio degradation vs shard count", runE11},
 }
 
 // Registry lists all experiments in order.

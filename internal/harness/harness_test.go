@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -41,8 +42,8 @@ func TestTableCSV(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(reg))
+	if len(reg) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(reg))
 	}
 	ids := map[string]bool{}
 	for _, e := range reg {
@@ -183,8 +184,31 @@ func TestE10GreedyTrapped(t *testing.T) {
 	}
 }
 
-func TestE11Smoke(t *testing.T) { runExperiment(t, "E11", 1) }
 func TestE12Smoke(t *testing.T) { runExperiment(t, "E12", 1) }
+func TestE13Smoke(t *testing.T) { runExperiment(t, "E13", 1) }
+
+// TestE11EngineWithinTolerance is the E11 acceptance criterion: the sharded
+// engine's empirical ratio stays within 2x of the unsharded §3 algorithm
+// (the K=1 baseline) at every shard count.
+func TestE11EngineWithinTolerance(t *testing.T) {
+	tables := runExperiment(t, "E11", 1)
+	tbl := tables[0]
+	for _, row := range tbl.Rows {
+		var rel float64
+		if _, err := fmt.Sscanf(row[4], "%f", &rel); err != nil {
+			t.Fatalf("unparsable vs-K=1 cell %q", row[4])
+		}
+		if rel > 2 {
+			t.Fatalf("E11: K=%s ratio %.2fx the unsharded baseline, tolerance is 2x\n%s",
+				row[0], rel, tbl.ASCII())
+		}
+	}
+	for _, note := range tbl.Notes {
+		if strings.Contains(note, "FAIL") {
+			t.Fatalf("E11 verdict failed: %s", note)
+		}
+	}
+}
 
 func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
 	// Per-point seeds make every experiment's output independent of the
@@ -232,11 +256,11 @@ func TestRunAllAtTinyScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) < 12 {
+	if len(tables) < 13 {
 		t.Fatalf("RunAll produced %d tables", len(tables))
 	}
 	out := buf.String()
-	for _, id := range []string{"E1", "E4", "E10", "E12"} {
+	for _, id := range []string{"E1", "E4", "E10", "E11", "E12", "E13"} {
 		if !strings.Contains(out, id) {
 			t.Fatalf("RunAll output missing %s", id)
 		}
