@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"admission/internal/problem"
 )
@@ -53,18 +54,43 @@ type Changeset struct {
 	PhaseReset bool
 }
 
-// fracReq is the per-request fractional state.
+// reset prepares a changeset for reuse: flags cleared, slices truncated in
+// place so steady-state callers perform no allocations.
+func (cs *Changeset) reset(id int) {
+	cs.NewID = id
+	cs.PrunedRejected = false
+	cs.PermAccepted = false
+	cs.Changes = cs.Changes[:0]
+	cs.FullyRejected = cs.FullyRejected[:0]
+	cs.PhaseReset = false
+}
+
+// fracReq is the per-request fractional state. It is deliberately
+// pointer-free (the edge set is an offset range into the shared arena, not a
+// slice) so growing the request history never pays pointer zeroing or GC
+// scanning of the whole array.
 type fracReq struct {
-	edges  []int
-	cost   float64
-	norm   float64 // normalized cost in [1, g]; recomputed per phase
-	f      float64 // current weight (resets on phase change)
-	paid   float64 // monotone: max over time of min(f,1)·cost
-	status reqStatus
+	edgeStart int64 // arena offset of the request's edge set
+	edgeEnd   int64
+	cost      float64
+	norm      float64 // normalized cost in [1, g]; recomputed per phase
+	f         float64 // current weight (resets on phase change)
+	paid      float64 // monotone: max over time of min(f,1)·cost
+	status    reqStatus
 }
 
 // Fractional is the §2 online fractional algorithm. It is deterministic.
 // Not safe for concurrent use.
+//
+// Hot-path accounting (see DESIGN.md §6). Per edge it maintains, exactly:
+// aliveCount (the number of alive requests using the edge) and a cached
+// weight sum edgeSum = Σ_{alive} f with a dirty bit. The cached sum is only
+// ever written by a fresh summation over the edge's compacted request list,
+// and the dirty bit is set whenever a member weight changes or a member
+// dies, so a clean cache is bit-identical to what re-summation would
+// produce — the optimized algorithm makes exactly the decisions of the
+// reference implementation. Checking an undisturbed edge's covering
+// invariant is O(1) instead of O(alive).
 type Fractional struct {
 	cfg  Config
 	caps []int // remaining capacities: original − permanent accepts − shrinks
@@ -74,6 +100,29 @@ type Fractional struct {
 
 	reqs  []fracReq
 	edges [][]int // per edge: request IDs that use it (alive and not; pruned lazily)
+
+	// edgeArena backs every request's edge set: one bump allocation instead
+	// of one copy per Offer. Earlier sub-slices stay valid (and immutable)
+	// when the arena's backing array grows.
+	edgeArena []int
+
+	// Per-edge incremental accounting.
+	edgeAliveCount []int     // exact |ALIVE_e|
+	edgeSum        []float64 // cached Σ_{alive∈e} f; valid iff !edgeDirty[e]
+	edgeDirty      []bool
+
+	// Alive free list: doublePhase/initAlpha iterate only alive requests
+	// instead of the full offer history.
+	aliveIDs []int
+	alivePos []int // per request: index into aliveIDs, -1 when not alive
+
+	// Epoch-stamped snapshot scratch, reused across calls: snapVal[id] is
+	// the weight at first touch within the current phase-epoch, valid iff
+	// snapEpoch[id] == epoch. Replaces a per-call map allocation.
+	epoch     uint64
+	snapEpoch []uint64
+	snapVal   []float64
+	touched   []int
 
 	alpha     float64 // current α guess; 0 means not yet determined (doubling mode)
 	phasePaid float64
@@ -102,11 +151,33 @@ func NewFractional(capacities []int, cfg Config) (*Fractional, error) {
 		}
 	}
 	f := &Fractional{
-		cfg:   cfg,
-		caps:  append([]int(nil), capacities...),
-		m:     len(capacities),
-		cmax:  cmax,
-		edges: make([][]int, len(capacities)),
+		cfg:            cfg,
+		caps:           append([]int(nil), capacities...),
+		m:              len(capacities),
+		cmax:           cmax,
+		edges:          make([][]int, len(capacities)),
+		edgeAliveCount: make([]int, len(capacities)),
+		edgeSum:        make([]float64, len(capacities)),
+		edgeDirty:      make([]bool, len(capacities)),
+		epoch:          1,
+	}
+	// Seed every per-edge request list with a fixed-capacity window of one
+	// shared backing block: early joins cost zero allocations, and a list
+	// that outgrows its window migrates to its own array on the next append.
+	// Alive sets scale with the edge's own capacity (weights die once the
+	// excess is covered), so 4·c_e covers the steady state of most
+	// workloads while keeping construction memory O(Σ c_e), not O(m·c).
+	offsets := make([]int, len(capacities)+1)
+	for e, c := range capacities {
+		seedCap := 4 * c
+		if seedCap < 8 {
+			seedCap = 8
+		}
+		offsets[e+1] = offsets[e] + seedCap
+	}
+	block := make([]int, offsets[len(capacities)])
+	for e := range f.edges {
+		f.edges[e] = block[offsets[e]:offsets[e]:offsets[e+1]]
 	}
 	if cfg.Unweighted {
 		f.g = 1
@@ -144,7 +215,10 @@ func (f *Fractional) Weight(id int) float64 {
 	if id < 0 || id >= len(f.reqs) {
 		return 0
 	}
-	return math.Min(f.reqs[id].f, 1)
+	if w := f.reqs[id].f; w < 1 {
+		return w
+	}
+	return 1
 }
 
 // Status returns the request's internal status; exposed for the randomized
@@ -178,7 +252,11 @@ func (f *Fractional) RemainingCapacity(e int) int {
 // weight.
 func (f *Fractional) pay(id int) {
 	r := &f.reqs[id]
-	charge := math.Min(r.f, 1) * r.cost
+	w := r.f
+	if w > 1 {
+		w = 1
+	}
+	charge := w * r.cost
 	if charge > r.paid {
 		f.paid += charge - r.paid
 		f.phasePaid += charge - r.paid
@@ -211,21 +289,98 @@ func (f *Fractional) normalize(id int) {
 	r.norm = n
 }
 
+// appendReq stores a new request, bump-allocating its edge set in the shared
+// arena and growing the per-request accounting arrays in lockstep.
+func (f *Fractional) appendReq(r problem.Request, status reqStatus, weight float64) int {
+	id := len(f.reqs)
+	start := len(f.edgeArena)
+	f.edgeArena = append(f.edgeArena, r.Edges...)
+	f.reqs = append(f.reqs, fracReq{
+		edgeStart: int64(start),
+		edgeEnd:   int64(len(f.edgeArena)),
+		cost:      r.Cost,
+		f:         weight,
+		status:    status,
+	})
+	f.alivePos = append(f.alivePos, -1)
+	f.snapEpoch = append(f.snapEpoch, 0)
+	f.snapVal = append(f.snapVal, 0)
+	return id
+}
+
+// edgesOf resolves a request's edge set against the current arena backing
+// array. Offsets survive arena growth because append copies the prefix.
+func (f *Fractional) edgesOf(r *fracReq) []int {
+	return f.edgeArena[r.edgeStart:r.edgeEnd:r.edgeEnd]
+}
+
+// markAlive inserts request id into the alive free list.
+func (f *Fractional) markAlive(id int) {
+	f.alivePos[id] = len(f.aliveIDs)
+	f.aliveIDs = append(f.aliveIDs, id)
+}
+
+// dropAlive removes request id from the alive free list and retires it from
+// the per-edge accounting: alive counts decrement and the edges' cached sums
+// are invalidated. The caller flips the status.
+func (f *Fractional) dropAlive(id int) {
+	pos := f.alivePos[id]
+	last := len(f.aliveIDs) - 1
+	moved := f.aliveIDs[last]
+	f.aliveIDs[pos] = moved
+	f.alivePos[moved] = pos
+	f.aliveIDs = f.aliveIDs[:last]
+	f.alivePos[id] = -1
+	for _, e := range f.edgesOf(&f.reqs[id]) {
+		f.edgeAliveCount[e]--
+		f.edgeDirty[e] = true
+	}
+}
+
+// snapshot records request id's weight at first touch within the current
+// phase-epoch, for delta reporting.
+func (f *Fractional) snapshot(id int) {
+	if f.snapEpoch[id] != f.epoch {
+		f.snapEpoch[id] = f.epoch
+		f.snapVal[id] = f.reqs[id].f
+		f.touched = append(f.touched, id)
+	}
+}
+
+// resetSnapshots invalidates every recorded snapshot (phase change: deltas
+// restart from the post-reset weights).
+func (f *Fractional) resetSnapshots() {
+	f.epoch++
+	f.touched = f.touched[:0]
+}
+
 // Offer processes an arriving request and returns the changeset.
 func (f *Fractional) Offer(r problem.Request) (Changeset, error) {
-	if err := r.Validate(f.m); err != nil {
+	var cs Changeset
+	if err := f.OfferInto(r, &cs); err != nil {
 		return Changeset{}, err
 	}
-	if f.cfg.Unweighted && r.Cost != 1 {
-		return Changeset{}, fmt.Errorf("core: unweighted mode requires cost 1, got %v", r.Cost)
+	return cs, nil
+}
+
+// OfferInto is the allocation-free form of Offer: the changeset's slices are
+// truncated and reused, so a steady-state caller that recycles cs performs
+// no heap allocations. On error cs is left in an unspecified state.
+func (f *Fractional) OfferInto(r problem.Request, cs *Changeset) error {
+	if err := r.Validate(f.m); err != nil {
+		return err
 	}
-	id := len(f.reqs)
-	cs := Changeset{NewID: id}
-	f.reqs = append(f.reqs, fracReq{
-		edges:  append([]int(nil), r.Edges...),
-		cost:   r.Cost,
-		status: statusAlive,
-	})
+	return f.offerValidated(r, cs)
+}
+
+// offerValidated is OfferInto without the edge-set validation, for callers
+// (the randomized layer) that already validated the request.
+func (f *Fractional) offerValidated(r problem.Request, cs *Changeset) error {
+	if f.cfg.Unweighted && r.Cost != 1 {
+		return fmt.Errorf("core: unweighted mode requires cost 1, got %v", r.Cost)
+	}
+	id := f.appendReq(r, statusAlive, 0)
+	cs.reset(id)
 
 	// §2 cost-window pruning (weighted with a live α only).
 	if !f.cfg.Unweighted && f.alpha > 0 {
@@ -235,9 +390,9 @@ func (f *Fractional) Offer(r problem.Request) (Changeset, error) {
 				cs.PermAccepted = true
 				// Reserving capacity may have created excess for the other
 				// alive requests; restore the covering invariant.
-				reset := f.augmentEdges(r.Edges, &cs)
+				reset, err := f.augmentEdges(f.edgesOf(&f.reqs[id]), cs)
 				cs.PhaseReset = cs.PhaseReset || reset
-				return cs, nil
+				return err
 			}
 			// No spare capacity to reserve (α was guessed too low, or the
 			// adversary saturated the edge with big requests): fall through
@@ -247,17 +402,22 @@ func (f *Fractional) Offer(r problem.Request) (Changeset, error) {
 			f.reqs[id].f = 1
 			f.pay(id)
 			cs.PrunedRejected = true
-			return cs, nil
+			return nil
 		}
 	}
 
 	f.normalize(id)
-	for _, e := range r.Edges {
+	reqEdges := f.edgesOf(&f.reqs[id])
+	for _, e := range reqEdges {
 		f.edges[e] = append(f.edges[e], id)
+		// The arrival's weight is 0, so cached sums stay valid; only the
+		// alive count moves.
+		f.edgeAliveCount[e]++
 	}
-	reset := f.augmentEdges(r.Edges, &cs)
+	f.markAlive(id)
+	reset, err := f.augmentEdges(reqEdges, cs)
 	cs.PhaseReset = cs.PhaseReset || reset
-	return cs, nil
+	return err
 }
 
 // tryPermanentAccept reserves one capacity unit on each edge of request id
@@ -265,12 +425,13 @@ func (f *Fractional) Offer(r problem.Request) (Changeset, error) {
 // remaining adjusted capacity.
 func (f *Fractional) tryPermanentAccept(id int) bool {
 	r := &f.reqs[id]
-	for _, e := range r.edges {
+	edges := f.edgesOf(r)
+	for _, e := range edges {
 		if f.caps[e] <= 0 {
 			return false
 		}
 	}
-	for _, e := range r.edges {
+	for _, e := range edges {
 		f.caps[e]--
 	}
 	r.status = statusPermAccepted
@@ -280,17 +441,27 @@ func (f *Fractional) tryPermanentAccept(id int) bool {
 // ShrinkCapacity permanently removes one capacity unit from edge e (the §4
 // reduction's phase-2 arrival) and restores the covering invariant.
 func (f *Fractional) ShrinkCapacity(e int) (Changeset, error) {
+	var cs Changeset
+	if err := f.ShrinkCapacityInto(e, &cs); err != nil {
+		return Changeset{}, err
+	}
+	return cs, nil
+}
+
+// ShrinkCapacityInto is the allocation-free form of ShrinkCapacity.
+func (f *Fractional) ShrinkCapacityInto(e int, cs *Changeset) error {
 	if e < 0 || e >= f.m {
-		return Changeset{}, fmt.Errorf("core: shrink of unknown edge %d", e)
+		return fmt.Errorf("core: shrink of unknown edge %d", e)
 	}
 	if f.caps[e] <= 0 {
-		return Changeset{}, fmt.Errorf("core: edge %d has no capacity left to shrink", e)
+		return fmt.Errorf("core: edge %d has no capacity left to shrink", e)
 	}
 	f.caps[e]--
-	cs := Changeset{NewID: -1}
-	reset := f.augmentEdges([]int{e}, &cs)
+	cs.reset(-1)
+	edges := [1]int{e}
+	reset, err := f.augmentEdges(edges[:], cs)
 	cs.PhaseReset = reset
-	return cs, nil
+	return err
 }
 
 // GrowCapacity restores one unit of edge e's capacity, undoing a prior
@@ -313,14 +484,7 @@ func (f *Fractional) GrowCapacity(e int) error {
 // caller request IDs stay aligned with fractional IDs. The request joins no
 // edge lists and is charged no fractional cost. Returns the assigned ID.
 func (f *Fractional) RegisterInert(r problem.Request) int {
-	id := len(f.reqs)
-	f.reqs = append(f.reqs, fracReq{
-		edges:  append([]int(nil), r.Edges...),
-		cost:   r.Cost,
-		f:      1,
-		status: statusPrunedRejected,
-	})
-	return id
+	return f.appendReq(r, statusPrunedRejected, 1)
 }
 
 // ForceReject marks an alive request as fully rejected (used by the
@@ -332,6 +496,7 @@ func (f *Fractional) ForceReject(id int) error {
 	r := &f.reqs[id]
 	switch r.status {
 	case statusAlive:
+		f.dropAlive(id)
 		r.status = statusFullyRejected
 		r.f = 1
 		f.pay(id)
@@ -358,95 +523,127 @@ func (f *Fractional) aliveOn(e int) []int {
 	return f.edges[e]
 }
 
+// refreshEdge recomputes edge e's cached weight sum by fresh summation over
+// the compacted alive list, re-establishing the clean-cache invariant.
+func (f *Fractional) refreshEdge(e int) {
+	sum := 0.0
+	for _, id := range f.aliveOn(e) {
+		sum += f.reqs[id].f
+	}
+	f.edgeSum[e] = sum
+	f.edgeDirty[e] = false
+}
+
 // augmentEdges restores Σ_{alive} f ≥ n_e on every listed edge, iterating to
 // a fixpoint because an augmentation on one edge can fully-reject a request
 // and disturb another. It reports whether any α-doubling phase reset
 // occurred. Weight increases are accumulated into cs.
-func (f *Fractional) augmentEdges(edgeList []int, cs *Changeset) (reset bool) {
-	// before[id] is the weight at the start of the (current phase of the)
-	// call, for delta reporting.
-	before := make(map[int]float64)
-	snapshot := func(id int) {
-		if _, ok := before[id]; !ok {
-			before[id] = f.reqs[id].f
-		}
-	}
+//
+// Cost model: checking an edge whose member weights did not change since its
+// last refresh is O(1) (exact alive count, clean cached sum). Only edges
+// actually disturbed — by an augmentation, a full rejection, or a phase
+// reset — pay a re-summation, so an Offer's cost is proportional to the
+// requests it touches rather than to the total history of the run.
+func (f *Fractional) augmentEdges(edgeList []int, cs *Changeset) (reset bool, err error) {
+	f.resetSnapshots()
 
 	for pass := 0; ; pass++ {
+		if pass > 64 {
+			// Bounded weights make >64 fixpoint passes impossible; reaching
+			// this means the covering invariant may be unrestored.
+			return reset, fmt.Errorf(
+				"core: augmentEdges: covering fixpoint not reached after %d passes over %d edges (alive-set accounting bug; invariant possibly unrestored)",
+				pass, len(edgeList))
+		}
 		satisfied := true
 		for _, e := range edgeList {
 			for {
-				alive := f.aliveOn(e)
-				ne := len(alive) - f.caps[e]
+				ne := f.edgeAliveCount[e] - f.caps[e]
 				if ne <= 0 {
 					break
 				}
-				sum := 0.0
-				for _, id := range alive {
-					sum += f.reqs[id].f
+				if f.edgeDirty[e] {
+					f.refreshEdge(e)
 				}
-				if sum >= float64(ne) {
+				if f.edgeSum[e] >= float64(ne) {
 					break
+				}
+				// Clean cache ⇒ the list was compacted when the sum was last
+				// refreshed and nobody died since, so it is all-alive here.
+				alive := f.edges[e]
+				if len(alive) == 0 {
+					return reset, fmt.Errorf(
+						"core: augmentEdges: edge %d overloaded (n_e = %d) with no alive requests (capacity accounting bug)",
+						e, ne)
 				}
 				satisfied = false
 				// One weight augmentation (§2 steps a–c).
 				f.augmentations++
 				if f.needsAlpha() {
-					f.initAlpha(e, alive)
+					f.initAlpha(alive)
 					// α initialization changes the normalization of every
 					// alive request.
 					reset = true
-					before = make(map[int]float64)
+					f.resetSnapshots()
 				}
 				initW := 1 / (f.g * float64(f.cmax))
 				for _, id := range alive {
-					snapshot(id)
+					f.snapshot(id)
 					r := &f.reqs[id]
 					if r.f == 0 {
 						r.f = initW
 					}
 				}
+				// Multiply pass, fused with the next iteration's fresh sum:
+				// survivors are compacted in place and their new weights
+				// accumulated in list order, which is bit-identical to
+				// re-summing the compacted list afterwards.
+				w := 0
+				sum := 0.0
 				for _, id := range alive {
 					r := &f.reqs[id]
 					r.f *= 1 + 1/(float64(ne)*r.norm)
 					f.pay(id)
+					for _, e2 := range f.edgesOf(r) {
+						if e2 != e {
+							f.edgeDirty[e2] = true
+						}
+					}
 					if r.f >= 1 {
 						r.status = statusFullyRejected
+						f.dropAlive(id)
 						cs.FullyRejected = append(cs.FullyRejected, id)
+					} else {
+						alive[w] = id
+						w++
+						sum += r.f
 					}
 				}
+				f.edges[e] = alive[:w]
+				// dropAlive marked e dirty for each death, but the fused sum
+				// already reflects the survivors exactly.
+				f.edgeSum[e] = sum
+				f.edgeDirty[e] = false
 				if f.overBudget() {
 					f.doublePhase()
 					reset = true
-					before = make(map[int]float64)
+					f.resetSnapshots()
 				}
 			}
 		}
-		if satisfied || pass > 64 {
-			// pass > 64 cannot happen with bounded weights; the guard keeps
-			// a logic bug from looping forever.
+		if satisfied {
 			break
 		}
 	}
 
-	for id, b := range before {
+	slices.Sort(f.touched)
+	for _, id := range f.touched {
 		cur := f.reqs[id].f
-		if cur > b {
+		if b := f.snapVal[id]; cur > b {
 			cs.Changes = append(cs.Changes, WeightChange{ID: id, Delta: cur - b})
 		}
 	}
-	sortChanges(cs.Changes)
-	return reset
-}
-
-func sortChanges(ch []WeightChange) {
-	// Insertion sort: change lists are short and this avoids pulling in
-	// sort for a hot path.
-	for i := 1; i < len(ch); i++ {
-		for j := i; j > 0 && ch[j].ID < ch[j-1].ID; j-- {
-			ch[j], ch[j-1] = ch[j-1], ch[j]
-		}
-	}
+	return reset, nil
 }
 
 // needsAlpha reports whether the doubling scheme still awaits its first
@@ -456,8 +653,9 @@ func (f *Fractional) needsAlpha() bool {
 }
 
 // initAlpha sets the initial guess α = min cost over the overloaded edge's
-// alive requests (§2), and normalizes every alive request.
-func (f *Fractional) initAlpha(e int, alive []int) {
+// alive requests (§2), and normalizes every alive request. Weights are
+// untouched, so cached edge sums stay valid.
+func (f *Fractional) initAlpha(alive []int) {
 	minCost := math.Inf(1)
 	for _, id := range alive {
 		if c := f.reqs[id].cost; c < minCost {
@@ -469,10 +667,8 @@ func (f *Fractional) initAlpha(e int, alive []int) {
 	}
 	f.alpha = minCost
 	f.phasePaid = 0
-	for id := range f.reqs {
-		if f.reqs[id].status == statusAlive {
-			f.normalize(id)
-		}
+	for _, id := range f.aliveIDs {
+		f.normalize(id)
 	}
 }
 
@@ -489,23 +685,27 @@ func (f *Fractional) overBudget() bool {
 // doublePhase advances the guess-and-double scheme: α doubles, the phase
 // cost counter resets, alive weights restart from zero ("forget about all
 // the request fractions rejected so far"), and normalized costs are
-// recomputed. Cost already charged (paid) is never un-charged.
+// recomputed. Cost already charged (paid) is never un-charged. Every alive
+// weight changes, so every cached edge sum is invalidated.
 func (f *Fractional) doublePhase() {
 	f.alpha *= 2
 	f.phases++
 	f.phasePaid = 0
-	for id := range f.reqs {
+	for _, id := range f.aliveIDs {
 		r := &f.reqs[id]
-		if r.status == statusAlive {
-			r.f = 0
-			f.normalize(id)
-		}
+		r.f = 0
+		f.normalize(id)
+	}
+	for e := range f.edgeDirty {
+		f.edgeDirty[e] = true
 	}
 }
 
 // CheckCovered verifies the covering invariant Σ_{alive} f_i ≥ n_e on the
 // given edges (nil = all edges whose excess is positive). Intended for
-// tests: the §2 algorithm guarantees it on the edges of each arrival.
+// tests: the §2 algorithm guarantees it on the edges of each arrival. It
+// deliberately recomputes from the raw request lists rather than the cached
+// accounting.
 func (f *Fractional) CheckCovered(edgeList []int) error {
 	if edgeList == nil {
 		edgeList = make([]int, f.m)
@@ -533,12 +733,50 @@ func (f *Fractional) CheckCovered(edgeList []int) error {
 	return nil
 }
 
+// auditAccounting cross-checks the incremental per-edge accounting against
+// a from-scratch recomputation: exact alive counts, and — for clean caches —
+// bit-identical sums. Test hook; O(history).
+func (f *Fractional) auditAccounting() error {
+	aliveSet := make(map[int]bool, len(f.aliveIDs))
+	for i, id := range f.aliveIDs {
+		if f.alivePos[id] != i {
+			return fmt.Errorf("core: audit: alivePos[%d] = %d, want %d", id, f.alivePos[id], i)
+		}
+		if f.reqs[id].status != statusAlive {
+			return fmt.Errorf("core: audit: request %d in alive list with status %d", id, f.reqs[id].status)
+		}
+		aliveSet[id] = true
+	}
+	for id := range f.reqs {
+		if f.reqs[id].status == statusAlive && f.alivePos[id] >= 0 != aliveSet[id] {
+			return fmt.Errorf("core: audit: request %d alive-list membership inconsistent", id)
+		}
+	}
+	for e := 0; e < f.m; e++ {
+		count := 0
+		sum := 0.0
+		for _, id := range f.edges[e] {
+			if f.reqs[id].status == statusAlive {
+				count++
+				sum += f.reqs[id].f
+			}
+		}
+		if count != f.edgeAliveCount[e] {
+			return fmt.Errorf("core: audit: edge %d alive count %d, recomputed %d", e, f.edgeAliveCount[e], count)
+		}
+		if !f.edgeDirty[e] && sum != f.edgeSum[e] {
+			return fmt.Errorf("core: audit: edge %d clean cached sum %v, recomputed %v", e, f.edgeSum[e], sum)
+		}
+	}
+	return nil
+}
+
 // AliveCount returns the number of alive fractional requests on edge e.
 func (f *Fractional) AliveCount(e int) int {
 	if e < 0 || e >= f.m {
 		return 0
 	}
-	return len(f.aliveOn(e))
+	return f.edgeAliveCount[e]
 }
 
 // NumRequests returns how many requests have been offered.
@@ -550,7 +788,7 @@ func (f *Fractional) RequestEdges(id int) []int {
 	if id < 0 || id >= len(f.reqs) {
 		return nil
 	}
-	return f.reqs[id].edges
+	return f.edgesOf(&f.reqs[id])
 }
 
 // RequestCost returns the original cost of request id.

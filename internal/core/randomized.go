@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"admission/internal/problem"
 	"admission/internal/rng"
@@ -30,6 +29,10 @@ const (
 //
 // L is log(mc) in the weighted case and log m in the unweighted case.
 // It implements problem.Algorithm and problem.CapacityShrinker.
+//
+// Request edge sets and costs live in the fractional layer (IDs are aligned
+// by construction), so they are stored exactly once; per-edge accepted-ID
+// indexes keep poisonEdge/repairEdge from scanning the full offer history.
 type Randomized struct {
 	cfg  Config
 	frac *Fractional
@@ -46,13 +49,20 @@ type Randomized struct {
 	load    []int
 
 	state        []intState
-	edgesOf      [][]int
-	costOf       []float64
 	rejectedCost float64
 	preemptions  int
 
+	// acceptedOn[e] lists the IDs of requests accepted on edge e, ascending
+	// (acceptance happens in arrival order). Preempted entries are pruned
+	// lazily; appends compact once the list outgrows twice the live load.
+	acceptedOn [][]int
+
 	reqCount []int  // |REQ_e| per edge, for the 4mc² safeguard
 	poisoned []bool // edges whose requests are all rejected (safeguard fired)
+
+	// cs is the reusable changeset for the fractional calls: steady-state
+	// Offers recycle its slices instead of allocating.
+	cs Changeset
 
 	// arrivalKilled is scratch state for the Offer/Shrink call in flight:
 	// set when the arriving request is rejected during rounding, consulted
@@ -77,7 +87,7 @@ func NewRandomized(capacities []int, cfg Config) (*Randomized, error) {
 	} else {
 		l = cfg.logB(m * c)
 	}
-	return &Randomized{
+	a := &Randomized{
 		cfg:        cfg,
 		frac:       frac,
 		rand:       rng.New(cfg.Seed),
@@ -87,9 +97,26 @@ func NewRandomized(capacities []int, cfg Config) (*Randomized, error) {
 		effCap:     append([]int(nil), capacities...),
 		origCap:    append([]int(nil), capacities...),
 		load:       make([]int, len(capacities)),
+		acceptedOn: make([][]int, len(capacities)),
 		reqCount:   make([]int, len(capacities)),
 		poisoned:   make([]bool, len(capacities)),
-	}, nil
+	}
+	// Carve each edge's accepted index out of one shared block sized to its
+	// compaction bound (len ≤ max(8, 2·load) ≤ 2·cap entries stay live), so
+	// steady-state accepts allocate nothing.
+	offsets := make([]int, len(capacities)+1)
+	for e, cap := range capacities {
+		n := 2*cap + 2
+		if n < 9 {
+			n = 9
+		}
+		offsets[e+1] = offsets[e] + n
+	}
+	block := make([]int, offsets[len(capacities)])
+	for e := range a.acceptedOn {
+		a.acceptedOn[e] = block[offsets[e]:offsets[e]:offsets[e+1]]
+	}
+	return a, nil
 }
 
 // Name implements problem.Algorithm.
@@ -116,6 +143,32 @@ func (a *Randomized) Augmentations() int { return a.frac.Augmentations() }
 // Threshold returns the preemption threshold 1/(T·L); exposed for tests.
 func (a *Randomized) Threshold() float64 { return a.threshold }
 
+// accept flips request id to accepted, charging its slots and indexing it on
+// its edges.
+func (a *Randomized) accept(id int, edges []int) {
+	a.state[id] = intAccepted
+	for _, e := range edges {
+		a.load[e]++
+		list := append(a.acceptedOn[e], id)
+		if len(list) > 8 && len(list) > 2*a.load[e] {
+			list = a.compactAccepted(list)
+		}
+		a.acceptedOn[e] = list
+	}
+}
+
+// compactAccepted drops non-accepted entries in place, preserving order.
+func (a *Randomized) compactAccepted(list []int) []int {
+	w := 0
+	for _, id := range list {
+		if a.state[id] == intAccepted {
+			list[w] = id
+			w++
+		}
+	}
+	return list[:w]
+}
+
 // Offer implements problem.Algorithm.
 func (a *Randomized) Offer(id int, r problem.Request) (problem.Outcome, error) {
 	if id != len(a.state) {
@@ -124,9 +177,13 @@ func (a *Randomized) Offer(id int, r problem.Request) (problem.Outcome, error) {
 	if err := r.Validate(a.frac.M()); err != nil {
 		return problem.Outcome{}, err
 	}
+	// Reject invalid costs before growing any per-request state: an error
+	// past this point would leave a.state and the fractional layer's request
+	// IDs permanently misaligned.
+	if a.cfg.Unweighted && r.Cost != 1 {
+		return problem.Outcome{}, fmt.Errorf("core: unweighted mode requires cost 1, got %v", r.Cost)
+	}
 	a.state = append(a.state, intRejected) // provisional; flipped on accept
-	a.edgesOf = append(a.edgesOf, append([]int(nil), r.Edges...))
-	a.costOf = append(a.costOf, r.Cost)
 
 	var out problem.Outcome
 
@@ -150,10 +207,12 @@ func (a *Randomized) Offer(id int, r problem.Request) (problem.Outcome, error) {
 		}
 	}
 
-	cs, err := a.frac.Offer(r)
-	if err != nil {
+	// The request was validated above; the fractional layer skips re-checking
+	// the edge set.
+	if err := a.frac.offerValidated(r, &a.cs); err != nil {
 		return problem.Outcome{}, err
 	}
+	cs := &a.cs
 	if cs.PrunedRejected {
 		a.rejectedCost += r.Cost
 		return out, nil
@@ -164,10 +223,7 @@ func (a *Randomized) Offer(id int, r problem.Request) (problem.Outcome, error) {
 		// a permanent accept consumes a slot like a shrink does — any edge
 		// left over capacity is repaired by preempting the heaviest-weight
 		// ordinary requests.
-		a.state[id] = intAccepted
-		for _, e := range r.Edges {
-			a.load[e]++
-		}
+		a.accept(id, r.Edges)
 		out.Accepted = true
 		a.roundChanges(id, cs, &out)
 		for _, e := range r.Edges {
@@ -193,10 +249,7 @@ func (a *Randomized) Offer(id int, r problem.Request) (problem.Outcome, error) {
 			}
 		}
 		if fits {
-			a.state[id] = intAccepted
-			for _, e := range r.Edges {
-				a.load[e]++
-			}
+			a.accept(id, r.Edges)
 			out.Accepted = true
 			return out, nil
 		}
@@ -208,7 +261,7 @@ func (a *Randomized) Offer(id int, r problem.Request) (problem.Outcome, error) {
 // roundChanges applies §3 steps 2 and 3 to a changeset. The arriving
 // request (cs.NewID, may be -1 for shrinks) is special: it is not yet
 // accepted, so "rejecting" it merely marks it killed for step 4.
-func (a *Randomized) roundChanges(arrivalID int, cs Changeset, out *problem.Outcome) {
+func (a *Randomized) roundChanges(arrivalID int, cs *Changeset, out *problem.Outcome) {
 	a.arrivalKilled = false
 
 	kill := func(id int) {
@@ -220,10 +273,10 @@ func (a *Randomized) roundChanges(arrivalID int, cs Changeset, out *problem.Outc
 			return
 		}
 		a.state[id] = intRejected
-		for _, e := range a.edgesOf[id] {
+		for _, e := range a.frac.RequestEdges(id) {
 			a.load[e]--
 		}
-		a.rejectedCost += a.costOf[id]
+		a.rejectedCost += a.frac.RequestCost(id)
 		a.preemptions++
 		out.Preempted = append(out.Preempted, id)
 	}
@@ -255,32 +308,26 @@ func (a *Randomized) roundChanges(arrivalID int, cs Changeset, out *problem.Outc
 }
 
 // poisonEdge rejects every accepted request using edge e and marks it so
-// all future requests touching it are rejected on arrival.
+// all future requests touching it are rejected on arrival. The per-edge
+// accepted index makes this proportional to the edge's own accepted set, not
+// the full offer history; the index is ascending, so victims fall in request-
+// ID order exactly as a full scan would produce.
 func (a *Randomized) poisonEdge(e int, out *problem.Outcome) {
 	a.poisoned[e] = true
-	for id, st := range a.state {
-		if st != intAccepted {
-			continue
-		}
-		uses := false
-		for _, ee := range a.edgesOf[id] {
-			if ee == e {
-				uses = true
-				break
-			}
-		}
-		if !uses {
-			continue
+	for _, id := range a.acceptedOn[e] {
+		if a.state[id] != intAccepted {
+			continue // stale entry: preempted earlier, pruned now
 		}
 		a.state[id] = intRejected
-		for _, ee := range a.edgesOf[id] {
+		for _, ee := range a.frac.RequestEdges(id) {
 			a.load[ee]--
 		}
-		a.rejectedCost += a.costOf[id]
+		a.rejectedCost += a.frac.RequestCost(id)
 		a.preemptions++
 		out.Preempted = append(out.Preempted, id)
 		_ = a.frac.ForceReject(id)
 	}
+	a.acceptedOn[e] = a.acceptedOn[e][:0]
 }
 
 // ShrinkCapacity implements problem.CapacityShrinker: one unit of edge e's
@@ -295,12 +342,11 @@ func (a *Randomized) ShrinkCapacity(e int) (problem.Outcome, error) {
 	if a.effCap[e] <= 0 {
 		return out, fmt.Errorf("core: edge %d has no capacity left to shrink", e)
 	}
-	cs, err := a.frac.ShrinkCapacity(e)
-	if err != nil {
+	if err := a.frac.ShrinkCapacityInto(e, &a.cs); err != nil {
 		return out, err
 	}
 	a.effCap[e]--
-	a.roundChanges(-1, cs, &out)
+	a.roundChanges(-1, &a.cs, &out)
 	if err := a.repairEdge(e, &out); err != nil {
 		return out, err
 	}
@@ -327,6 +373,19 @@ func (a *Randomized) GrowCapacity(e int) error {
 	return nil
 }
 
+// CanShrink reports whether ShrinkCapacity(e) would be admissible: both the
+// integral layer (effective capacity) and the fractional layer (adjusted
+// capacity, which permanent accepts also consume) must have a unit left.
+// The engine's reserve path checks this before shrinking, because an edge
+// can have free integral slots while its fractional capacity is exhausted
+// by permanent accepts — shrinking would then fail.
+func (a *Randomized) CanShrink(e int) bool {
+	if e < 0 || e >= a.frac.M() {
+		return false
+	}
+	return a.effCap[e] > 0 && a.frac.RemainingCapacity(e) > 0
+}
+
 // FreeCapacity returns the number of unused integral slots on edge e:
 // effective capacity (original minus shrinks) minus current load. The
 // engine's cross-shard path reserves only on edges with free capacity, which
@@ -342,46 +401,44 @@ func (a *Randomized) FreeCapacity(e int) int {
 // repairEdge restores integral feasibility on edge e after a shrink or a
 // permanent accept: while the edge is over capacity, it preempts the
 // ordinary (non-permanently-accepted) accepted request with the largest
-// fractional weight. The rounding usually freed the slot already, so this
-// is rarely more than a no-op.
+// fractional weight (ties to the largest ID). The rounding usually freed the
+// slot already, so this is rarely more than a no-op. Victims are found by
+// partial selection over the edge's accepted index — one O(k) scan per
+// preemption instead of a full-history sort.
 func (a *Randomized) repairEdge(e int, out *problem.Outcome) error {
 	if a.load[e] <= a.effCap[e] {
 		return nil
 	}
-	var onEdge []int
-	for id, st := range a.state {
-		if st != intAccepted {
-			continue
-		}
-		if _, _, perm, _ := a.frac.Status(id); perm {
-			continue // permanent accepts are never preempted
-		}
-		for _, ee := range a.edgesOf[id] {
-			if ee == e {
-				onEdge = append(onEdge, id)
-				break
+	onEdge := a.compactAccepted(a.acceptedOn[e])
+	a.acceptedOn[e] = onEdge
+	for a.load[e] > a.effCap[e] {
+		victim := -1
+		var vw float64
+		for _, id := range onEdge {
+			if a.state[id] != intAccepted {
+				continue // preempted by an earlier selection round
+			}
+			if _, _, perm, _ := a.frac.Status(id); perm {
+				continue // permanent accepts are never preempted
+			}
+			w := a.frac.Weight(id)
+			// Strict > on ascending IDs keeps the largest ID among equal
+			// weights, matching the reference weight-desc/ID-desc order.
+			if victim == -1 || w > vw || (w == vw && id > victim) {
+				victim, vw = id, w
 			}
 		}
-	}
-	sort.Slice(onEdge, func(i, j int) bool {
-		wi, wj := a.frac.Weight(onEdge[i]), a.frac.Weight(onEdge[j])
-		if wi != wj {
-			return wi > wj
-		}
-		return onEdge[i] > onEdge[j]
-	})
-	for _, id := range onEdge {
-		if a.load[e] <= a.effCap[e] {
+		if victim == -1 {
 			break
 		}
-		a.state[id] = intRejected
-		for _, ee := range a.edgesOf[id] {
+		a.state[victim] = intRejected
+		for _, ee := range a.frac.RequestEdges(victim) {
 			a.load[ee]--
 		}
-		a.rejectedCost += a.costOf[id]
+		a.rejectedCost += a.frac.RequestCost(victim)
 		a.preemptions++
-		out.Preempted = append(out.Preempted, id)
-		_ = a.frac.ForceReject(id)
+		out.Preempted = append(out.Preempted, victim)
+		_ = a.frac.ForceReject(victim)
 	}
 	if a.load[e] > a.effCap[e] {
 		return fmt.Errorf("core: repair failed on edge %d: load %d > cap %d", e, a.load[e], a.effCap[e])

@@ -18,7 +18,8 @@
 // competitive guarantee within the shard. Requests spanning shards take the
 // two-phase path: the submitting goroutine reserves one capacity unit per
 // edge on every involved shard (reserve = §4 capacity shrink, granted only
-// when the edge has a free integral slot), then commits if every shard
+// when the edge has a free integral slot and remaining fractional adjusted
+// capacity), then commits if every shard
 // granted, or aborts (grow back) if any refused. Cross-shard accepts are
 // permanent — they are never preempted — which is exactly the semantics the
 // §4 reduction gives a shrunk capacity unit.
@@ -45,6 +46,13 @@ import (
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("engine: closed")
+
+// edgeBufPool recycles the local-edge-index scratch slices of the
+// single-shard fast path.
+var edgeBufPool = sync.Pool{New: func() any {
+	b := make([]int, 0, 16)
+	return &b
+}}
 
 // Config configures the engine.
 type Config struct {
@@ -304,11 +312,18 @@ func (e *Engine) Submit(r problem.Request) (Decision, error) {
 		}
 	}
 	if single >= 0 {
-		local := make([]int, len(r.Edges))
-		for i, ge := range r.Edges {
-			local[i] = int(e.edgeLocal[ge])
+		buf := edgeBufPool.Get().(*[]int)
+		local := (*buf)[:0]
+		for _, ge := range r.Edges {
+			local = append(local, int(e.edgeLocal[ge]))
 		}
-		return e.submitLocal(id, single, local, r.Cost)
+		d, err := e.submitLocal(id, single, local, r.Cost)
+		// The shard is done with the slice once the reply has been received
+		// (the §3 layer copies edge sets into its arena), so it can be
+		// recycled now.
+		*buf = local
+		edgeBufPool.Put(buf)
+		return d, err
 	}
 
 	// Group the request's edges by owning shard.
@@ -353,7 +368,7 @@ func (e *Engine) submitCross(id int, byShard map[int][]int, cost float64) (Decis
 	ok := true
 	var firstErr error
 	for i, si := range order {
-		rep := <-replies[i]
+		rep := recvReply(replies[i])
 		if rep.err != nil && firstErr == nil {
 			firstErr = rep.err
 		}
@@ -438,7 +453,7 @@ func (e *Engine) snapshots() []shardSnapshot {
 	// admission path can be released before collecting.
 	e.exit()
 	for i := range replies {
-		out[i] = (<-replies[i]).stats
+		out[i] = recvReply(replies[i]).stats
 	}
 	return out
 }

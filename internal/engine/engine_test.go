@@ -426,3 +426,63 @@ func TestUnweightedCostRejected(t *testing.T) {
 		t.Fatal("want cost validation error")
 	}
 }
+
+// TestCrossShardReserveExhaustedFractionalCapacity is a regression test: a
+// weighted workload whose permanent accepts (§2 R_big) exhaust an edge's
+// fractional adjusted capacity used to make cross-shard reservations on that
+// edge fail with "no capacity left to shrink" errors out of Submit, because
+// the reserve pre-check consulted only the integral free slots. Reserves must
+// instead refuse cleanly (cross-shard rejection), and Submit must never
+// error on valid input.
+func TestCrossShardReserveExhaustedFractionalCapacity(t *testing.T) {
+	caps := []int{4, 4, 4, 4, 4, 4, 4, 4}
+	parts, err := graph.PartitionRange(len(caps), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := core.DefaultConfig()
+	acfg.Seed = 17
+	eng, err := New(caps, Config{Partition: parts, Algorithm: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Heavily overloaded two-edge cross-shard requests with spread costs: α
+	// settles near the cheap end, so expensive arrivals permanently accept
+	// and drain the fractional capacities.
+	r := rng.New(4242)
+	const workers = 8
+	var wg sync.WaitGroup
+	reqCh := make(chan problem.Request)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Keep draining after a failure so the feeder never blocks on an
+			// abandoned channel.
+			for req := range reqCh {
+				if t.Failed() {
+					continue
+				}
+				if _, err := eng.Submit(req); err != nil {
+					t.Errorf("Submit: %v", err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4000; i++ {
+		perm := r.Perm(len(caps))
+		k := 1 + r.Intn(3)
+		reqCh <- problem.Request{Edges: append([]int(nil), perm[:k]...), Cost: float64(1 + r.Intn(9))}
+	}
+	close(reqCh)
+	wg.Wait()
+
+	st := eng.Stats()
+	for e, l := range st.Loads {
+		if l > caps[e] {
+			t.Fatalf("edge %d load %d exceeds capacity %d", e, l, caps[e])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"admission/internal/core"
 	"admission/internal/problem"
@@ -48,6 +49,19 @@ type shardSnapshot struct {
 	loads        []int // per local edge: algorithm load + reservations
 }
 
+// replyPool recycles the per-operation reply channels: every op's channel
+// carries exactly one send and one receive, so a channel is safe to reuse as
+// soon as its reply has been consumed. This removes one channel allocation
+// per operation from the admission path.
+var replyPool = sync.Pool{New: func() any { return make(chan reply, 1) }}
+
+// recvReply receives an op's reply and returns its channel to the pool.
+func recvReply(ch chan reply) reply {
+	r := <-ch
+	replyPool.Put(ch)
+	return r
+}
+
 // shard owns one edge partition. All fields are touched only by the shard's
 // own goroutine (loop); other goroutines communicate via ops.
 type shard struct {
@@ -67,15 +81,16 @@ type shard struct {
 	batch []op // scratch
 }
 
-// send enqueues an op and returns its reply channel without waiting.
+// send enqueues an op and returns its reply channel without waiting. The
+// channel comes from replyPool; consume it with recvReply to recycle it.
 func (s *shard) send(o op) chan reply {
-	o.reply = make(chan reply, 1)
+	o.reply = replyPool.Get().(chan reply)
 	s.ops <- o
 	return o.reply
 }
 
 // call enqueues an op and waits for the reply.
-func (s *shard) call(o op) reply { return <-s.send(o) }
+func (s *shard) call(o op) reply { return recvReply(s.send(o)) }
 
 // loop is the shard's event loop: drain a batch of queued operations, decide
 // each in arrival order, answer on the per-op reply channels. It exits when
@@ -136,7 +151,12 @@ func (s *shard) offer(o op) reply {
 // because a free slot was verified first and preemptions only free load.
 func (s *shard) reserve(o op) reply {
 	for _, le := range o.edges {
-		if s.alg.FreeCapacity(le) <= 0 {
+		// A free integral slot is not sufficient: the fractional layer's
+		// adjusted capacity (consumed by §2 permanent accepts) must also
+		// have a unit left, or the shrink below would fail. Both conditions
+		// are stable for the rest of this op — only this shard's own
+		// offers/shrinks move them.
+		if s.alg.FreeCapacity(le) <= 0 || !s.alg.CanShrink(le) {
 			return reply{ok: false}
 		}
 	}

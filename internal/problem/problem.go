@@ -37,6 +37,22 @@ func (r Request) Validate(numEdges int) error {
 	if !(r.Cost > 0) || math.IsInf(r.Cost, 1) || math.IsNaN(r.Cost) {
 		return fmt.Errorf("problem: request cost %v not in (0, +inf)", r.Cost)
 	}
+	// Requests are short edge sets (paths), so a quadratic duplicate scan
+	// beats a map allocation on the hot path; fall back to a map for
+	// pathologically long requests.
+	if len(r.Edges) <= 64 {
+		for i, e := range r.Edges {
+			if e < 0 || e >= numEdges {
+				return fmt.Errorf("problem: request references edge %d, have %d edges", e, numEdges)
+			}
+			for _, prev := range r.Edges[:i] {
+				if prev == e {
+					return fmt.Errorf("problem: request repeats edge %d", e)
+				}
+			}
+		}
+		return nil
+	}
 	seen := make(map[int]bool, len(r.Edges))
 	for _, e := range r.Edges {
 		if e < 0 || e >= numEdges {

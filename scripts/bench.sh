@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# bench.sh — run the core performance benchmarks and write a JSON summary.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Runs the §2/§3 hot-path benchmarks (steady-state Offer, scaling in m and c,
+# sharded engine throughput) with -benchmem and records ns/op, B/op and
+# allocs/op per benchmark. The committed BENCH_<pr>.json files form the perf
+# trajectory of the repository: each file is the baseline its successor PR is
+# measured against.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_2.json}"
+
+pattern='BenchmarkRandomizedOfferWeighted$|BenchmarkRandomizedOfferUnweighted$|BenchmarkRandomizedScalingM|BenchmarkRandomizedScalingC|BenchmarkEngineThroughput'
+
+raw="$(go test -run '^$' -bench "$pattern" -benchmem -count=1 .)"
+echo "$raw" >&2
+
+echo "$raw" | awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = "" ; bytes = "" ; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (!first) print ","
+    first = 0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+}
+END { print "\n]" }
+' > "$out"
+
+echo "wrote $out" >&2
