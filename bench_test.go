@@ -1,6 +1,7 @@
-// Benchmarks: one per reproduction experiment (E1–E13, see DESIGN.md §4 and
+// Benchmarks: one per reproduction experiment (E1–E14, see DESIGN.md §4 and
 // EXPERIMENTS.md), micro-benchmarks of the individual algorithms, and
-// throughput benchmarks of the sharded concurrent engine (DESIGN.md §5).
+// throughput benchmarks of the sharded concurrent engine (DESIGN.md §5) and
+// the HTTP serving layer over loopback (DESIGN.md §7).
 //
 // The experiment benchmarks execute the same code paths as `acbench -exp
 // <id>` at a reduced scale so `go test -bench=.` terminates in minutes; the
@@ -11,11 +12,15 @@
 package admission_test
 
 import (
+	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"admission"
 	"admission/internal/baseline"
@@ -27,6 +32,7 @@ import (
 	"admission/internal/opt"
 	"admission/internal/problem"
 	"admission/internal/rng"
+	"admission/internal/server"
 	"admission/internal/setcover"
 	"admission/internal/trace"
 	"admission/internal/workload"
@@ -91,6 +97,7 @@ func BenchmarkE10PreemptionNecessity(b *testing.B) { runExperimentBench(b, "E10"
 func BenchmarkE11ShardedEngine(b *testing.B)       { runExperimentBench(b, "E11", 3) }
 func BenchmarkE12Topologies(b *testing.B)          { runExperimentBench(b, "E12", -1) }
 func BenchmarkE13SetCoverHeadToHead(b *testing.B)  { runExperimentBench(b, "E13", -1) }
+func BenchmarkE14ServerLoopback(b *testing.B)      { runExperimentBench(b, "E14", 3) }
 
 // --- micro-benchmarks: algorithm throughput -------------------------------
 
@@ -473,6 +480,68 @@ func BenchmarkEngineThroughput(b *testing.B) {
 				b.ReportMetric(float64(len(ins.Requests)), "requests/op")
 			})
 		}
+	}
+}
+
+// BenchmarkServerLoopback measures end-to-end throughput of the full
+// serving stack — acload's load generator driving acserve's HTTP batching
+// pipeline over a real loopback TCP listener — at 1 and 8 client
+// connections. The decisions/s metric is the committed acceptance figure
+// for the serving layer (target: ≥ 50k decisions/s at conns=8 on one
+// machine); requests/op stays constant so ns/op is comparable across
+// runs.
+func BenchmarkServerLoopback(b *testing.B) {
+	ins := benchInstance(b, false)
+	for _, conns := range []int{1, 8} {
+		b.Run(fmt.Sprintf("conns=%d", conns), func(b *testing.B) {
+			var thru float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				acfg := core.DefaultConfig()
+				acfg.Seed = uint64(i)
+				eng, err := engine.New(ins.Capacities, engine.Config{Shards: 4, Algorithm: acfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv := server.New(eng, server.Config{})
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				httpSrv := &http.Server{Handler: srv.Handler()}
+				go func() { _ = httpSrv.Serve(ln) }()
+				base := "http://" + ln.Addr().String()
+				if err := server.NewClient(base, 1).WaitHealthy(5 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				report, err := server.RunLoad(context.Background(), server.LoadConfig{
+					BaseURL:  base,
+					Requests: ins.Requests,
+					Conns:    conns,
+					Batch:    256,
+				})
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.Decided != int64(len(ins.Requests)) || report.Errors != 0 {
+					b.Fatalf("decided %d of %d, %d errors", report.Decided, len(ins.Requests), report.Errors)
+				}
+				thru = report.Throughput
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				if err := srv.Drain(ctx); err != nil {
+					b.Fatal(err)
+				}
+				cancel()
+				_ = httpSrv.Close()
+				eng.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(thru, "decisions/s")
+			b.ReportMetric(float64(len(ins.Requests)), "requests/op")
+		})
 	}
 }
 

@@ -1,0 +1,114 @@
+// Command acload drives an acserve instance with generated traffic and
+// reports achieved throughput and latency percentiles, making the serving
+// layer benchmarkable end to end (DESIGN.md §7, experiment E14).
+//
+// Steady-state mode sends a named workload (the same registry acsim and
+// acgen use) in batches over concurrent connections, optionally paced to a
+// target rate:
+//
+//	acload -url http://127.0.0.1:8080 -workload grid -n 20000 -conns 8 -batch 256
+//	acload -url http://127.0.0.1:8080 -workload single-edge -n 5000 -rps 10000
+//
+// The workload must fit the server's capacity vector: start acserve with
+// the same -workload/-cap (or -edges ≥ the workload's edge count).
+//
+// Adversary mode plays an adaptive adversary one request at a time,
+// reconstructing the rejected cost from the decision stream:
+//
+//	acload -url http://127.0.0.1:8080 -adversary weighted-trap -W 1000
+//	acload -url http://127.0.0.1:8080 -adversary repeated-trap -rounds 16
+//
+// (Adversaries need a server over their own capacity vector: capacity-1
+// edges, e.g. `acserve -edges 16 -cap 1`.)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"admission/internal/server"
+	"admission/internal/workload"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "acserve base URL")
+		wl       = flag.String("workload", "grid", "named workload to send")
+		costs    = flag.String("costs", "uniform", "cost model: unit | uniform | pareto")
+		capacity = flag.Int("cap", 8, "per-edge capacity for the workload generator")
+		n        = flag.Int("n", 10000, "requests to generate")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		conns    = flag.Int("conns", 4, "concurrent connections")
+		batch    = flag.Int("batch", 128, "requests per HTTP submission")
+		rps      = flag.Float64("rps", 0, "target requests/sec over all connections (0 = unthrottled)")
+		repeat   = flag.Int("repeat", 1, "times to cycle the sequence")
+		advName  = flag.String("adversary", "", "adaptive adversary mode: weighted-trap | path-trap | repeated-trap")
+		advW     = flag.Float64("W", 1000, "adversary: expensive-request cost")
+		advK     = flag.Int("K", 8, "adversary: path length (path-trap)")
+		advR     = flag.Int("rounds", 8, "adversary: trap rounds (repeated-trap)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *advName != "" {
+		runAdversary(ctx, *url, *advName, *advW, *advK, *advR)
+		return
+	}
+
+	model, err := workload.ParseCostModel(*costs)
+	if err != nil {
+		fail(err)
+	}
+	ins, err := workload.BuildNamed(*wl, model, *capacity, *n, *seed)
+	if err != nil {
+		fail(err)
+	}
+	report, err := server.RunLoad(ctx, server.LoadConfig{
+		BaseURL:  *url,
+		Requests: ins.Requests,
+		Conns:    *conns,
+		Batch:    *batch,
+		RPS:      *rps,
+		Repeat:   *repeat,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(report)
+}
+
+// runAdversary plays one adaptive adversary game over HTTP and prints the
+// reconstructed outcome.
+func runAdversary(ctx context.Context, url, name string, w float64, k, rounds int) {
+	var adv workload.Adversary
+	switch name {
+	case "weighted-trap":
+		adv = &workload.WeightedRatioAdversary{W: w}
+	case "path-trap":
+		adv = &workload.PathRatioAdversary{K: k}
+	case "repeated-trap":
+		adv = &workload.RepeatedTrapAdversary{Rounds: rounds, W: w}
+	default:
+		fail(fmt.Errorf("unknown adversary %q (want weighted-trap|path-trap|repeated-trap)", name))
+	}
+	res, err := server.RunAdversarial(ctx, url, adv)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("adversary:      %s\n", workload.Describe(adv))
+	fmt.Printf("requests:       %d\n", res.Requests)
+	fmt.Printf("accepted:       %d (final)\n", res.Accepted)
+	fmt.Printf("preemptions:    %d\n", res.Preemptions)
+	fmt.Printf("rejected cost:  %g\n", res.RejectedCost)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "acload:", err)
+	os.Exit(1)
+}

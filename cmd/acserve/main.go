@@ -1,0 +1,143 @@
+// Command acserve runs the network-facing admission service (DESIGN.md §7):
+// an HTTP JSON front end over the sharded concurrent engine, with batched
+// submission, streaming decision responses, Prometheus metrics, and
+// graceful drain on SIGINT/SIGTERM.
+//
+// The capacity vector comes from a built-in workload's topology (the same
+// names acsim and acgen use) or from a flat -edges/-cap pair:
+//
+//	acserve -addr :8080 -workload grid -cap 8 -shards 4
+//	acserve -addr :8080 -edges 64 -cap 16 -shards 8 -batch 512 -flush 1ms
+//
+// Endpoints:
+//
+//	POST /v1/submit   one request {"edges":[0,1],"cost":2.5} or an array;
+//	                  responds with one NDJSON decision line per request
+//	GET  /v1/stats    engine + pipeline statistics (JSON)
+//	GET  /metrics     Prometheus text format
+//	GET  /healthz     liveness; 503 while draining
+//
+// On SIGINT/SIGTERM the server stops accepting connections, completes
+// in-flight submissions (HTTP drain, then pipeline drain), closes the
+// engine, and prints final statistics to stderr.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"admission/internal/core"
+	"admission/internal/engine"
+	"admission/internal/server"
+	"admission/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		wl         = flag.String("workload", "", "built-in workload supplying the capacity vector (overrides -edges)")
+		edges      = flag.Int("edges", 32, "number of edges for a flat network")
+		capacity   = flag.Int("cap", 8, "per-edge capacity")
+		shards     = flag.Int("shards", 1, "engine shard count")
+		seed       = flag.Uint64("seed", 1, "algorithm seed")
+		unweighted = flag.Bool("unweighted", false, "use the paper's unweighted constants (requires cost-1 requests)")
+		batch      = flag.Int("batch", 256, "max submissions coalesced into one engine batch")
+		flush      = flag.Duration("flush", 500*time.Microsecond, "max wait before flushing a non-full batch")
+		queue      = flag.Int("queue", 8192, "submission queue capacity (backpressure bound)")
+		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	caps, err := buildCapacities(*wl, *edges, *capacity, *seed)
+	if err != nil {
+		fail(err)
+	}
+	acfg := core.DefaultConfig()
+	if *unweighted {
+		acfg = core.UnweightedConfig()
+	}
+	acfg.Seed = *seed
+	eng, err := engine.New(caps, engine.Config{Shards: *shards, Algorithm: acfg})
+	if err != nil {
+		fail(err)
+	}
+	srv := server.New(eng, server.Config{
+		BatchSize:     *batch,
+		FlushInterval: *flush,
+		QueueLen:      *queue,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "acserve: serving m=%d edges (max capacity %d) on %s, %d shards, batch %d, flush %v\n",
+			len(caps), maxOf(caps), *addr, eng.Shards(), *batch, *flush)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fail(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "acserve: %v — draining\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "acserve: http shutdown: %v\n", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "acserve: pipeline drain: %v\n", err)
+	}
+	eng.Close()
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr,
+		"acserve: final stats: %d requests, %d accepted, %d preemptions, rejected cost %g\n",
+		st.Requests, st.Accepted, st.Preemptions, st.RejectedCost)
+}
+
+// buildCapacities derives the capacity vector: from a named workload's
+// generated topology, or a flat vector of `edges` copies of `capacity`.
+func buildCapacities(wl string, edges, capacity int, seed uint64) ([]int, error) {
+	if wl != "" {
+		ins, err := workload.BuildNamed(wl, workload.CostUnit, capacity, 0, seed)
+		if err != nil {
+			return nil, err
+		}
+		return ins.Capacities, nil
+	}
+	if edges <= 0 || capacity <= 0 {
+		return nil, fmt.Errorf("acserve: need -edges > 0 and -cap > 0")
+	}
+	caps := make([]int, edges)
+	for i := range caps {
+		caps[i] = capacity
+	}
+	return caps, nil
+}
+
+func maxOf(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "acserve:", err)
+	os.Exit(1)
+}

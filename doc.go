@@ -24,7 +24,11 @@
 //     reproduces every theorem's scaling law (see EXPERIMENTS.md),
 //   - a sharded concurrent serving engine (NewEngine) that partitions the
 //     edge set and runs per-shard §2/§3 instances behind channel-based
-//     event loops, for concurrent traffic (see DESIGN.md §5).
+//     event loops, for concurrent traffic (see DESIGN.md §5),
+//   - a network-facing HTTP admission service (cmd/acserve) over the
+//     engine, with batched submission, streaming decisions, Prometheus
+//     metrics and graceful drain, plus a load generator (cmd/acload) —
+//     see DESIGN.md §7.
 //
 // # Quick start
 //

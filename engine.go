@@ -9,17 +9,29 @@ import (
 // the edge set into shards, runs an independent §2/§3 instance inside each
 // shard's event loop, and serves concurrent Submit calls: single-shard
 // requests take a lock-free fast path through the owning shard, cross-shard
-// requests a two-phase reserve/commit path.
+// requests a two-phase reserve/commit path. SubmitBatch pipelines a whole
+// slice of requests through the shards at once — the per-request channel
+// round-trip is paid once per batch — which is what the network-facing
+// service (cmd/acserve, DESIGN.md §7) builds its coalescing pipeline on.
 type (
-	// Engine is the sharded concurrent admission server.
+	// Engine is the sharded concurrent admission server. Submit and
+	// SubmitBatch are safe for concurrent use by any number of goroutines;
+	// Close drains in-flight submissions and leaves exact statistics
+	// readable.
 	Engine = engine.Engine
-	// EngineConfig configures shard count, partition, and the per-shard
-	// algorithm constants.
+	// EngineConfig configures shard count, partition, per-shard algorithm
+	// constants, and the shard event-loop batch/queue sizes.
 	EngineConfig = engine.Config
-	// Decision reports the engine's reaction to one submitted request.
+	// Decision reports the engine's reaction to one submitted request:
+	// the assigned global ID, acceptance, whether the request crossed
+	// shards, and any requests preempted as a consequence.
 	Decision = engine.Decision
-	// EngineStats is a snapshot of the engine's aggregate state.
+	// EngineStats is a snapshot of the engine's aggregate state
+	// (accept/reject/preemption totals, rejected cost, per-edge loads).
 	EngineStats = engine.Stats
+	// EngineShardStat is one shard's load/occupancy snapshot, the per-shard
+	// view behind acserve's /metrics occupancy gauges.
+	EngineShardStat = engine.ShardStat
 )
 
 // ErrEngineClosed is returned by Engine.Submit after Close.

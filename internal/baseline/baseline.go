@@ -9,7 +9,11 @@
 // is not reproduced in the paper's text; as deterministic preemptive
 // baselines we provide victim-selection heuristics (cheapest/newest/random)
 // and a deterministic threshold rounding of the paper's own §2 fractional
-// solution — see DESIGN.md's substitution notes.
+// solution — see DESIGN.md §3's substitution notes.
+//
+// Concurrency contract: like the §2/§3 algorithms in internal/core, every
+// baseline is a sequential online algorithm — one Offer at a time from a
+// single goroutine; run independent instances for parallel sweeps.
 package baseline
 
 import (

@@ -11,6 +11,13 @@
 // rejects proportionally to weight increases, and falls back to rejecting
 // the arriving request when its path is still saturated, which keeps the
 // integral solution feasible deterministically.
+//
+// Concurrency contract: Fractional and Randomized are single-threaded
+// online algorithms — their Offer/ShrinkCapacity streams mutate shared
+// incremental state and must be called from one goroutine at a time with
+// no interleaving. Concurrent serving is layered above: internal/engine
+// runs one Randomized instance per shard, each confined to its shard's
+// event-loop goroutine.
 package core
 
 import (

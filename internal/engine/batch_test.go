@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"admission/internal/core"
+	"admission/internal/problem"
+)
+
+// TestSubmitBatchMatchesSequential is the batching contract: SubmitBatch
+// over a slice produces the identical decision stream to calling Submit on
+// each element in order, for any shard count (per-shard arrival order is
+// preserved either way).
+func TestSubmitBatchMatchesSequential(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			ins := testInstance(t, 7, 500, false)
+			acfg := core.DefaultConfig()
+			acfg.Seed = 11
+
+			seq, err := New(ins.Capacities, Config{Shards: shards, Algorithm: acfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer seq.Close()
+			bat, err := New(ins.Capacities, Config{Shards: shards, Algorithm: acfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bat.Close()
+
+			want := make([]Decision, 0, len(ins.Requests))
+			for _, r := range ins.Requests {
+				d, err := seq.Submit(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, d)
+			}
+			// Submit in several batches to exercise batch boundaries.
+			got := make([]Decision, 0, len(ins.Requests))
+			for lo := 0; lo < len(ins.Requests); lo += 97 {
+				hi := min(lo+97, len(ins.Requests))
+				ds, err := bat.SubmitBatch(ins.Requests[lo:hi])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, ds...)
+			}
+
+			if len(got) != len(want) {
+				t.Fatalf("got %d decisions, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID || got[i].Accepted != want[i].Accepted ||
+					got[i].CrossShard != want[i].CrossShard {
+					t.Fatalf("decision %d: got %+v, want %+v", i, got[i], want[i])
+				}
+				gp := problem.SortedCopy(got[i].Preempted)
+				wp := problem.SortedCopy(want[i].Preempted)
+				if len(gp) != len(wp) {
+					t.Fatalf("decision %d: preempted %v, want %v", i, gp, wp)
+				}
+				for j := range gp {
+					if gp[j] != wp[j] {
+						t.Fatalf("decision %d: preempted %v, want %v", i, gp, wp)
+					}
+				}
+			}
+			ss, bs := seq.Stats(), bat.Stats()
+			if ss.Accepted != bs.Accepted || ss.RejectedCost != bs.RejectedCost ||
+				ss.Preemptions != bs.Preemptions {
+				t.Fatalf("stats diverge: sequential %+v, batch %+v", ss, bs)
+			}
+		})
+	}
+}
+
+// TestSubmitBatchValidationAtomic checks that a batch containing an invalid
+// request is rejected wholesale before any dispatch.
+func TestSubmitBatchValidationAtomic(t *testing.T) {
+	eng, err := New([]int{2, 2}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, err = eng.SubmitBatch([]problem.Request{
+		{Edges: []int{0}, Cost: 1},
+		{Edges: []int{5}, Cost: 1}, // out of range
+	})
+	if err == nil {
+		t.Fatal("want validation error")
+	}
+	if st := eng.Stats(); st.Requests != 0 {
+		t.Fatalf("batch partially submitted: %d requests counted", st.Requests)
+	}
+}
+
+// TestSubmitBatchPrevalidatedMatches checks the hot-path variant produces
+// the identical decision stream to SubmitBatch on already-valid input.
+func TestSubmitBatchPrevalidatedMatches(t *testing.T) {
+	ins := testInstance(t, 15, 300, false)
+	acfg := core.DefaultConfig()
+	acfg.Seed = 2
+	a, err := New(ins.Capacities, Config{Shards: 2, Algorithm: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(ins.Capacities, Config{Shards: 2, Algorithm: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	da, err := a.SubmitBatch(ins.Requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.SubmitBatchPrevalidated(ins.Requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range da {
+		if da[i].Accepted != db[i].Accepted || da[i].ID != db[i].ID || db[i].Err != nil {
+			t.Fatalf("decision %d: %+v vs %+v", i, da[i], db[i])
+		}
+	}
+}
+
+// TestSubmitBatchClosed checks ErrClosed and the empty-batch fast path.
+func TestSubmitBatchClosed(t *testing.T) {
+	eng, err := New([]int{2}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds, err := eng.SubmitBatch(nil); err != nil || ds != nil {
+		t.Fatalf("empty batch: got (%v, %v)", ds, err)
+	}
+	eng.Close()
+	if _, err := eng.SubmitBatch([]problem.Request{{Edges: []int{0}, Cost: 1}}); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+// TestShardStatsReconcile checks that the per-shard view sums to the
+// aggregate Stats view, and that occupancy inputs are sane.
+func TestShardStatsReconcile(t *testing.T) {
+	ins := testInstance(t, 21, 600, false)
+	acfg := core.DefaultConfig()
+	acfg.Seed = 3
+	eng, err := New(ins.Capacities, Config{Shards: 4, Algorithm: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SubmitBatch(ins.Requests); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	st := eng.Stats()
+	per := eng.ShardStats()
+	if len(per) != eng.Shards() {
+		t.Fatalf("got %d shard stats, want %d", len(per), eng.Shards())
+	}
+	var load, capSum, preempt int
+	var rejected float64
+	for _, s := range per {
+		if s.Load < 0 || s.Load > s.Capacity {
+			t.Fatalf("shard %d: load %d outside [0, %d]", s.Shard, s.Load, s.Capacity)
+		}
+		load += s.Load
+		capSum += s.Capacity
+		preempt += s.Preemptions
+		rejected += s.RejectedCost
+	}
+	wantCap := 0
+	for _, c := range ins.Capacities {
+		wantCap += c
+	}
+	if capSum != wantCap {
+		t.Fatalf("shard capacities sum to %d, want %d", capSum, wantCap)
+	}
+	wantLoad := 0
+	for _, l := range st.Loads {
+		wantLoad += l
+	}
+	if load != wantLoad {
+		t.Fatalf("shard loads sum to %d, Stats.Loads sums to %d", load, wantLoad)
+	}
+	if int64(preempt) != st.Preemptions {
+		t.Fatalf("shard preemptions sum to %d, Stats has %d", preempt, st.Preemptions)
+	}
+	// Cross-shard rejected cost is accounted at the engine, not the shards.
+	if rejected > st.RejectedCost {
+		t.Fatalf("shard rejected cost %g exceeds aggregate %g", rejected, st.RejectedCost)
+	}
+}
+
+// TestConcurrentSubmitBatch races SubmitBatch callers against each other
+// and Stats readers; run with -race.
+func TestConcurrentSubmitBatch(t *testing.T) {
+	ins := testInstance(t, 33, 800, false)
+	acfg := core.DefaultConfig()
+	acfg.Seed = 5
+	eng, err := New(ins.Capacities, Config{Shards: 4, Algorithm: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const workers = 4
+	per := len(ins.Requests) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for at := lo; at < hi; at += 64 {
+				end := min(at+64, hi)
+				if _, err := eng.SubmitBatch(ins.Requests[at:end]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			eng.Stats()
+			eng.ShardStats()
+		}
+	}()
+	wg.Wait()
+	eng.Close()
+	st := eng.Stats()
+	if st.Requests != int64(workers*per) {
+		t.Fatalf("got %d requests, want %d", st.Requests, workers*per)
+	}
+	for e, load := range st.Loads {
+		if load > ins.Capacities[e] {
+			t.Fatalf("edge %d over capacity: %d > %d", e, load, ins.Capacities[e])
+		}
+	}
+}

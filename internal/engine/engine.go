@@ -111,11 +111,18 @@ type Decision struct {
 	// Preempted lists global IDs of previously accepted requests rejected
 	// as a consequence of this decision.
 	Preempted []int
+	// Err carries a per-request engine failure (only reachable through the
+	// batch paths; Submit returns such failures as its error instead). A
+	// decision with Err set has no other meaningful fields beyond ID, and
+	// the request was neither accepted nor charged as rejected.
+	Err error
 }
 
 // Stats is a snapshot of the engine's aggregate state. Under concurrent
 // submission it is a consistent per-shard snapshot but only approximately
-// consistent across shards; after Close it is exact.
+// consistent across shards; after Close it is exact. The serving layer
+// (internal/server) exposes these fields — together with the per-shard
+// ShardStats view — on its /metrics endpoint.
 type Stats struct {
 	Requests           int64
 	Accepted           int64
@@ -285,6 +292,25 @@ func shardSeed(base uint64, i int) uint64 {
 // Shards returns the number of shards.
 func (e *Engine) Shards() int { return len(e.shards) }
 
+// NumEdges returns the number of edges of the capacity vector the engine
+// was created over.
+func (e *Engine) NumEdges() int { return len(e.caps) }
+
+// ValidateRequest checks a request against the engine's edge count and
+// algorithm configuration without submitting it. It performs exactly the
+// validation Submit would, so callers batching requests (the serving
+// layer) can reject malformed items up front and submit only clean
+// batches.
+func (e *Engine) ValidateRequest(r problem.Request) error {
+	if err := r.Validate(len(e.caps)); err != nil {
+		return err
+	}
+	if e.algCfg.Unweighted && r.Cost != 1 {
+		return fmt.Errorf("engine: unweighted mode requires cost 1, got %v", r.Cost)
+	}
+	return nil
+}
+
 // Submit offers one request to the engine and blocks until it is decided.
 // It is safe for concurrent use; each call is assigned a fresh global ID.
 func (e *Engine) Submit(r problem.Request) (Decision, error) {
@@ -292,11 +318,8 @@ func (e *Engine) Submit(r problem.Request) (Decision, error) {
 		return Decision{}, ErrClosed
 	}
 	defer e.exit()
-	if err := r.Validate(len(e.caps)); err != nil {
+	if err := e.ValidateRequest(r); err != nil {
 		return Decision{}, err
-	}
-	if e.algCfg.Unweighted && r.Cost != 1 {
-		return Decision{}, fmt.Errorf("engine: unweighted mode requires cost 1, got %v", r.Cost)
 	}
 
 	id := int(e.nextID.Add(1) - 1)
@@ -304,35 +327,51 @@ func (e *Engine) Submit(r problem.Request) (Decision, error) {
 
 	// Fast path: all edges in one shard (the common case under a locality
 	// partition) — one local slice, no map.
-	single := int(e.edgeShard[r.Edges[0]])
-	for _, ge := range r.Edges[1:] {
-		if int(e.edgeShard[ge]) != single {
-			single = -1
-			break
-		}
-	}
-	if single >= 0 {
-		buf := edgeBufPool.Get().(*[]int)
-		local := (*buf)[:0]
-		for _, ge := range r.Edges {
-			local = append(local, int(e.edgeLocal[ge]))
-		}
-		d, err := e.submitLocal(id, single, local, r.Cost)
+	if single := e.singleShardOf(r.Edges); single >= 0 {
+		buf := e.localizeEdges(r.Edges)
+		d, err := e.submitLocal(id, single, *buf, r.Cost)
 		// The shard is done with the slice once the reply has been received
 		// (the §3 layer copies edge sets into its arena), so it can be
 		// recycled now.
-		*buf = local
 		edgeBufPool.Put(buf)
 		return d, err
 	}
+	return e.submitCross(id, e.groupByShard(r.Edges), r.Cost)
+}
 
-	// Group the request's edges by owning shard.
+// singleShardOf returns the shard owning every listed edge, or -1 when the
+// edges span shards.
+func (e *Engine) singleShardOf(edges []int) int {
+	single := int(e.edgeShard[edges[0]])
+	for _, ge := range edges[1:] {
+		if int(e.edgeShard[ge]) != single {
+			return -1
+		}
+	}
+	return single
+}
+
+// localizeEdges fills a pooled scratch slice with the shard-local indices
+// of the global edges. The caller must return the holder to edgeBufPool,
+// but only after the owning shard has replied to the op carrying it.
+func (e *Engine) localizeEdges(edges []int) *[]int {
+	buf := edgeBufPool.Get().(*[]int)
+	local := (*buf)[:0]
+	for _, ge := range edges {
+		local = append(local, int(e.edgeLocal[ge]))
+	}
+	*buf = local
+	return buf
+}
+
+// groupByShard buckets the global edges by owning shard, as local indices.
+func (e *Engine) groupByShard(edges []int) map[int][]int {
 	byShard := map[int][]int{}
-	for _, ge := range r.Edges {
+	for _, ge := range edges {
 		si := int(e.edgeShard[ge])
 		byShard[si] = append(byShard[si], int(e.edgeLocal[ge]))
 	}
-	return e.submitCross(id, byShard, r.Cost)
+	return byShard
 }
 
 // submitLocal runs the single-shard fast path.
@@ -397,6 +436,133 @@ func (e *Engine) submitCross(id int, byShard map[int][]int, cost float64) (Decis
 	e.accepted.Add(1)
 	e.crossAccepted.Add(1)
 	return Decision{ID: id, Accepted: true, CrossShard: true, Preempted: preempted}, nil
+}
+
+// SubmitBatch submits a sequence of requests in slice order and returns one
+// Decision per request, in the same order. Unlike a loop over Submit, the
+// batch is pipelined: every single-shard request is dispatched to its
+// owning shard without waiting for the previous reply, so the per-request
+// channel round-trip latency is paid once per batch rather than once per
+// request. Per-shard arrival order — and therefore the decision stream —
+// is identical to submitting the same slice sequentially through Submit.
+// Cross-shard requests still decide inline (the two-phase protocol needs
+// replies before it can commit), retaining their position in the order.
+//
+// Validation is atomic: every request is checked before any is dispatched,
+// and a validation failure returns an error with no decisions made. The
+// returned error reports such whole-batch failures (validation, ErrClosed);
+// rare per-request engine failures are attributed to the failing request
+// via Decision.Err instead of poisoning the rest of the batch.
+// SubmitBatch is safe for concurrent use alongside Submit.
+func (e *Engine) SubmitBatch(reqs []problem.Request) ([]Decision, error) {
+	for i := range reqs {
+		if err := e.ValidateRequest(reqs[i]); err != nil {
+			return nil, fmt.Errorf("engine: batch[%d]: %w", i, err)
+		}
+	}
+	return e.SubmitBatchPrevalidated(reqs)
+}
+
+// SubmitBatchPrevalidated is SubmitBatch without the per-request
+// validation pass, for callers that have already run ValidateRequest on
+// every item — the serving layer validates at the HTTP boundary (where a
+// failure must map to a 400 before anything is enqueued) and would
+// otherwise pay the same scan twice per request on the hot path.
+// Submitting an unvalidated request through it is undefined behaviour.
+func (e *Engine) SubmitBatchPrevalidated(reqs []problem.Request) ([]Decision, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if !e.enter() {
+		return nil, ErrClosed
+	}
+	defer e.exit()
+
+	out := make([]Decision, len(reqs))
+	type pendingOffer struct {
+		idx int
+		ch  chan reply
+		buf *[]int
+	}
+	pend := make([]pendingOffer, 0, len(reqs))
+
+	for i := range reqs {
+		r := reqs[i]
+		id := int(e.nextID.Add(1) - 1)
+		e.requests.Add(1)
+		out[i].ID = id
+
+		if single := e.singleShardOf(r.Edges); single >= 0 {
+			buf := e.localizeEdges(r.Edges)
+			ch := e.shards[single].send(op{kind: opOffer, globalID: id, edges: *buf, cost: r.Cost})
+			pend = append(pend, pendingOffer{idx: i, ch: ch, buf: buf})
+			continue
+		}
+		d, err := e.submitCross(id, e.groupByShard(r.Edges), r.Cost)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i] = d
+	}
+
+	// Collect the pipelined single-shard replies. Every fired op must be
+	// received even after an error, or reply channels and edge buffers leak.
+	for _, p := range pend {
+		rep := recvReply(p.ch)
+		edgeBufPool.Put(p.buf)
+		if rep.err != nil {
+			out[p.idx].Err = rep.err
+			continue
+		}
+		if rep.ok {
+			e.accepted.Add(1)
+			out[p.idx].Accepted = true
+		}
+		out[p.idx].Preempted = rep.preempted
+	}
+	return out, nil
+}
+
+// ShardStat is a per-shard snapshot of load and accounting, the data
+// behind the serving layer's per-shard occupancy metrics. Load counts the
+// shard's integral load including cross-shard reservations; Capacity is
+// the sum of the shard's edge capacities, so Load/Capacity is the shard's
+// occupancy in [0, 1].
+type ShardStat struct {
+	// Shard is the shard index in [0, Shards()).
+	Shard int
+	// Requests counts the single-shard requests the shard has decided.
+	Requests int
+	// Preemptions counts accept-then-reject events inside the shard.
+	Preemptions int
+	// RejectedCost is the shard's share of the objective.
+	RejectedCost float64
+	// Load is Σ over the shard's edges of integral load plus reservations.
+	Load int
+	// Capacity is Σ over the shard's edges of original capacity.
+	Capacity int
+}
+
+// ShardStats returns one ShardStat per shard. Consistency matches Stats:
+// per-shard consistent while open, exact after Close.
+func (e *Engine) ShardStats() []ShardStat {
+	snaps := e.snapshots()
+	out := make([]ShardStat, len(snaps))
+	for si, snap := range snaps {
+		st := ShardStat{
+			Shard:        si,
+			Requests:     snap.requests,
+			Preemptions:  snap.preemptions,
+			RejectedCost: snap.rejectedCost,
+		}
+		for li, load := range snap.loads {
+			st.Load += load
+			st.Capacity += e.caps[e.shards[si].globalEdges[li]]
+		}
+		out[si] = st
+	}
+	return out
 }
 
 // RejectedCost returns the engine's running objective: total cost of

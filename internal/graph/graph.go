@@ -6,7 +6,14 @@
 // The algorithms in internal/core never exploit path structure — the paper's
 // §6 notes that a request may be an arbitrary edge subset — so the graph
 // package's job is to produce *realistic* requests (actual routed paths in a
-// network) for the experiments, and to carry the capacity vector.
+// network) for the experiments, and to carry the capacity vector. The
+// partition heuristics (PartitionEdges, PartitionRange) feed the sharded
+// engine of DESIGN.md §5.
+//
+// Concurrency contract: a Graph is immutable once built, so all read
+// methods (paths, partitions) are safe for concurrent use; the generators
+// taking an *rng.RNG inherit that generator's single-goroutine
+// restriction.
 package graph
 
 import (

@@ -1,15 +1,23 @@
-// Package harness defines and runs the reproduction experiments E1–E11 (see
+// Package harness defines and runs the reproduction experiments E1–E14 (see
 // DESIGN.md §4): for each theorem of the paper it measures empirical
 // competitive ratios against offline optima across parameter sweeps, fits
 // the predicted scaling law, and renders tables (ASCII for the terminal, CSV
 // for plotting). E11 additionally validates the sharded serving engine
-// (DESIGN.md §5) against the unsharded algorithm it parallelizes.
+// (DESIGN.md §5) against the unsharded algorithm it parallelizes, and E14
+// validates the network-facing serving layer (DESIGN.md §7) against the
+// engine it fronts.
 //
 // The paper has no empirical section, so these experiments *are* the
 // reproduction targets: each checks that the measured ratio of the §2/§3/§5
 // algorithms scales as the corresponding theorem predicts and that the
 // qualitative claims (zero-rejection property, preemption necessity,
 // baseline crossovers) hold.
+//
+// Concurrency contract: RunAll and each Experiment.Run are safe to call
+// from one goroutine at a time; internally sweeps fan out over
+// Config.Workers goroutines, with every sweep point deriving an
+// independent RNG from the config seed, so tables are deterministic
+// regardless of scheduling.
 package harness
 
 import (

@@ -42,8 +42,8 @@ func TestTableCSV(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(reg))
+	if len(reg) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(reg))
 	}
 	ids := map[string]bool{}
 	for _, e := range reg {
@@ -187,6 +187,39 @@ func TestE10GreedyTrapped(t *testing.T) {
 func TestE12Smoke(t *testing.T) { runExperiment(t, "E12", 1) }
 func TestE13Smoke(t *testing.T) { runExperiment(t, "E13", 1) }
 
+// TestE14ServerLoopbackWithinTolerance is the E14 acceptance criterion:
+// serving through the acserve loopback pipeline stays within 2x of the
+// direct engine ratio (conns=1 must match it exactly — same seed, FIFO
+// pipeline), and the in-experiment reconciliation check (client decision
+// stream vs engine accounting) must not have tripped.
+func TestE14ServerLoopbackWithinTolerance(t *testing.T) {
+	tables := runExperiment(t, "E14", 1)
+	tbl := tables[0]
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("E14: %d rows, want 3\n%s", len(tbl.Rows), tbl.ASCII())
+	}
+	for i, row := range tbl.Rows {
+		var rel float64
+		if _, err := fmt.Sscanf(row[4], "%f", &rel); err != nil {
+			t.Fatalf("unparsable vs-direct cell %q", row[4])
+		}
+		if rel > 2 {
+			t.Fatalf("E14: %s ratio %.2fx the direct baseline, tolerance is 2x\n%s",
+				row[0], rel, tbl.ASCII())
+		}
+		// The single-connection loopback is decision-identical to direct.
+		if i == 1 && tbl.Rows[1][3] != tbl.Rows[0][3] {
+			t.Fatalf("E14: conns=1 ratio %q differs from direct %q\n%s",
+				tbl.Rows[1][3], tbl.Rows[0][3], tbl.ASCII())
+		}
+	}
+	for _, note := range tbl.Notes {
+		if strings.Contains(note, "FAIL") {
+			t.Fatalf("E14 verdict failed: %s", note)
+		}
+	}
+}
+
 // TestE11EngineWithinTolerance is the E11 acceptance criterion: the sharded
 // engine's empirical ratio stays within 2x of the unsharded §3 algorithm
 // (the K=1 baseline) at every shard count.
@@ -256,11 +289,11 @@ func TestRunAllAtTinyScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) < 13 {
+	if len(tables) < 14 {
 		t.Fatalf("RunAll produced %d tables", len(tables))
 	}
 	out := buf.String()
-	for _, id := range []string{"E1", "E4", "E10", "E11", "E12", "E13"} {
+	for _, id := range []string{"E1", "E4", "E10", "E11", "E12", "E13", "E14"} {
 		if !strings.Contains(out, id) {
 			t.Fatalf("RunAll output missing %s", id)
 		}

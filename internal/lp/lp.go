@@ -8,6 +8,11 @@
 // simple and dense — experiment instances keep it well inside its comfort
 // zone (hundreds of rows, a few thousand columns) — and exhaustively tested
 // against hand-solved programs and feasibility/optimality properties.
+//
+// Concurrency contract: solves are pure functions of their inputs with no
+// package-level state, so distinct solves may run concurrently (the
+// harness's parallel sweeps do); a single LP value must not be solved or
+// mutated from two goroutines at once.
 package lp
 
 import (

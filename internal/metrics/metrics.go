@@ -1,0 +1,286 @@
+// Package metrics is a minimal, dependency-free metrics library exposing
+// counters, gauges and histograms in the Prometheus text exposition
+// format. It exists so the serving layer (internal/server, DESIGN.md §7)
+// can publish a /metrics endpoint without importing a client library —
+// the repository's no-external-dependencies rule applies to observability
+// too.
+//
+// The package implements no paper section; it is serving-infrastructure
+// plumbing.
+//
+// Concurrency contract: every method on Counter, Histogram and Registry is
+// safe for concurrent use (counters and histogram buckets are atomics; the
+// registry takes a read lock to render). GaugeFunc callbacks are invoked
+// during WriteText and must themselves be safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Sample is one metric sample: an optional label set and a value. GaugeFunc
+// callbacks return Samples so one registered name can expose a family
+// (e.g. per-shard occupancy labelled by shard).
+type Sample struct {
+	// Labels holds label key=value pairs rendered inside {...}; nil means
+	// an unlabelled sample. Keys are rendered in sorted order.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	bits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Add increments the counter by delta (delta must be ≥ 0).
+func (c *Counter) Add(delta float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc increments the counter by 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: observation counts per upper bound, plus _sum and _count series.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf overflow
+	count  atomic.Uint64
+	sum    Counter
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound contains v; the overflow bucket
+	// catches everything else.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the owning bucket, the same estimate a Prometheus
+// `histogram_quantile` query would produce. It returns 0 when the
+// histogram is empty; estimates from the overflow bucket clamp to the
+// largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			inBucket := h.counts[i].Load()
+			if inBucket == 0 {
+				return bound
+			}
+			frac := (rank - float64(cum-inBucket)) / float64(inBucket)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(bound-lower)
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// ExponentialBuckets returns n upper bounds starting at start and growing
+// by factor, the standard latency bucket layout.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// metricKind tags a registered metric for the # TYPE line.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registry entry.
+type metric struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	histogram  *Histogram
+	gaugeFn    func() []Sample
+}
+
+// Registry holds named metrics and renders them as Prometheus text.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics []metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+// register appends a metric, panicking on duplicate names — registration
+// happens once at server construction, so a duplicate is a programming
+// error, not a runtime condition.
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", m.name))
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// NewHistogram registers and returns a histogram over the given bucket
+// upper bounds (sorted ascending; the +Inf bucket is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 || !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("metrics: histogram %q needs sorted non-empty bounds", name))
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.register(metric{name: name, help: help, kind: kindHistogram, histogram: h})
+	return h
+}
+
+// NewGaugeFunc registers a gauge family computed at scrape time by fn.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() []Sample) {
+	r.register(metric{name: name, help: help, kind: kindGauge, gaugeFn: fn})
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, m := range r.metrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			m.name, m.help, m.name, m.kind.String()); err != nil {
+			return err
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.counter.Value()))
+		case kindGauge:
+			for _, s := range m.gaugeFn() {
+				_, err = fmt.Fprintf(w, "%s%s %s\n", m.name, formatLabels(s.Labels), formatValue(s.Value))
+				if err != nil {
+					return err
+				}
+			}
+		case kindHistogram:
+			err = writeHistogram(w, m.name, m.histogram)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative bucket series plus _sum and _count.
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatValue(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		name, formatValue(h.Sum()), name, h.Count())
+	return err
+}
+
+// String implements the # TYPE spelling of the kind.
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// formatValue renders a float the way Prometheus expects (shortest
+// round-trip representation).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLabels renders {k="v",...} with sorted keys, or "" when empty.
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndText(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("acserve_requests_total", "Total submissions received.")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP acserve_requests_total Total submissions received.",
+		"# TYPE acserve_requests_total counter",
+		"acserve_requests_total 3.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeFuncLabels(t *testing.T) {
+	r := NewRegistry()
+	r.NewGaugeFunc("acserve_shard_occupancy", "Per-shard occupancy.", func() []Sample {
+		return []Sample{
+			{Labels: map[string]string{"shard": "0"}, Value: 0.25},
+			{Labels: map[string]string{"shard": "1"}, Value: 0.75},
+		}
+	})
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`acserve_shard_occupancy{shard="0"} 0.25`,
+		`acserve_shard_occupancy{shard="1"} 0.75`,
+		"# TYPE acserve_shard_occupancy gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", "Latency.", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-106.5) > 1e-9 {
+		t.Fatalf("sum = %g, want 106.5", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="4"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		"lat_sum 106.5",
+		"lat_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Median lands in the (1, 2] bucket.
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("p50 = %g, want in (1, 2]", q)
+	}
+	// Overflow-bucket quantiles clamp to the largest finite bound.
+	if q := h.Quantile(0.999); q != 4 {
+		t.Fatalf("p99.9 = %g, want clamp to 4", q)
+	}
+	h2 := NewRegistry().NewHistogram("x", "x", []float64{1})
+	if q := h2.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "c")
+	h := r.NewHistogram("h", "h", ExponentialBuckets(1, 2, 8))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 300))
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WriteText(&b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %g, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on duplicate registration")
+		}
+	}()
+	r := NewRegistry()
+	r.NewCounter("dup", "a")
+	r.NewCounter("dup", "b")
+}

@@ -15,6 +15,11 @@
 // greedy incumbent and per-row fractional bounds; the LP relaxation (solved
 // by internal/lp) is a valid lower bound used for large instances, matching
 // the paper's own practice of analyzing §2 against the fractional optimum.
+//
+// Concurrency contract: every exported solver is a pure function of the
+// instance it is given (no package-level state), so calls on distinct
+// instances are safe concurrently; callers must not mutate an instance
+// while it is being solved.
 package opt
 
 import (

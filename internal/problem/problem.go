@@ -7,6 +7,11 @@
 // set of edge indices plus a positive cost. The internal/graph package
 // produces genuine routed paths for the network experiments; by the time
 // they reach an algorithm they are just edge sets.
+//
+// Concurrency contract: the types here are plain data with read-only
+// methods (Validate, M, N, …) that are safe to call concurrently on an
+// instance nobody mutates; the Algorithm interface itself is a sequential
+// contract — one Offer at a time, in arrival order.
 package problem
 
 import (

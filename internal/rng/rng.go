@@ -1,5 +1,7 @@
 // Package rng provides a small, fast, deterministic pseudo-random number
-// generator used by every stochastic component in this repository.
+// generator used by every stochastic component in this repository. It
+// implements no paper section itself; it supplies the coin flips of the §3
+// randomized algorithm and the workload generators.
 //
 // Reproducibility is a hard requirement for the experiment harness: every
 // experiment row is tagged with the seed that produced it, and re-running

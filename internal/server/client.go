@@ -1,0 +1,155 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"admission/internal/problem"
+)
+
+// Client is a thin HTTP client for a Server, used by cmd/acload, the
+// loopback benchmark, and the E14 experiment. It batches requests into one
+// POST /v1/submit and decodes the streamed NDJSON decisions.
+//
+// Concurrency contract: a Client is safe for concurrent use; the
+// underlying http.Client pools connections per host.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). maxConns bounds the connection pool (0 means
+// the stdlib default of 2 idle connections per host).
+func NewClient(baseURL string, maxConns int) *Client {
+	tr := &http.Transport{}
+	if maxConns > 0 {
+		tr.MaxIdleConnsPerHost = maxConns
+		tr.MaxConnsPerHost = 0 // unbounded actives; idle pool sized above
+	}
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{Transport: tr},
+	}
+}
+
+// Submit posts a batch of requests and returns one DecisionJSON per
+// request, in request order. A non-2xx status or transport failure is
+// returned as an error; per-item engine failures arrive in the Error field
+// of the corresponding decision line.
+func (c *Client) Submit(ctx context.Context, reqs []problem.Request) ([]DecisionJSON, error) {
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/submit", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorJSON
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return nil, fmt.Errorf("server: %s", e.Error)
+	}
+	out := make([]DecisionJSON, 0, len(reqs))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var d DecisionJSON
+		if err := json.Unmarshal(line, &d); err != nil {
+			return out, fmt.Errorf("decoding decision line %d: %v", len(out), err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	if len(out) != len(reqs) {
+		return out, fmt.Errorf("got %d decisions for %d requests", len(out), len(reqs))
+	}
+	return out, nil
+}
+
+// Stats fetches /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*StatsJSON, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: %s", resp.Status)
+	}
+	var st StatsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Metrics fetches the raw /metrics text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&b); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("server: %s", resp.Status)
+	}
+	return b.String(), nil
+}
+
+// CloseIdle releases pooled connections.
+func (c *Client) CloseIdle() { c.hc.CloseIdleConnections() }
+
+// WaitHealthy polls /healthz until it answers 200 or the deadline passes;
+// used against freshly started listeners by acload, the loopback
+// benchmark, and E14.
+func (c *Client) WaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := c.hc.Get(c.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %v", c.base, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"admission/internal/problem"
+	"admission/internal/workload"
+)
+
+// LoadConfig configures one load-generation run against a Server (the
+// engine behind cmd/acload and the E14 loopback experiment).
+type LoadConfig struct {
+	// BaseURL is the target server.
+	BaseURL string
+	// Requests is the sequence to send, in order (split round-robin by
+	// batch across connections when Conns > 1).
+	Requests []problem.Request
+	// Conns is the number of concurrent submitting connections
+	// (default 1).
+	Conns int
+	// Batch is the number of requests per HTTP submission (default 64).
+	Batch int
+	// RPS is the target request rate summed over all connections;
+	// 0 means unthrottled.
+	RPS float64
+	// Repeat cycles the request sequence this many times (default 1).
+	Repeat int
+}
+
+func (c LoadConfig) conns() int {
+	if c.Conns <= 0 {
+		return 1
+	}
+	return c.Conns
+}
+
+func (c LoadConfig) batch() int {
+	if c.Batch <= 0 {
+		return 64
+	}
+	return c.Batch
+}
+
+func (c LoadConfig) repeat() int {
+	if c.Repeat <= 0 {
+		return 1
+	}
+	return c.Repeat
+}
+
+// LoadReport summarizes one load run. Latencies are per-batch round trips
+// (enqueue-to-last-decision as seen by the client), so they include the
+// server's coalescing delay.
+type LoadReport struct {
+	// Sent counts requests submitted; Decided counts decision lines
+	// received (equal unless errors occurred).
+	Sent, Decided int64
+	// Accepted and Preempted aggregate the decision stream.
+	Accepted, Preempted int64
+	// Errors counts per-item engine errors reported in the stream.
+	Errors int64
+	// Batches counts HTTP submissions.
+	Batches int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Throughput is Decided / Elapsed in decisions per second.
+	Throughput float64
+	// LatencyP50 .. LatencyMax are batch round-trip quantiles.
+	LatencyP50, LatencyP90, LatencyP99, LatencyMax time.Duration
+}
+
+// String renders the report as the acload summary block.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"sent:        %d requests in %d batches\n"+
+			"decided:     %d (%d accepted, %d preemptions, %d errors)\n"+
+			"elapsed:     %v\n"+
+			"throughput:  %.0f decisions/s\n"+
+			"latency:     p50 %v  p90 %v  p99 %v  max %v (per batch)",
+		r.Sent, r.Batches, r.Decided, r.Accepted, r.Preempted, r.Errors,
+		r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.LatencyP50, r.LatencyP90, r.LatencyP99, r.LatencyMax)
+}
+
+// RunLoad drives the server with cfg.Requests and collects a LoadReport.
+// It fails fast on transport-level errors; per-item engine errors are
+// counted and do not stop the run. The context cancels the run early.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if len(cfg.Requests) == 0 {
+		return nil, fmt.Errorf("loadgen: no requests")
+	}
+	conns := cfg.conns()
+	batchSize := cfg.batch()
+	client := NewClient(cfg.BaseURL, conns)
+	defer client.CloseIdle()
+
+	// Pre-chunk the repeated sequence into batches, assigned round-robin
+	// to workers so each connection sends a similar share.
+	var batches [][]problem.Request
+	for rep := 0; rep < cfg.repeat(); rep++ {
+		for lo := 0; lo < len(cfg.Requests); lo += batchSize {
+			hi := lo + batchSize
+			if hi > len(cfg.Requests) {
+				hi = len(cfg.Requests)
+			}
+			batches = append(batches, cfg.Requests[lo:hi])
+		}
+	}
+
+	// Pacing: with a target RPS each worker spaces its batch starts so the
+	// aggregate rate is RPS.
+	var perWorkerInterval time.Duration
+	if cfg.RPS > 0 {
+		perWorkerInterval = time.Duration(float64(batchSize*conns) / cfg.RPS * float64(time.Second))
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		report   LoadReport
+		allLats  []time.Duration
+	)
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var lats []time.Duration
+			var local LoadReport
+			next := time.Now()
+			for bi := w; bi < len(batches); bi += conns {
+				if ctx.Err() != nil {
+					break
+				}
+				if perWorkerInterval > 0 {
+					if d := time.Until(next); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+						}
+					}
+					next = next.Add(perWorkerInterval)
+				}
+				batch := batches[bi]
+				t0 := time.Now()
+				ds, err := client.Submit(ctx, batch)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("loadgen: conn %d batch %d: %w", w, bi, err)
+					}
+					mu.Unlock()
+					break
+				}
+				lats = append(lats, time.Since(t0))
+				local.Sent += int64(len(batch))
+				local.Batches++
+				for _, d := range ds {
+					local.Decided++
+					if d.Error != "" {
+						local.Errors++
+						continue
+					}
+					if d.Accepted {
+						local.Accepted++
+					}
+					local.Preempted += int64(len(d.Preempted))
+				}
+			}
+			mu.Lock()
+			report.Sent += local.Sent
+			report.Decided += local.Decided
+			report.Accepted += local.Accepted
+			report.Preempted += local.Preempted
+			report.Errors += local.Errors
+			report.Batches += local.Batches
+			allLats = append(allLats, lats...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if report.Elapsed > 0 {
+		report.Throughput = float64(report.Decided) / report.Elapsed.Seconds()
+	}
+	if len(allLats) > 0 {
+		sort.Slice(allLats, func(i, j int) bool { return allLats[i] < allLats[j] })
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(allLats)-1))
+			return allLats[i]
+		}
+		report.LatencyP50 = q(0.50)
+		report.LatencyP90 = q(0.90)
+		report.LatencyP99 = q(0.99)
+		report.LatencyMax = allLats[len(allLats)-1]
+	}
+	return &report, nil
+}
+
+// AdversaryResult reports an adaptive-adversary game played over HTTP (the
+// acload -adversary mode): the realized instance (for offline OPT
+// comparison) and the server-side outcome totals reconstructed from the
+// decision stream.
+type AdversaryResult struct {
+	// Instance is the realized request sequence the adversary produced.
+	Instance *problem.Instance
+	// Requests, Accepted and Preemptions count the game's decisions;
+	// Accepted is the final count (preempted requests excluded).
+	Requests, Accepted, Preemptions int
+	// RejectedCost is Σ cost of requests rejected on arrival or preempted,
+	// reconstructed client-side from the decision stream.
+	RejectedCost float64
+}
+
+// RunAdversarial plays an adaptive adversary against the server,
+// submitting one request at a time (the adversary needs each outcome
+// before producing the next request). The server must front an engine over
+// exactly adv.Capacities().
+func RunAdversarial(ctx context.Context, baseURL string, adv workload.Adversary) (*AdversaryResult, error) {
+	client := NewClient(baseURL, 1)
+	defer client.CloseIdle()
+	res := &AdversaryResult{
+		Instance: &problem.Instance{Capacities: append([]int(nil), adv.Capacities()...)},
+	}
+	costByID := map[int]float64{} // accepted-and-alive request costs
+	var prev problem.Outcome
+	for {
+		req, ok := adv.Next(prev)
+		if !ok {
+			break
+		}
+		res.Instance.Requests = append(res.Instance.Requests, req.Clone())
+		ds, err := client.Submit(ctx, []problem.Request{req})
+		if err != nil {
+			return nil, err
+		}
+		d := ds[0]
+		if d.Error != "" {
+			return nil, fmt.Errorf("loadgen: adversary request %d: %s", res.Requests, d.Error)
+		}
+		res.Requests++
+		if d.Accepted {
+			res.Accepted++
+			costByID[d.ID] = req.Cost
+		} else {
+			res.RejectedCost += req.Cost
+		}
+		for _, id := range d.Preempted {
+			res.Preemptions++
+			res.Accepted--
+			res.RejectedCost += costByID[id]
+			delete(costByID, id)
+		}
+		prev = problem.Outcome{Accepted: d.Accepted, Preempted: d.Preempted}
+	}
+	return res, nil
+}

@@ -1,0 +1,555 @@
+// Package server is the network-facing admission service (DESIGN.md §7):
+// a stdlib-only net/http JSON front end over the sharded concurrent engine
+// (internal/engine), with a coalescing batch pipeline, streaming decision
+// responses, a Prometheus-text /metrics endpoint, and graceful drain.
+//
+// Serving the paper's §3 randomized-preemptive algorithm behind a request
+// boundary adds no algorithmic content — the engine already decides
+// requests in arrival order — so this package's job is purely systems: it
+// turns many small HTTP submissions into few large engine batches
+// (amortizing the per-operation channel round-trip of the shard event
+// loops) and makes the engine's accounting observable.
+//
+// Concurrency contract: a Server's HTTP handlers are safe for any number
+// of concurrent connections; the batch pipeline is a single flusher
+// goroutine (preserving global FIFO order over the submission queue, which
+// keeps one-connection traffic decision-deterministic), and Drain may be
+// called from any goroutine, concurrently with in-flight handlers. The
+// Server does not close its engine — the caller owns it.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"admission/internal/engine"
+	"admission/internal/metrics"
+	"admission/internal/problem"
+)
+
+// Config tunes the batching pipeline. The zero value gets defaults.
+type Config struct {
+	// BatchSize is the maximum number of queued submissions coalesced into
+	// one engine batch (default 256).
+	BatchSize int
+	// FlushInterval bounds how long a non-full batch waits for more
+	// submissions before flushing (default 500µs). Larger values trade
+	// latency for throughput under light load; under saturation batches
+	// fill before the timer fires and the interval is irrelevant.
+	FlushInterval time.Duration
+	// QueueLen is the submission queue capacity; enqueueing blocks when it
+	// is full, back-pressuring HTTP clients (default 8192).
+	QueueLen int
+	// MaxSubmit caps the number of requests in one HTTP submission body
+	// (default 16384; larger bodies get 413).
+	MaxSubmit int
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize <= 0 {
+		return 256
+	}
+	return c.BatchSize
+}
+
+func (c Config) flushInterval() time.Duration {
+	if c.FlushInterval <= 0 {
+		return 500 * time.Microsecond
+	}
+	return c.FlushInterval
+}
+
+func (c Config) queueLen() int {
+	if c.QueueLen <= 0 {
+		return 8192
+	}
+	return c.QueueLen
+}
+
+func (c Config) maxSubmit() int {
+	if c.MaxSubmit <= 0 {
+		return 16384
+	}
+	return c.MaxSubmit
+}
+
+// result is one decided submission, delivered on an item's done channel.
+type result struct {
+	d   engine.Decision
+	err error
+}
+
+// item is one queued submission awaiting its engine decision.
+type item struct {
+	req  problem.Request
+	enq  time.Time
+	done chan result
+}
+
+// itemPool recycles items (and their one-shot done channels — each carries
+// exactly one send and one receive per use, like the engine's reply pool).
+var itemPool = sync.Pool{New: func() any {
+	return &item{done: make(chan result, 1)}
+}}
+
+// Server fronts one engine with the batching pipeline and HTTP handlers.
+type Server struct {
+	eng   *engine.Engine
+	cfg   Config
+	queue chan *item
+	loops sync.WaitGroup
+
+	draining   atomic.Bool
+	submitters atomic.Int64 // handlers currently enqueueing; see enter/exit
+	drainOnce  sync.Once
+	drainErr   error
+
+	reg       *metrics.Registry
+	accepts   *metrics.Counter
+	rejects   *metrics.Counter
+	preempts  *metrics.Counter
+	malformed *metrics.Counter
+	batchSz   *metrics.Histogram
+	latency   *metrics.Histogram
+}
+
+// New creates a Server over an existing engine and starts its flusher
+// goroutine. The caller retains ownership of the engine (and must Close it
+// after Drain).
+func New(eng *engine.Engine, cfg Config) *Server {
+	s := &Server{
+		eng:   eng,
+		cfg:   cfg,
+		queue: make(chan *item, cfg.queueLen()),
+		reg:   metrics.NewRegistry(),
+	}
+	s.accepts = s.reg.NewCounter("acserve_decisions_accept_total",
+		"Requests admitted by the engine (may later be preempted).")
+	s.rejects = s.reg.NewCounter("acserve_decisions_reject_total",
+		"Requests rejected on arrival.")
+	s.preempts = s.reg.NewCounter("acserve_preemptions_total",
+		"Previously accepted requests preempted by later decisions.")
+	s.malformed = s.reg.NewCounter("acserve_malformed_total",
+		"HTTP submissions rejected before reaching the engine (bad JSON or invalid request).")
+	s.batchSz = s.reg.NewHistogram("acserve_batch_size",
+		"Coalesced engine batch sizes.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+	s.latency = s.reg.NewHistogram("acserve_decision_latency_seconds",
+		"Queue-to-decision latency per request.",
+		metrics.ExponentialBuckets(16e-6, 2, 16)) // 16µs .. ~0.5s
+	s.reg.NewGaugeFunc("acserve_queue_depth",
+		"Submissions waiting in the batching queue.",
+		func() []metrics.Sample {
+			return []metrics.Sample{{Value: float64(len(s.queue))}}
+		})
+	s.reg.NewGaugeFunc("acserve_shard_occupancy",
+		"Per-shard integral load (incl. cross-shard reservations) over shard capacity.",
+		func() []metrics.Sample {
+			per := s.eng.ShardStats()
+			out := make([]metrics.Sample, len(per))
+			for i, st := range per {
+				occ := 0.0
+				if st.Capacity > 0 {
+					occ = float64(st.Load) / float64(st.Capacity)
+				}
+				out[i] = metrics.Sample{
+					Labels: map[string]string{"shard": fmt.Sprint(st.Shard)},
+					Value:  occ,
+				}
+			}
+			return out
+		})
+	s.loops.Add(1)
+	go s.flushLoop()
+	return s
+}
+
+// enter registers an enqueueing handler; false once draining (same
+// counter-then-flag pattern as the engine's admission path).
+func (s *Server) enter() bool {
+	s.submitters.Add(1)
+	if s.draining.Load() {
+		s.submitters.Add(-1)
+		return false
+	}
+	return true
+}
+
+// exit balances enter.
+func (s *Server) exit() { s.submitters.Add(-1) }
+
+// flushLoop coalesces queued submissions into engine batches: a batch
+// flushes when it reaches BatchSize or when FlushInterval has elapsed
+// since its first item. Exits when the queue is closed and drained.
+func (s *Server) flushLoop() {
+	defer s.loops.Done()
+	size := s.cfg.batchSize()
+	interval := s.cfg.flushInterval()
+	batch := make([]*item, 0, size)
+	reqs := make([]problem.Request, 0, size)
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(interval)
+		closed := false
+	collect:
+		for len(batch) < size {
+			select {
+			case next, ok := <-s.queue:
+				if !ok {
+					closed = true
+					break collect
+				}
+				batch = append(batch, next)
+			case <-timer.C:
+				break collect
+			}
+		}
+		s.flush(batch, reqs[:0])
+		if closed {
+			return
+		}
+	}
+}
+
+// flush submits one coalesced batch to the engine and delivers each
+// decision to its submitter, updating the decision counters. Requests were
+// validated at the HTTP boundary, so the pre-validated engine path is
+// used. A whole-batch error (only ErrClosed — the engine was closed under
+// the server) fans out to every item; a per-request engine failure
+// (Decision.Err) reaches only its own submitter, and such requests count
+// in neither the accept nor the reject counter (mirroring the engine,
+// which charges them as neither).
+func (s *Server) flush(batch []*item, reqs []problem.Request) {
+	for _, it := range batch {
+		reqs = append(reqs, it.req)
+	}
+	s.batchSz.Observe(float64(len(batch)))
+	ds, err := s.eng.SubmitBatchPrevalidated(reqs)
+	now := time.Now()
+	for i, it := range batch {
+		var res result
+		switch {
+		case err != nil:
+			res.err = err
+		case ds[i].Err != nil:
+			res.err = ds[i].Err
+		default:
+			res.d = ds[i]
+			if res.d.Accepted {
+				s.accepts.Inc()
+			} else {
+				s.rejects.Inc()
+			}
+			s.preempts.Add(float64(len(res.d.Preempted)))
+		}
+		s.latency.Observe(now.Sub(it.enq).Seconds())
+		it.done <- res
+	}
+}
+
+// Drain gracefully shuts the pipeline down: new submissions are refused
+// with 503, handlers already enqueueing finish, every queued submission is
+// decided and answered, and the flusher exits. Drain is idempotent; the
+// context bounds how long to wait. The engine stays open — close it after
+// Drain returns.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() { s.drainErr = s.drain(ctx) })
+	return s.drainErr
+}
+
+func (s *Server) drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for s.submitters.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			runtime.Gosched()
+		}
+	}
+	close(s.queue)
+	done := make(chan struct{})
+	go func() {
+		s.loops.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the server's HTTP routes:
+//
+//	POST /v1/submit   JSON request(s) in, NDJSON decision stream out
+//	GET  /v1/stats    engine + pipeline statistics as JSON
+//	GET  /metrics     Prometheus text exposition
+//	GET  /healthz     liveness (503 while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/submit", s.handleSubmit)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// DecisionJSON is the wire form of one engine decision (one NDJSON line of
+// a /v1/submit response). Error is set instead of the decision fields when
+// the submission failed inside the engine.
+type DecisionJSON struct {
+	// ID is the engine-assigned global request ID.
+	ID int `json:"id"`
+	// Accepted reports admission; single-shard accepts may later be
+	// preempted, cross-shard accepts are permanent.
+	Accepted bool `json:"accepted"`
+	// CrossShard reports that the request took the two-phase path.
+	CrossShard bool `json:"cross_shard,omitempty"`
+	// Preempted lists global IDs of requests evicted by this decision.
+	Preempted []int `json:"preempted,omitempty"`
+	// Error carries an engine-level failure for this submission.
+	Error string `json:"error,omitempty"`
+}
+
+// errorJSON is the body of a non-200 response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit decodes one request or an array of requests, validates them
+// all up front (the whole submission is rejected if any item is invalid),
+// enqueues them into the batching pipeline, and streams one decision line
+// per request, in request order, as decisions arrive.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	reqs, err := decodeSubmission(r, s.cfg.maxSubmit())
+	if err != nil {
+		s.malformed.Inc()
+		status := http.StatusBadRequest
+		if err == errTooLarge {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	for i := range reqs {
+		if err := s.eng.ValidateRequest(reqs[i]); err != nil {
+			s.malformed.Inc()
+			httpError(w, http.StatusBadRequest, "request %d: %v", i, err)
+			return
+		}
+	}
+	if !s.enter() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	items := make([]*item, len(reqs))
+	now := time.Now()
+	for i := range reqs {
+		it := itemPool.Get().(*item)
+		it.req = reqs[i]
+		it.enq = now
+		items[i] = it
+		s.queue <- it
+	}
+	s.exit()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	flusher, _ := w.(http.Flusher)
+	for i, it := range items {
+		res := <-it.done
+		it.req = problem.Request{}
+		itemPool.Put(it)
+		line := DecisionJSON{
+			ID:         res.d.ID,
+			Accepted:   res.d.Accepted,
+			CrossShard: res.d.CrossShard,
+			Preempted:  res.d.Preempted,
+		}
+		if res.err != nil {
+			line.Error = res.err.Error()
+		}
+		if err := enc.Encode(line); err != nil {
+			// Client went away; keep receiving so remaining items are
+			// recycled, then give up on writing.
+			for _, rest := range items[i+1:] {
+				<-rest.done
+				rest.req = problem.Request{}
+				itemPool.Put(rest)
+			}
+			return
+		}
+		// Stream periodically so large submissions see early decisions.
+		if i%64 == 63 && flusher != nil {
+			_ = bw.Flush()
+			flusher.Flush()
+		}
+	}
+	_ = bw.Flush()
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// errTooLarge marks an over-limit submission (mapped to 413).
+var errTooLarge = fmt.Errorf("submission exceeds the per-request item limit")
+
+// decodeSubmission parses the body as either a single request object or an
+// array of requests.
+func decodeSubmission(r *http.Request, maxItems int) ([]problem.Request, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("reading submission: %v", err)
+	}
+	if len(body) > maxBodyBytes {
+		return nil, errTooLarge
+	}
+	body = bytes.TrimSpace(body)
+	if len(body) == 0 {
+		return nil, fmt.Errorf("empty submission")
+	}
+	var reqs []problem.Request
+	if body[0] == '[' {
+		if err := json.Unmarshal(body, &reqs); err != nil {
+			return nil, fmt.Errorf("malformed submission: %v", err)
+		}
+	} else {
+		var one problem.Request
+		if err := json.Unmarshal(body, &one); err != nil {
+			return nil, fmt.Errorf("malformed submission: %v", err)
+		}
+		reqs = []problem.Request{one}
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("empty submission")
+	}
+	if len(reqs) > maxItems {
+		return nil, errTooLarge
+	}
+	return reqs, nil
+}
+
+// maxBodyBytes caps a submission body read (64 MiB).
+const maxBodyBytes = 64 << 20
+
+// StatsJSON is the /v1/stats response body.
+type StatsJSON struct {
+	// Requests .. RejectedCost mirror engine.Stats.
+	Requests           int64   `json:"requests"`
+	Accepted           int64   `json:"accepted"`
+	Rejected           int64   `json:"rejected"`
+	CrossShard         int64   `json:"cross_shard"`
+	CrossShardAccepted int64   `json:"cross_shard_accepted"`
+	Preemptions        int64   `json:"preemptions"`
+	RejectedCost       float64 `json:"rejected_cost"`
+	// Shards is the per-shard occupancy view.
+	Shards []ShardJSON `json:"shards"`
+	// QueueDepth is the number of submissions waiting in the pipeline.
+	QueueDepth int `json:"queue_depth"`
+	// Draining reports whether Drain has been initiated.
+	Draining bool `json:"draining"`
+}
+
+// ShardJSON is one shard's row in StatsJSON.
+type ShardJSON struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Requests counts single-shard requests decided by this shard.
+	Requests int `json:"requests"`
+	// Preemptions counts in-shard accept-then-reject events.
+	Preemptions int `json:"preemptions"`
+	// Load and Capacity give the shard's integral occupancy.
+	Load     int `json:"load"`
+	Capacity int `json:"capacity"`
+}
+
+// handleStats renders engine and pipeline statistics as JSON.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := s.eng.Stats()
+	out := StatsJSON{
+		Requests:           st.Requests,
+		Accepted:           st.Accepted,
+		Rejected:           st.Requests - st.Accepted,
+		CrossShard:         st.CrossShard,
+		CrossShardAccepted: st.CrossShardAccepted,
+		Preemptions:        st.Preemptions,
+		RejectedCost:       st.RejectedCost,
+		QueueDepth:         len(s.queue),
+		Draining:           s.draining.Load(),
+	}
+	for _, sh := range s.eng.ShardStats() {
+		out.Shards = append(out.Shards, ShardJSON{
+			Shard:       sh.Shard,
+			Requests:    sh.Requests,
+			Preemptions: sh.Preemptions,
+			Load:        sh.Load,
+			Capacity:    sh.Capacity,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}
+
+// handleHealthz reports liveness; 503 once draining so load balancers stop
+// routing new traffic during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}

@@ -1,0 +1,470 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"admission/internal/core"
+	"admission/internal/engine"
+	"admission/internal/graph"
+	"admission/internal/problem"
+	"admission/internal/rng"
+	"admission/internal/workload"
+)
+
+// testInstance builds an oversubscribed random-graph workload.
+func testInstance(t testing.TB, seed uint64, n int) *problem.Instance {
+	t.Helper()
+	r := rng.New(seed)
+	g, err := graph.Random(8, 32, 6, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := workload.RandomTraffic(g, n, workload.CostUniform, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+// newTestServer stands up an engine + Server + httptest listener.
+func newTestServer(t testing.TB, caps []int, shards int, cfg Config) (*engine.Engine, *Server, *httptest.Server) {
+	t.Helper()
+	acfg := core.DefaultConfig()
+	acfg.Seed = 1
+	eng, err := engine.New(caps, engine.Config{Shards: shards, Algorithm: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Drain(context.Background())
+		eng.Close()
+	})
+	return eng, s, ts
+}
+
+// metricValue extracts one sample value from Prometheus text.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, text)
+	return 0
+}
+
+// TestLifecycleMetricsReconcile is the acceptance-criteria test: after a
+// full serve-and-drain lifecycle, the /metrics counters reconcile exactly
+// with the engine's accept/reject/preempt totals.
+func TestLifecycleMetricsReconcile(t *testing.T) {
+	ins := testInstance(t, 5, 600)
+	eng, s, ts := newTestServer(t, ins.Capacities, 4, Config{})
+	client := NewClient(ts.URL, 4)
+	ctx := context.Background()
+
+	var preempted int64
+	var accepted int64
+	for lo := 0; lo < len(ins.Requests); lo += 50 {
+		hi := min(lo+50, len(ins.Requests))
+		ds, err := client.Submit(ctx, ins.Requests[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ds {
+			if d.Error != "" {
+				t.Fatalf("decision error: %s", d.Error)
+			}
+			if d.Accepted {
+				accepted++
+			}
+			preempted += int64(len(d.Preempted))
+		}
+	}
+
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	st := eng.Stats()
+
+	if st.Requests != int64(len(ins.Requests)) {
+		t.Fatalf("engine saw %d requests, want %d", st.Requests, len(ins.Requests))
+	}
+	if st.Accepted != accepted {
+		t.Fatalf("client counted %d accepts, engine %d", accepted, st.Accepted)
+	}
+	if st.Preemptions != preempted {
+		t.Fatalf("client counted %d preemptions, engine %d", preempted, st.Preemptions)
+	}
+
+	// /metrics must reconcile exactly with the engine totals.
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, text, "acserve_decisions_accept_total"); got != float64(st.Accepted) {
+		t.Fatalf("accept counter %g, engine %d", got, st.Accepted)
+	}
+	if got := metricValue(t, text, "acserve_decisions_reject_total"); got != float64(st.Requests-st.Accepted) {
+		t.Fatalf("reject counter %g, engine %d", got, st.Requests-st.Accepted)
+	}
+	if got := metricValue(t, text, "acserve_preemptions_total"); got != float64(st.Preemptions) {
+		t.Fatalf("preempt counter %g, engine %d", got, st.Preemptions)
+	}
+	for _, want := range []string{
+		"acserve_shard_occupancy{shard=\"0\"}",
+		"acserve_decision_latency_seconds_bucket",
+		"acserve_batch_size_count",
+		"acserve_queue_depth",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q", want)
+		}
+	}
+
+	// /v1/stats agrees too.
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != st.Requests || stats.Accepted != st.Accepted ||
+		stats.Preemptions != st.Preemptions || stats.RejectedCost != st.RejectedCost {
+		t.Fatalf("/v1/stats %+v disagrees with engine %+v", stats, st)
+	}
+	if len(stats.Shards) != 4 {
+		t.Fatalf("got %d shard rows, want 4", len(stats.Shards))
+	}
+}
+
+// TestMalformedSubmissions covers the malformed-JSON rejection paths.
+func TestMalformedSubmissions(t *testing.T) {
+	_, _, ts := newTestServer(t, []int{4, 4}, 1, Config{})
+	post := func(body string) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/submit", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	cases := []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"garbage", "{not json", http.StatusBadRequest},
+		{"empty body", "", http.StatusBadRequest},
+		{"empty array", "[]", http.StatusBadRequest},
+		{"edge out of range", `[{"edges":[9],"cost":1}]`, http.StatusBadRequest},
+		{"empty edge set", `[{"edges":[],"cost":1}]`, http.StatusBadRequest},
+		{"negative cost", `[{"edges":[0],"cost":-2}]`, http.StatusBadRequest},
+		{"duplicate edge", `[{"edges":[0,0],"cost":1}]`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := post(tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			var e errorJSON
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Fatalf("want JSON error body, got decode err %v, error %q", err, e.Error)
+			}
+		})
+	}
+
+	// Oversize submissions get 413.
+	t.Run("too many items", func(t *testing.T) {
+		_, _, ts2 := newTestServer(t, []int{4}, 1, Config{MaxSubmit: 2})
+		resp, err := http.Post(ts2.URL+"/v1/submit", "application/json",
+			strings.NewReader(`[{"edges":[0],"cost":1},{"edges":[0],"cost":1},{"edges":[0],"cost":1}]`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d, want 413", resp.StatusCode)
+		}
+	})
+
+	// Wrong method.
+	t.Run("GET submit", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/submit")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status %d, want 405", resp.StatusCode)
+		}
+	})
+
+	// A single object (not an array) is accepted.
+	t.Run("single object", func(t *testing.T) {
+		resp := post(`{"edges":[0],"cost":1}`)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+		var d DecisionJSON
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			t.Fatal(err)
+		}
+		if !d.Accepted {
+			t.Fatal("single request on empty network should be accepted")
+		}
+	})
+
+	// Malformed counter moved.
+	client := NewClient(ts.URL, 1)
+	text, err := client.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, text, "acserve_malformed_total"); got < float64(len(cases)) {
+		t.Fatalf("malformed counter %g, want ≥ %d", got, len(cases))
+	}
+}
+
+// TestGracefulDrain checks that Drain completes every in-flight batch (no
+// submission is dropped undecided) and that post-drain traffic gets 503.
+func TestGracefulDrain(t *testing.T) {
+	ins := testInstance(t, 9, 2000)
+	eng, s, ts := newTestServer(t, ins.Capacities, 2,
+		Config{BatchSize: 32, FlushInterval: 5 * time.Millisecond})
+	client := NewClient(ts.URL, 8)
+	ctx := context.Background()
+
+	// Launch concurrent submitters, then drain while their batches are in
+	// flight.
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		decided int64
+		subErrs []error
+	)
+	const workers = 8
+	per := len(ins.Requests) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		wg.Add(1)
+		go func(lo int) {
+			defer wg.Done()
+			for at := lo; at < lo+per; at += 100 {
+				ds, err := client.Submit(ctx, ins.Requests[at:at+100])
+				mu.Lock()
+				if err != nil {
+					subErrs = append(subErrs, err)
+				} else {
+					decided += int64(len(ds))
+				}
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}(lo)
+	}
+	// Give the workers a head start so batches are genuinely in flight.
+	time.Sleep(5 * time.Millisecond)
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// Every submission that was accepted into the pipeline was decided:
+	// the engine's request count matches the decisions the clients got
+	// back (503-refused batches contributed to neither).
+	eng.Close()
+	st := eng.Stats()
+	if st.Requests != decided {
+		t.Fatalf("engine decided %d requests, clients received %d decisions", st.Requests, decided)
+	}
+	// Submissions refused during drain surface as server errors, which is
+	// the contract; transport must never fail.
+	for _, err := range subErrs {
+		if !strings.Contains(err.Error(), "draining") {
+			t.Fatalf("non-drain submission error: %v", err)
+		}
+	}
+
+	// Post-drain: 503 on submit, healthz degraded, metrics still served.
+	_, err := client.Submit(ctx, ins.Requests[:1])
+	if err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("post-drain submit: got %v, want draining refusal", err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status %d after drain, want 503", resp.StatusCode)
+	}
+	if _, err := client.Metrics(ctx); err != nil {
+		t.Fatalf("metrics after drain: %v", err)
+	}
+	// Drain is idempotent.
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadgenLoopback exercises the acload→acserve path end to end over a
+// real TCP listener: RunLoad must decide everything it sent and reconcile
+// with the engine's accounting. Run under -race in CI.
+func TestLoadgenLoopback(t *testing.T) {
+	ins := testInstance(t, 13, 1200)
+	eng, s, ts := newTestServer(t, ins.Capacities, 4, Config{})
+	_ = s
+	report, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:  ts.URL,
+		Requests: ins.Requests,
+		Conns:    4,
+		Batch:    64,
+		Repeat:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSent := int64(2 * len(ins.Requests))
+	if report.Sent != wantSent || report.Decided != wantSent {
+		t.Fatalf("sent %d decided %d, want %d", report.Sent, report.Decided, wantSent)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("%d per-item errors", report.Errors)
+	}
+	if report.Throughput <= 0 || report.LatencyP50 <= 0 || report.LatencyMax < report.LatencyP99 {
+		t.Fatalf("implausible report: %+v", report)
+	}
+	st := eng.Stats()
+	if st.Requests != wantSent {
+		t.Fatalf("engine saw %d requests, want %d", st.Requests, wantSent)
+	}
+	if st.Accepted != report.Accepted {
+		t.Fatalf("engine accepted %d, report %d", st.Accepted, report.Accepted)
+	}
+	for e, load := range st.Loads {
+		if load > ins.Capacities[e] {
+			t.Fatalf("edge %d over capacity: %d > %d", e, load, ins.Capacities[e])
+		}
+	}
+}
+
+// TestRPSPacing checks that a target RPS is roughly respected (coarse
+// bound: no more than 2.5x the target, which catches a broken limiter
+// without being flaky on loaded CI machines).
+func TestRPSPacing(t *testing.T) {
+	ins := testInstance(t, 17, 200)
+	_, _, ts := newTestServer(t, ins.Capacities, 1, Config{})
+	start := time.Now()
+	report, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:  ts.URL,
+		Requests: ins.Requests,
+		Conns:    2,
+		Batch:    25,
+		RPS:      2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of the 2 workers sends 4 batches of 25 spaced 25ms apart, the
+	// first at t=0, so a working limiter cannot finish before ~75ms; an
+	// unthrottled run takes single-digit milliseconds.
+	elapsed := time.Since(start)
+	if wantMin := 70 * time.Millisecond; elapsed < wantMin {
+		t.Fatalf("200 requests at 2000 rps finished in %v, want ≥ %v", elapsed, wantMin)
+	}
+	if report.Decided != 200 {
+		t.Fatalf("decided %d, want 200", report.Decided)
+	}
+}
+
+// TestAdversaryOverHTTP plays the weighted preemption trap through the
+// server: the §3 algorithm escapes it by preempting, so the reconstructed
+// rejected cost must stay far below the trap cost W.
+func TestAdversaryOverHTTP(t *testing.T) {
+	adv := &workload.WeightedRatioAdversary{W: 1000}
+	_, _, ts := newTestServer(t, adv.Capacities(), 1, Config{})
+	res, err := RunAdversarial(context.Background(), ts.URL, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("adversary made no requests")
+	}
+	// Either the cheap request was rejected outright (cost 1) or it was
+	// accepted and preempted when the expensive one arrived (cost 1); a
+	// non-preemptive server would instead pay 1000.
+	if res.RejectedCost >= 1000 {
+		t.Fatalf("rejected cost %g: server fell into the non-preemption trap", res.RejectedCost)
+	}
+	if res.Instance.N() != res.Requests {
+		t.Fatalf("instance has %d requests, result %d", res.Instance.N(), res.Requests)
+	}
+}
+
+// TestDeterministicLoopback checks the determinism contract the E14
+// experiment relies on: one connection, one shard, sequential batches →
+// decision-identical to the direct engine on the same seed.
+func TestDeterministicLoopback(t *testing.T) {
+	ins := testInstance(t, 23, 400)
+	acfg := core.DefaultConfig()
+	acfg.Seed = 77
+
+	ref, err := engine.New(ins.Capacities, engine.Config{Shards: 1, Algorithm: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, r := range ins.Requests {
+		if _, err := ref.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	eng, err := engine.New(ins.Capacities, engine.Config{Shards: 1, Algorithm: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		_ = s.Drain(context.Background())
+		eng.Close()
+	}()
+	report, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:  ts.URL,
+		Requests: ins.Requests,
+		Conns:    1,
+		Batch:    50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStats, loopStats := ref.Stats(), eng.Stats()
+	if refStats.Accepted != loopStats.Accepted || refStats.RejectedCost != loopStats.RejectedCost {
+		t.Fatalf("loopback diverged from direct engine: %+v vs %+v", loopStats, refStats)
+	}
+	if report.Decided != int64(len(ins.Requests)) {
+		t.Fatalf("decided %d, want %d", report.Decided, len(ins.Requests))
+	}
+}

@@ -9,6 +9,11 @@
 // repeating them. An element that has arrived k times must be covered by k
 // *distinct* chosen sets. The objective is the total cost of chosen sets;
 // sets are never un-chosen.
+//
+// Concurrency contract: Bicriteria and the reduction runner are
+// sequential online algorithms (one arrival at a time, single goroutine);
+// an Instance is immutable once validated and may be shared across
+// concurrent runs.
 package setcover
 
 import (

@@ -6,6 +6,12 @@
 // measured competitive ratio of each algorithm against the control parameter
 // the paper predicts (log(mc), log²(mc), log m·log c, log m·log n) with
 // Fit, and reporting slope, intercept and R².
+//
+// Concurrency contract: a Summary is a mutable accumulator and not safe
+// for concurrent Add — the harness serializes Adds behind its own mutex
+// (note that Add is a streaming-moment update, so even the insertion
+// order perturbs the low-order bits of Var). Fit and the other free
+// functions are pure and safe concurrently.
 package stats
 
 import (

@@ -8,6 +8,11 @@
 // a request that was never accepted or was already rejected, or (c) reports
 // a rejected cost inconsistent with its decisions. This externalized
 // verification is what makes the property-based tests trustworthy.
+//
+// Concurrency contract: a Runner wraps one sequential Algorithm and is
+// itself single-goroutine — offer requests from one goroutine in arrival
+// order. Distinct Runners over distinct algorithm instances may run
+// concurrently (the harness's parallel sweeps do).
 package trace
 
 import (

@@ -1,7 +1,16 @@
 // Package workload generates the admission-control request sequences the
 // experiments run on: random routed traffic over the internal/graph
 // topologies, targeted overload patterns, guaranteed-feasible sequences, and
-// the adaptive adversaries behind the preemption-necessity experiment (E10).
+// the adaptive adversaries behind the preemption-necessity experiment (E10)
+// — the "trivial lower bound" constructions the paper's introduction cites
+// against non-preemptive algorithms ([10]). The named-workload registry
+// (BuildNamed) is shared by acsim, acgen, acserve and acload, so every tool
+// agrees on what a workload name means.
+//
+// Concurrency contract: generators are pure given their *rng.RNG argument
+// and inherit its single-goroutine restriction (derive one RNG per task
+// with Split for parallel sweeps); an Adversary is a stateful sequential
+// game and must be driven from one goroutine.
 package workload
 
 import (

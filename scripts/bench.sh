@@ -4,16 +4,16 @@
 # Usage: scripts/bench.sh [output.json]
 #
 # Runs the §2/§3 hot-path benchmarks (steady-state Offer, scaling in m and c,
-# sharded engine throughput) with -benchmem and records ns/op, B/op and
-# allocs/op per benchmark. The committed BENCH_<pr>.json files form the perf
-# trajectory of the repository: each file is the baseline its successor PR is
-# measured against.
+# sharded engine throughput, HTTP serving layer over loopback) with -benchmem
+# and records ns/op, B/op and allocs/op per benchmark. The committed
+# BENCH_<pr>.json files form the perf trajectory of the repository: each file
+# is the baseline its successor PR is measured against.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_3.json}"
 
-pattern='BenchmarkRandomizedOfferWeighted$|BenchmarkRandomizedOfferUnweighted$|BenchmarkRandomizedScalingM|BenchmarkRandomizedScalingC|BenchmarkEngineThroughput'
+pattern='BenchmarkRandomizedOfferWeighted$|BenchmarkRandomizedOfferUnweighted$|BenchmarkRandomizedScalingM|BenchmarkRandomizedScalingC|BenchmarkEngineThroughput|BenchmarkServerLoopback'
 
 raw="$(go test -run '^$' -bench "$pattern" -benchmem -count=1 .)"
 echo "$raw" >&2
