@@ -1,7 +1,7 @@
-// Benchmarks: one per reproduction experiment (E1–E14, see DESIGN.md §4 and
+// Benchmarks: one per reproduction experiment (E1–E15, see DESIGN.md §4 and
 // EXPERIMENTS.md), micro-benchmarks of the individual algorithms, and
-// throughput benchmarks of the sharded concurrent engine (DESIGN.md §5) and
-// the HTTP serving layer over loopback (DESIGN.md §7).
+// throughput benchmarks of the sharded concurrent engines (DESIGN.md §5 and
+// §9) and the HTTP serving layer over loopback (DESIGN.md §7).
 //
 // The experiment benchmarks execute the same code paths as `acbench -exp
 // <id>` at a reduced scale so `go test -bench=.` terminates in minutes; the
@@ -25,6 +25,7 @@ import (
 	"admission"
 	"admission/internal/baseline"
 	"admission/internal/core"
+	"admission/internal/coverengine"
 	"admission/internal/engine"
 	"admission/internal/graph"
 	"admission/internal/harness"
@@ -98,6 +99,7 @@ func BenchmarkE11ShardedEngine(b *testing.B)       { runExperimentBench(b, "E11"
 func BenchmarkE12Topologies(b *testing.B)          { runExperimentBench(b, "E12", -1) }
 func BenchmarkE13SetCoverHeadToHead(b *testing.B)  { runExperimentBench(b, "E13", -1) }
 func BenchmarkE14ServerLoopback(b *testing.B)      { runExperimentBench(b, "E14", 3) }
+func BenchmarkE15CoverLoopback(b *testing.B)       { runExperimentBench(b, "E15", 2) }
 
 // --- micro-benchmarks: algorithm throughput -------------------------------
 
@@ -541,6 +543,108 @@ func BenchmarkServerLoopback(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(thru, "decisions/s")
 			b.ReportMetric(float64(len(ins.Requests)), "requests/op")
+		})
+	}
+}
+
+// benchCoverWorkload builds a reusable large set-cover workload for the
+// cover throughput benchmarks: a sparse 256-element/512-set system whose
+// aggregate degree budget comfortably exceeds the 8000-arrival sequence.
+func benchCoverWorkload(b *testing.B) (*setcover.Instance, []int) {
+	b.Helper()
+	r := rng.New(77)
+	ins, err := setcover.RandomInstance(256, 512, 0.08, 3, false, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arrivals, err := setcover.RandomArrivals(ins, 8000, 1.0, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ins, arrivals
+}
+
+// BenchmarkCoverEngineThroughput measures the sharded cover engine's direct
+// SubmitBatch throughput (no HTTP) across shard counts.
+func BenchmarkCoverEngineThroughput(b *testing.B) {
+	ins, arrivals := benchCoverWorkload(b)
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cov, err := coverengine.New(ins, coverengine.Config{Shards: shards, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ds, err := cov.SubmitBatch(arrivals)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, d := range ds {
+					if d.Err != nil {
+						b.Fatalf("arrival refused: %v", d.Err)
+					}
+				}
+				cov.Close()
+			}
+			b.ReportMetric(float64(len(arrivals)), "arrivals/op")
+		})
+	}
+}
+
+// BenchmarkCoverLoopback measures end-to-end throughput of the set cover
+// serving stack — the cover load generator driving acserve's /v1/cover
+// path over a real loopback TCP listener — at 1 and 8 client connections.
+// The arrivals/s metric is the committed acceptance figure for the cover
+// serving path (target: ≥ 20k element-arrivals/s on one machine).
+func BenchmarkCoverLoopback(b *testing.B) {
+	ins, arrivals := benchCoverWorkload(b)
+	for _, conns := range []int{1, 8} {
+		b.Run(fmt.Sprintf("conns=%d", conns), func(b *testing.B) {
+			var thru float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cov, err := coverengine.New(ins, coverengine.Config{Shards: 4, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv := server.NewWithCover(nil, cov, server.Config{})
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				httpSrv := &http.Server{Handler: srv.Handler()}
+				go func() { _ = httpSrv.Serve(ln) }()
+				base := "http://" + ln.Addr().String()
+				if err := server.NewClient(base, 1).WaitHealthy(5 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				report, err := server.RunCoverLoad(context.Background(), server.CoverLoadConfig{
+					BaseURL:  base,
+					Elements: arrivals,
+					Conns:    conns,
+					Batch:    256,
+				})
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.Decided != int64(len(arrivals)) || report.Errors != 0 {
+					b.Fatalf("decided %d of %d, %d errors", report.Decided, len(arrivals), report.Errors)
+				}
+				thru = report.Throughput
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				if err := srv.Drain(ctx); err != nil {
+					b.Fatal(err)
+				}
+				cancel()
+				_ = httpSrv.Close()
+				cov.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(thru, "arrivals/s")
+			b.ReportMetric(float64(len(arrivals)), "arrivals/op")
 		})
 	}
 }

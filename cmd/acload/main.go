@@ -20,6 +20,15 @@
 //
 // (Adversaries need a server over their own capacity vector: capacity-1
 // edges, e.g. `acserve -edges 16 -cap 1`.)
+//
+// Cover mode drives the server's online set cover path (/v1/cover) with a
+// named set-cover workload's arrival sequence — including the
+// repeated-element adversary cover-repeat — and reports arrival
+// throughput. The server must have been started with -cover and the same
+// -cover-workload/-cover-seed pair so both sides hold the same set system:
+//
+//	acload -url http://127.0.0.1:8080 -cover -cover-workload cover-random -n 20000
+//	acload -url http://127.0.0.1:8080 -cover -cover-workload cover-repeat -conns 8
 package main
 
 import (
@@ -50,6 +59,10 @@ func main() {
 		advW     = flag.Float64("W", 1000, "adversary: expensive-request cost")
 		advK     = flag.Int("K", 8, "adversary: path length (path-trap)")
 		advR     = flag.Int("rounds", 8, "adversary: trap rounds (repeated-trap)")
+
+		cover     = flag.Bool("cover", false, "drive the set cover path (/v1/cover) instead of /v1/submit")
+		coverWl   = flag.String("cover-workload", "cover-random", "named set-cover workload (must match the server's)")
+		coverSeed = flag.Uint64("cover-seed", 1, "set-cover workload seed (must match the server's)")
 	)
 	flag.Parse()
 
@@ -58,6 +71,10 @@ func main() {
 
 	if *advName != "" {
 		runAdversary(ctx, *url, *advName, *advW, *advK, *advR)
+		return
+	}
+	if *cover {
+		runCover(ctx, *url, *coverWl, *coverSeed, *n, *conns, *batch, *rps)
 		return
 	}
 
@@ -106,6 +123,27 @@ func runAdversary(ctx context.Context, url, name string, w float64, k, rounds in
 	fmt.Printf("accepted:       %d (final)\n", res.Accepted)
 	fmt.Printf("preemptions:    %d\n", res.Preemptions)
 	fmt.Printf("rejected cost:  %g\n", res.RejectedCost)
+}
+
+// runCover drives /v1/cover with a named set-cover workload's arrivals and
+// prints the throughput/latency summary.
+func runCover(ctx context.Context, url, name string, seed uint64, n, conns, batch int, rps float64) {
+	w, err := workload.BuildNamedCover(name, n, seed)
+	if err != nil {
+		fail(err)
+	}
+	report, err := server.RunCoverLoad(ctx, server.CoverLoadConfig{
+		BaseURL:  url,
+		Elements: w.Arrivals,
+		Conns:    conns,
+		Batch:    batch,
+		RPS:      rps,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("cover workload: %s (n=%d elements, m=%d sets)\n", w.Name, w.Instance.N, w.Instance.M())
+	fmt.Println(report)
 }
 
 func fail(err error) {

@@ -9,13 +9,24 @@
 //	acserve -addr :8080 -workload grid -cap 8 -shards 4
 //	acserve -addr :8080 -edges 64 -cap 16 -shards 8 -batch 512 -flush 1ms
 //
+// With -cover the server additionally serves online set cover with
+// repetitions (§§4–5, DESIGN.md §9) over a named set-cover workload's
+// instance — the same registry acload -cover uses, so starting both with
+// the same -cover-workload/-cover-seed makes them agree on the set system:
+//
+//	acserve -addr :8080 -cover -cover-workload cover-random -cover-shards 4
+//	acserve -addr :8080 -cover -cover-mode bicriteria -cover-eps 0.25
+//
 // Endpoints:
 //
-//	POST /v1/submit   one request {"edges":[0,1],"cost":2.5} or an array;
-//	                  responds with one NDJSON decision line per request
-//	GET  /v1/stats    engine + pipeline statistics (JSON)
-//	GET  /metrics     Prometheus text format
-//	GET  /healthz     liveness; 503 while draining
+//	POST /v1/submit      one request {"edges":[0,1],"cost":2.5} or an
+//	                     array; one NDJSON decision line per request
+//	GET  /v1/stats       engine + pipeline statistics (JSON)
+//	POST /v1/cover       element id(s), e.g. 3 or [0,4,4]; one NDJSON
+//	                     "sets chosen" decision line per arrival
+//	GET  /v1/cover/stats cover engine statistics (JSON)
+//	GET  /metrics        Prometheus text format
+//	GET  /healthz        liveness; 503 while draining
 //
 // On SIGINT/SIGTERM the server stops accepting connections, completes
 // in-flight submissions (HTTP drain, then pipeline drain), closes the
@@ -33,6 +44,7 @@ import (
 	"time"
 
 	"admission/internal/core"
+	"admission/internal/coverengine"
 	"admission/internal/engine"
 	"admission/internal/server"
 	"admission/internal/workload"
@@ -51,6 +63,13 @@ func main() {
 		flush      = flag.Duration("flush", 500*time.Microsecond, "max wait before flushing a non-full batch")
 		queue      = flag.Int("queue", 8192, "submission queue capacity (backpressure bound)")
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+
+		cover     = flag.Bool("cover", false, "also serve online set cover (/v1/cover)")
+		coverWl   = flag.String("cover-workload", "cover-random", "named set-cover workload supplying the set system")
+		coverSeed = flag.Uint64("cover-seed", 1, "set-cover workload + algorithm seed")
+		coverSh   = flag.Int("cover-shards", 1, "cover engine element-partition shard count")
+		coverMode = flag.String("cover-mode", "reduction", "cover algorithm: reduction | bicriteria")
+		coverEps  = flag.Float64("cover-eps", 0.25, "bicriteria slack ε in (0,1)")
 	)
 	flag.Parse()
 
@@ -67,7 +86,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	srv := server.New(eng, server.Config{
+	var cov *coverengine.Engine
+	if *cover {
+		cov, err = buildCover(*coverWl, *coverSeed, *coverSh, *coverMode, *coverEps)
+		if err != nil {
+			fail(err)
+		}
+	}
+	srv := server.NewWithCover(eng, cov, server.Config{
 		BatchSize:     *batch,
 		FlushInterval: *flush,
 		QueueLen:      *queue,
@@ -78,6 +104,10 @@ func main() {
 	go func() {
 		fmt.Fprintf(os.Stderr, "acserve: serving m=%d edges (max capacity %d) on %s, %d shards, batch %d, flush %v\n",
 			len(caps), maxOf(caps), *addr, eng.Shards(), *batch, *flush)
+		if cov != nil {
+			fmt.Fprintf(os.Stderr, "acserve: cover: %s (%s), n=%d elements, m=%d sets, %d shards\n",
+				*coverWl, cov.Mode(), cov.NumElements(), cov.NumSets(), cov.Shards())
+		}
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errCh <- err
 		}
@@ -105,6 +135,31 @@ func main() {
 	fmt.Fprintf(os.Stderr,
 		"acserve: final stats: %d requests, %d accepted, %d preemptions, rejected cost %g\n",
 		st.Requests, st.Accepted, st.Preemptions, st.RejectedCost)
+	if cov != nil {
+		cov.Close()
+		cst := cov.Stats()
+		fmt.Fprintf(os.Stderr,
+			"acserve: final cover stats: %d arrivals, %d sets chosen, cost %g\n",
+			cst.Arrivals, cst.ChosenSets, cst.Cost)
+	}
+}
+
+// buildCover constructs the cover engine from a named set-cover workload.
+func buildCover(name string, seed uint64, shards int, mode string, eps float64) (*coverengine.Engine, error) {
+	w, err := workload.BuildNamedCover(name, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := coverengine.Config{Shards: shards, Seed: seed, Eps: eps}
+	switch mode {
+	case "reduction":
+		cfg.Mode = coverengine.ModeReduction
+	case "bicriteria":
+		cfg.Mode = coverengine.ModeBicriteria
+	default:
+		return nil, fmt.Errorf("acserve: unknown cover mode %q (want reduction|bicriteria)", mode)
+	}
+	return coverengine.New(w.Instance, cfg)
 }
 
 // buildCapacities derives the capacity vector: from a named workload's

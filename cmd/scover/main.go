@@ -3,6 +3,12 @@
 // deterministic bicriteria algorithm against offline optima.
 //
 //	scover -n 32 -m 64 -arrivals 64 -eps 0.25 -seed 3
+//
+// With -engine the same arrivals are additionally served through the
+// sharded concurrent cover engine (internal/coverengine, DESIGN.md §9),
+// reporting its cost next to the sequential algorithms:
+//
+//	scover -n 64 -m 128 -arrivals 256 -engine -shards 4
 package main
 
 import (
@@ -10,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"admission/internal/coverengine"
 	"admission/internal/opt"
 	"admission/internal/rng"
 	"admission/internal/setcover"
@@ -26,6 +33,8 @@ func main() {
 		eps      = flag.Float64("eps", 0.25, "bicriteria slack ε")
 		weighted = flag.Bool("weighted", false, "heavy-tailed set costs instead of unit")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		engineOn = flag.Bool("engine", false, "also serve the arrivals through the sharded cover engine")
+		shards   = flag.Int("shards", 4, "cover engine shard count (with -engine)")
 	)
 	flag.Parse()
 
@@ -84,6 +93,30 @@ func main() {
 	}
 	fmt.Printf("bicriteria: cost=%.2f  sets=%d  ratio=%.2f (vs %s, covers ≥ %.0f%% of each demand)\n",
 		b.Cost(), len(chosen), ratio(b.Cost(), ref), optLabel, 100*(1-*eps))
+
+	// Concurrent serving path: the same arrivals through the sharded cover
+	// engine (identical to the reduction at 1 shard; at K shards each shard
+	// runs the reduction over its element partition).
+	if *engineOn {
+		eng, err := coverengine.New(sys, coverengine.Config{Shards: *shards, Seed: *seed})
+		if err != nil {
+			fail(err)
+		}
+		ds, err := eng.SubmitBatch(seq)
+		if err != nil {
+			fail(err)
+		}
+		refused := 0
+		for _, d := range ds {
+			if d.Err != nil {
+				refused++
+			}
+		}
+		eng.Close()
+		st := eng.Stats()
+		fmt.Printf("engine:     cost=%.2f  sets=%d  ratio=%.2f (vs %s, %d shards, %d preemptions, %d refused)\n",
+			eng.Cost(), st.ChosenSets, ratio(eng.Cost(), ref), optLabel, eng.Shards(), st.Preemptions, refused)
+	}
 }
 
 func ratio(on, ref float64) float64 {

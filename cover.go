@@ -1,0 +1,70 @@
+package admission
+
+import (
+	"admission/internal/coverengine"
+	"admission/internal/setcover"
+)
+
+// Concurrent set cover serving layer (see DESIGN.md §9). The CoverEngine
+// partitions the ground set of elements into shards, runs a full instance
+// of the §4 reduction (or the §5 bicriteria algorithm) over each shard's
+// restriction of the set system, and serves concurrent element arrivals;
+// each decision reports exactly which sets were newly bought, with a
+// global ledger guaranteeing every set is paid for once and never
+// un-chosen. At one shard it is decision-for-decision identical to the
+// sequential reduction (NewSetCoverRunner).
+type (
+	// CoverEngine is the sharded concurrent set cover server. Submit and
+	// SubmitBatch are safe for concurrent use by any number of goroutines;
+	// Close drains in-flight arrivals and leaves exact statistics readable.
+	CoverEngine = coverengine.Engine
+	// CoverEngineConfig configures shard count, element partition, the
+	// per-shard algorithm mode and its constants.
+	CoverEngineConfig = coverengine.Config
+	// CoverDecision reports the engine's reaction to one element arrival:
+	// the arrival's sequence number, its per-element repetition count, and
+	// the sets newly bought for it.
+	CoverDecision = coverengine.Decision
+	// CoverEngineStats is a snapshot of the cover engine's aggregate state
+	// (arrivals, refusals, chosen sets, cost, preemptions, augmentations).
+	CoverEngineStats = coverengine.Stats
+	// CoverMode selects the per-shard online set cover algorithm.
+	CoverMode = coverengine.Mode
+	// SetCoverRunner is the incremental sequential form of the §4
+	// reduction: arrivals one at a time, newly bought sets after each.
+	SetCoverRunner = setcover.ReductionRunner
+)
+
+// Cover engine modes.
+const (
+	// CoverModeReduction runs the §4 reduction driven by the randomized
+	// preemptive algorithm (Theorem 4 ⇒ O(log m·log n)-competitive).
+	CoverModeReduction = coverengine.ModeReduction
+	// CoverModeBicriteria runs the §5 deterministic bicriteria algorithm
+	// ((1−ε)k coverage at O(log m·log n)·OPT cost, Theorem 7).
+	CoverModeBicriteria = coverengine.ModeBicriteria
+)
+
+// ErrCoverEngineClosed is returned by CoverEngine.Submit after Close.
+var ErrCoverEngineClosed = coverengine.ErrClosed
+
+// ErrElementSaturated is wrapped by cover decisions (and SetCoverRunner
+// arrivals) refusing an element that has already arrived as often as its
+// degree — such an arrival is uncoverable by k distinct sets.
+var ErrElementSaturated = setcover.ErrElementSaturated
+
+// NewCoverEngine creates a sharded concurrent set cover engine over the
+// validated set system. Set cfg.Shards to scale across cores; with one
+// shard and sequential submission it reproduces the sequential §4
+// reduction decision for decision.
+func NewCoverEngine(sys *SetSystem, cfg CoverEngineConfig) (*CoverEngine, error) {
+	return coverengine.New(sys, cfg)
+}
+
+// NewSetCoverRunner creates the incremental sequential §4 reduction over
+// the set system: Arrive serves one element arrival and returns the sets
+// newly bought for it. It is the single-goroutine reference the
+// CoverEngine is tested against.
+func NewSetCoverRunner(sys *SetSystem, seed uint64) (*SetCoverRunner, error) {
+	return setcover.NewReductionRunner(sys, setcover.ReductionConfig{Seed: seed})
+}

@@ -25,10 +25,14 @@
 //   - a sharded concurrent serving engine (NewEngine) that partitions the
 //     edge set and runs per-shard §2/§3 instances behind channel-based
 //     event loops, for concurrent traffic (see DESIGN.md §5),
-//   - a network-facing HTTP admission service (cmd/acserve) over the
-//     engine, with batched submission, streaming decisions, Prometheus
-//     metrics and graceful drain, plus a load generator (cmd/acload) —
-//     see DESIGN.md §7.
+//   - a sharded concurrent set cover engine (NewCoverEngine) that
+//     partitions the ground set of elements and runs the §4 reduction (or
+//     the §5 bicriteria algorithm) inside each shard, with a global
+//     chosen-set ledger — see DESIGN.md §9,
+//   - a network-facing HTTP service (cmd/acserve) over both engines, with
+//     batched submission, streaming decisions, Prometheus metrics and
+//     graceful drain, plus a load generator (cmd/acload) — see DESIGN.md
+//     §7 and §9.
 //
 // # Quick start
 //

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSmoke compiles and runs the example end to end, asserting it
+// produces its report on stdout (clearing the package's former
+// "[no test files]" gap in go test ./...).
+func TestSmoke(t *testing.T) {
+	out := captureStdout(t, main)
+	if strings.TrimSpace(out) == "" {
+		t.Fatal("example produced no output")
+	}
+	if !strings.Contains(out, "on-call coverage") {
+		t.Fatalf("example output missing %q:\n%s", "on-call coverage", out)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// everything it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		_, _ = io.Copy(&b, r)
+		done <- b.String()
+	}()
+	fn()
+	_ = w.Close()
+	os.Stdout = old
+	return <-done
+}

@@ -130,6 +130,11 @@ type Fractional struct {
 
 	augmentations int
 	phases        int // number of α doublings performed
+
+	// allEdges is the cached [0, m) worklist augmentEdges switches to after
+	// a phase reset, which zeroes every alive weight and can therefore
+	// break the covering invariant on edges outside the caller's list.
+	allEdges []int
 }
 
 // NewFractional creates the fractional algorithm for the given capacity
@@ -628,6 +633,14 @@ func (f *Fractional) augmentEdges(edgeList []int, cs *Changeset) (reset bool, er
 					f.doublePhase()
 					reset = true
 					f.resetSnapshots()
+					// The reset zeroed every alive weight, so the covering
+					// invariant may now be violated on edges far from this
+					// arrival; widen the fixpoint to the whole edge set.
+					// (Every other invariant-breaking event — a new alive
+					// request, a permanent accept, a shrink — is local to
+					// edges already in the list.)
+					edgeList = f.allEdgeList()
+					satisfied = false
 				}
 			}
 		}
@@ -644,6 +657,17 @@ func (f *Fractional) augmentEdges(edgeList []int, cs *Changeset) (reset bool, er
 		}
 	}
 	return reset, nil
+}
+
+// allEdgeList returns the cached full-edge worklist [0, m).
+func (f *Fractional) allEdgeList() []int {
+	if f.allEdges == nil {
+		f.allEdges = make([]int, f.m)
+		for e := range f.allEdges {
+			f.allEdges[e] = e
+		}
+	}
+	return f.allEdges
 }
 
 // needsAlpha reports whether the doubling scheme still awaits its first

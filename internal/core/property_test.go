@@ -73,6 +73,41 @@ func TestPropertyFractionalInvariants(t *testing.T) {
 	}
 }
 
+// TestCoveringInvariantAfterPhaseReset is the regression test for a bug
+// the set-cover fuzz/property campaign surfaced (quick-check seed
+// 5426552842703222521): a doubling-phase reset zeroes every alive weight,
+// but augmentEdges used to restore the covering invariant only on the
+// current arrival's edges — edges elsewhere kept Σf = 0 < n_e until some
+// later arrival happened to touch them, and a pruned-rejected arrival
+// (which performs no augmentation) then observed the violation. The fix
+// widens the fixpoint to the whole edge set after a reset; this workload
+// replays the exact failing sequence and checks the invariant on EVERY
+// edge after every arrival.
+func TestCoveringInvariantAfterPhaseReset(t *testing.T) {
+	ins := genInstance(5426552842703222521, false)
+	f, err := NewFractional(ins.Capacities, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resets := 0
+	for i, r := range ins.Requests {
+		cs, err := f.Offer(r)
+		if err != nil {
+			t.Fatalf("offer %d: %v", i, err)
+		}
+		if cs.PhaseReset {
+			resets++
+		}
+		// Global check (nil = all edges), not just the arrival's.
+		if err := f.CheckCovered(nil); err != nil {
+			t.Fatalf("after arrival %d (edges %v, cost %v): %v", i, r.Edges, r.Cost, err)
+		}
+	}
+	if resets == 0 {
+		t.Fatal("workload no longer triggers a phase reset; regression coverage lost")
+	}
+}
+
 // Property: the randomized algorithm never violates feasibility (verified
 // by the independent runner), never rejects more than the total cost, and
 // its recorded event log replays cleanly.

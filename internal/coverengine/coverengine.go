@@ -1,0 +1,514 @@
+// Package coverengine serves online set cover with repetitions (§§4–5 of
+// the paper) behind the same batched event-loop/shard architecture as the
+// admission engine (internal/engine, DESIGN.md §5 and §9): the set system
+// is registered up front, element arrivals are submitted concurrently via
+// Submit/SubmitBatch, and each decision reports exactly which sets were
+// newly bought for that arrival.
+//
+// Sharding model. The ground set of elements is partitioned into K shards;
+// each shard owns its elements' arrival streams and runs a full, independent
+// instance of the chosen online algorithm over the *restriction* of the set
+// system to its elements (every global set contributes the portion of its
+// elements the shard owns). A set that spans shards therefore has one
+// portion per involved shard; whichever portion is bought first buys the
+// global set, later buys of other portions are deduplicated by the engine's
+// global chosen ledger (a set is paid for exactly once; sets are never
+// un-chosen). Because every set containing an element is visible — through
+// its portion — to the element's owning shard, the per-shard guarantee
+// "element arrived k times ⇒ covered by k distinct portions" lifts directly
+// to k distinct global sets; the global cost is at most the sum of the
+// per-shard costs, each O(log m·log n)-competitive against its local
+// optimum (Theorem 4 via the §4 reduction, or Theorem 7 for Bicriteria
+// mode).
+//
+// Concurrency model mirrors internal/engine: each shard is a single
+// goroutine owning all of its algorithm state, fed over a channel and
+// drained in batches; submitters block on pooled per-operation reply
+// channels. The global chosen ledger is the only cross-shard state and is
+// guarded by a mutex touched once per bought set — not per arrival.
+//
+// Determinism: with one shard and one submitter the engine is
+// decision-for-decision identical to the sequential §4 reduction
+// (setcover.ReductionRunner with the same seed); the golden trace tests
+// prove it. With K shards each shard's decision stream is deterministic in
+// its own arrival order.
+package coverengine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"admission/internal/core"
+	"admission/internal/graph"
+	"admission/internal/setcover"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("coverengine: closed")
+
+// Mode selects the online algorithm run inside every shard.
+type Mode uint8
+
+// Modes of the cover engine.
+const (
+	// ModeReduction runs the §4 reduction to admission control driven by
+	// the randomized preemptive algorithm (Theorem 4 ⇒ O(log m·log n)).
+	ModeReduction Mode = iota
+	// ModeBicriteria runs the §5 deterministic bicriteria algorithm: every
+	// element arrived k times is covered by at least (1−ε)k distinct sets.
+	ModeBicriteria
+)
+
+// String names the mode for logs and tables.
+func (m Mode) String() string {
+	switch m {
+	case ModeReduction:
+		return "reduction"
+	case ModeBicriteria:
+		return "bicriteria"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Config configures the cover engine.
+type Config struct {
+	// Shards is the number of element-partition shards K (default 1,
+	// clamped to the number of elements). Ignored when Partition is set.
+	Shards int
+	// Mode selects the per-shard algorithm (default ModeReduction).
+	Mode Mode
+	// Core optionally fixes the admission-control configuration of
+	// ModeReduction shards. When nil it is derived from the instance the
+	// way setcover.ReductionConfig does: unweighted constants for unit
+	// costs, weighted otherwise, seeded from Seed. Shard i's seed is
+	// derived from the base seed; shard 0 keeps it, making the one-shard
+	// engine bit-identical to the sequential reduction.
+	Core *core.Config
+	// Seed drives the randomized per-shard algorithms (ModeReduction).
+	Seed uint64
+	// Eps is the bicriteria slack ε ∈ (0,1) (ModeBicriteria only; the zero
+	// value means the default 0.25, anything else outside (0,1) is
+	// rejected by New).
+	Eps float64
+	// Partition optionally fixes the element partition: Partition[s] lists
+	// the global element ids owned by shard s, each element exactly once.
+	// When nil a contiguous balanced partition over [0, N) is used.
+	Partition [][]int
+	// BatchSize bounds how many queued arrivals a shard drains per loop
+	// iteration (default 64).
+	BatchSize int
+	// QueueLen is each shard's operation queue capacity (default 256).
+	QueueLen int
+}
+
+func (c Config) eps() float64 {
+	if c.Eps == 0 {
+		return 0.25
+	}
+	return c.Eps
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize <= 0 {
+		return 64
+	}
+	return c.BatchSize
+}
+
+func (c Config) queueLen() int {
+	if c.QueueLen <= 0 {
+		return 256
+	}
+	return c.QueueLen
+}
+
+// Decision reports the engine's reaction to one submitted element arrival.
+type Decision struct {
+	// Seq is the engine-assigned global arrival sequence number.
+	Seq int
+	// Element is the element that arrived.
+	Element int
+	// Arrival is k: how many times the element has now arrived (counting
+	// this arrival), in its owning shard's processing order.
+	Arrival int
+	// NewSets lists the global ids of sets newly bought by this arrival,
+	// in purchase order. Sets already chosen (by any earlier decision on
+	// any shard) never reappear: the cover only grows.
+	NewSets []int
+	// AddedCost is the total cost of NewSets.
+	AddedCost float64
+	// Err carries a per-arrival failure (unknown element, or an element
+	// arriving more often than its degree — see
+	// setcover.ErrElementSaturated). A decision with Err set changed no
+	// engine state.
+	Err error
+}
+
+// Stats is a snapshot of the cover engine's aggregate state. Consistency
+// matches the admission engine: per-shard consistent while open, exact
+// after Close.
+type Stats struct {
+	// Arrivals counts successfully served element arrivals.
+	Arrivals int64
+	// Errors counts refused arrivals (saturated or unknown elements).
+	Errors int64
+	// ChosenSets is the number of distinct sets bought so far.
+	ChosenSets int
+	// Cost is the total cost of the chosen sets (each set paid once).
+	Cost float64
+	// Preemptions counts phase-2 preemption events across all shards
+	// (ModeReduction; a preemption buys a portion, which may or may not
+	// buy a new global set).
+	Preemptions int64
+	// Augmentations counts weight augmentations across all shards
+	// (ModeBicriteria, the quantity Lemma 5 bounds).
+	Augmentations int64
+}
+
+// Engine is the sharded concurrent set cover server. Submit and
+// SubmitBatch are safe for concurrent use by any number of goroutines.
+type Engine struct {
+	ins       *setcover.Instance
+	mode      Mode
+	elemShard []int32 // global element -> owning shard
+	elemLocal []int32 // global element -> index within the shard
+	shards    []*shard
+
+	// The global chosen ledger: which sets have been bought, their count
+	// and total cost. Guarded by mu; touched only when a shard reports a
+	// locally bought portion, not per arrival.
+	mu          sync.Mutex
+	chosen      []bool
+	chosenCount int
+	cost        float64
+
+	seq      atomic.Int64
+	arrivals atomic.Int64
+	errs     atomic.Int64
+
+	closed   atomic.Bool
+	inflight atomic.Int64
+	loops    sync.WaitGroup
+}
+
+// New creates a cover engine over the validated set system. Construction
+// runs every shard's setup phase (phase 1 of the §4 reduction in
+// ModeReduction), so Chosen may be non-empty before the first arrival —
+// exactly as in the sequential reduction.
+func New(ins *setcover.Instance, cfg Config) (*Engine, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	// A mistyped slack must fail loudly rather than silently run with the
+	// default (a -cover-eps typo would otherwise serve different coverage
+	// than the operator configured).
+	if cfg.Eps != 0 && (cfg.Eps <= 0 || cfg.Eps >= 1) {
+		return nil, fmt.Errorf("coverengine: Eps = %v outside (0,1)", cfg.Eps)
+	}
+	parts := cfg.Partition
+	if parts == nil {
+		k := cfg.Shards
+		if k <= 0 {
+			k = 1
+		}
+		if k > ins.N {
+			k = ins.N
+		}
+		var err error
+		parts, err = graph.PartitionRange(ins.N, k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := checkPartition(parts, ins.N); err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		ins:       ins,
+		mode:      cfg.Mode,
+		elemShard: make([]int32, ins.N),
+		elemLocal: make([]int32, ins.N),
+		chosen:    make([]bool, ins.M()),
+	}
+	byElem := ins.SetsOf()
+	for si, part := range parts {
+		for li, ge := range part {
+			e.elemShard[ge] = int32(si)
+			e.elemLocal[ge] = int32(li)
+		}
+		s, err := newShard(si, ins, byElem, part, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("coverengine: shard %d: %w", si, err)
+		}
+		// Phase-1 rejections are bought before any arrival.
+		e.claim(s.initialChosen)
+		e.shards = append(e.shards, s)
+		e.loops.Add(1)
+		go func() {
+			defer e.loops.Done()
+			s.loop()
+		}()
+	}
+	return e, nil
+}
+
+// checkPartition verifies parts is an exact, non-empty cover of [0, n).
+func checkPartition(parts [][]int, n int) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("coverengine: empty partition")
+	}
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for si, part := range parts {
+		if len(part) == 0 {
+			return fmt.Errorf("coverengine: partition shard %d is empty", si)
+		}
+		for _, ge := range part {
+			if ge < 0 || ge >= n {
+				return fmt.Errorf("coverengine: partition shard %d references element %d, have %d elements", si, ge, n)
+			}
+			if owner[ge] != -1 {
+				return fmt.Errorf("coverengine: element %d in both shard %d and shard %d", ge, owner[ge], si)
+			}
+			owner[ge] = si
+		}
+	}
+	for ge, s := range owner {
+		if s == -1 {
+			return fmt.Errorf("coverengine: element %d missing from partition", ge)
+		}
+	}
+	return nil
+}
+
+// shardSeed derives shard i's RNG seed; shard 0 keeps the base seed so a
+// one-shard engine matches the sequential reduction bit for bit.
+func shardSeed(base uint64, i int) uint64 {
+	return base ^ (uint64(i) * 0x9e3779b97f4a7c15)
+}
+
+// enter registers a caller on the serving path; see the admission engine's
+// identical counter-then-flag pattern.
+func (e *Engine) enter() bool {
+	e.inflight.Add(1)
+	if e.closed.Load() {
+		e.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// exit balances enter.
+func (e *Engine) exit() { e.inflight.Add(-1) }
+
+// drainInflight blocks until no callers remain on the serving path.
+func (e *Engine) drainInflight() {
+	for e.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+// Shards returns the number of shards.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Mode returns the per-shard algorithm mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// NumElements returns the ground set size N.
+func (e *Engine) NumElements() int { return e.ins.N }
+
+// NumSets returns the set family size m.
+func (e *Engine) NumSets() int { return e.ins.M() }
+
+// ValidateElement checks an element id the way Submit would, so callers
+// batching arrivals (the serving layer) can 400 malformed items up front.
+func (e *Engine) ValidateElement(j int) error {
+	if j < 0 || j >= e.ins.N {
+		return fmt.Errorf("coverengine: element %d outside [0,%d)", j, e.ins.N)
+	}
+	return nil
+}
+
+// claim marks set ids as bought in the global ledger and returns the ids
+// that were new, in input order, with their total cost. Already-chosen ids
+// (bought earlier by any shard) are dropped — a set is paid for once and
+// never un-chosen.
+func (e *Engine) claim(ids []int) (fresh []int, added float64) {
+	if len(ids) == 0 {
+		return nil, 0
+	}
+	e.mu.Lock()
+	for _, id := range ids {
+		if e.chosen[id] {
+			continue
+		}
+		e.chosen[id] = true
+		e.chosenCount++
+		c := e.ins.Cost(id)
+		e.cost += c
+		added += c
+		fresh = append(fresh, id)
+	}
+	e.mu.Unlock()
+	return fresh, added
+}
+
+// Submit serves one element arrival and blocks until it is decided. Safe
+// for concurrent use; each call is assigned a fresh global sequence number.
+func (e *Engine) Submit(element int) (Decision, error) {
+	if !e.enter() {
+		return Decision{}, ErrClosed
+	}
+	defer e.exit()
+	if err := e.ValidateElement(element); err != nil {
+		return Decision{}, err
+	}
+	seq := int(e.seq.Add(1) - 1)
+	si := int(e.elemShard[element])
+	rep := recvReply(e.shards[si].send(op{kind: opArrive, seq: seq, elem: int(e.elemLocal[element])}))
+	return e.finish(seq, element, rep), nil
+}
+
+// finish folds a shard reply into engine accounting and the Decision.
+func (e *Engine) finish(seq, element int, rep reply) Decision {
+	d := Decision{Seq: seq, Element: element}
+	if rep.err != nil {
+		e.errs.Add(1)
+		d.Err = rep.err
+		return d
+	}
+	e.arrivals.Add(1)
+	d.Arrival = rep.arrival
+	d.NewSets, d.AddedCost = e.claim(rep.newSets)
+	return d
+}
+
+// SubmitBatch serves a sequence of element arrivals in slice order and
+// returns one Decision per arrival, in the same order. Like the admission
+// engine's SubmitBatch it is pipelined: every arrival is dispatched to its
+// owning shard before any reply is awaited, so the per-arrival channel
+// round-trip is paid once per batch. Per-shard arrival order — and hence
+// the decision stream — is identical to a sequential Submit loop.
+// Validation is atomic: any out-of-range element fails the whole batch
+// before anything is dispatched. Per-arrival failures (saturated elements)
+// arrive as Decision.Err instead.
+func (e *Engine) SubmitBatch(elements []int) ([]Decision, error) {
+	for i, j := range elements {
+		if err := e.ValidateElement(j); err != nil {
+			return nil, fmt.Errorf("coverengine: batch[%d]: %w", i, err)
+		}
+	}
+	if len(elements) == 0 {
+		return nil, nil
+	}
+	if !e.enter() {
+		return nil, ErrClosed
+	}
+	defer e.exit()
+
+	out := make([]Decision, len(elements))
+	replies := make([]chan reply, len(elements))
+	for i, j := range elements {
+		seq := int(e.seq.Add(1) - 1)
+		out[i].Seq = seq
+		out[i].Element = j
+		replies[i] = e.shards[e.elemShard[j]].send(op{kind: opArrive, seq: seq, elem: int(e.elemLocal[j])})
+	}
+	for i := range replies {
+		out[i] = e.finish(out[i].Seq, out[i].Element, recvReply(replies[i]))
+	}
+	return out, nil
+}
+
+// Chosen returns the global ids of all bought sets, ascending.
+func (e *Engine) Chosen() []int {
+	e.mu.Lock()
+	out := make([]int, 0, e.chosenCount)
+	for id, c := range e.chosen {
+		if c {
+			out = append(out, id)
+		}
+	}
+	e.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// Cost returns the total cost of the chosen sets.
+func (e *Engine) Cost() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cost
+}
+
+// ChosenCount returns the number of distinct sets bought so far. Unlike
+// Stats it touches only the ledger mutex — no shard round-trips — so it is
+// cheap enough for per-scrape metrics gauges.
+func (e *Engine) ChosenCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.chosenCount
+}
+
+// Stats returns a snapshot of the engine's aggregate state.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Arrivals: e.arrivals.Load(),
+		Errors:   e.errs.Load(),
+	}
+	e.mu.Lock()
+	st.ChosenSets = e.chosenCount
+	st.Cost = e.cost
+	e.mu.Unlock()
+	for _, snap := range e.snapshots() {
+		st.Preemptions += int64(snap.preemptions)
+		st.Augmentations += int64(snap.augmentations)
+	}
+	return st
+}
+
+// snapshots collects one state snapshot per shard (live while open, final
+// after Close); same protocol as the admission engine.
+func (e *Engine) snapshots() []shardSnapshot {
+	out := make([]shardSnapshot, len(e.shards))
+	if !e.enter() {
+		e.loops.Wait()
+		for i, s := range e.shards {
+			out[i] = s.final
+		}
+		return out
+	}
+	replies := make([]chan reply, len(e.shards))
+	for i, s := range e.shards {
+		replies[i] = s.send(op{kind: opStats})
+	}
+	e.exit()
+	for i := range replies {
+		out[i] = recvReply(replies[i]).stats
+	}
+	return out
+}
+
+// Close shuts the engine down: subsequent Submits fail with ErrClosed,
+// in-flight submissions finish, and every shard loop exits after recording
+// its final snapshot. Chosen, Cost and Stats remain usable (and exact)
+// afterwards. Close is idempotent.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		e.loops.Wait()
+		return
+	}
+	e.drainInflight()
+	for _, s := range e.shards {
+		close(s.ops)
+	}
+	e.loops.Wait()
+}

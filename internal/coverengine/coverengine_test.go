@@ -1,0 +1,357 @@
+package coverengine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"admission/internal/rng"
+	"admission/internal/setcover"
+)
+
+// genInstance draws a deterministic random instance and arrival sequence.
+func genInstance(t testing.TB, seed uint64, n, m int, weighted bool, arrivals int) (*setcover.Instance, []int) {
+	t.Helper()
+	r := rng.New(seed)
+	ins, err := setcover.RandomInstance(n, m, 0.3, 3, weighted, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := setcover.RandomArrivals(ins, arrivals, 1.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins, arr
+}
+
+// TestOneShardMatchesSequentialReduction is the core fidelity claim: the
+// concurrent engine at one shard, submitting sequentially, must reproduce
+// the sequential §4 reduction decision for decision — same initial chosen
+// sets, same newly bought sets on every arrival, same final cover and cost.
+func TestOneShardMatchesSequentialReduction(t *testing.T) {
+	for rep := 0; rep < 6; rep++ {
+		ins, arr := genInstance(t, uint64(50+rep), 14, 24, rep%2 == 1, 36)
+		seed := uint64(900 + rep)
+
+		ref, err := setcover.NewReductionRunner(ins, setcover.ReductionConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(ins, Config{Shards: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		refInit := append([]int(nil), ref.Chosen()...)
+		if fmt.Sprint(eng.Chosen()) != fmt.Sprint(sortedCopy(refInit)) {
+			t.Fatalf("rep %d: initial chosen %v, reference %v", rep, eng.Chosen(), refInit)
+		}
+		for i, j := range arr {
+			want, err := ref.Arrive(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := eng.Submit(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Err != nil {
+				t.Fatalf("rep %d arrival %d: %v", rep, i, d.Err)
+			}
+			if fmt.Sprint(d.NewSets) != fmt.Sprint(want) {
+				t.Fatalf("rep %d arrival %d (element %d): engine bought %v, reference %v",
+					rep, i, j, d.NewSets, want)
+			}
+		}
+		eng.Close()
+		if eng.Cost() != ref.Cost() {
+			t.Fatalf("rep %d: engine cost %v, reference %v", rep, eng.Cost(), ref.Cost())
+		}
+		st := eng.Stats()
+		if st.Preemptions != int64(ref.Preemptions()) {
+			t.Fatalf("rep %d: engine preemptions %d, reference %d", rep, st.Preemptions, ref.Preemptions())
+		}
+		if fmt.Sprint(eng.Chosen()) != fmt.Sprint(sortedCopy(ref.Chosen())) {
+			t.Fatalf("rep %d: final chosen mismatch", rep)
+		}
+	}
+}
+
+// TestSubmitBatchMatchesSubmit checks the pipelined batch path produces the
+// identical decision stream to a sequential Submit loop at one shard.
+func TestSubmitBatchMatchesSubmit(t *testing.T) {
+	ins, arr := genInstance(t, 7, 16, 28, false, 40)
+	one, err := New(ins, Config{Shards: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq []Decision
+	for _, j := range arr {
+		d, err := one.Submit(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = append(seq, d)
+	}
+	one.Close()
+
+	two, err := New(ins, Config{Shards: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := two.SubmitBatch(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two.Close()
+	if len(batch) != len(seq) {
+		t.Fatalf("%d batch decisions for %d sequential", len(batch), len(seq))
+	}
+	for i := range seq {
+		if fmt.Sprint(seq[i].NewSets) != fmt.Sprint(batch[i].NewSets) ||
+			seq[i].Arrival != batch[i].Arrival || seq[i].Element != batch[i].Element {
+			t.Fatalf("decision %d: batch %+v, sequential %+v", i, batch[i], seq[i])
+		}
+	}
+	if one.Cost() != two.Cost() {
+		t.Fatalf("batch cost %v, sequential %v", two.Cost(), one.Cost())
+	}
+}
+
+// TestMultiShardCover checks the lifted coverage guarantee on sharded
+// engines: after any served arrival sequence, every element that arrived k
+// times is covered by k distinct chosen sets, in both modes.
+func TestMultiShardCover(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5} {
+		for _, mode := range []Mode{ModeReduction, ModeBicriteria} {
+			ins, arr := genInstance(t, uint64(11*shards), 20, 36, false, 60)
+			eng, err := New(ins, Config{Shards: shards, Mode: mode, Seed: 17, Eps: 0.25})
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make([]int, ins.N)
+			for _, j := range arr {
+				d, err := eng.Submit(j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d.Err != nil {
+					continue // saturated under this partition's budget
+				}
+				counts[j]++
+			}
+			eng.Close()
+			chosen := eng.Chosen()
+			assertCover(t, ins, counts, chosen, mode, 0.25)
+			// Cost audit: the incremental ledger must match a from-scratch
+			// recount over the chosen ids.
+			recost := 0.0
+			for _, id := range chosen {
+				recost += ins.Cost(id)
+			}
+			if recost != eng.Cost() {
+				t.Fatalf("shards=%d mode=%v: ledger cost %v, recount %v", shards, mode, eng.Cost(), recost)
+			}
+		}
+	}
+}
+
+// assertCover verifies per-element coverage: full multicover for the
+// reduction, (1−ε)k for bicriteria.
+func assertCover(t *testing.T, ins *setcover.Instance, counts []int, chosen []int, mode Mode, eps float64) {
+	t.Helper()
+	pick := make([]bool, ins.M())
+	for _, id := range chosen {
+		if pick[id] {
+			t.Fatalf("set %d chosen twice", id)
+		}
+		pick[id] = true
+	}
+	byElem := ins.SetsOf()
+	for j, k := range counts {
+		if k == 0 {
+			continue
+		}
+		got := 0
+		for _, id := range byElem[j] {
+			if pick[id] {
+				got++
+			}
+		}
+		need := k
+		if mode == ModeBicriteria {
+			need = int((1 - eps) * float64(k))
+		}
+		if got < need {
+			t.Fatalf("mode=%v: element %d covered %d < %d (arrived %d times)", mode, j, got, need, k)
+		}
+	}
+}
+
+// TestBicriteriaDeterministic checks ModeBicriteria produces the identical
+// decision stream across runs (no randomness anywhere on the path).
+func TestBicriteriaDeterministic(t *testing.T) {
+	ins, arr := genInstance(t, 23, 18, 30, true, 50)
+	run := func() []Decision {
+		eng, err := New(ins, Config{Shards: 2, Mode: ModeBicriteria, Eps: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		ds, err := eng.SubmitBatch(arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("bicriteria runs diverged")
+	}
+}
+
+// TestConcurrentSubmit hammers a sharded engine from many goroutines and
+// then audits the invariants: no lost arrivals, never-un-chosen sets, and
+// full coverage of every successfully served arrival.
+func TestConcurrentSubmit(t *testing.T) {
+	ins, _ := genInstance(t, 31, 24, 40, false, 0)
+	eng, err := New(ins, Config{Shards: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 50
+	counts := make([]int64, ins.N)
+	var mu sync.Mutex
+	var served int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(1000 + w))
+			for i := 0; i < perWorker; i++ {
+				j := r.Intn(ins.N)
+				d, err := eng.Submit(j)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if d.Err != nil {
+					continue // saturated: legal refusal under contention
+				}
+				mu.Lock()
+				counts[j]++
+				served++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	eng.Close()
+	st := eng.Stats()
+	if st.Arrivals != served {
+		t.Fatalf("engine served %d arrivals, clients saw %d", st.Arrivals, served)
+	}
+	intCounts := make([]int, ins.N)
+	for j, c := range counts {
+		intCounts[j] = int(c)
+	}
+	assertCover(t, ins, intCounts, eng.Chosen(), ModeReduction, 0)
+	if st.ChosenSets != len(eng.Chosen()) {
+		t.Fatalf("stats report %d chosen sets, ledger has %d", st.ChosenSets, len(eng.Chosen()))
+	}
+}
+
+// TestLifecycle covers Close semantics and validation errors.
+func TestLifecycle(t *testing.T) {
+	ins, _ := genInstance(t, 41, 10, 16, false, 0)
+	eng, err := New(ins, Config{Shards: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Submit(-1); err == nil {
+		t.Fatal("negative element accepted")
+	}
+	if _, err := eng.Submit(ins.N); err == nil {
+		t.Fatal("out-of-range element accepted")
+	}
+	if _, err := eng.SubmitBatch([]int{0, ins.N}); err == nil {
+		t.Fatal("batch with out-of-range element accepted")
+	}
+	if ds, err := eng.SubmitBatch(nil); err != nil || ds != nil {
+		t.Fatalf("empty batch: %v, %v", ds, err)
+	}
+	d, err := eng.Submit(0)
+	if err != nil || d.Err != nil {
+		t.Fatalf("submit: %v, %v", err, d.Err)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if _, err := eng.Submit(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if _, err := eng.SubmitBatch([]int{0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("batch after close: %v, want ErrClosed", err)
+	}
+	st := eng.Stats() // exact post-close stats must not hang
+	if st.Arrivals != 1 {
+		t.Fatalf("post-close arrivals %d, want 1", st.Arrivals)
+	}
+}
+
+// TestEpsValidation checks a mistyped bicriteria slack fails construction
+// instead of silently running with the default.
+func TestEpsValidation(t *testing.T) {
+	ins, _ := genInstance(t, 3, 8, 12, false, 0)
+	for _, eps := range []float64{1.5, -0.2, 1} {
+		if _, err := New(ins, Config{Mode: ModeBicriteria, Eps: eps}); err == nil {
+			t.Fatalf("Eps = %v accepted", eps)
+		}
+	}
+	eng, err := New(ins, Config{Mode: ModeBicriteria}) // zero value = default 0.25
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+}
+
+// TestSaturatedDecision checks the per-arrival error path: arrivals beyond
+// an element's degree are refused with ErrElementSaturated and counted.
+func TestSaturatedDecision(t *testing.T) {
+	ins := &setcover.Instance{N: 2, Sets: [][]int{{0, 1}, {0}, {1}}}
+	eng, err := New(ins, Config{Shards: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for k := 0; k < 2; k++ {
+		d, err := eng.Submit(0)
+		if err != nil || d.Err != nil {
+			t.Fatalf("arrival %d: %v, %v", k, err, d.Err)
+		}
+	}
+	d, err := eng.Submit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(d.Err, setcover.ErrElementSaturated) {
+		t.Fatalf("third arrival err = %v, want ErrElementSaturated", d.Err)
+	}
+	st := eng.Stats()
+	if st.Errors != 1 || st.Arrivals != 2 {
+		t.Fatalf("stats %+v, want 2 arrivals and 1 error", st)
+	}
+}
+
+// sortedCopy returns a sorted copy of ids.
+func sortedCopy(ids []int) []int {
+	out := append([]int(nil), ids...)
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k] < out[k-1]; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package coverengine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"admission/internal/rng"
+	"admission/internal/setcover"
+)
+
+// TestPropertyRandomArrivalSequences is the property/invariant layer over
+// the cover engine (mirroring PR 2's audit style for the admission core):
+// for seeded random instances, shard counts, modes and arrival sequences —
+// deliberately including saturation attempts beyond an element's degree —
+// it checks after every run that
+//
+//  1. every element successfully served k times is covered by k distinct
+//     chosen sets ((1−ε)k in bicriteria mode),
+//  2. sets are never un-chosen and never bought twice: the union of the
+//     initial cover and all per-decision NewSets, which are pairwise
+//     disjoint, is exactly the final Chosen(),
+//  3. a from-scratch accounting audit over the decision stream reproduces
+//     the engine's incremental ledger: cost, chosen count and arrival
+//     counters all match.
+func TestPropertyRandomArrivalSequences(t *testing.T) {
+	for trial := 0; trial < 24; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			r := rng.New(uint64(4000 + trial))
+			n := 8 + r.Intn(20)
+			m := n + r.Intn(2*n)
+			mode := ModeReduction
+			if trial%3 == 2 {
+				mode = ModeBicriteria
+			}
+			shards := 1 + r.Intn(4)
+			ins, err := setcover.RandomInstance(n, m, 0.15+0.3*r.Float64(), 2, trial%2 == 1, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := New(ins, Config{Shards: shards, Mode: mode, Seed: uint64(trial), Eps: 0.25})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+
+			initial := eng.Chosen()
+			byElem := ins.SetsOf()
+
+			// Audit state rebuilt from the decision stream alone.
+			bought := map[int]bool{}
+			for _, id := range initial {
+				if bought[id] {
+					t.Fatalf("initial cover lists set %d twice", id)
+				}
+				bought[id] = true
+			}
+			auditCost := 0.0
+			for _, id := range initial {
+				auditCost += ins.Cost(id)
+			}
+			served := make([]int, ins.N)
+			var servedTotal, refused int64
+
+			// Arrival stream: uniform elements, 6 per element on average, so
+			// low-degree elements saturate and exercise the refusal path.
+			steps := 6 * n
+			for s := 0; s < steps; s++ {
+				j := r.Intn(ins.N)
+				var d Decision
+				if s%2 == 0 {
+					d, err = eng.Submit(j)
+					if err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					ds, err := eng.SubmitBatch([]int{j})
+					if err != nil {
+						t.Fatal(err)
+					}
+					d = ds[0]
+				}
+				if d.Err != nil {
+					if !errors.Is(d.Err, setcover.ErrElementSaturated) {
+						t.Fatalf("step %d: unexpected refusal: %v", s, d.Err)
+					}
+					if served[j] < len(byElem[j]) {
+						t.Fatalf("step %d: element %d refused after %d of %d budget",
+							s, j, served[j], len(byElem[j]))
+					}
+					refused++
+					continue
+				}
+				servedTotal++
+				served[j]++
+				if d.Arrival < 1 {
+					t.Fatalf("step %d: arrival counter %d", s, d.Arrival)
+				}
+				cost := 0.0
+				for _, id := range d.NewSets {
+					if bought[id] {
+						t.Fatalf("step %d: set %d bought twice (never-un-chosen violated)", s, id)
+					}
+					bought[id] = true
+					cost += ins.Cost(id)
+				}
+				if cost != d.AddedCost {
+					t.Fatalf("step %d: AddedCost %v, recomputed %v", s, d.AddedCost, cost)
+				}
+				auditCost += cost
+			}
+
+			// From-scratch audit vs incremental state.
+			final := eng.Chosen()
+			if len(final) != len(bought) {
+				t.Fatalf("ledger has %d sets, stream bought %d", len(final), len(bought))
+			}
+			for _, id := range final {
+				if !bought[id] {
+					t.Fatalf("ledger set %d never appeared in the stream", id)
+				}
+			}
+			if auditCost != eng.Cost() {
+				t.Fatalf("audit cost %v, ledger %v", auditCost, eng.Cost())
+			}
+			st := eng.Stats()
+			if st.Arrivals != servedTotal || st.Errors != refused {
+				t.Fatalf("stats %d/%d, audit %d/%d", st.Arrivals, st.Errors, servedTotal, refused)
+			}
+			if st.ChosenSets != len(final) {
+				t.Fatalf("stats chosen %d, ledger %d", st.ChosenSets, len(final))
+			}
+
+			// Coverage invariant over the served counts.
+			assertCover(t, ins, served, final, mode, 0.25)
+		})
+	}
+}
+
+// TestPropertySaturationIsExact checks the degree budget is tight in both
+// directions: an element of degree d is served exactly d times and refused
+// from d+1 on, regardless of sharding.
+func TestPropertySaturationIsExact(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		r := rng.New(77)
+		ins, err := setcover.RandomInstance(12, 20, 0.3, 2, false, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(ins, Config{Shards: shards, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		byElem := ins.SetsOf()
+		for j := 0; j < ins.N; j++ {
+			deg := len(byElem[j])
+			for k := 0; k < deg+2; k++ {
+				d, err := eng.Submit(j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if k < deg && d.Err != nil {
+					t.Fatalf("shards=%d: element %d refused at arrival %d of %d: %v", shards, j, k+1, deg, d.Err)
+				}
+				if k >= deg && !errors.Is(d.Err, setcover.ErrElementSaturated) {
+					t.Fatalf("shards=%d: element %d arrival %d beyond degree %d not refused: %+v",
+						shards, j, k+1, deg, d)
+				}
+			}
+		}
+		eng.Close()
+		// Fully saturated arrivals demand full-degree covers: every set
+		// containing any element must have been bought.
+		assertCover(t, ins, degreeCounts(ins), eng.Chosen(), ModeReduction, 0)
+	}
+}
+
+// degreeCounts returns each element's degree (its maximum arrival count).
+func degreeCounts(ins *setcover.Instance) []int {
+	out := make([]int, ins.N)
+	for _, s := range ins.Sets {
+		for _, j := range s {
+			out[j]++
+		}
+	}
+	return out
+}

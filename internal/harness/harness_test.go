@@ -42,8 +42,8 @@ func TestTableCSV(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 14 {
-		t.Fatalf("registry has %d experiments, want 14", len(reg))
+	if len(reg) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(reg))
 	}
 	ids := map[string]bool{}
 	for _, e := range reg {
@@ -216,6 +216,40 @@ func TestE14ServerLoopbackWithinTolerance(t *testing.T) {
 	for _, note := range tbl.Notes {
 		if strings.Contains(note, "FAIL") {
 			t.Fatalf("E14 verdict failed: %s", note)
+		}
+	}
+}
+
+// TestE15CoverLoopbackWithinTolerance is the E15 acceptance criterion:
+// every served set cover path stays within 2x of the offline optimum, the
+// conns=1 loopback is decision-identical to the direct sequential
+// reduction (the in-experiment line-by-line comparison errors out on any
+// divergence, so the experiment completing proves it), and the served
+// decision streams reconciled with the cover engine's ledger.
+func TestE15CoverLoopbackWithinTolerance(t *testing.T) {
+	tables := runExperiment(t, "E15", 1)
+	tbl := tables[0]
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("E15: %d rows, want 3\n%s", len(tbl.Rows), tbl.ASCII())
+	}
+	for _, row := range tbl.Rows {
+		var ratio float64
+		if _, err := fmt.Sscanf(row[2], "%f", &ratio); err != nil {
+			t.Fatalf("unparsable ratio cell %q", row[2])
+		}
+		if ratio > 2 {
+			t.Fatalf("E15: %s cover cost %.2fx the offline optimum, tolerance is 2x\n%s",
+				row[0], ratio, tbl.ASCII())
+		}
+	}
+	// The conns=1 path runs the direct seed, so its ratio matches exactly.
+	if tbl.Rows[1][2] != tbl.Rows[0][2] {
+		t.Fatalf("E15: conns=1 ratio %q differs from direct %q\n%s",
+			tbl.Rows[1][2], tbl.Rows[0][2], tbl.ASCII())
+	}
+	for _, note := range tbl.Notes {
+		if strings.Contains(note, "FAIL") {
+			t.Fatalf("E15 verdict failed: %s", note)
 		}
 	}
 }

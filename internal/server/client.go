@@ -89,6 +89,77 @@ func (c *Client) Submit(ctx context.Context, reqs []problem.Request) ([]Decision
 	return out, nil
 }
 
+// CoverSubmit posts a batch of element arrivals to /v1/cover and returns
+// one CoverDecisionJSON per arrival, in arrival order. A non-2xx status or
+// transport failure is returned as an error; per-arrival refusals arrive
+// in the Error field of the corresponding decision line.
+func (c *Client) CoverSubmit(ctx context.Context, elements []int) ([]CoverDecisionJSON, error) {
+	body, err := json.Marshal(elements)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/cover", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorJSON
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return nil, fmt.Errorf("server: %s", e.Error)
+	}
+	out := make([]CoverDecisionJSON, 0, len(elements))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var d CoverDecisionJSON
+		if err := json.Unmarshal(line, &d); err != nil {
+			return out, fmt.Errorf("decoding cover decision line %d: %v", len(out), err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	if len(out) != len(elements) {
+		return out, fmt.Errorf("got %d cover decisions for %d arrivals", len(out), len(elements))
+	}
+	return out, nil
+}
+
+// CoverStats fetches /v1/cover/stats.
+func (c *Client) CoverStats(ctx context.Context) (*CoverStatsJSON, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/cover/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: %s", resp.Status)
+	}
+	var st CoverStatsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
 // Stats fetches /v1/stats.
 func (c *Client) Stats(ctx context.Context) (*StatsJSON, error) {
 	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)

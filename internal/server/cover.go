@@ -1,0 +1,232 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"admission/internal/coverengine"
+	"admission/internal/metrics"
+)
+
+// The set cover serving path (DESIGN.md §9): a Server may additionally
+// front a cover engine (internal/coverengine), exposing
+//
+//	POST /v1/cover        element arrival(s) in, NDJSON "sets chosen"
+//	                      decision stream out
+//	GET  /v1/cover/stats  cover engine statistics as JSON
+//
+// Unlike /v1/submit, cover submissions bypass the coalescing queue: the
+// cover engine's SubmitBatch already pipelines a whole HTTP submission
+// through the element shards in one pass, so the handler forwards each
+// body directly. One connection therefore remains FIFO end to end and the
+// decision stream is identical to driving the engine sequentially — the
+// property experiment E15 gates on.
+
+// CoverDecisionJSON is the wire form of one cover decision (one NDJSON
+// line of a /v1/cover response). Error is set instead of the decision
+// fields when the arrival was refused (e.g. an element arriving more often
+// than its degree).
+type CoverDecisionJSON struct {
+	// Seq is the engine-assigned global arrival sequence number.
+	Seq int `json:"seq"`
+	// Element is the element that arrived.
+	Element int `json:"element"`
+	// Arrival is k: how many times the element has now arrived.
+	Arrival int `json:"arrival"`
+	// NewSets lists global ids of sets newly bought by this arrival.
+	NewSets []int `json:"new_sets,omitempty"`
+	// AddedCost is the total cost of NewSets.
+	AddedCost float64 `json:"added_cost,omitempty"`
+	// Error carries a per-arrival refusal.
+	Error string `json:"error,omitempty"`
+}
+
+// CoverStatsJSON is the /v1/cover/stats response body.
+type CoverStatsJSON struct {
+	// Mode names the per-shard algorithm ("reduction" or "bicriteria").
+	Mode string `json:"mode"`
+	// Shards is the element-partition shard count.
+	Shards int `json:"shards"`
+	// Elements and Sets give the registered instance's dimensions.
+	Elements int `json:"elements"`
+	Sets     int `json:"sets"`
+	// Arrivals .. Augmentations mirror coverengine.Stats.
+	Arrivals      int64   `json:"arrivals"`
+	Errors        int64   `json:"errors"`
+	ChosenSets    int     `json:"chosen_sets"`
+	Cost          float64 `json:"cost"`
+	Preemptions   int64   `json:"preemptions"`
+	Augmentations int64   `json:"augmentations"`
+	// Draining reports whether Drain has been initiated.
+	Draining bool `json:"draining"`
+}
+
+// initCover registers the cover handlers' metrics; called by NewWithCover
+// only when a cover engine is attached.
+func (s *Server) initCover() {
+	s.coverArrivals = s.reg.NewCounter("acserve_cover_arrivals_total",
+		"Element arrivals served by the cover engine.")
+	s.coverErrors = s.reg.NewCounter("acserve_cover_errors_total",
+		"Element arrivals refused by the cover engine (saturated elements).")
+	s.coverSets = s.reg.NewCounter("acserve_cover_sets_chosen_total",
+		"Sets newly bought by cover decisions.")
+	s.coverCost = s.reg.NewCounter("acserve_cover_cost_total",
+		"Total cost of sets bought by cover decisions.")
+	s.reg.NewGaugeFunc("acserve_cover_chosen_sets",
+		"Distinct sets in the cover engine's global ledger.",
+		func() []metrics.Sample {
+			// ChosenCount reads the ledger mutex only — no per-scrape
+			// channel round-trip through the shard event loops.
+			return []metrics.Sample{{Value: float64(s.cov.ChosenCount())}}
+		})
+}
+
+// handleCover decodes one element arrival or an array of arrivals,
+// validates them all up front, forwards the batch to the cover engine, and
+// streams one NDJSON decision line per arrival, in arrival order.
+func (s *Server) handleCover(w http.ResponseWriter, r *http.Request) {
+	if s.cov == nil {
+		httpError(w, http.StatusNotFound, "set cover serving not enabled (start acserve with -cover)")
+		return
+	}
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	elems, err := decodeCoverSubmission(r, s.cfg.maxSubmit())
+	if err != nil {
+		s.malformed.Inc()
+		status := http.StatusBadRequest
+		if err == errTooLarge {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	for i, j := range elems {
+		if err := s.cov.ValidateElement(j); err != nil {
+			s.malformed.Inc()
+			httpError(w, http.StatusBadRequest, "arrival %d: %v", i, err)
+			return
+		}
+	}
+	if !s.enter() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	ds, err := s.cov.SubmitBatch(elems)
+	s.exit()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+
+	// Fold every decision into the counters before streaming anything: the
+	// engine has already served the whole batch, so a client that
+	// disconnects mid-stream must not leave the /metrics counters short of
+	// the engine's ledger (the reconciliation the tests assert).
+	for _, d := range ds {
+		if d.Err != nil {
+			s.coverErrors.Inc()
+		} else {
+			s.coverArrivals.Inc()
+			s.coverSets.Add(float64(len(d.NewSets)))
+			s.coverCost.Add(d.AddedCost)
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, d := range ds {
+		line := CoverDecisionJSON{
+			Seq:       d.Seq,
+			Element:   d.Element,
+			Arrival:   d.Arrival,
+			NewSets:   d.NewSets,
+			AddedCost: d.AddedCost,
+		}
+		if d.Err != nil {
+			line.Error = d.Err.Error()
+		}
+		if err := enc.Encode(line); err != nil {
+			return // client went away; decisions are already accounted
+		}
+	}
+	_ = bw.Flush()
+	if flusher, ok := w.(http.Flusher); ok {
+		flusher.Flush()
+	}
+}
+
+// decodeCoverSubmission parses the body as either a single element id or
+// an array of element ids.
+func decodeCoverSubmission(r *http.Request, maxItems int) ([]int, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("reading submission: %v", err)
+	}
+	if len(body) > maxBodyBytes {
+		return nil, errTooLarge
+	}
+	body = bytes.TrimSpace(body)
+	if len(body) == 0 {
+		return nil, fmt.Errorf("empty submission")
+	}
+	var elems []int
+	if body[0] == '[' {
+		if err := json.Unmarshal(body, &elems); err != nil {
+			return nil, fmt.Errorf("malformed submission: %v", err)
+		}
+	} else {
+		var one int
+		if err := json.Unmarshal(body, &one); err != nil {
+			return nil, fmt.Errorf("malformed submission: %v", err)
+		}
+		elems = []int{one}
+	}
+	if len(elems) == 0 {
+		return nil, fmt.Errorf("empty submission")
+	}
+	if len(elems) > maxItems {
+		return nil, errTooLarge
+	}
+	return elems, nil
+}
+
+// handleCoverStats renders cover engine statistics as JSON.
+func (s *Server) handleCoverStats(w http.ResponseWriter, r *http.Request) {
+	if s.cov == nil {
+		httpError(w, http.StatusNotFound, "set cover serving not enabled (start acserve with -cover)")
+		return
+	}
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := s.cov.Stats()
+	out := CoverStatsJSON{
+		Mode:          s.cov.Mode().String(),
+		Shards:        s.cov.Shards(),
+		Elements:      s.cov.NumElements(),
+		Sets:          s.cov.NumSets(),
+		Arrivals:      st.Arrivals,
+		Errors:        st.Errors,
+		ChosenSets:    st.ChosenSets,
+		Cost:          st.Cost,
+		Preemptions:   st.Preemptions,
+		Augmentations: st.Augmentations,
+		Draining:      s.draining.Load(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// CoverEngine returns the attached cover engine, or nil when set cover
+// serving is not enabled. Callers (the harness's E15) use it to reconcile
+// client-side decision accounting against the engine's ledger.
+func (s *Server) CoverEngine() *coverengine.Engine { return s.cov }

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzSubmitDecode throws arbitrary bytes at the /v1/submit body decoder:
+// it must never panic, and anything it accepts must be a well-formed,
+// bounded batch (every request decodable, the item limit respected) —
+// the engine-level Validate pass downstream assumes exactly that shape.
+// Run with
+//
+//	go test -fuzz FuzzSubmitDecode ./internal/server
+func FuzzSubmitDecode(f *testing.F) {
+	f.Add([]byte(`{"edges":[0,1],"cost":2.5}`))
+	f.Add([]byte(`[{"edges":[0],"cost":1},{"edges":[1,2],"cost":3}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"edges":null,"cost":-1}`))
+	f.Add([]byte(`[{"edges":[0`))
+	f.Add([]byte(``))
+	f.Add([]byte(`"a string"`))
+	f.Add([]byte(`{"edges":[1e309],"cost":1}`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		const maxItems = 16
+		req := httptest.NewRequest("POST", "/v1/submit", bytes.NewReader(body))
+		reqs, err := decodeSubmission(req, maxItems)
+		if err != nil {
+			return // refused without panicking
+		}
+		if len(reqs) == 0 {
+			t.Fatal("decoder accepted an empty submission")
+		}
+		if len(reqs) > maxItems {
+			t.Fatalf("decoder accepted %d items over the %d limit", len(reqs), maxItems)
+		}
+	})
+}
+
+// FuzzCoverDecode throws arbitrary bytes at the /v1/cover body decoder
+// with the same contract: no panics, and accepted bodies are non-empty
+// bounded integer batches. Run with
+//
+//	go test -fuzz FuzzCoverDecode ./internal/server
+func FuzzCoverDecode(f *testing.F) {
+	f.Add([]byte(`3`))
+	f.Add([]byte(`[0,1,1,4]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[-1, 99999999999999999999]`))
+	f.Add([]byte(`[1.5]`))
+	f.Add([]byte(`{"elements":[1]}`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		const maxItems = 16
+		req := httptest.NewRequest("POST", "/v1/cover", bytes.NewReader(body))
+		elems, err := decodeCoverSubmission(req, maxItems)
+		if err != nil {
+			return // refused without panicking
+		}
+		if len(elems) == 0 {
+			t.Fatal("decoder accepted an empty submission")
+		}
+		if len(elems) > maxItems {
+			t.Fatalf("decoder accepted %d items over the %d limit", len(elems), maxItems)
+		}
+	})
+}

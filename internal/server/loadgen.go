@@ -191,18 +191,192 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if report.Elapsed > 0 {
 		report.Throughput = float64(report.Decided) / report.Elapsed.Seconds()
 	}
-	if len(allLats) > 0 {
-		sort.Slice(allLats, func(i, j int) bool { return allLats[i] < allLats[j] })
-		q := func(p float64) time.Duration {
-			i := int(p * float64(len(allLats)-1))
-			return allLats[i]
-		}
-		report.LatencyP50 = q(0.50)
-		report.LatencyP90 = q(0.90)
-		report.LatencyP99 = q(0.99)
-		report.LatencyMax = allLats[len(allLats)-1]
-	}
+	report.LatencyP50, report.LatencyP90, report.LatencyP99, report.LatencyMax = latencyQuantiles(allLats)
 	return &report, nil
+}
+
+// CoverLoadConfig configures one load-generation run against a Server's
+// set cover path (the engine behind acload -cover and the E15 loopback
+// experiment).
+type CoverLoadConfig struct {
+	// BaseURL is the target server.
+	BaseURL string
+	// Elements is the arrival sequence to send, in order (split round-robin
+	// by batch across connections when Conns > 1).
+	Elements []int
+	// Conns is the number of concurrent submitting connections (default 1).
+	Conns int
+	// Batch is the number of arrivals per HTTP submission (default 64).
+	Batch int
+	// RPS is the target arrival rate summed over all connections;
+	// 0 means unthrottled.
+	RPS float64
+}
+
+func (c CoverLoadConfig) conns() int {
+	if c.Conns <= 0 {
+		return 1
+	}
+	return c.Conns
+}
+
+func (c CoverLoadConfig) batch() int {
+	if c.Batch <= 0 {
+		return 64
+	}
+	return c.Batch
+}
+
+// CoverLoadReport summarizes one cover load run. Latencies are per-batch
+// round trips as seen by the client.
+type CoverLoadReport struct {
+	// Sent counts arrivals submitted; Decided counts decision lines
+	// received.
+	Sent, Decided int64
+	// SetsBought and CostAdded aggregate the decision stream (each set is
+	// reported bought exactly once across the whole run).
+	SetsBought int64
+	CostAdded  float64
+	// Errors counts per-arrival refusals reported in the stream.
+	Errors int64
+	// Batches counts HTTP submissions.
+	Batches int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Throughput is Decided / Elapsed in arrivals per second.
+	Throughput float64
+	// LatencyP50 .. LatencyMax are batch round-trip quantiles.
+	LatencyP50, LatencyP90, LatencyP99, LatencyMax time.Duration
+}
+
+// String renders the report as the acload -cover summary block.
+func (r *CoverLoadReport) String() string {
+	return fmt.Sprintf(
+		"sent:        %d arrivals in %d batches\n"+
+			"decided:     %d (%d sets bought, cost %g, %d errors)\n"+
+			"elapsed:     %v\n"+
+			"throughput:  %.0f arrivals/s\n"+
+			"latency:     p50 %v  p90 %v  p99 %v  max %v (per batch)",
+		r.Sent, r.Batches, r.Decided, r.SetsBought, r.CostAdded, r.Errors,
+		r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.LatencyP50, r.LatencyP90, r.LatencyP99, r.LatencyMax)
+}
+
+// RunCoverLoad drives the server's /v1/cover path with cfg.Elements and
+// collects a CoverLoadReport. It fails fast on transport-level errors;
+// per-arrival refusals are counted and do not stop the run.
+func RunCoverLoad(ctx context.Context, cfg CoverLoadConfig) (*CoverLoadReport, error) {
+	if len(cfg.Elements) == 0 {
+		return nil, fmt.Errorf("loadgen: no arrivals")
+	}
+	conns := cfg.conns()
+	batchSize := cfg.batch()
+	client := NewClient(cfg.BaseURL, conns)
+	defer client.CloseIdle()
+
+	var batches [][]int
+	for lo := 0; lo < len(cfg.Elements); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(cfg.Elements) {
+			hi = len(cfg.Elements)
+		}
+		batches = append(batches, cfg.Elements[lo:hi])
+	}
+
+	// Pacing: with a target RPS each worker spaces its batch starts so the
+	// aggregate rate is RPS (same scheme as RunLoad).
+	var perWorkerInterval time.Duration
+	if cfg.RPS > 0 {
+		perWorkerInterval = time.Duration(float64(batchSize*conns) / cfg.RPS * float64(time.Second))
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		report   CoverLoadReport
+		allLats  []time.Duration
+	)
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var lats []time.Duration
+			var local CoverLoadReport
+			next := time.Now()
+			for bi := w; bi < len(batches); bi += conns {
+				if ctx.Err() != nil {
+					break
+				}
+				if perWorkerInterval > 0 {
+					if d := time.Until(next); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+						}
+					}
+					next = next.Add(perWorkerInterval)
+				}
+				batch := batches[bi]
+				t0 := time.Now()
+				ds, err := client.CoverSubmit(ctx, batch)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("loadgen: conn %d cover batch %d: %w", w, bi, err)
+					}
+					mu.Unlock()
+					break
+				}
+				lats = append(lats, time.Since(t0))
+				local.Sent += int64(len(batch))
+				local.Batches++
+				for _, d := range ds {
+					local.Decided++
+					if d.Error != "" {
+						local.Errors++
+						continue
+					}
+					local.SetsBought += int64(len(d.NewSets))
+					local.CostAdded += d.AddedCost
+				}
+			}
+			mu.Lock()
+			report.Sent += local.Sent
+			report.Decided += local.Decided
+			report.SetsBought += local.SetsBought
+			report.CostAdded += local.CostAdded
+			report.Errors += local.Errors
+			report.Batches += local.Batches
+			allLats = append(allLats, lats...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if report.Elapsed > 0 {
+		report.Throughput = float64(report.Decided) / report.Elapsed.Seconds()
+	}
+	report.LatencyP50, report.LatencyP90, report.LatencyP99, report.LatencyMax = latencyQuantiles(allLats)
+	return &report, nil
+}
+
+// latencyQuantiles sorts the collected batch round trips and returns the
+// p50/p90/p99/max quantiles (zeros for an empty sample). Shared by RunLoad
+// and RunCoverLoad so the quantile index math lives in one place.
+func latencyQuantiles(lats []time.Duration) (p50, p90, p99, max time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration {
+		return lats[int(p*float64(len(lats)-1))]
+	}
+	return q(0.50), q(0.90), q(0.99), lats[len(lats)-1]
 }
 
 // AdversaryResult reports an adaptive-adversary game played over HTTP (the

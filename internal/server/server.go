@@ -1,7 +1,10 @@
 // Package server is the network-facing admission service (DESIGN.md §7):
 // a stdlib-only net/http JSON front end over the sharded concurrent engine
 // (internal/engine), with a coalescing batch pipeline, streaming decision
-// responses, a Prometheus-text /metrics endpoint, and graceful drain.
+// responses, a Prometheus-text /metrics endpoint, and graceful drain. It
+// optionally also serves online set cover with repetitions over a cover
+// engine (internal/coverengine) — the /v1/cover path, DESIGN.md §9 and
+// cover.go in this package.
 //
 // Serving the paper's §3 randomized-preemptive algorithm behind a request
 // boundary adds no algorithmic content — the engine already decides
@@ -31,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"admission/internal/coverengine"
 	"admission/internal/engine"
 	"admission/internal/metrics"
 	"admission/internal/problem"
@@ -101,9 +105,11 @@ var itemPool = sync.Pool{New: func() any {
 	return &item{done: make(chan result, 1)}
 }}
 
-// Server fronts one engine with the batching pipeline and HTTP handlers.
+// Server fronts one engine with the batching pipeline and HTTP handlers,
+// and optionally a cover engine with the set cover serving path (cover.go).
 type Server struct {
 	eng   *engine.Engine
+	cov   *coverengine.Engine // nil unless created with NewWithCover
 	cfg   Config
 	queue chan *item
 	loops sync.WaitGroup
@@ -120,14 +126,29 @@ type Server struct {
 	malformed *metrics.Counter
 	batchSz   *metrics.Histogram
 	latency   *metrics.Histogram
+
+	coverArrivals *metrics.Counter
+	coverErrors   *metrics.Counter
+	coverSets     *metrics.Counter
+	coverCost     *metrics.Counter
 }
 
 // New creates a Server over an existing engine and starts its flusher
 // goroutine. The caller retains ownership of the engine (and must Close it
 // after Drain).
 func New(eng *engine.Engine, cfg Config) *Server {
+	return NewWithCover(eng, nil, cfg)
+}
+
+// NewWithCover creates a Server that additionally serves online set cover
+// through the given cover engine (nil disables the cover path, making this
+// identical to New). A nil admission engine is also allowed — the result
+// is a cover-only server whose /v1/submit and /v1/stats answer 404.
+// Ownership follows New: the caller closes both engines after Drain.
+func NewWithCover(eng *engine.Engine, cov *coverengine.Engine, cfg Config) *Server {
 	s := &Server{
 		eng:   eng,
+		cov:   cov,
 		cfg:   cfg,
 		queue: make(chan *item, cfg.queueLen()),
 		reg:   metrics.NewRegistry(),
@@ -151,23 +172,28 @@ func New(eng *engine.Engine, cfg Config) *Server {
 		func() []metrics.Sample {
 			return []metrics.Sample{{Value: float64(len(s.queue))}}
 		})
-	s.reg.NewGaugeFunc("acserve_shard_occupancy",
-		"Per-shard integral load (incl. cross-shard reservations) over shard capacity.",
-		func() []metrics.Sample {
-			per := s.eng.ShardStats()
-			out := make([]metrics.Sample, len(per))
-			for i, st := range per {
-				occ := 0.0
-				if st.Capacity > 0 {
-					occ = float64(st.Load) / float64(st.Capacity)
+	if s.eng != nil {
+		s.reg.NewGaugeFunc("acserve_shard_occupancy",
+			"Per-shard integral load (incl. cross-shard reservations) over shard capacity.",
+			func() []metrics.Sample {
+				per := s.eng.ShardStats()
+				out := make([]metrics.Sample, len(per))
+				for i, st := range per {
+					occ := 0.0
+					if st.Capacity > 0 {
+						occ = float64(st.Load) / float64(st.Capacity)
+					}
+					out[i] = metrics.Sample{
+						Labels: map[string]string{"shard": fmt.Sprint(st.Shard)},
+						Value:  occ,
+					}
 				}
-				out[i] = metrics.Sample{
-					Labels: map[string]string{"shard": fmt.Sprint(st.Shard)},
-					Value:  occ,
-				}
-			}
-			return out
-		})
+				return out
+			})
+	}
+	if s.cov != nil {
+		s.initCover()
+	}
 	s.loops.Add(1)
 	go s.flushLoop()
 	return s
@@ -307,14 +333,19 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the server's HTTP routes:
 //
-//	POST /v1/submit   JSON request(s) in, NDJSON decision stream out
-//	GET  /v1/stats    engine + pipeline statistics as JSON
-//	GET  /metrics     Prometheus text exposition
-//	GET  /healthz     liveness (503 while draining)
+//	POST /v1/submit      JSON request(s) in, NDJSON decision stream out
+//	GET  /v1/stats       engine + pipeline statistics as JSON
+//	POST /v1/cover       element arrival(s) in, NDJSON cover decisions out
+//	                     (404 unless a cover engine is attached)
+//	GET  /v1/cover/stats cover engine statistics as JSON
+//	GET  /metrics        Prometheus text exposition
+//	GET  /healthz        liveness (503 while draining)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/submit", s.handleSubmit)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/cover", s.handleCover)
+	mux.HandleFunc("/v1/cover/stats", s.handleCoverStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -354,6 +385,10 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 // enqueues them into the batching pipeline, and streams one decision line
 // per request, in request order, as decisions arrive.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.eng == nil {
+		httpError(w, http.StatusNotFound, "admission serving not enabled on this server")
+		return
+	}
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -503,6 +538,10 @@ type ShardJSON struct {
 
 // handleStats renders engine and pipeline statistics as JSON.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.eng == nil {
+		httpError(w, http.StatusNotFound, "admission serving not enabled on this server")
+		return
+	}
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return

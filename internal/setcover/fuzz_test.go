@@ -1,0 +1,139 @@
+package setcover
+
+import (
+	"testing"
+)
+
+// FuzzInstanceValidate decodes an arbitrary byte string into a — possibly
+// malformed — set cover instance and checks the validation boundary:
+// Validate must classify every input without panicking (malformed sets,
+// non-positive costs, out-of-range and repeated elements must error), and
+// every instance Validate accepts must survive the full §4/§5 pipeline
+// (reduction construction, arrivals up to saturation, bicriteria) without
+// panics or internal errors. Run with
+//
+//	go test -fuzz FuzzInstanceValidate ./internal/setcover
+func FuzzInstanceValidate(f *testing.F) {
+	f.Add([]byte{3, 2, 2, 0, 1, 1, 2, 10, 20}, uint8(1))
+	f.Add([]byte{1, 1, 0, 0}, uint8(0))       // minimal valid: one element, one set
+	f.Add([]byte{0, 1, 1, 0}, uint8(2))       // N = 0: invalid
+	f.Add([]byte{2, 1, 1, 9}, uint8(3))       // out-of-range element
+	f.Add([]byte{2, 2, 2, 0, 0, 0}, uint8(4)) // repeated element in a set
+	f.Add([]byte{}, uint8(5))
+
+	f.Fuzz(func(t *testing.T, data []byte, seed uint8) {
+		ins := decodeFuzzInstance(data)
+		if ins == nil {
+			return
+		}
+		err := ins.Validate()
+		if err != nil {
+			return // malformed input correctly refused; never a panic
+		}
+		// Validate accepted it: the whole pipeline must now work.
+		caps, phase1, err := BuildAdmissionInstance(ins)
+		if err != nil {
+			t.Fatalf("validated instance rejected by BuildAdmissionInstance: %v", err)
+		}
+		if len(caps) != ins.N || len(phase1) != ins.M() {
+			t.Fatalf("reduction shape wrong: %d caps for %d elements, %d requests for %d sets",
+				len(caps), ins.N, len(phase1), ins.M())
+		}
+		rn, err := NewReductionRunner(ins, ReductionConfig{Seed: uint64(seed)})
+		if err != nil {
+			t.Fatalf("validated instance rejected by NewReductionRunner: %v", err)
+		}
+		// Drive every element to saturation; only ErrElementSaturated (or
+		// the in-no-set refusal, unreachable after patching) may stop it.
+		byElem := ins.SetsOf()
+		for j := 0; j < ins.N && j < 8; j++ {
+			for k := 0; k <= len(byElem[j]) && k < 6; k++ {
+				if _, err := rn.Arrive(j); err != nil {
+					if k < len(byElem[j]) && len(byElem[j]) > 0 {
+						t.Fatalf("arrival %d of element %d (degree %d): %v", k+1, j, len(byElem[j]), err)
+					}
+					break
+				}
+			}
+		}
+		if err := rn.CheckCover(); err != nil {
+			t.Fatalf("reduction produced an invalid cover: %v", err)
+		}
+		if b, err := NewBicriteria(ins, 0.25); err != nil {
+			t.Fatalf("validated instance rejected by NewBicriteria: %v", err)
+		} else {
+			for j := 0; j < ins.N && j < 4; j++ {
+				if len(byElem[j]) == 0 {
+					continue
+				}
+				if _, err := b.Arrive(j); err != nil {
+					t.Fatalf("bicriteria arrival of element %d: %v", j, err)
+				}
+			}
+			if err := b.CheckGuarantee(); err != nil {
+				t.Fatalf("bicriteria guarantee violated: %v", err)
+			}
+		}
+	})
+}
+
+// decodeFuzzInstance maps bytes onto an Instance WITHOUT clamping values
+// into validity — negative costs, empty sets, out-of-range and duplicate
+// elements all stay representable, so the fuzzer exercises the rejection
+// paths as well as the accept paths. Layout: n (int8, may be ≤ 0), then
+// repeated sets of (len, elements..., costFlagged). Sizes are bounded to
+// keep each input cheap.
+func decodeFuzzInstance(data []byte) *Instance {
+	if len(data) < 2 {
+		return nil
+	}
+	pos := 0
+	next := func() (byte, bool) {
+		if pos >= len(data) {
+			return 0, false
+		}
+		b := data[pos]
+		pos++
+		return b, true
+	}
+	nb, _ := next()
+	// n in [-2, 13]: small negatives and zero stay reachable.
+	n := int(nb%16) - 2
+	ins := &Instance{N: n}
+	useCosts := false
+	if cb, ok := next(); ok && cb%2 == 1 {
+		useCosts = true
+	}
+	for pos < len(data) && len(ins.Sets) < 10 {
+		lb, ok := next()
+		if !ok {
+			break
+		}
+		size := int(lb % 5) // 0 = empty set, an invalid encoding to catch
+		var set []int
+		for i := 0; i < size; i++ {
+			eb, ok := next()
+			if !ok {
+				break
+			}
+			// Elements in [-2, 17]: out-of-range on both ends reachable.
+			set = append(set, int(eb%20)-2)
+		}
+		ins.Sets = append(ins.Sets, set)
+		if useCosts {
+			cb, ok := next()
+			if !ok {
+				cb = 0
+			}
+			// Costs in [-5.0, +7.7]: zero and negatives reachable.
+			ins.Costs = append(ins.Costs, (float64(cb%128)-50)/10)
+		}
+	}
+	if len(ins.Sets) == 0 {
+		return nil
+	}
+	if useCosts && len(ins.Costs) > len(ins.Sets) {
+		ins.Costs = ins.Costs[:len(ins.Sets)]
+	}
+	return ins
+}

@@ -1,0 +1,173 @@
+package setcover
+
+import (
+	"fmt"
+
+	"admission/internal/core"
+)
+
+// ErrElementSaturated is wrapped by ReductionRunner.Arrive (and the cover
+// engine's decisions) when an element arrives more often than its degree:
+// an element requested k times needs k distinct covering sets, so further
+// arrivals are uncoverable by any algorithm.
+var ErrElementSaturated = fmt.Errorf("element has arrived as often as its degree")
+
+// CoreConfigFor derives the admission-control configuration the §4
+// reduction runs with: an explicit cfg.Core wins, otherwise the paper's
+// unweighted constants for unit costs and the weighted constants otherwise,
+// seeded from cfg.Seed. It is the single source of this derivation — the
+// concurrent cover engine calls it per shard (overriding only the seed),
+// which is what keeps its one-shard mode decision-identical to the
+// sequential runner.
+func CoreConfigFor(ins *Instance, cfg ReductionConfig) core.Config {
+	if cfg.Core != nil {
+		return *cfg.Core
+	}
+	var ccfg core.Config
+	if ins.Unweighted() {
+		ccfg = core.UnweightedConfig()
+	} else {
+		ccfg = core.DefaultConfig()
+	}
+	ccfg.Seed = cfg.Seed
+	return ccfg
+}
+
+// ReductionRunner is the incremental form of SolveByReduction: it builds
+// the §4 admission-control instance once (phase 1: one request per set,
+// all offered at construction) and then serves element arrivals one at a
+// time, reporting after each arrival exactly which sets were newly bought.
+// It is the sequential reference the concurrent cover engine
+// (internal/coverengine) is tested against, and the generator of the
+// golden cover decision traces.
+//
+// Concurrency contract: a ReductionRunner is a sequential online algorithm
+// — one Arrive at a time, from one goroutine.
+type ReductionRunner struct {
+	ins    *Instance
+	alg    *core.Randomized
+	deg    []int // per element: degree (the arrival budget; 0 = uncoverable)
+	count  []int // arrivals per element
+	chosen []bool
+	// order lists chosen set ids in purchase order (phase-1 rejections
+	// first, then preemption order).
+	order       []int
+	cost        float64
+	preemptions int
+}
+
+// NewReductionRunner validates the instance, builds the reduction's
+// admission network and runs phase 1. Sets the admission algorithm rejects
+// during phase 1 count as chosen immediately (readable via Chosen before
+// any arrival).
+func NewReductionRunner(ins *Instance, cfg ReductionConfig) (*ReductionRunner, error) {
+	capacities, phase1, err := BuildAdmissionInstance(ins)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := core.NewRandomized(capacities, CoreConfigFor(ins, cfg))
+	if err != nil {
+		return nil, err
+	}
+	r := &ReductionRunner{
+		ins:    ins,
+		alg:    alg,
+		deg:    make([]int, ins.N),
+		count:  make([]int, ins.N),
+		chosen: make([]bool, ins.M()),
+	}
+	// True degrees, not the reduction's capacities: BuildAdmissionInstance
+	// patches degree-0 elements to capacity 1 (their edge must exist), but
+	// such elements are uncoverable and their arrivals must be refused.
+	for _, s := range ins.Sets {
+		for _, j := range s {
+			r.deg[j]++
+		}
+	}
+	for i := range phase1 {
+		out, err := alg.Offer(i, phase1[i])
+		if err != nil {
+			return nil, fmt.Errorf("setcover: phase 1 request %d: %w", i, err)
+		}
+		if !out.Accepted {
+			r.markChosen(i)
+		}
+		for _, id := range out.Preempted {
+			r.markChosen(id)
+		}
+	}
+	return r, nil
+}
+
+// markChosen buys set id (idempotent; phase-1 ids are set ids).
+func (r *ReductionRunner) markChosen(id int) {
+	if r.chosen[id] {
+		return
+	}
+	r.chosen[id] = true
+	r.order = append(r.order, id)
+	r.cost += r.ins.Cost(id)
+}
+
+// Arrive processes one arrival of element j: the element's edge shrinks by
+// one capacity unit and every phase-1 request preempted in response is a
+// newly bought set, returned in preemption order. Arrivals of elements in
+// no set are refused (they can never be covered), and arrivals beyond the
+// element's degree fail with ErrElementSaturated (wrapped); the runner's
+// state is unchanged by a failed arrival.
+func (r *ReductionRunner) Arrive(j int) ([]int, error) {
+	if j < 0 || j >= r.ins.N {
+		return nil, fmt.Errorf("setcover: arrival of unknown element %d", j)
+	}
+	if r.deg[j] == 0 {
+		return nil, fmt.Errorf("setcover: element %d is in no set; it can never be covered", j)
+	}
+	if r.count[j] >= r.deg[j] {
+		return nil, fmt.Errorf("setcover: element %d: %w", j, ErrElementSaturated)
+	}
+	out, err := r.alg.ShrinkCapacity(j)
+	if err != nil {
+		return nil, fmt.Errorf("setcover: arrival of element %d: %w", j, err)
+	}
+	r.count[j]++
+	r.preemptions += len(out.Preempted)
+	added := make([]int, 0, len(out.Preempted))
+	for _, id := range out.Preempted {
+		if !r.chosen[id] {
+			r.markChosen(id)
+			added = append(added, id)
+		}
+	}
+	return added, nil
+}
+
+// Chosen returns the bought set ids in purchase order.
+func (r *ReductionRunner) Chosen() []int { return append([]int(nil), r.order...) }
+
+// Cost returns the total cost of the chosen sets.
+func (r *ReductionRunner) Cost() float64 { return r.cost }
+
+// Preemptions counts preemption events so far (phase-2 only, matching
+// ReductionResult.Preemptions).
+func (r *ReductionRunner) Preemptions() int { return r.preemptions }
+
+// Arrivals returns how many times element j has arrived.
+func (r *ReductionRunner) Arrivals(j int) int {
+	if j < 0 || j >= r.ins.N {
+		return 0
+	}
+	return r.count[j]
+}
+
+// CheckCover verifies the multicover invariant against the arrivals served
+// so far: every element that arrived k times is covered by k distinct
+// chosen sets.
+func (r *ReductionRunner) CheckCover() error {
+	arrivals := make([]int, 0)
+	for j, k := range r.count {
+		for i := 0; i < k; i++ {
+			arrivals = append(arrivals, j)
+		}
+	}
+	return CheckMultiCover(r.ins, arrivals, sortedUnique(r.Chosen()))
+}

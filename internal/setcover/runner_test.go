@@ -1,0 +1,89 @@
+package setcover
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"admission/internal/rng"
+)
+
+// TestReductionRunnerMatchesSolveByReduction proves the incremental runner
+// is decision-for-decision the same algorithm as the batch pipeline: same
+// instance, same seed, same arrivals must buy the same sets at the same
+// cost with the same preemption count.
+func TestReductionRunnerMatchesSolveByReduction(t *testing.T) {
+	for rep := 0; rep < 8; rep++ {
+		r := rng.New(uint64(1000 + rep))
+		weighted := rep%2 == 1
+		ins, err := RandomInstance(12+rep, 20+2*rep, 0.3, 3, weighted, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals, err := RandomArrivals(ins, 30, 1.0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := uint64(77 + rep)
+
+		batch, err := SolveByReduction(ins, arrivals, ReductionConfig{Seed: seed, Check: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := NewReductionRunner(ins, ReductionConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range arrivals {
+			if _, err := rn.Arrive(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := sortedUnique(rn.Chosen())
+		if fmt.Sprint(got) != fmt.Sprint(batch.Chosen) {
+			t.Fatalf("rep %d: runner chose %v, batch chose %v", rep, got, batch.Chosen)
+		}
+		if rn.Cost() != batch.Cost {
+			t.Fatalf("rep %d: runner cost %v, batch cost %v", rep, rn.Cost(), batch.Cost)
+		}
+		if rn.Preemptions() != batch.Preemptions {
+			t.Fatalf("rep %d: runner preemptions %d, batch %d", rep, rn.Preemptions(), batch.Preemptions)
+		}
+		if err := rn.CheckCover(); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+	}
+}
+
+// TestReductionRunnerSaturation exercises the degree budget: an element may
+// arrive exactly degree-many times, and the next arrival fails with
+// ErrElementSaturated without mutating state.
+func TestReductionRunnerSaturation(t *testing.T) {
+	ins := &Instance{N: 2, Sets: [][]int{{0, 1}, {0}, {1}}}
+	rn, err := NewReductionRunner(ins, ReductionConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element 0 has degree 2: two arrivals must succeed.
+	for k := 0; k < 2; k++ {
+		if _, err := rn.Arrive(0); err != nil {
+			t.Fatalf("arrival %d of element 0: %v", k+1, err)
+		}
+	}
+	costBefore, chosenBefore := rn.Cost(), len(rn.Chosen())
+	if _, err := rn.Arrive(0); !errors.Is(err, ErrElementSaturated) {
+		t.Fatalf("third arrival: got %v, want ErrElementSaturated", err)
+	}
+	if rn.Cost() != costBefore || len(rn.Chosen()) != chosenBefore {
+		t.Fatal("failed arrival mutated runner state")
+	}
+	if rn.Arrivals(0) != 2 {
+		t.Fatalf("Arrivals(0) = %d, want 2", rn.Arrivals(0))
+	}
+	if _, err := rn.Arrive(7); err == nil {
+		t.Fatal("arrival of unknown element succeeded")
+	}
+	if err := rn.CheckCover(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBuildNamedCover checks every registered cover workload builds,
+// validates, and is deterministic in (name, seed) — including the
+// instance's independence from the arrival count, which is what lets
+// acserve and acload agree on the set system.
+func TestBuildNamedCover(t *testing.T) {
+	for _, name := range CoverNames() {
+		w, err := BuildNamedCover(name, 100, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(w.Arrivals) == 0 || len(w.Arrivals) > 100 {
+			t.Fatalf("%s: %d arrivals, want (0,100]", name, len(w.Arrivals))
+		}
+		again, err := BuildNamedCover(name, 100, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(w.Instance) != fmt.Sprint(again.Instance) || fmt.Sprint(w.Arrivals) != fmt.Sprint(again.Arrivals) {
+			t.Fatalf("%s: rebuild diverged", name)
+		}
+		longer, err := BuildNamedCover(name, 200, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(w.Instance) != fmt.Sprint(longer.Instance) {
+			t.Fatalf("%s: instance depends on the arrival count", name)
+		}
+		other, err := BuildNamedCover(name, 100, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(w.Instance) == fmt.Sprint(other.Instance) {
+			t.Fatalf("%s: seed ignored", name)
+		}
+		if _, err := BuildNamedCover(name, 0, 7); err != nil {
+			t.Fatalf("%s: default arrival count: %v", name, err)
+		}
+	}
+	if _, err := BuildNamedCover("no-such", 10, 1); err == nil {
+		t.Fatal("unknown cover workload accepted")
+	}
+}
+
+// TestRepeatedArrivalsAdversary checks the cover-repeat workload actually
+// produces repetitions: a long enough sequence must request some element
+// at least three times while never exceeding any element's degree.
+func TestRepeatedArrivalsAdversary(t *testing.T) {
+	w, err := BuildNamedCover("cover-repeat", 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	for _, j := range w.Arrivals {
+		counts[j]++
+	}
+	maxRep := 0
+	for _, k := range counts {
+		if k > maxRep {
+			maxRep = k
+		}
+	}
+	if maxRep < 3 {
+		t.Fatalf("repeated-element adversary peaked at %d repetitions, want >= 3", maxRep)
+	}
+}

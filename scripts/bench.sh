@@ -11,9 +11,9 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 
-pattern='BenchmarkRandomizedOfferWeighted$|BenchmarkRandomizedOfferUnweighted$|BenchmarkRandomizedScalingM|BenchmarkRandomizedScalingC|BenchmarkEngineThroughput|BenchmarkServerLoopback'
+pattern='BenchmarkRandomizedOfferWeighted$|BenchmarkRandomizedOfferUnweighted$|BenchmarkRandomizedScalingM|BenchmarkRandomizedScalingC|BenchmarkEngineThroughput|BenchmarkServerLoopback|BenchmarkCoverEngineThroughput|BenchmarkCoverLoopback'
 
 raw="$(go test -run '^$' -bench "$pattern" -benchmem -count=1 .)"
 echo "$raw" >&2
