@@ -466,7 +466,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 								if b.Failed() {
 									continue
 								}
-								if _, err := eng.Submit(r); err != nil {
+								if _, err := eng.Submit(context.Background(), r); err != nil {
 									b.Error(err)
 								}
 							}
@@ -505,7 +505,10 @@ func BenchmarkServerLoopback(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				srv := server.New(eng, server.Config{})
+				srv, err := server.New(server.Config{}, server.Admission(eng))
+				if err != nil {
+					b.Fatal(err)
+				}
 				ln, err := net.Listen("tcp", "127.0.0.1:0")
 				if err != nil {
 					b.Fatal(err)
@@ -513,15 +516,15 @@ func BenchmarkServerLoopback(b *testing.B) {
 				httpSrv := &http.Server{Handler: srv.Handler()}
 				go func() { _ = httpSrv.Serve(ln) }()
 				base := "http://" + ln.Addr().String()
-				if err := server.NewClient(base, 1).WaitHealthy(5 * time.Second); err != nil {
+				if err := server.NewAdmissionClient(base, 1).WaitHealthy(5 * time.Second); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				report, err := server.RunLoad(context.Background(), server.LoadConfig{
-					BaseURL:  base,
-					Requests: ins.Requests,
-					Conns:    conns,
-					Batch:    256,
+				report, err := server.RunAdmissionLoad(context.Background(), server.LoadConfig[problem.Request]{
+					BaseURL: base,
+					Items:   ins.Requests,
+					Conns:   conns,
+					Batch:   256,
 				})
 				b.StopTimer()
 				if err != nil {
@@ -575,7 +578,7 @@ func BenchmarkCoverEngineThroughput(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				ds, err := cov.SubmitBatch(arrivals)
+				ds, err := cov.SubmitBatch(context.Background(), arrivals)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -607,7 +610,10 @@ func BenchmarkCoverLoopback(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				srv := server.NewWithCover(nil, cov, server.Config{})
+				srv, err := server.New(server.Config{}, server.Cover(cov))
+				if err != nil {
+					b.Fatal(err)
+				}
 				ln, err := net.Listen("tcp", "127.0.0.1:0")
 				if err != nil {
 					b.Fatal(err)
@@ -615,15 +621,15 @@ func BenchmarkCoverLoopback(b *testing.B) {
 				httpSrv := &http.Server{Handler: srv.Handler()}
 				go func() { _ = httpSrv.Serve(ln) }()
 				base := "http://" + ln.Addr().String()
-				if err := server.NewClient(base, 1).WaitHealthy(5 * time.Second); err != nil {
+				if err := server.NewCoverClient(base, 1).WaitHealthy(5 * time.Second); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				report, err := server.RunCoverLoad(context.Background(), server.CoverLoadConfig{
-					BaseURL:  base,
-					Elements: arrivals,
-					Conns:    conns,
-					Batch:    256,
+				report, err := server.RunCoverLoad(context.Background(), server.LoadConfig[int]{
+					BaseURL: base,
+					Items:   arrivals,
+					Conns:   conns,
+					Batch:   256,
 				})
 				b.StopTimer()
 				if err != nil {

@@ -39,6 +39,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"admission/internal/problem"
 	"admission/internal/server"
 	"admission/internal/workload"
 )
@@ -60,7 +61,7 @@ func main() {
 		advK     = flag.Int("K", 8, "adversary: path length (path-trap)")
 		advR     = flag.Int("rounds", 8, "adversary: trap rounds (repeated-trap)")
 
-		cover     = flag.Bool("cover", false, "drive the set cover path (/v1/cover) instead of /v1/submit")
+		cover     = flag.Bool("cover", false, "drive the set cover path (/v1/cover) instead of /v1/admission")
 		coverWl   = flag.String("cover-workload", "cover-random", "named set-cover workload (must match the server's)")
 		coverSeed = flag.Uint64("cover-seed", 1, "set-cover workload seed (must match the server's)")
 	)
@@ -86,18 +87,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	report, err := server.RunLoad(ctx, server.LoadConfig{
-		BaseURL:  *url,
-		Requests: ins.Requests,
-		Conns:    *conns,
-		Batch:    *batch,
-		RPS:      *rps,
-		Repeat:   *repeat,
+	report, err := server.RunAdmissionLoad(ctx, server.LoadConfig[problem.Request]{
+		BaseURL: *url,
+		Items:   ins.Requests,
+		Conns:   *conns,
+		Batch:   *batch,
+		RPS:     *rps,
+		Repeat:  *repeat,
 	})
 	if err != nil {
 		fail(err)
 	}
 	fmt.Println(report)
+	fmt.Printf("admission:   %d accepted, %d preemptions\n", report.Accepted, report.Preempted)
 }
 
 // runAdversary plays one adaptive adversary game over HTTP and prints the
@@ -132,18 +134,19 @@ func runCover(ctx context.Context, url, name string, seed uint64, n, conns, batc
 	if err != nil {
 		fail(err)
 	}
-	report, err := server.RunCoverLoad(ctx, server.CoverLoadConfig{
-		BaseURL:  url,
-		Elements: w.Arrivals,
-		Conns:    conns,
-		Batch:    batch,
-		RPS:      rps,
+	report, err := server.RunCoverLoad(ctx, server.LoadConfig[int]{
+		BaseURL: url,
+		Items:   w.Arrivals,
+		Conns:   conns,
+		Batch:   batch,
+		RPS:     rps,
 	})
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("cover workload: %s (n=%d elements, m=%d sets)\n", w.Name, w.Instance.N, w.Instance.M())
 	fmt.Println(report)
+	fmt.Printf("cover:       %d sets bought, cost %g\n", report.SetsBought, report.CostAdded)
 }
 
 func fail(err error) {

@@ -1,10 +1,12 @@
-// Command acserve runs the network-facing admission service (DESIGN.md §7):
-// an HTTP JSON front end over the sharded concurrent engine, with batched
+// Command acserve runs the network-facing serving layer (DESIGN.md §7 and
+// §10): an HTTP JSON front end over the workload registry, with batched
 // submission, streaming decision responses, Prometheus metrics, and
-// graceful drain on SIGINT/SIGTERM.
+// graceful drain on SIGINT/SIGTERM. Every workload is served through the
+// same generic handler under /v1/<workload>.
 //
-// The capacity vector comes from a built-in workload's topology (the same
-// names acsim and acgen use) or from a flat -edges/-cap pair:
+// The admission workload's capacity vector comes from a built-in
+// workload's topology (the same names acsim and acgen use) or from a flat
+// -edges/-cap pair:
 //
 //	acserve -addr :8080 -workload grid -cap 8 -shards 4
 //	acserve -addr :8080 -edges 64 -cap 16 -shards 8 -batch 512 -flush 1ms
@@ -19,18 +21,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/submit      one request {"edges":[0,1],"cost":2.5} or an
-//	                     array; one NDJSON decision line per request
-//	GET  /v1/stats       engine + pipeline statistics (JSON)
-//	POST /v1/cover       element id(s), e.g. 3 or [0,4,4]; one NDJSON
-//	                     "sets chosen" decision line per arrival
-//	GET  /v1/cover/stats cover engine statistics (JSON)
-//	GET  /metrics        Prometheus text format
-//	GET  /healthz        liveness; 503 while draining
+//	POST /v1/admission       one request {"edges":[0,1],"cost":2.5} or an
+//	                         array; one NDJSON decision line per request
+//	GET  /v1/admission/stats engine + pipeline statistics (JSON)
+//	POST /v1/cover           element id(s), e.g. 3 or [0,4,4]; one NDJSON
+//	                         "sets chosen" decision line per arrival
+//	GET  /v1/cover/stats     cover engine statistics (JSON)
+//	GET  /metrics            Prometheus text format
+//	GET  /healthz            liveness; 503 while draining
 //
 // On SIGINT/SIGTERM the server stops accepting connections, completes
 // in-flight submissions (HTTP drain, then pipeline drain), closes the
-// engine, and prints final statistics to stderr.
+// engines, and prints final statistics to stderr.
 package main
 
 import (
@@ -40,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,7 +64,7 @@ func main() {
 		unweighted = flag.Bool("unweighted", false, "use the paper's unweighted constants (requires cost-1 requests)")
 		batch      = flag.Int("batch", 256, "max submissions coalesced into one engine batch")
 		flush      = flag.Duration("flush", 500*time.Microsecond, "max wait before flushing a non-full batch")
-		queue      = flag.Int("queue", 8192, "submission queue capacity (backpressure bound)")
+		queue      = flag.Int("queue", 8192, "queued-item bound per workload (backpressure)")
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 
 		cover     = flag.Bool("cover", false, "also serve online set cover (/v1/cover)")
@@ -86,24 +89,29 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	regs := []server.Registration{server.Admission(eng)}
 	var cov *coverengine.Engine
 	if *cover {
 		cov, err = buildCover(*coverWl, *coverSeed, *coverSh, *coverMode, *coverEps)
 		if err != nil {
 			fail(err)
 		}
+		regs = append(regs, server.Cover(cov))
 	}
-	srv := server.NewWithCover(eng, cov, server.Config{
+	srv, err := server.New(server.Config{
 		BatchSize:     *batch,
 		FlushInterval: *flush,
 		QueueLen:      *queue,
-	})
+	}, regs...)
+	if err != nil {
+		fail(err)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "acserve: serving m=%d edges (max capacity %d) on %s, %d shards, batch %d, flush %v\n",
-			len(caps), maxOf(caps), *addr, eng.Shards(), *batch, *flush)
+		fmt.Fprintf(os.Stderr, "acserve: serving workloads [%s] on %s: m=%d edges (max capacity %d), %d shards, batch %d, flush %v\n",
+			strings.Join(srv.Workloads(), " "), *addr, len(caps), maxOf(caps), eng.Shards(), *batch, *flush)
 		if cov != nil {
 			fmt.Fprintf(os.Stderr, "acserve: cover: %s (%s), n=%d elements, m=%d sets, %d shards\n",
 				*coverWl, cov.Mode(), cov.NumElements(), cov.NumSets(), cov.Shards())
@@ -131,13 +139,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "acserve: pipeline drain: %v\n", err)
 	}
 	eng.Close()
-	st := eng.Stats()
+	st := eng.Snapshot()
 	fmt.Fprintf(os.Stderr,
 		"acserve: final stats: %d requests, %d accepted, %d preemptions, rejected cost %g\n",
 		st.Requests, st.Accepted, st.Preemptions, st.RejectedCost)
 	if cov != nil {
 		cov.Close()
-		cst := cov.Stats()
+		cst := cov.Snapshot()
 		fmt.Fprintf(os.Stderr,
 			"acserve: final cover stats: %d arrivals, %d sets chosen, cost %g\n",
 			cst.Arrivals, cst.ChosenSets, cst.Cost)

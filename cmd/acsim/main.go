@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -204,7 +205,7 @@ func runEngine(ins *problem.Instance, shards, workers int, seed uint64, check bo
 	start := time.Now()
 	if workers == 1 {
 		for _, r := range ins.Requests {
-			if _, err := eng.Submit(r); err != nil {
+			if _, err := eng.Submit(context.Background(), r); err != nil {
 				fail(err)
 			}
 		}
@@ -225,7 +226,7 @@ func runEngine(ins *problem.Instance, shards, workers int, seed uint64, check bo
 					if failed.Load() {
 						continue
 					}
-					if _, err := eng.Submit(r); err != nil {
+					if _, err := eng.Submit(context.Background(), r); err != nil {
 						failed.Store(true)
 						select {
 						case errCh <- err:
@@ -248,7 +249,7 @@ func runEngine(ins *problem.Instance, shards, workers int, seed uint64, check bo
 	}
 	elapsed := time.Since(start)
 	eng.Close()
-	st := eng.Stats()
+	st := eng.Snapshot()
 
 	if check {
 		for e, load := range st.Loads {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -102,7 +103,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		ds, err := eng.SubmitBatch(seq)
+		ds, err := eng.SubmitBatch(context.Background(), seq)
 		if err != nil {
 			fail(err)
 		}
@@ -113,7 +114,7 @@ func main() {
 			}
 		}
 		eng.Close()
-		st := eng.Stats()
+		st := eng.Snapshot()
 		fmt.Printf("engine:     cost=%.2f  sets=%d  ratio=%.2f (vs %s, %d shards, %d preemptions, %d refused)\n",
 			eng.Cost(), st.ChosenSets, ratio(eng.Cost(), ref), optLabel, eng.Shards(), st.Preemptions, refused)
 	}

@@ -22,17 +22,23 @@
 //     relaxation via a built-in simplex, greedy multicover), workload
 //     generators and adaptive adversaries, and the experiment harness that
 //     reproduces every theorem's scaling law (see EXPERIMENTS.md),
-//   - a sharded concurrent serving engine (NewEngine) that partitions the
-//     edge set and runs per-shard §2/§3 instances behind channel-based
-//     event loops, for concurrent traffic (see DESIGN.md §5),
+//   - a sharded concurrent serving engine (NewEngine, configured with
+//     functional options like WithShards) that partitions the edge set and
+//     runs per-shard §2/§3 instances behind channel-based event loops, for
+//     concurrent traffic (see DESIGN.md §5),
 //   - a sharded concurrent set cover engine (NewCoverEngine) that
 //     partitions the ground set of elements and runs the §4 reduction (or
 //     the §5 bicriteria algorithm) inside each shard, with a global
 //     chosen-set ledger — see DESIGN.md §9,
-//   - a network-facing HTTP service (cmd/acserve) over both engines, with
+//   - one generic serving contract (Service[Req, Dec], DESIGN.md §10) both
+//     engines implement: context-aware Submit and SubmitBatch, an ordered
+//     pipelined Stream, uniform ServiceStats, Drain and Close — the shape
+//     the whole serving stack is written against,
+//   - a network-facing HTTP workload registry (cmd/acserve) serving both
+//     engines through one generic handler under /v1/{workload}, with
 //     batched submission, streaming decisions, Prometheus metrics and
 //     graceful drain, plus a load generator (cmd/acload) — see DESIGN.md
-//     §7 and §9.
+//     §7, §9 and §10.
 //
 // # Quick start
 //

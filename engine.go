@@ -3,55 +3,101 @@ package admission
 import (
 	"admission/internal/engine"
 	"admission/internal/graph"
+	"admission/internal/service"
 )
 
-// Sharded concurrent serving layer (see DESIGN.md §5). The Engine partitions
-// the edge set into shards, runs an independent §2/§3 instance inside each
-// shard's event loop, and serves concurrent Submit calls: single-shard
-// requests take a lock-free fast path through the owning shard, cross-shard
-// requests a two-phase reserve/commit path. SubmitBatch pipelines a whole
-// slice of requests through the shards at once — the per-request channel
-// round-trip is paid once per batch — which is what the network-facing
-// service (cmd/acserve, DESIGN.md §7) builds its coalescing pipeline on.
+// Sharded concurrent serving layer (see DESIGN.md §5 and §10). The Engine
+// partitions the edge set into shards, runs an independent §2/§3 instance
+// inside each shard's event loop, and serves concurrent Submit calls:
+// single-shard requests take a lock-free fast path through the owning
+// shard, cross-shard requests a two-phase reserve/commit path. The Engine
+// implements the generic Service contract — context-aware Submit and
+// SubmitBatch, an ordered pipelined Stream, uniform ServiceStats, Drain
+// and Close — which is what the network-facing service (cmd/acserve,
+// DESIGN.md §7) serves it through.
 type (
-	// Engine is the sharded concurrent admission server. Submit and
-	// SubmitBatch are safe for concurrent use by any number of goroutines;
-	// Close drains in-flight submissions and leaves exact statistics
-	// readable.
+	// Engine is the sharded concurrent admission server. Submit,
+	// SubmitBatch and Stream are safe for concurrent use by any number of
+	// goroutines; Close drains in-flight submissions and leaves exact
+	// statistics readable.
 	Engine = engine.Engine
-	// EngineConfig configures shard count, partition, per-shard algorithm
-	// constants, and the shard event-loop batch/queue sizes.
-	EngineConfig = engine.Config
 	// Decision reports the engine's reaction to one submitted request:
 	// the assigned global ID, acceptance, whether the request crossed
 	// shards, and any requests preempted as a consequence.
 	Decision = engine.Decision
-	// EngineStats is a snapshot of the engine's aggregate state
-	// (accept/reject/preemption totals, rejected cost, per-edge loads).
+	// EngineStats is the engine's full statistics snapshot
+	// (accept/reject/preemption totals, rejected cost, per-edge loads),
+	// returned by Engine.Snapshot; the uniform cross-workload view is
+	// ServiceStats, returned by Engine.Stats.
 	EngineStats = engine.Stats
 	// EngineShardStat is one shard's load/occupancy snapshot, the per-shard
 	// view behind acserve's /metrics occupancy gauges.
 	EngineShardStat = engine.ShardStat
 )
 
+// Generic serving contract (see DESIGN.md §10): every workload engine in
+// this module is served through one Service shape — the admission Engine
+// as Service[Request, Decision], the CoverEngine as
+// Service[int, CoverDecision].
+type (
+	// Service is the uniform query→decision serving contract: Submit,
+	// SubmitBatch and Stream submission shapes, plus Validate, Stats,
+	// Drain and Close.
+	Service[Req any, Dec service.Decision] = service.Service[Req, Dec]
+	// ServiceDecision is the constraint served decision types satisfy: a
+	// decision can carry a per-item failure.
+	ServiceDecision = service.Decision
+	// ServiceStats is the uniform statistics snapshot every Service
+	// exposes.
+	ServiceStats = service.Stats
+	// Stream is an ordered, pipelined submission stream over a Service:
+	// Send dispatches without waiting for earlier decisions, Recv yields
+	// decisions in send order.
+	Stream[Req any, Dec any] = service.Stream[Req, Dec]
+)
+
+// The engines implement the generic contract.
+var (
+	_ Service[Request, Decision]  = (*Engine)(nil)
+	_ Service[int, CoverDecision] = (*CoverEngine)(nil)
+)
+
 // ErrEngineClosed is returned by Engine.Submit after Close.
 var ErrEngineClosed = engine.ErrClosed
 
-// DefaultEngineConfig returns a single-shard engine configuration over the
-// paper's weighted constants (equivalent to the unsharded §3 algorithm).
-func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
-
-// NewEngine creates a sharded admission engine over the capacity vector.
-// Set cfg.Shards (or provide an explicit cfg.Partition, e.g. from
-// PartitionEdges on a topology) to scale across cores; Submit is safe for
-// concurrent use by any number of goroutines.
-func NewEngine(capacities []int, cfg EngineConfig) (*Engine, error) {
-	return engine.New(capacities, cfg)
+// NewEngine creates a sharded admission engine over the capacity vector,
+// configured by functional options:
+//
+//	eng, err := admission.NewEngine(caps, admission.WithShards(8), admission.WithSeed(42))
+//
+// With no options it is a single-shard engine over the paper's weighted
+// constants — equivalent to the unsharded §3 algorithm. Use WithShards (or
+// WithPartition, e.g. from PartitionEdges on a topology) to scale across
+// cores; Submit is safe for concurrent use by any number of goroutines.
+// The cover-only options WithMode and WithEps are rejected.
+func NewEngine(capacities []int, opts ...Option) (*Engine, error) {
+	o, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.mode != nil {
+		return nil, errOptionScope("WithMode", "NewCoverEngine")
+	}
+	if o.eps != nil {
+		return nil, errOptionScope("WithEps", "NewCoverEngine")
+	}
+	return engine.New(capacities, engine.Config{
+		Shards:    o.shards,
+		Partition: o.partition,
+		Algorithm: o.admissionAlgorithm(),
+		BatchSize: o.batch,
+		QueueLen:  o.queue,
+	})
 }
 
 // PartitionEdges computes a locality-preserving partition of the index range
 // [0, m) into at most k contiguous balanced shards, suitable for
-// EngineConfig.Partition when no topology is available. Experiments with a
-// real topology should use the graph package's BFS partition instead (the
+// WithPartition when no topology is available. Experiments with a real
+// topology should use the graph package's BFS partition instead (the
 // harness's E11 does).
 func PartitionEdges(m, k int) ([][]int, error) { return graph.PartitionRange(m, k) }

@@ -35,6 +35,7 @@
 package coverengine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -44,7 +45,17 @@ import (
 
 	"admission/internal/core"
 	"admission/internal/graph"
+	"admission/internal/service"
 	"admission/internal/setcover"
+)
+
+// The Engine implements the repository-wide generic serving contract
+// (DESIGN.md §10) with element ids as requests, so the HTTP layer, client
+// and load generator serve it through the same generic code path as the
+// admission engine.
+var (
+	_ service.Service[int, Decision] = (*Engine)(nil)
+	_ service.Batcher[int, Decision] = (*Engine)(nil)
 )
 
 // ErrClosed is returned by Submit after Close.
@@ -149,6 +160,10 @@ type Decision struct {
 	Err error
 }
 
+// DecisionErr returns the decision's per-arrival failure, satisfying the
+// generic service.Decision constraint.
+func (d Decision) DecisionErr() error { return d.Err }
+
 // Stats is a snapshot of the cover engine's aggregate state. Consistency
 // matches the admission engine: per-shard consistent while open, exact
 // after Close.
@@ -173,11 +188,12 @@ type Stats struct {
 // Engine is the sharded concurrent set cover server. Submit and
 // SubmitBatch are safe for concurrent use by any number of goroutines.
 type Engine struct {
-	ins       *setcover.Instance
-	mode      Mode
-	elemShard []int32 // global element -> owning shard
-	elemLocal []int32 // global element -> index within the shard
-	shards    []*shard
+	ins         *setcover.Instance
+	mode        Mode
+	streamDepth int     // Stream window, from Config.QueueLen
+	elemShard   []int32 // global element -> owning shard
+	elemLocal   []int32 // global element -> index within the shard
+	shards      []*shard
 
 	// The global chosen ledger: which sets have been bought, their count
 	// and total cost. Guarded by mu; touched only when a shard reports a
@@ -193,6 +209,10 @@ type Engine struct {
 
 	closed   atomic.Bool
 	inflight atomic.Int64
+	// drainers tracks the background goroutines resolving the accounting
+	// of cancellation-abandoned arrivals; Drain and Close wait for them so
+	// the ledger and counters stay exact.
+	drainers service.DrainTracker
 	loops    sync.WaitGroup
 }
 
@@ -230,11 +250,12 @@ func New(ins *setcover.Instance, cfg Config) (*Engine, error) {
 	}
 
 	e := &Engine{
-		ins:       ins,
-		mode:      cfg.Mode,
-		elemShard: make([]int32, ins.N),
-		elemLocal: make([]int32, ins.N),
-		chosen:    make([]bool, ins.M()),
+		ins:         ins,
+		mode:        cfg.Mode,
+		streamDepth: cfg.queueLen(),
+		elemShard:   make([]int32, ins.N),
+		elemLocal:   make([]int32, ins.N),
+		chosen:      make([]bool, ins.M()),
 	}
 	byElem := ins.SetsOf()
 	for si, part := range parts {
@@ -328,9 +349,9 @@ func (e *Engine) NumElements() int { return e.ins.N }
 // NumSets returns the set family size m.
 func (e *Engine) NumSets() int { return e.ins.M() }
 
-// ValidateElement checks an element id the way Submit would, so callers
-// batching arrivals (the serving layer) can 400 malformed items up front.
-func (e *Engine) ValidateElement(j int) error {
+// Validate checks an element id the way Submit would, so callers batching
+// arrivals (the serving layer) can 400 malformed items up front.
+func (e *Engine) Validate(j int) error {
 	if j < 0 || j >= e.ins.N {
 		return fmt.Errorf("coverengine: element %d outside [0,%d)", j, e.ins.N)
 	}
@@ -361,20 +382,45 @@ func (e *Engine) claim(ids []int) (fresh []int, added float64) {
 	return fresh, added
 }
 
-// Submit serves one element arrival and blocks until it is decided. Safe
-// for concurrent use; each call is assigned a fresh global sequence number.
-func (e *Engine) Submit(element int) (Decision, error) {
+// Submit serves one element arrival and blocks until it is decided or ctx
+// is done. Safe for concurrent use; each call is assigned a fresh global
+// sequence number. Cancellation is honoured while enqueueing into a full
+// shard queue and while waiting; an arrival already enqueued is still
+// served and accounted (a background drainer keeps the ledger exact), the
+// caller just stops waiting for it.
+func (e *Engine) Submit(ctx context.Context, element int) (Decision, error) {
 	if !e.enter() {
 		return Decision{}, ErrClosed
 	}
 	defer e.exit()
-	if err := e.ValidateElement(element); err != nil {
+	if err := e.Validate(element); err != nil {
 		return Decision{}, err
 	}
 	seq := int(e.seq.Add(1) - 1)
 	si := int(e.elemShard[element])
-	rep := recvReply(e.shards[si].send(op{kind: opArrive, seq: seq, elem: int(e.elemLocal[element])}))
-	return e.finish(seq, element, rep), nil
+	ch, err := e.shards[si].send(ctx, op{kind: opArrive, seq: seq, elem: int(e.elemLocal[element])})
+	if err != nil {
+		return Decision{}, err
+	}
+	return e.await(ctx, seq, element, ch)
+}
+
+// await waits for a shard reply, folding it into the engine's accounting;
+// on ctx cancellation the pending reply is handed to a background drainer
+// so the ledger and counters stay exact.
+func (e *Engine) await(ctx context.Context, seq, element int, ch chan reply) (Decision, error) {
+	select {
+	case rep := <-ch:
+		replyPool.Put(ch)
+		return e.finish(seq, element, rep), nil
+	case <-ctx.Done():
+		e.drainers.Go(func() {
+			rep := <-ch
+			replyPool.Put(ch)
+			e.finish(seq, element, rep)
+		})
+		return Decision{}, ctx.Err()
+	}
 }
 
 // finish folds a shard reply into engine accounting and the Decision.
@@ -399,13 +445,23 @@ func (e *Engine) finish(seq, element int, rep reply) Decision {
 // the decision stream — is identical to a sequential Submit loop.
 // Validation is atomic: any out-of-range element fails the whole batch
 // before anything is dispatched. Per-arrival failures (saturated elements)
-// arrive as Decision.Err instead.
-func (e *Engine) SubmitBatch(elements []int) ([]Decision, error) {
+// arrive as Decision.Err instead; a ctx cancelled mid-dispatch fails the
+// whole batch (already-dispatched arrivals are still served and accounted
+// in the background).
+func (e *Engine) SubmitBatch(ctx context.Context, elements []int) ([]Decision, error) {
 	for i, j := range elements {
-		if err := e.ValidateElement(j); err != nil {
+		if err := e.Validate(j); err != nil {
 			return nil, fmt.Errorf("coverengine: batch[%d]: %w", i, err)
 		}
 	}
+	return e.SubmitBatchPrevalidated(ctx, elements)
+}
+
+// SubmitBatchPrevalidated is SubmitBatch without the per-arrival
+// validation pass, for callers that have already run Validate on every
+// item (the serving layer validates at the HTTP boundary). Submitting an
+// unvalidated element through it is undefined behaviour.
+func (e *Engine) SubmitBatchPrevalidated(ctx context.Context, elements []int) ([]Decision, error) {
 	if len(elements) == 0 {
 		return nil, nil
 	}
@@ -420,12 +476,60 @@ func (e *Engine) SubmitBatch(elements []int) ([]Decision, error) {
 		seq := int(e.seq.Add(1) - 1)
 		out[i].Seq = seq
 		out[i].Element = j
-		replies[i] = e.shards[e.elemShard[j]].send(op{kind: opArrive, seq: seq, elem: int(e.elemLocal[j])})
+		ch, err := e.shards[e.elemShard[j]].send(ctx, op{kind: opArrive, seq: seq, elem: int(e.elemLocal[j])})
+		if err != nil {
+			// Cancelled mid-dispatch: resolve the already-fired arrivals in
+			// the background so the ledger stays exact, then fail the batch.
+			fired := replies[:i]
+			pending := make([]Decision, i)
+			copy(pending, out[:i])
+			e.drainers.Go(func() {
+				for k, ch := range fired {
+					e.finish(pending[k].Seq, pending[k].Element, recvReply(ch))
+				}
+			})
+			return nil, err
+		}
+		replies[i] = ch
 	}
 	for i := range replies {
 		out[i] = e.finish(out[i].Seq, out[i].Element, recvReply(replies[i]))
 	}
 	return out, nil
+}
+
+// Stream opens an ordered, pipelined arrival stream over the engine (the
+// generic service contract's third submission shape): Send dispatches an
+// element to its owning shard without waiting for earlier decisions, Recv
+// yields decisions in send order. The stream's buffers are sized by the
+// engine's configured queue length (window ≈ 2× that).
+func (e *Engine) Stream(ctx context.Context) (*service.Stream[int, Decision], error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	return service.NewStream(ctx, e.streamDepth, e.dispatch), nil
+}
+
+// dispatch fires one arrival for the stream path and returns an Await for
+// its decision; it performs exactly Submit's validation and dispatch, only
+// the wait is deferred.
+func (e *Engine) dispatch(ctx context.Context, element int) (service.Await[Decision], error) {
+	if !e.enter() {
+		return nil, ErrClosed
+	}
+	defer e.exit()
+	if err := e.Validate(element); err != nil {
+		return nil, err
+	}
+	seq := int(e.seq.Add(1) - 1)
+	si := int(e.elemShard[element])
+	ch, err := e.shards[si].send(ctx, op{kind: opArrive, seq: seq, elem: int(e.elemLocal[element])})
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context) (Decision, error) {
+		return e.await(ctx, seq, element, ch)
+	}, nil
 }
 
 // Chosen returns the global ids of all bought sets, ascending.
@@ -458,8 +562,27 @@ func (e *Engine) ChosenCount() int {
 	return e.chosenCount
 }
 
-// Stats returns a snapshot of the engine's aggregate state.
-func (e *Engine) Stats() Stats {
+// Stats returns the uniform service-level statistics snapshot (generic
+// serving contract). The workload-specific detail — chosen sets, cost,
+// preemptions, augmentations — is on Snapshot.
+func (e *Engine) Stats() service.Stats {
+	// Load each counter once so the snapshot is internally consistent
+	// (Requests == Accepted + Errors) even under concurrent submission.
+	arrivals, errs := e.arrivals.Load(), e.errs.Load()
+	st := service.Stats{
+		Requests: arrivals + errs,
+		Accepted: arrivals,
+		Errors:   errs,
+		Shards:   len(e.shards),
+	}
+	e.mu.Lock()
+	st.Objective = e.cost
+	e.mu.Unlock()
+	return st
+}
+
+// Snapshot returns the engine's full aggregate state.
+func (e *Engine) Snapshot() Stats {
 	st := Stats{
 		Arrivals: e.arrivals.Load(),
 		Errors:   e.errs.Load(),
@@ -488,7 +611,7 @@ func (e *Engine) snapshots() []shardSnapshot {
 	}
 	replies := make([]chan reply, len(e.shards))
 	for i, s := range e.shards {
-		replies[i] = s.send(op{kind: opStats})
+		replies[i] = s.sendNow(op{kind: opStats})
 	}
 	e.exit()
 	for i := range replies {
@@ -497,18 +620,39 @@ func (e *Engine) snapshots() []shardSnapshot {
 	return out
 }
 
+// Drain blocks until no submissions are in flight — including the
+// background accounting of cancellation-abandoned arrivals — or ctx is
+// done. It does not stop new submissions — callers quiesce traffic first
+// (the serving layer refuses new work, then drains, then closes). The
+// wait parks between polls instead of spinning.
+func (e *Engine) Drain(ctx context.Context) error {
+	return service.PollIdle(ctx, func() bool {
+		return e.inflight.Load() == 0 && e.drainers.Idle()
+	})
+}
+
 // Close shuts the engine down: subsequent Submits fail with ErrClosed,
 // in-flight submissions finish, and every shard loop exits after recording
-// its final snapshot. Chosen, Cost and Stats remain usable (and exact)
-// afterwards. Close is idempotent.
-func (e *Engine) Close() {
+// its final snapshot. Chosen, Cost, Snapshot and Stats remain usable (and
+// exact) afterwards; for arrivals abandoned through a Stream whose context
+// died, exactness additionally requires the stream to have been closed and
+// fully resolved (Recv to io.EOF) first. Close is idempotent and always
+// returns nil (the error is part of the generic service contract).
+func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		e.loops.Wait()
-		return
+		e.drainers.Wait()
+		return nil
 	}
 	e.drainInflight()
+	e.drainers.Wait()
 	for _, s := range e.shards {
 		close(s.ops)
 	}
 	e.loops.Wait()
+	// Late drainers (spawned by stream awaits resolved during shutdown)
+	// only consume already-buffered replies; wait them out so the ledger
+	// and counters are exact.
+	e.drainers.Wait()
+	return nil
 }

@@ -1,6 +1,7 @@
 package coverengine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -52,7 +53,7 @@ func TestOneShardMatchesSequentialReduction(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			d, err := eng.Submit(j)
+			d, err := eng.Submit(context.Background(), j)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,7 +69,7 @@ func TestOneShardMatchesSequentialReduction(t *testing.T) {
 		if eng.Cost() != ref.Cost() {
 			t.Fatalf("rep %d: engine cost %v, reference %v", rep, eng.Cost(), ref.Cost())
 		}
-		st := eng.Stats()
+		st := eng.Snapshot()
 		if st.Preemptions != int64(ref.Preemptions()) {
 			t.Fatalf("rep %d: engine preemptions %d, reference %d", rep, st.Preemptions, ref.Preemptions())
 		}
@@ -88,7 +89,7 @@ func TestSubmitBatchMatchesSubmit(t *testing.T) {
 	}
 	var seq []Decision
 	for _, j := range arr {
-		d, err := one.Submit(j)
+		d, err := one.Submit(context.Background(), j)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func TestSubmitBatchMatchesSubmit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := two.SubmitBatch(arr)
+	batch, err := two.SubmitBatch(context.Background(), arr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestMultiShardCover(t *testing.T) {
 			}
 			counts := make([]int, ins.N)
 			for _, j := range arr {
-				d, err := eng.Submit(j)
+				d, err := eng.Submit(context.Background(), j)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -199,7 +200,7 @@ func TestBicriteriaDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer eng.Close()
-		ds, err := eng.SubmitBatch(arr)
+		ds, err := eng.SubmitBatch(context.Background(), arr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,7 +234,7 @@ func TestConcurrentSubmit(t *testing.T) {
 			r := rng.New(uint64(1000 + w))
 			for i := 0; i < perWorker; i++ {
 				j := r.Intn(ins.N)
-				d, err := eng.Submit(j)
+				d, err := eng.Submit(context.Background(), j)
 				if err != nil {
 					t.Errorf("worker %d: %v", w, err)
 					return
@@ -250,7 +251,7 @@ func TestConcurrentSubmit(t *testing.T) {
 	}
 	wg.Wait()
 	eng.Close()
-	st := eng.Stats()
+	st := eng.Snapshot()
 	if st.Arrivals != served {
 		t.Fatalf("engine served %d arrivals, clients saw %d", st.Arrivals, served)
 	}
@@ -271,31 +272,31 @@ func TestLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Submit(-1); err == nil {
+	if _, err := eng.Submit(context.Background(), -1); err == nil {
 		t.Fatal("negative element accepted")
 	}
-	if _, err := eng.Submit(ins.N); err == nil {
+	if _, err := eng.Submit(context.Background(), ins.N); err == nil {
 		t.Fatal("out-of-range element accepted")
 	}
-	if _, err := eng.SubmitBatch([]int{0, ins.N}); err == nil {
+	if _, err := eng.SubmitBatch(context.Background(), []int{0, ins.N}); err == nil {
 		t.Fatal("batch with out-of-range element accepted")
 	}
-	if ds, err := eng.SubmitBatch(nil); err != nil || ds != nil {
+	if ds, err := eng.SubmitBatch(context.Background(), nil); err != nil || ds != nil {
 		t.Fatalf("empty batch: %v, %v", ds, err)
 	}
-	d, err := eng.Submit(0)
+	d, err := eng.Submit(context.Background(), 0)
 	if err != nil || d.Err != nil {
 		t.Fatalf("submit: %v, %v", err, d.Err)
 	}
 	eng.Close()
 	eng.Close() // idempotent
-	if _, err := eng.Submit(0); !errors.Is(err, ErrClosed) {
+	if _, err := eng.Submit(context.Background(), 0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: %v, want ErrClosed", err)
 	}
-	if _, err := eng.SubmitBatch([]int{0}); !errors.Is(err, ErrClosed) {
+	if _, err := eng.SubmitBatch(context.Background(), []int{0}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("batch after close: %v, want ErrClosed", err)
 	}
-	st := eng.Stats() // exact post-close stats must not hang
+	st := eng.Snapshot() // exact post-close stats must not hang
 	if st.Arrivals != 1 {
 		t.Fatalf("post-close arrivals %d, want 1", st.Arrivals)
 	}
@@ -327,19 +328,19 @@ func TestSaturatedDecision(t *testing.T) {
 	}
 	defer eng.Close()
 	for k := 0; k < 2; k++ {
-		d, err := eng.Submit(0)
+		d, err := eng.Submit(context.Background(), 0)
 		if err != nil || d.Err != nil {
 			t.Fatalf("arrival %d: %v, %v", k, err, d.Err)
 		}
 	}
-	d, err := eng.Submit(0)
+	d, err := eng.Submit(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !errors.Is(d.Err, setcover.ErrElementSaturated) {
 		t.Fatalf("third arrival err = %v, want ErrElementSaturated", d.Err)
 	}
-	st := eng.Stats()
+	st := eng.Snapshot()
 	if st.Errors != 1 || st.Arrivals != 2 {
 		t.Fatalf("stats %+v, want 2 arrivals and 1 error", st)
 	}

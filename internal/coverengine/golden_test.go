@@ -1,6 +1,7 @@
 package coverengine
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -157,7 +158,7 @@ func recordEngine(t *testing.T, w goldenCoverWorkload) goldenCoverTrace {
 		tr.Initial = eng.Chosen()
 	}
 	for _, j := range w.arrivals {
-		d, err := eng.Submit(j)
+		d, err := eng.Submit(context.Background(), j)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func recordEngine(t *testing.T, w goldenCoverWorkload) goldenCoverTrace {
 		tr.Events = append(tr.Events, goldenCoverEvent{Element: j, NewSets: d.NewSets, Cost: eng.Cost()})
 	}
 	tr.FinalCost = eng.Cost()
-	tr.Preemptions = int(eng.Stats().Preemptions)
+	tr.Preemptions = int(eng.Snapshot().Preemptions)
 	return tr
 }
 

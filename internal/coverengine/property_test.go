@@ -1,6 +1,7 @@
 package coverengine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -70,12 +71,12 @@ func TestPropertyRandomArrivalSequences(t *testing.T) {
 				j := r.Intn(ins.N)
 				var d Decision
 				if s%2 == 0 {
-					d, err = eng.Submit(j)
+					d, err = eng.Submit(context.Background(), j)
 					if err != nil {
 						t.Fatal(err)
 					}
 				} else {
-					ds, err := eng.SubmitBatch([]int{j})
+					ds, err := eng.SubmitBatch(context.Background(), []int{j})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -124,7 +125,7 @@ func TestPropertyRandomArrivalSequences(t *testing.T) {
 			if auditCost != eng.Cost() {
 				t.Fatalf("audit cost %v, ledger %v", auditCost, eng.Cost())
 			}
-			st := eng.Stats()
+			st := eng.Snapshot()
 			if st.Arrivals != servedTotal || st.Errors != refused {
 				t.Fatalf("stats %d/%d, audit %d/%d", st.Arrivals, st.Errors, servedTotal, refused)
 			}
@@ -156,7 +157,7 @@ func TestPropertySaturationIsExact(t *testing.T) {
 		for j := 0; j < ins.N; j++ {
 			deg := len(byElem[j])
 			for k := 0; k < deg+2; k++ {
-				d, err := eng.Submit(j)
+				d, err := eng.Submit(context.Background(), j)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,11 +1,13 @@
 package coverengine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"admission/internal/core"
 	"admission/internal/problem"
+	"admission/internal/service"
 	"admission/internal/setcover"
 )
 
@@ -182,7 +184,20 @@ func newShard(si int, ins *setcover.Instance, byElem [][]int, part []int, cfg Co
 }
 
 // send enqueues an op and returns its reply channel without waiting.
-func (s *shard) send(o op) chan reply {
+// Enqueueing honours ctx (service.TrySend), the same cancellation
+// boundary as the admission engine's shards.
+func (s *shard) send(ctx context.Context, o op) (chan reply, error) {
+	o.reply = replyPool.Get().(chan reply)
+	if err := service.TrySend(ctx, s.ops, o); err != nil {
+		replyPool.Put(o.reply)
+		return nil, err
+	}
+	return o.reply, nil
+}
+
+// sendNow enqueues an op without a cancellation boundary and returns its
+// reply channel; for ops that must always run (stats snapshots).
+func (s *shard) sendNow(o op) chan reply {
 	o.reply = replyPool.Get().(chan reply)
 	s.ops <- o
 	return o.reply

@@ -1,0 +1,104 @@
+package coverengine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"admission/internal/rng"
+	"admission/internal/setcover"
+)
+
+// TestCoverStreamMatchesSubmit drives one cover engine through the Stream
+// API and a twin through sequential Submit: on one shard with the same
+// seed the decision streams must be identical — same arrivals, same newly
+// bought sets, same final ledger.
+func TestCoverStreamMatchesSubmit(t *testing.T) {
+	r := rng.New(19)
+	ins, err := setcover.RandomInstance(24, 48, 0.25, 3, false, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := setcover.RandomArrivals(ins, 96, 1.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	ref, err := New(ins, Config{Shards: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := make([]Decision, 0, len(arrivals))
+	for _, j := range arrivals {
+		d, err := ref.Submit(ctx, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, d)
+	}
+
+	eng, err := New(ins, Config{Shards: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	st, err := eng.Stream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range arrivals {
+		if err := st.Send(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]Decision, 0, len(arrivals))
+	for {
+		d, err := st.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, d)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream yielded %d decisions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Element != want[i].Element ||
+			got[i].Arrival != want[i].Arrival ||
+			fmt.Sprint(got[i].NewSets) != fmt.Sprint(want[i].NewSets) ||
+			(got[i].Err == nil) != (want[i].Err == nil) {
+			t.Fatalf("decision %d diverged: stream %+v, submit %+v", i, got[i], want[i])
+		}
+	}
+	if ref.Cost() != eng.Cost() || ref.ChosenCount() != eng.ChosenCount() {
+		t.Fatalf("ledger diverged: stream cost %v/%d sets, submit %v/%d",
+			eng.Cost(), eng.ChosenCount(), ref.Cost(), ref.ChosenCount())
+	}
+}
+
+// TestCoverStreamAfterClose checks Stream refuses to open on a closed
+// engine.
+func TestCoverStreamAfterClose(t *testing.T) {
+	r := rng.New(23)
+	ins, err := setcover.RandomInstance(8, 12, 0.4, 2, false, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(ins, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if _, err := eng.Stream(context.Background()); err != ErrClosed {
+		t.Fatalf("Stream on closed engine: got %v, want ErrClosed", err)
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -33,7 +34,7 @@ func TestSubmitBatchMatchesSequential(t *testing.T) {
 
 			want := make([]Decision, 0, len(ins.Requests))
 			for _, r := range ins.Requests {
-				d, err := seq.Submit(r)
+				d, err := seq.Submit(context.Background(), r)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -43,7 +44,7 @@ func TestSubmitBatchMatchesSequential(t *testing.T) {
 			got := make([]Decision, 0, len(ins.Requests))
 			for lo := 0; lo < len(ins.Requests); lo += 97 {
 				hi := min(lo+97, len(ins.Requests))
-				ds, err := bat.SubmitBatch(ins.Requests[lo:hi])
+				ds, err := bat.SubmitBatch(context.Background(), ins.Requests[lo:hi])
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -69,7 +70,7 @@ func TestSubmitBatchMatchesSequential(t *testing.T) {
 					}
 				}
 			}
-			ss, bs := seq.Stats(), bat.Stats()
+			ss, bs := seq.Snapshot(), bat.Snapshot()
 			if ss.Accepted != bs.Accepted || ss.RejectedCost != bs.RejectedCost ||
 				ss.Preemptions != bs.Preemptions {
 				t.Fatalf("stats diverge: sequential %+v, batch %+v", ss, bs)
@@ -86,14 +87,14 @@ func TestSubmitBatchValidationAtomic(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	_, err = eng.SubmitBatch([]problem.Request{
+	_, err = eng.SubmitBatch(context.Background(), []problem.Request{
 		{Edges: []int{0}, Cost: 1},
 		{Edges: []int{5}, Cost: 1}, // out of range
 	})
 	if err == nil {
 		t.Fatal("want validation error")
 	}
-	if st := eng.Stats(); st.Requests != 0 {
+	if st := eng.Snapshot(); st.Requests != 0 {
 		t.Fatalf("batch partially submitted: %d requests counted", st.Requests)
 	}
 }
@@ -114,11 +115,11 @@ func TestSubmitBatchPrevalidatedMatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	da, err := a.SubmitBatch(ins.Requests)
+	da, err := a.SubmitBatch(context.Background(), ins.Requests)
 	if err != nil {
 		t.Fatal(err)
 	}
-	db, err := b.SubmitBatchPrevalidated(ins.Requests)
+	db, err := b.SubmitBatchPrevalidated(context.Background(), ins.Requests)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +136,11 @@ func TestSubmitBatchClosed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ds, err := eng.SubmitBatch(nil); err != nil || ds != nil {
+	if ds, err := eng.SubmitBatch(context.Background(), nil); err != nil || ds != nil {
 		t.Fatalf("empty batch: got (%v, %v)", ds, err)
 	}
 	eng.Close()
-	if _, err := eng.SubmitBatch([]problem.Request{{Edges: []int{0}, Cost: 1}}); err != ErrClosed {
+	if _, err := eng.SubmitBatch(context.Background(), []problem.Request{{Edges: []int{0}, Cost: 1}}); err != ErrClosed {
 		t.Fatalf("got %v, want ErrClosed", err)
 	}
 }
@@ -154,12 +155,12 @@ func TestShardStatsReconcile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.SubmitBatch(ins.Requests); err != nil {
+	if _, err := eng.SubmitBatch(context.Background(), ins.Requests); err != nil {
 		t.Fatal(err)
 	}
 	eng.Close()
 
-	st := eng.Stats()
+	st := eng.Snapshot()
 	per := eng.ShardStats()
 	if len(per) != eng.Shards() {
 		t.Fatalf("got %d shard stats, want %d", len(per), eng.Shards())
@@ -219,7 +220,7 @@ func TestConcurrentSubmitBatch(t *testing.T) {
 			defer wg.Done()
 			for at := lo; at < hi; at += 64 {
 				end := min(at+64, hi)
-				if _, err := eng.SubmitBatch(ins.Requests[at:end]); err != nil {
+				if _, err := eng.SubmitBatch(context.Background(), ins.Requests[at:end]); err != nil {
 					t.Error(err)
 					return
 				}
@@ -230,13 +231,13 @@ func TestConcurrentSubmitBatch(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 20; i++ {
-			eng.Stats()
+			eng.Snapshot()
 			eng.ShardStats()
 		}
 	}()
 	wg.Wait()
 	eng.Close()
-	st := eng.Stats()
+	st := eng.Snapshot()
 	if st.Requests != int64(workers*per) {
 		t.Fatalf("got %d requests, want %d", st.Requests, workers*per)
 	}

@@ -31,6 +31,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -42,6 +43,15 @@ import (
 	"admission/internal/core"
 	"admission/internal/graph"
 	"admission/internal/problem"
+	"admission/internal/service"
+)
+
+// The Engine implements the repository-wide generic serving contract
+// (DESIGN.md §10): the HTTP layer, client and load generator are written
+// against service.Service and serve this engine unchanged.
+var (
+	_ service.Service[problem.Request, Decision] = (*Engine)(nil)
+	_ service.Batcher[problem.Request, Decision] = (*Engine)(nil)
 )
 
 // ErrClosed is returned by Submit after Close.
@@ -112,11 +122,16 @@ type Decision struct {
 	// as a consequence of this decision.
 	Preempted []int
 	// Err carries a per-request engine failure (only reachable through the
-	// batch paths; Submit returns such failures as its error instead). A
-	// decision with Err set has no other meaningful fields beyond ID, and
-	// the request was neither accepted nor charged as rejected.
+	// batch and stream paths; Submit returns such failures as its error
+	// instead). A decision with Err set has no other meaningful fields
+	// beyond ID, and the request was neither accepted nor charged as
+	// rejected.
 	Err error
 }
+
+// DecisionErr returns the decision's per-request failure, satisfying the
+// generic service.Decision constraint.
+func (d Decision) DecisionErr() error { return d.Err }
 
 // Stats is a snapshot of the engine's aggregate state. Under concurrent
 // submission it is a consistent per-shard snapshot but only approximately
@@ -141,21 +156,27 @@ type Stats struct {
 // Engine is the sharded concurrent admission server. Submit is safe for
 // concurrent use by any number of goroutines.
 type Engine struct {
-	caps      []int
-	algCfg    core.Config
-	edgeShard []int32 // global edge -> owning shard
-	edgeLocal []int32 // global edge -> index within the shard
-	shards    []*shard
+	caps        []int
+	algCfg      core.Config
+	streamDepth int     // Stream window, from Config.QueueLen
+	edgeShard   []int32 // global edge -> owning shard
+	edgeLocal   []int32 // global edge -> index within the shard
+	shards      []*shard
 
 	nextID        atomic.Int64
 	requests      atomic.Int64
 	accepted      atomic.Int64
+	errs          atomic.Int64 // per-request engine failures (Decision.Err / Submit error)
 	crossShard    atomic.Int64
 	crossAccepted atomic.Int64
 	crossRejected atomicFloat64 // Σ cost of rejected cross-shard requests
 
 	closed   atomic.Bool
 	inflight atomic.Int64 // active Submit/Stats entries; see enter/exit
+	// drainers tracks the background goroutines resolving the accounting
+	// of cancellation-abandoned operations; Drain and Close wait for them
+	// so post-Close statistics stay exact.
+	drainers service.DrainTracker
 	loops    sync.WaitGroup
 }
 
@@ -214,10 +235,11 @@ func New(capacities []int, cfg Config) (*Engine, error) {
 	}
 
 	e := &Engine{
-		caps:      append([]int(nil), capacities...),
-		algCfg:    cfg.Algorithm,
-		edgeShard: make([]int32, len(capacities)),
-		edgeLocal: make([]int32, len(capacities)),
+		caps:        append([]int(nil), capacities...),
+		algCfg:      cfg.Algorithm,
+		streamDepth: cfg.queueLen(),
+		edgeShard:   make([]int32, len(capacities)),
+		edgeLocal:   make([]int32, len(capacities)),
 	}
 	for si, part := range parts {
 		localCaps := make([]int, len(part))
@@ -296,12 +318,11 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // was created over.
 func (e *Engine) NumEdges() int { return len(e.caps) }
 
-// ValidateRequest checks a request against the engine's edge count and
-// algorithm configuration without submitting it. It performs exactly the
-// validation Submit would, so callers batching requests (the serving
-// layer) can reject malformed items up front and submit only clean
-// batches.
-func (e *Engine) ValidateRequest(r problem.Request) error {
+// Validate checks a request against the engine's edge count and algorithm
+// configuration without submitting it. It performs exactly the validation
+// Submit would, so callers batching requests (the serving layer) can
+// reject malformed items up front and submit only clean batches.
+func (e *Engine) Validate(r problem.Request) error {
 	if err := r.Validate(len(e.caps)); err != nil {
 		return err
 	}
@@ -311,32 +332,37 @@ func (e *Engine) ValidateRequest(r problem.Request) error {
 	return nil
 }
 
-// Submit offers one request to the engine and blocks until it is decided.
-// It is safe for concurrent use; each call is assigned a fresh global ID.
-func (e *Engine) Submit(r problem.Request) (Decision, error) {
+// Submit offers one request to the engine and blocks until it is decided
+// or ctx is done. It is safe for concurrent use; each call is assigned a
+// fresh global ID. Cancellation is honoured while enqueueing into a full
+// shard queue and while waiting for the decision; an operation that was
+// already enqueued is still decided and accounted by the engine (a
+// background drainer keeps the counters exact), the caller just stops
+// waiting for it.
+func (e *Engine) Submit(ctx context.Context, r problem.Request) (Decision, error) {
 	if !e.enter() {
 		return Decision{}, ErrClosed
 	}
 	defer e.exit()
-	if err := e.ValidateRequest(r); err != nil {
+	if err := e.Validate(r); err != nil {
 		return Decision{}, err
 	}
 
 	id := int(e.nextID.Add(1) - 1)
-	e.requests.Add(1)
 
 	// Fast path: all edges in one shard (the common case under a locality
 	// partition) — one local slice, no map.
 	if single := e.singleShardOf(r.Edges); single >= 0 {
 		buf := e.localizeEdges(r.Edges)
-		d, err := e.submitLocal(id, single, *buf, r.Cost)
-		// The shard is done with the slice once the reply has been received
-		// (the §3 layer copies edge sets into its arena), so it can be
-		// recycled now.
-		edgeBufPool.Put(buf)
-		return d, err
+		ch, err := e.shards[single].send(ctx, op{kind: opOffer, globalID: id, edges: *buf, cost: r.Cost})
+		if err != nil {
+			edgeBufPool.Put(buf)
+			return Decision{}, err
+		}
+		e.requests.Add(1)
+		return e.awaitLocal(ctx, id, ch, buf)
 	}
-	return e.submitCross(id, e.groupByShard(r.Edges), r.Cost)
+	return e.submitCross(ctx, id, e.groupByShard(r.Edges), r.Cost)
 }
 
 // singleShardOf returns the shard owning every listed edge, or -1 when the
@@ -374,10 +400,36 @@ func (e *Engine) groupByShard(edges []int) map[int][]int {
 	return byShard
 }
 
-// submitLocal runs the single-shard fast path.
-func (e *Engine) submitLocal(id, si int, localEdges []int, cost float64) (Decision, error) {
-	rep := e.shards[si].call(op{kind: opOffer, globalID: id, edges: localEdges, cost: cost})
+// awaitLocal waits for a single-shard decision, recycling the pooled edge
+// buffer and reply channel. On ctx cancellation the pending reply is
+// handed to a background drainer so the engine's accounting (and the
+// pools) stay exact.
+func (e *Engine) awaitLocal(ctx context.Context, id int, ch chan reply, buf *[]int) (Decision, error) {
+	select {
+	case rep := <-ch:
+		replyPool.Put(ch)
+		if buf != nil {
+			edgeBufPool.Put(buf)
+		}
+		return e.finishLocal(id, rep)
+	case <-ctx.Done():
+		e.drainers.Go(func() {
+			rep := <-ch
+			replyPool.Put(ch)
+			if buf != nil {
+				edgeBufPool.Put(buf)
+			}
+			_, _ = e.finishLocal(id, rep)
+		})
+		return Decision{}, ctx.Err()
+	}
+}
+
+// finishLocal folds a single-shard reply into the engine's accounting and
+// the Decision.
+func (e *Engine) finishLocal(id int, rep reply) (Decision, error) {
 	if rep.err != nil {
+		e.errs.Add(1)
 		return Decision{}, rep.err
 	}
 	if rep.ok {
@@ -388,8 +440,10 @@ func (e *Engine) submitLocal(id, si int, localEdges []int, cost float64) (Decisi
 
 // submitCross runs the two-phase cross-shard path: reserve on every involved
 // shard, then commit (keep the reservations) or abort (grow them back).
-func (e *Engine) submitCross(id int, byShard map[int][]int, cost float64) (Decision, error) {
-	e.crossShard.Add(1)
+// Cancellation is honoured while firing the reservations; once every
+// involved shard has the operation queued, the protocol runs to completion
+// (phase 2 restores invariants and must not be abandoned half-way).
+func (e *Engine) submitCross(ctx context.Context, id int, byShard map[int][]int, cost float64) (Decision, error) {
 	order := make([]int, 0, len(byShard))
 	for si := range byShard {
 		order = append(order, si)
@@ -400,8 +454,26 @@ func (e *Engine) submitCross(id int, byShard map[int][]int, cost float64) (Decis
 	// parallel; replies arrive on per-op buffered channels.
 	replies := make([]chan reply, len(order))
 	for i, si := range order {
-		replies[i] = e.shards[si].send(op{kind: opReserve, globalID: id, edges: byShard[si]})
+		ch, err := e.shards[si].send(ctx, op{kind: opReserve, globalID: id, edges: byShard[si]})
+		if err != nil {
+			// Cancelled mid-fire: resolve the reservations already queued in
+			// the background (collect grants, then release them) so no
+			// capacity unit leaks.
+			fired, shards := replies[:i], order[:i]
+			e.drainers.Go(func() {
+				for j, ch := range fired {
+					rep := recvReply(ch)
+					if rep.err == nil && rep.ok {
+						e.shards[shards[j]].call(op{kind: opRelease, edges: byShard[shards[j]]})
+					}
+				}
+			})
+			return Decision{}, err
+		}
+		replies[i] = ch
 	}
+	e.crossShard.Add(1)
+	e.requests.Add(1)
 	granted := make([]int, 0, len(order))
 	var preempted []int
 	ok := true
@@ -428,6 +500,7 @@ func (e *Engine) submitCross(id int, byShard map[int][]int, cost float64) (Decis
 			}
 		}
 		if firstErr != nil {
+			e.errs.Add(1)
 			return Decision{}, firstErr
 		}
 		e.crossRejected.Add(cost)
@@ -450,26 +523,27 @@ func (e *Engine) submitCross(id int, byShard map[int][]int, cost float64) (Decis
 //
 // Validation is atomic: every request is checked before any is dispatched,
 // and a validation failure returns an error with no decisions made. The
-// returned error reports such whole-batch failures (validation, ErrClosed);
-// rare per-request engine failures are attributed to the failing request
-// via Decision.Err instead of poisoning the rest of the batch.
-// SubmitBatch is safe for concurrent use alongside Submit.
-func (e *Engine) SubmitBatch(reqs []problem.Request) ([]Decision, error) {
+// returned error reports such whole-batch failures (validation, ErrClosed,
+// a ctx cancelled mid-dispatch); rare per-request engine failures are
+// attributed to the failing request via Decision.Err instead of poisoning
+// the rest of the batch. SubmitBatch is safe for concurrent use alongside
+// Submit.
+func (e *Engine) SubmitBatch(ctx context.Context, reqs []problem.Request) ([]Decision, error) {
 	for i := range reqs {
-		if err := e.ValidateRequest(reqs[i]); err != nil {
+		if err := e.Validate(reqs[i]); err != nil {
 			return nil, fmt.Errorf("engine: batch[%d]: %w", i, err)
 		}
 	}
-	return e.SubmitBatchPrevalidated(reqs)
+	return e.SubmitBatchPrevalidated(ctx, reqs)
 }
 
 // SubmitBatchPrevalidated is SubmitBatch without the per-request
-// validation pass, for callers that have already run ValidateRequest on
-// every item — the serving layer validates at the HTTP boundary (where a
+// validation pass, for callers that have already run Validate on every
+// item — the serving layer validates at the HTTP boundary (where a
 // failure must map to a 400 before anything is enqueued) and would
 // otherwise pay the same scan twice per request on the hot path.
 // Submitting an unvalidated request through it is undefined behaviour.
-func (e *Engine) SubmitBatchPrevalidated(reqs []problem.Request) ([]Decision, error) {
+func (e *Engine) SubmitBatchPrevalidated(ctx context.Context, reqs []problem.Request) ([]Decision, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
@@ -485,21 +559,43 @@ func (e *Engine) SubmitBatchPrevalidated(reqs []problem.Request) ([]Decision, er
 		buf *[]int
 	}
 	pend := make([]pendingOffer, 0, len(reqs))
+	// drainPend resolves already-fired offers in the background after a
+	// mid-dispatch cancellation, keeping the accounting and pools exact.
+	drainPend := func(pend []pendingOffer) {
+		e.drainers.Go(func() {
+			for _, p := range pend {
+				rep := recvReply(p.ch)
+				edgeBufPool.Put(p.buf)
+				_, _ = e.finishLocal(out[p.idx].ID, rep)
+			}
+		})
+	}
 
 	for i := range reqs {
 		r := reqs[i]
 		id := int(e.nextID.Add(1) - 1)
-		e.requests.Add(1)
 		out[i].ID = id
 
 		if single := e.singleShardOf(r.Edges); single >= 0 {
 			buf := e.localizeEdges(r.Edges)
-			ch := e.shards[single].send(op{kind: opOffer, globalID: id, edges: *buf, cost: r.Cost})
+			ch, err := e.shards[single].send(ctx, op{kind: opOffer, globalID: id, edges: *buf, cost: r.Cost})
+			if err != nil {
+				edgeBufPool.Put(buf)
+				drainPend(pend)
+				return nil, err
+			}
+			e.requests.Add(1)
 			pend = append(pend, pendingOffer{idx: i, ch: ch, buf: buf})
 			continue
 		}
-		d, err := e.submitCross(id, e.groupByShard(r.Edges), r.Cost)
+		d, err := e.submitCross(ctx, id, e.groupByShard(r.Edges), r.Cost)
 		if err != nil {
+			if ctx.Err() != nil {
+				// Cancelled mid-dispatch: whole-batch failure (submitCross
+				// has already scheduled its own cleanup).
+				drainPend(pend)
+				return nil, err
+			}
 			out[i].Err = err
 			continue
 		}
@@ -507,21 +603,76 @@ func (e *Engine) SubmitBatchPrevalidated(reqs []problem.Request) ([]Decision, er
 	}
 
 	// Collect the pipelined single-shard replies. Every fired op must be
-	// received even after an error, or reply channels and edge buffers leak.
+	// received even after an error, or reply channels and edge buffers
+	// leak; the ops are already queued, so the waits here are bounded by
+	// shard processing, not by new traffic.
 	for _, p := range pend {
 		rep := recvReply(p.ch)
 		edgeBufPool.Put(p.buf)
-		if rep.err != nil {
-			out[p.idx].Err = rep.err
+		d, err := e.finishLocal(out[p.idx].ID, rep)
+		if err != nil {
+			out[p.idx].Err = err
 			continue
 		}
-		if rep.ok {
-			e.accepted.Add(1)
-			out[p.idx].Accepted = true
-		}
-		out[p.idx].Preempted = rep.preempted
+		out[p.idx].Accepted = d.Accepted
+		out[p.idx].Preempted = d.Preempted
 	}
 	return out, nil
+}
+
+// Stream opens an ordered, pipelined submission stream over the engine
+// (the generic service contract's third submission shape): Send dispatches
+// a request to its shard without waiting for earlier decisions, Recv
+// yields decisions in send order. Single-shard requests pipeline through
+// the shard queues; cross-shard requests decide inline during Send, like
+// SubmitBatch. The stream's buffers are sized by the engine's configured
+// queue length (window ≈ 2× that).
+func (e *Engine) Stream(ctx context.Context) (*service.Stream[problem.Request, Decision], error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	return service.NewStream(ctx, e.streamDepth, e.dispatch), nil
+}
+
+// dispatch fires one request for the stream path and returns an Await for
+// its decision. It performs exactly Submit's validation and dispatch; only
+// the wait is deferred.
+func (e *Engine) dispatch(ctx context.Context, r problem.Request) (service.Await[Decision], error) {
+	if !e.enter() {
+		return nil, ErrClosed
+	}
+	defer e.exit()
+	if err := e.Validate(r); err != nil {
+		return nil, err
+	}
+	id := int(e.nextID.Add(1) - 1)
+	if single := e.singleShardOf(r.Edges); single >= 0 {
+		buf := e.localizeEdges(r.Edges)
+		ch, err := e.shards[single].send(ctx, op{kind: opOffer, globalID: id, edges: *buf, cost: r.Cost})
+		if err != nil {
+			edgeBufPool.Put(buf)
+			return nil, err
+		}
+		e.requests.Add(1)
+		return func(ctx context.Context) (Decision, error) {
+			d, err := e.awaitLocal(ctx, id, ch, buf)
+			// Per-request engine failures travel on the decision (like the
+			// batch path), so stream consumers can keep reading; only
+			// cancellation surfaces as the Await's error.
+			if err != nil && ctx.Err() == nil {
+				return Decision{ID: id, Err: err}, nil
+			}
+			return d, err
+		}, nil
+	}
+	d, err := e.submitCross(ctx, id, e.groupByShard(r.Edges), r.Cost)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		d, err = Decision{ID: id, Err: err}, nil
+	}
+	return service.Ready(d, err), nil
 }
 
 // ShardStat is a per-shard snapshot of load and accounting, the data
@@ -577,8 +728,21 @@ func (e *Engine) RejectedCost() float64 {
 	return total
 }
 
-// Stats returns a snapshot of the engine's aggregate state.
-func (e *Engine) Stats() Stats {
+// Stats returns the uniform service-level statistics snapshot (generic
+// serving contract). The workload-specific detail — per-edge loads,
+// cross-shard counters — is on Snapshot.
+func (e *Engine) Stats() service.Stats {
+	return service.Stats{
+		Requests:  e.requests.Load(),
+		Accepted:  e.accepted.Load(),
+		Errors:    e.errs.Load(),
+		Objective: e.RejectedCost(),
+		Shards:    len(e.shards),
+	}
+}
+
+// Snapshot returns the engine's full aggregate state.
+func (e *Engine) Snapshot() Stats {
 	st := Stats{
 		Requests:           e.requests.Load(),
 		Accepted:           e.accepted.Load(),
@@ -613,7 +777,7 @@ func (e *Engine) snapshots() []shardSnapshot {
 	}
 	replies := make([]chan reply, len(e.shards))
 	for i, s := range e.shards {
-		replies[i] = s.send(op{kind: opStats})
+		replies[i] = s.sendNow(op{kind: opStats})
 	}
 	// The ops are queued; shards answer them even if Close runs now, so the
 	// admission path can be released before collecting.
@@ -624,20 +788,45 @@ func (e *Engine) snapshots() []shardSnapshot {
 	return out
 }
 
+// Drain blocks until no submissions are in flight — including the
+// background accounting of cancellation-abandoned operations — or ctx is
+// done. It does not stop new submissions — callers quiesce traffic first
+// (the serving layer refuses new work, then drains, then closes). The
+// wait parks between polls instead of spinning, so a long drain does not
+// burn a core.
+func (e *Engine) Drain(ctx context.Context) error {
+	return service.PollIdle(ctx, func() bool {
+		return e.inflight.Load() == 0 && e.drainers.Idle()
+	})
+}
+
 // Close shuts the engine down: subsequent Submits fail with ErrClosed,
 // in-flight submissions finish, and every shard loop exits after recording
-// its final snapshot. Stats and RejectedCost remain usable (and exact)
-// afterwards. Close is idempotent.
-func (e *Engine) Close() {
+// its final snapshot. Snapshot, Stats and RejectedCost remain usable (and
+// exact) afterwards; for operations abandoned through a Stream whose
+// context died, exactness additionally requires the stream to have been
+// closed and fully resolved (Recv to io.EOF) first. Close is idempotent
+// and always returns nil (the error is part of the generic service
+// contract).
+func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		e.loops.Wait()
-		return
+		e.drainers.Wait()
+		return nil
 	}
 	e.drainInflight()
+	// Wait for cancellation drainers before closing the shard queues: a
+	// cross-shard abort drainer may still need to enqueue release ops.
+	e.drainers.Wait()
 	for _, s := range e.shards {
 		close(s.ops)
 	}
 	e.loops.Wait()
+	// Late drainers (spawned by stream awaits resolved during shutdown)
+	// only consume already-buffered replies; wait them out so post-Close
+	// statistics are exact.
+	e.drainers.Wait()
+	return nil
 }
 
 // atomicFloat64 is a lock-free accumulating float64 (CAS loop over bits).

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -59,7 +60,7 @@ func TestSingleShardMatchesUnsharded(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := eng.Submit(req)
+				got, err := eng.Submit(context.Background(), req)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -149,7 +150,7 @@ func TestShardedMatchesPerShardReference(t *testing.T) {
 		}
 		nextLocal[s]++
 
-		got, err := eng.Submit(req)
+		got, err := eng.Submit(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func TestCrossShardTwoPhase(t *testing.T) {
 
 	// Two spanning requests fit (capacity 2 each side).
 	for i := 0; i < 2; i++ {
-		d, err := eng.Submit(span)
+		d, err := eng.Submit(context.Background(), span)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,14 +199,14 @@ func TestCrossShardTwoPhase(t *testing.T) {
 	}
 	// Third spanning request finds no free slot on either edge: rejected,
 	// reservations rolled back.
-	d, err := eng.Submit(span)
+	d, err := eng.Submit(context.Background(), span)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d.Accepted {
 		t.Fatalf("third spanning request: want rejection, got %+v", d)
 	}
-	st := eng.Stats()
+	st := eng.Snapshot()
 	if st.CrossShard != 3 || st.CrossShardAccepted != 2 {
 		t.Fatalf("cross-shard counters: %+v", st)
 	}
@@ -230,11 +231,11 @@ func TestCrossShardAbortReleases(t *testing.T) {
 	defer eng.Close()
 
 	// Fill shard 1's only edge with a local request.
-	if d, err := eng.Submit(problem.Request{Edges: []int{1}, Cost: 1}); err != nil || !d.Accepted {
+	if d, err := eng.Submit(context.Background(), problem.Request{Edges: []int{1}, Cost: 1}); err != nil || !d.Accepted {
 		t.Fatalf("local fill: %+v, %v", d, err)
 	}
 	// Spanning request: shard 0 grants, shard 1 refuses → abort.
-	d, err := eng.Submit(problem.Request{Edges: []int{0, 1}, Cost: 3})
+	d, err := eng.Submit(context.Background(), problem.Request{Edges: []int{0, 1}, Cost: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestCrossShardAbortReleases(t *testing.T) {
 		t.Fatalf("spanning request into a full shard: want rejection, got %+v", d)
 	}
 	// Shard 0's slot must have been released: a local request fits.
-	d, err = eng.Submit(problem.Request{Edges: []int{0}, Cost: 1})
+	d, err = eng.Submit(context.Background(), problem.Request{Edges: []int{0}, Cost: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestConcurrentSubmits(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for req := range reqCh {
-				d, err := eng.Submit(req)
+				d, err := eng.Submit(context.Background(), req)
 				if err != nil {
 					t.Error(err)
 					return
@@ -301,10 +302,10 @@ func TestConcurrentSubmits(t *testing.T) {
 	// Concurrent stats must not race with ongoing submission (exercised
 	// above implicitly); here validate the final state after Close.
 	eng.Close()
-	if _, err := eng.Submit(ins.Requests[0]); err != ErrClosed {
+	if _, err := eng.Submit(context.Background(), ins.Requests[0]); err != ErrClosed {
 		t.Fatalf("submit after close: want ErrClosed, got %v", err)
 	}
-	st := eng.Stats()
+	st := eng.Snapshot()
 
 	if int(st.Requests) != len(ins.Requests) {
 		t.Fatalf("requests: want %d, got %d", len(ins.Requests), st.Requests)
@@ -357,7 +358,7 @@ func TestConcurrentStats(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for _, req := range ins.Requests {
-			if _, err := eng.Submit(req); err != nil && err != ErrClosed {
+			if _, err := eng.Submit(context.Background(), req); err != nil && err != ErrClosed {
 				t.Error(err)
 				return
 			}
@@ -366,7 +367,7 @@ func TestConcurrentStats(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 50; i++ {
-			st := eng.Stats()
+			st := eng.Snapshot()
 			for e, load := range st.Loads {
 				if load > ins.Capacities[e] {
 					t.Errorf("edge %d over capacity in live snapshot: %d", e, load)
@@ -379,7 +380,7 @@ func TestConcurrentStats(t *testing.T) {
 	wg.Wait()
 	eng.Close()
 	eng.Close() // idempotent
-	_ = eng.Stats()
+	_ = eng.Snapshot()
 }
 
 // TestConfigValidation covers constructor errors.
@@ -422,7 +423,7 @@ func TestUnweightedCostRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	if _, err := eng.Submit(problem.Request{Edges: []int{0}, Cost: 2}); err == nil {
+	if _, err := eng.Submit(context.Background(), problem.Request{Edges: []int{0}, Cost: 2}); err == nil {
 		t.Fatal("want cost validation error")
 	}
 }
@@ -465,7 +466,7 @@ func TestCrossShardReserveExhaustedFractionalCapacity(t *testing.T) {
 				if t.Failed() {
 					continue
 				}
-				if _, err := eng.Submit(req); err != nil {
+				if _, err := eng.Submit(context.Background(), req); err != nil {
 					t.Errorf("Submit: %v", err)
 				}
 			}
@@ -479,7 +480,7 @@ func TestCrossShardReserveExhaustedFractionalCapacity(t *testing.T) {
 	close(reqCh)
 	wg.Wait()
 
-	st := eng.Stats()
+	st := eng.Snapshot()
 	for e, l := range st.Loads {
 		if l > caps[e] {
 			t.Fatalf("edge %d load %d exceeds capacity %d", e, l, caps[e])

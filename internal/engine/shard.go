@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"admission/internal/core"
 	"admission/internal/problem"
+	"admission/internal/service"
 )
 
 // opKind enumerates shard operations.
@@ -83,14 +85,31 @@ type shard struct {
 
 // send enqueues an op and returns its reply channel without waiting. The
 // channel comes from replyPool; consume it with recvReply to recycle it.
-func (s *shard) send(o op) chan reply {
+// Enqueueing honours ctx (service.TrySend): when the shard queue is full
+// and ctx is done the op is not enqueued and ctx's error is returned —
+// the cancellation boundary of the generic serving contract.
+func (s *shard) send(ctx context.Context, o op) (chan reply, error) {
+	o.reply = replyPool.Get().(chan reply)
+	if err := service.TrySend(ctx, s.ops, o); err != nil {
+		replyPool.Put(o.reply)
+		return nil, err
+	}
+	return o.reply, nil
+}
+
+// sendNow enqueues an op without a cancellation boundary and returns its
+// reply channel. It is context-free on purpose: its callers (phase-2
+// release, stats snapshots) must run to completion to keep the engine's
+// invariants.
+func (s *shard) sendNow(o op) chan reply {
 	o.reply = replyPool.Get().(chan reply)
 	s.ops <- o
 	return o.reply
 }
 
-// call enqueues an op and waits for the reply.
-func (s *shard) call(o op) reply { return recvReply(s.send(o)) }
+// call enqueues an op without a cancellation boundary and waits for the
+// reply.
+func (s *shard) call(o op) reply { return recvReply(s.sendNow(o)) }
 
 // loop is the shard's event loop: drain a batch of queued operations, decide
 // each in arrival order, answer on the per-op reply channels. It exits when

@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"admission/internal/core"
+	"admission/internal/graph"
+	"admission/internal/problem"
+	"admission/internal/rng"
+	"admission/internal/workload"
+)
+
+// streamInstance builds an oversubscribed workload for stream tests.
+func streamInstance(t testing.TB, seed uint64, n int) *problem.Instance {
+	t.Helper()
+	r := rng.New(seed)
+	g, err := graph.Random(8, 24, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := workload.RandomTraffic(g, n, workload.CostUniform, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+// TestStreamMatchesSubmit drives one engine through the Stream API and a
+// twin engine through sequential Submit: on one shard with the same seed
+// the decision streams must be identical, decision for decision — the
+// stream is a pipelined view of the same serial order, not a different
+// semantics.
+func TestStreamMatchesSubmit(t *testing.T) {
+	ins := streamInstance(t, 31, 400)
+	mk := func() *Engine {
+		acfg := core.DefaultConfig()
+		acfg.Seed = 9
+		eng, err := New(ins.Capacities, Config{Shards: 1, Algorithm: acfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	ctx := context.Background()
+
+	ref := mk()
+	defer ref.Close()
+	want := make([]Decision, 0, len(ins.Requests))
+	for _, r := range ins.Requests {
+		d, err := ref.Submit(ctx, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, d)
+	}
+
+	eng := mk()
+	defer eng.Close()
+	st, err := eng.Stream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recvErr error
+	got := make([]Decision, 0, len(ins.Requests))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			d, err := st.Recv()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				recvErr = err
+				return
+			}
+			got = append(got, d)
+		}
+	}()
+	for _, r := range ins.Requests {
+		if err := st.Send(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if recvErr != nil {
+		t.Fatal(recvErr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream yielded %d decisions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Accepted != want[i].Accepted ||
+			len(got[i].Preempted) != len(want[i].Preempted) {
+			t.Fatalf("decision %d diverged: stream %+v, submit %+v", i, got[i], want[i])
+		}
+	}
+	if a, b := ref.Snapshot(), eng.Snapshot(); a.Accepted != b.Accepted || a.RejectedCost != b.RejectedCost {
+		t.Fatalf("stream engine accounting diverged: %+v vs %+v", b, a)
+	}
+}
+
+// TestStreamOrderedConcurrentWriters sends from many goroutines into one
+// stream of a sharded engine and checks Recv yields decisions in exactly
+// dispatch order (engine-assigned IDs strictly increasing), under -race.
+func TestStreamOrderedConcurrentWriters(t *testing.T) {
+	ins := streamInstance(t, 37, 600)
+	acfg := core.DefaultConfig()
+	acfg.Seed = 3
+	eng, err := New(ins.Capacities, Config{Shards: 4, Algorithm: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	st, err := eng.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ins.Requests); i += writers {
+				if err := st.Send(ins.Requests[i]); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		st.Close()
+	}()
+
+	prev := -1
+	n := 0
+	for {
+		d, err := st.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.ID <= prev {
+			t.Fatalf("decision IDs out of order: %d after %d", d.ID, prev)
+		}
+		prev = d.ID
+		n++
+	}
+	if n != len(ins.Requests) {
+		t.Fatalf("received %d decisions, want %d", n, len(ins.Requests))
+	}
+	if st := eng.Snapshot(); st.Requests != int64(len(ins.Requests)) {
+		t.Fatalf("engine counted %d requests, want %d", st.Requests, len(ins.Requests))
+	}
+}
+
+// TestStreamCancellation cancels a stream mid-flight: Send and Recv must
+// fail promptly instead of hanging, and the engine must still close
+// cleanly with its accounting converged (every dispatched request decided
+// by its shard).
+func TestStreamCancellation(t *testing.T) {
+	ins := streamInstance(t, 41, 300)
+	acfg := core.DefaultConfig()
+	acfg.Seed = 5
+	eng, err := New(ins.Capacities, Config{Shards: 2, Algorithm: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := eng.Stream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	for i := 0; i < 100; i++ {
+		if err := st.Send(ins.Requests[i]); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+	}
+	cancel()
+	// Sends now fail with the context error (or the stream may already
+	// have closed itself via its context watchdog).
+	if err := st.Send(ins.Requests[0]); err == nil {
+		t.Fatal("Send after cancel succeeded")
+	}
+	// Recv never hangs: it drains queued decisions / errors, then EOF.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("Recv hung after cancellation")
+		}
+		_, err := st.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("Recv: %v", err)
+		}
+	}
+	st.Close()
+	// Every dispatched request is still decided and accounted: the engine
+	// counter and the shards' decided totals converge.
+	waitForConverged(t, eng, sent)
+	eng.Close()
+}
+
+// TestSubmitWithCancelledContext checks Submit under an already-cancelled
+// context: it returns promptly (either the decision, if the shard answered
+// first, or the context error), never hangs, and the engine stays usable.
+func TestSubmitWithCancelledContext(t *testing.T) {
+	eng, err := New([]int{4, 4}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = eng.Submit(ctx, problem.Request{Edges: []int{0}, Cost: 1})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit hung under a cancelled context")
+	}
+	// The engine still serves fresh traffic.
+	if _, err := eng.Submit(context.Background(), problem.Request{Edges: []int{1}, Cost: 1}); err != nil {
+		t.Fatalf("Submit after cancelled submit: %v", err)
+	}
+}
+
+// TestSubmitBatchCancelledContext checks a batch dispatched under a
+// cancelled context fails as a whole without leaking: the engine converges
+// and closes cleanly.
+func TestSubmitBatchCancelledContext(t *testing.T) {
+	ins := streamInstance(t, 43, 64)
+	eng, err := New(ins.Capacities, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ds, err := eng.SubmitBatch(ctx, ins.Requests)
+	if err == nil {
+		// The non-blocking enqueue fast path may win against an
+		// already-cancelled context; then the whole batch decided.
+		if len(ds) != len(ins.Requests) {
+			t.Fatalf("got %d decisions for %d requests", len(ds), len(ins.Requests))
+		}
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	waitForDecided(t, eng)
+	eng.Close()
+}
+
+// waitForConverged polls until the engine's request counter equals n and
+// the shards have decided everything dispatched to them.
+func waitForConverged(t *testing.T, eng *Engine, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := eng.Snapshot()
+		total := 0
+		for _, sh := range eng.ShardStats() {
+			total += sh.Requests
+		}
+		if st.Requests == int64(n) && total+int(st.CrossShard) == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("engine did not converge: counter %d, shards decided %d, want %d", st.Requests, total, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitForDecided polls until the shards have decided every request the
+// engine counter says was dispatched.
+func waitForDecided(t *testing.T, eng *Engine) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := eng.Snapshot()
+		total := 0
+		for _, sh := range eng.ShardStats() {
+			total += sh.Requests
+		}
+		if int64(total)+st.CrossShard == st.Requests {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shards decided %d of %d dispatched", total, st.Requests)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

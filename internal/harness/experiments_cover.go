@@ -130,7 +130,7 @@ func runE15(cfg Config) ([]*Table, error) {
 			// Reconciliation gate: every arrival decided, no refusals
 			// (ValidateArrivals caps repetitions at the degree), and the
 			// stream's bought sets match the ledger's growth.
-			st := cov.Stats()
+			st := cov.Snapshot()
 			if report.Decided != int64(len(arrivals)) || report.Errors != 0 {
 				cov.Close()
 				return fmt.Errorf("E15: %s rep %d: client saw %d decided/%d errors for %d arrivals",
@@ -224,7 +224,10 @@ func e15Identical(ins *setcover.Instance, arrivals []int, seed uint64) (cost, th
 		return 0, 0, err
 	}
 	defer cov.Close()
-	srv := server.NewWithCover(nil, cov, server.Config{})
+	srv, err := server.New(server.Config{}, server.Cover(cov))
+	if err != nil {
+		return 0, 0, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return 0, 0, err
@@ -233,7 +236,7 @@ func e15Identical(ins *setcover.Instance, arrivals []int, seed uint64) (cost, th
 	go func() { _ = httpSrv.Serve(ln) }()
 	defer func() { _ = httpSrv.Close() }()
 
-	client := server.NewClient("http://"+ln.Addr().String(), 1)
+	client := server.NewCoverClient("http://"+ln.Addr().String(), 1)
 	defer client.CloseIdle()
 	const batch = 64
 	got := make([]server.CoverDecisionJSON, 0, len(arrivals))
@@ -243,7 +246,7 @@ func e15Identical(ins *setcover.Instance, arrivals []int, seed uint64) (cost, th
 		if hi > len(arrivals) {
 			hi = len(arrivals)
 		}
-		ds, err := client.CoverSubmit(context.Background(), arrivals[lo:hi])
+		ds, err := client.Submit(context.Background(), arrivals[lo:hi])
 		if err != nil {
 			return 0, 0, err
 		}
@@ -276,8 +279,11 @@ func e15Identical(ins *setcover.Instance, arrivals []int, seed uint64) (cost, th
 // listener, drives it with the arrival sequence via the cover load
 // generator, and drains. The cover engine stays open for the caller's
 // final accounting reads.
-func serveCoverLoopback(cov *coverengine.Engine, arrivals []int, conns int) (*server.CoverLoadReport, error) {
-	srv := server.NewWithCover(nil, cov, server.Config{})
+func serveCoverLoopback(cov *coverengine.Engine, arrivals []int, conns int) (*server.LoadReport, error) {
+	srv, err := server.New(server.Config{}, server.Cover(cov))
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -286,11 +292,11 @@ func serveCoverLoopback(cov *coverengine.Engine, arrivals []int, conns int) (*se
 	go func() { _ = httpSrv.Serve(ln) }()
 	defer func() { _ = httpSrv.Close() }()
 
-	report, err := server.RunCoverLoad(context.Background(), server.CoverLoadConfig{
-		BaseURL:  "http://" + ln.Addr().String(),
-		Elements: arrivals,
-		Conns:    conns,
-		Batch:    64,
+	report, err := server.RunCoverLoad(context.Background(), server.LoadConfig[int]{
+		BaseURL: "http://" + ln.Addr().String(),
+		Items:   arrivals,
+		Conns:   conns,
+		Batch:   64,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -71,13 +72,13 @@ func runE11(cfg Config) ([]*Table, error) {
 			return err
 		}
 		for _, req := range ins.Requests {
-			if _, err := eng.Submit(req); err != nil {
+			if _, err := eng.Submit(context.Background(), req); err != nil {
 				eng.Close()
 				return fmt.Errorf("E11: K=%d rep %d: %w", k, rep, err)
 			}
 		}
 		eng.Close()
-		st := eng.Stats()
+		st := eng.Snapshot()
 		if cfg.Check {
 			for e, load := range st.Loads {
 				if load > ins.Capacities[e] {

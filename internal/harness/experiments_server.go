@@ -92,14 +92,14 @@ func runE14(cfg Config) ([]*Table, error) {
 		if sc.conns == 0 {
 			start := time.Now()
 			for _, req := range ins.Requests {
-				if _, err := eng.Submit(req); err != nil {
+				if _, err := eng.Submit(context.Background(), req); err != nil {
 					eng.Close()
 					return fmt.Errorf("E14: %s rep %d: %w", sc.name, rep, err)
 				}
 			}
 			elapsed := time.Since(start)
 			eng.Close()
-			st := eng.Stats()
+			st := eng.Snapshot()
 			rejected = st.RejectedCost
 			thru = float64(st.Requests) / elapsed.Seconds()
 		} else {
@@ -187,7 +187,11 @@ func runE14(cfg Config) ([]*Table, error) {
 // load report plus the engine's final stats. The engine is closed on
 // return.
 func serveLoopback(eng *engine.Engine, reqs []problem.Request, conns int) (*server.LoadReport, engine.Stats, error) {
-	srv := server.New(eng, server.Config{})
+	srv, err := server.New(server.Config{}, server.Admission(eng))
+	if err != nil {
+		eng.Close()
+		return nil, engine.Stats{}, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		eng.Close()
@@ -201,11 +205,11 @@ func serveLoopback(eng *engine.Engine, reqs []problem.Request, conns int) (*serv
 	}()
 
 	base := "http://" + ln.Addr().String()
-	report, err := server.RunLoad(context.Background(), server.LoadConfig{
-		BaseURL:  base,
-		Requests: reqs,
-		Conns:    conns,
-		Batch:    64,
+	report, err := server.RunAdmissionLoad(context.Background(), server.LoadConfig[problem.Request]{
+		BaseURL: base,
+		Items:   reqs,
+		Conns:   conns,
+		Batch:   64,
 	})
 	if err != nil {
 		return nil, engine.Stats{}, err
@@ -216,5 +220,5 @@ func serveLoopback(eng *engine.Engine, reqs []problem.Request, conns int) (*serv
 		return nil, engine.Stats{}, err
 	}
 	eng.Close()
-	return report, eng.Stats(), nil
+	return report, eng.Snapshot(), nil
 }

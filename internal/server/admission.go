@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+
+	"admission/internal/engine"
+	"admission/internal/metrics"
+	"admission/internal/problem"
+)
+
+// WorkloadAdmission is the route name of the built-in admission workload
+// (POST /v1/admission).
+const WorkloadAdmission = "admission"
+
+// Admission mounts an admission engine (internal/engine, §§2–3) as the
+// "admission" workload: POST /v1/admission takes one request
+// {"edges":[0,1],"cost":2.5} or an array of them and streams one NDJSON
+// decision line per request; GET /v1/admission/stats reports engine and
+// pipeline statistics. The caller retains ownership of the engine.
+func Admission(eng *engine.Engine) Registration {
+	return Register(WorkloadAdmission, eng, Codec[problem.Request, engine.Decision]{
+		Encode: func(d engine.Decision) any {
+			line := DecisionJSON{
+				ID:         d.ID,
+				Accepted:   d.Accepted,
+				CrossShard: d.CrossShard,
+				Preempted:  d.Preempted,
+			}
+			if d.Err != nil {
+				line.Error = d.Err.Error()
+			}
+			return line
+		},
+		Stats:   func(q QueueState) any { return admissionStats(eng, q) },
+		Metrics: func(reg *metrics.Registry) func(engine.Decision) { return admissionMetrics(reg, eng) },
+	})
+}
+
+// DecisionJSON is the wire form of one admission decision (one NDJSON line
+// of a /v1/admission response). Error is set instead of the decision
+// fields when the submission failed inside the engine.
+type DecisionJSON struct {
+	// ID is the engine-assigned global request ID.
+	ID int `json:"id"`
+	// Accepted reports admission; single-shard accepts may later be
+	// preempted, cross-shard accepts are permanent.
+	Accepted bool `json:"accepted"`
+	// CrossShard reports that the request took the two-phase path.
+	CrossShard bool `json:"cross_shard,omitempty"`
+	// Preempted lists global IDs of requests evicted by this decision.
+	Preempted []int `json:"preempted,omitempty"`
+	// Error carries an engine-level failure for this submission.
+	Error string `json:"error,omitempty"`
+}
+
+// ErrorText returns the per-line failure, satisfying the load generator's
+// wire-decision contract.
+func (d DecisionJSON) ErrorText() string { return d.Error }
+
+// StatsJSON is the /v1/admission/stats response body.
+type StatsJSON struct {
+	// Requests .. RejectedCost mirror engine.Stats.
+	Requests           int64   `json:"requests"`
+	Accepted           int64   `json:"accepted"`
+	Rejected           int64   `json:"rejected"`
+	CrossShard         int64   `json:"cross_shard"`
+	CrossShardAccepted int64   `json:"cross_shard_accepted"`
+	Preemptions        int64   `json:"preemptions"`
+	RejectedCost       float64 `json:"rejected_cost"`
+	// Shards is the per-shard occupancy view.
+	Shards []ShardJSON `json:"shards"`
+	// QueueDepth is the number of items waiting in the pipeline.
+	QueueDepth int `json:"queue_depth"`
+	// Draining reports whether Drain has been initiated.
+	Draining bool `json:"draining"`
+}
+
+// ShardJSON is one shard's row in StatsJSON.
+type ShardJSON struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Requests counts single-shard requests decided by this shard.
+	Requests int `json:"requests"`
+	// Preemptions counts in-shard accept-then-reject events.
+	Preemptions int `json:"preemptions"`
+	// Load and Capacity give the shard's integral occupancy.
+	Load     int `json:"load"`
+	Capacity int `json:"capacity"`
+}
+
+// admissionStats renders the admission stats body from an engine snapshot.
+func admissionStats(eng *engine.Engine, q QueueState) StatsJSON {
+	st := eng.Snapshot()
+	out := StatsJSON{
+		Requests:           st.Requests,
+		Accepted:           st.Accepted,
+		Rejected:           st.Requests - st.Accepted,
+		CrossShard:         st.CrossShard,
+		CrossShardAccepted: st.CrossShardAccepted,
+		Preemptions:        st.Preemptions,
+		RejectedCost:       st.RejectedCost,
+		QueueDepth:         q.Depth,
+		Draining:           q.Draining,
+	}
+	for _, sh := range eng.ShardStats() {
+		out.Shards = append(out.Shards, ShardJSON{
+			Shard:       sh.Shard,
+			Requests:    sh.Requests,
+			Preemptions: sh.Preemptions,
+			Load:        sh.Load,
+			Capacity:    sh.Capacity,
+		})
+	}
+	return out
+}
+
+// admissionMetrics registers the admission-specific collectors and returns
+// the per-decision observer feeding them.
+func admissionMetrics(reg *metrics.Registry, eng *engine.Engine) func(engine.Decision) {
+	accepts := reg.NewCounter("acserve_admission_accept_total",
+		"Requests admitted by the engine (may later be preempted).")
+	rejects := reg.NewCounter("acserve_admission_reject_total",
+		"Requests rejected on arrival.")
+	preempts := reg.NewCounter("acserve_admission_preemptions_total",
+		"Previously accepted requests preempted by later decisions.")
+	reg.NewGaugeFunc("acserve_admission_shard_occupancy",
+		"Per-shard integral load (incl. cross-shard reservations) over shard capacity.",
+		func() []metrics.Sample {
+			per := eng.ShardStats()
+			out := make([]metrics.Sample, len(per))
+			for i, st := range per {
+				occ := 0.0
+				if st.Capacity > 0 {
+					occ = float64(st.Load) / float64(st.Capacity)
+				}
+				out[i] = metrics.Sample{
+					Labels: map[string]string{"shard": fmt.Sprint(st.Shard)},
+					Value:  occ,
+				}
+			}
+			return out
+		})
+	return func(d engine.Decision) {
+		if d.Accepted {
+			accepts.Inc()
+		} else {
+			rejects.Inc()
+		}
+		preempts.Add(float64(len(d.Preempted)))
+	}
+}

@@ -13,42 +13,65 @@ import (
 	"admission/internal/problem"
 )
 
-// Client is a thin HTTP client for a Server, used by cmd/acload, the
-// loopback benchmark, and the E14 experiment. It batches requests into one
-// POST /v1/submit and decodes the streamed NDJSON decisions.
+// Client is the generic HTTP client for one workload of a Server, used by
+// cmd/acload, the loopback benchmarks, and the E14/E15 experiments. It
+// batches items into one POST /v1/<workload> and decodes the streamed
+// NDJSON decisions. Req is the workload's request wire type and Dec its
+// decision line type (problem.Request/DecisionJSON for admission,
+// int/CoverDecisionJSON for cover).
 //
 // Concurrency contract: a Client is safe for concurrent use; the
 // underlying http.Client pools connections per host.
-type Client struct {
-	base string
-	hc   *http.Client
+type Client[Req any, Dec any] struct {
+	base     string
+	workload string
+	hc       *http.Client
 }
 
-// NewClient creates a client for the server at baseURL (e.g.
-// "http://127.0.0.1:8080"). maxConns bounds the connection pool (0 means
-// the stdlib default of 2 idle connections per host).
-func NewClient(baseURL string, maxConns int) *Client {
+// NewClient creates a client for the named workload of the server at
+// baseURL (e.g. "http://127.0.0.1:8080"). maxConns bounds the connection
+// pool (0 means the stdlib default of 2 idle connections per host).
+func NewClient[Req any, Dec any](baseURL, workload string, maxConns int) *Client[Req, Dec] {
 	tr := &http.Transport{}
 	if maxConns > 0 {
 		tr.MaxIdleConnsPerHost = maxConns
 		tr.MaxConnsPerHost = 0 // unbounded actives; idle pool sized above
 	}
-	return &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		hc:   &http.Client{Transport: tr},
+	return &Client[Req, Dec]{
+		base:     strings.TrimRight(baseURL, "/"),
+		workload: workload,
+		hc:       &http.Client{Transport: tr},
 	}
 }
 
-// Submit posts a batch of requests and returns one DecisionJSON per
-// request, in request order. A non-2xx status or transport failure is
-// returned as an error; per-item engine failures arrive in the Error field
-// of the corresponding decision line.
-func (c *Client) Submit(ctx context.Context, reqs []problem.Request) ([]DecisionJSON, error) {
-	body, err := json.Marshal(reqs)
+// NewAdmissionClient creates a client for the built-in admission workload.
+func NewAdmissionClient(baseURL string, maxConns int) *Client[problem.Request, DecisionJSON] {
+	return NewClient[problem.Request, DecisionJSON](baseURL, WorkloadAdmission, maxConns)
+}
+
+// NewCoverClient creates a client for the built-in set cover workload.
+func NewCoverClient(baseURL string, maxConns int) *Client[int, CoverDecisionJSON] {
+	return NewClient[int, CoverDecisionJSON](baseURL, WorkloadCover, maxConns)
+}
+
+// Workload returns the workload name the client submits to.
+func (c *Client[Req, Dec]) Workload() string { return c.workload }
+
+// Submit posts a batch of items and returns one decision line per item, in
+// item order. A non-2xx status or transport failure is returned as an
+// error; per-item failures arrive in the corresponding decision line.
+//
+// Cancellation is wired through the whole exchange including the NDJSON
+// read loop: when ctx is done the streaming response body is closed, so a
+// Submit blocked on a hung stream returns promptly with the context's
+// error — it does not wait for the server to finish or the connection to
+// time out.
+func (c *Client[Req, Dec]) Submit(ctx context.Context, items []Req) ([]Dec, error) {
+	body, err := json.Marshal(items)
 	if err != nil {
 		return nil, err
 	}
-	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/submit", bytes.NewReader(body))
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/"+c.workload, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +89,13 @@ func (c *Client) Submit(ctx context.Context, reqs []problem.Request) ([]Decision
 		}
 		return nil, fmt.Errorf("server: %s", e.Error)
 	}
-	out := make([]DecisionJSON, 0, len(reqs))
+	// Tie the streaming read loop to ctx explicitly: closing the body
+	// unblocks a Scan stuck on a stalled stream the moment ctx fires,
+	// independent of transport internals.
+	stop := context.AfterFunc(ctx, func() { resp.Body.Close() })
+	defer stop()
+
+	out := make([]Dec, 0, len(items))
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
 	for sc.Scan() {
@@ -74,115 +103,50 @@ func (c *Client) Submit(ctx context.Context, reqs []problem.Request) ([]Decision
 		if len(line) == 0 {
 			continue
 		}
-		var d DecisionJSON
+		var d Dec
 		if err := json.Unmarshal(line, &d); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return out, cerr
+			}
 			return out, fmt.Errorf("decoding decision line %d: %v", len(out), err)
 		}
 		out = append(out, d)
 	}
 	if err := sc.Err(); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return out, cerr
+		}
 		return out, err
 	}
-	if len(out) != len(reqs) {
-		return out, fmt.Errorf("got %d decisions for %d requests", len(out), len(reqs))
+	if cerr := ctx.Err(); cerr != nil && len(out) != len(items) {
+		return out, cerr
+	}
+	if len(out) != len(items) {
+		return out, fmt.Errorf("got %d decisions for %d items", len(out), len(items))
 	}
 	return out, nil
 }
 
-// CoverSubmit posts a batch of element arrivals to /v1/cover and returns
-// one CoverDecisionJSON per arrival, in arrival order. A non-2xx status or
-// transport failure is returned as an error; per-arrival refusals arrive
-// in the Error field of the corresponding decision line.
-func (c *Client) CoverSubmit(ctx context.Context, elements []int) ([]CoverDecisionJSON, error) {
-	body, err := json.Marshal(elements)
+// Stats fetches /v1/<workload>/stats and decodes it into out (a pointer to
+// the workload's stats type, e.g. *StatsJSON or *CoverStatsJSON).
+func (c *Client[Req, Dec]) Stats(ctx context.Context, out any) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/"+c.workload+"/stats", nil)
 	if err != nil {
-		return nil, err
-	}
-	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/cover", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hr.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(hr)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e errorJSON
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		if e.Error == "" {
-			e.Error = resp.Status
-		}
-		return nil, fmt.Errorf("server: %s", e.Error)
-	}
-	out := make([]CoverDecisionJSON, 0, len(elements))
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var d CoverDecisionJSON
-		if err := json.Unmarshal(line, &d); err != nil {
-			return out, fmt.Errorf("decoding cover decision line %d: %v", len(out), err)
-		}
-		out = append(out, d)
-	}
-	if err := sc.Err(); err != nil {
-		return out, err
-	}
-	if len(out) != len(elements) {
-		return out, fmt.Errorf("got %d cover decisions for %d arrivals", len(out), len(elements))
-	}
-	return out, nil
-}
-
-// CoverStats fetches /v1/cover/stats.
-func (c *Client) CoverStats(ctx context.Context) (*CoverStatsJSON, error) {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/cover/stats", nil)
-	if err != nil {
-		return nil, err
+		return err
 	}
 	resp, err := c.hc.Do(hr)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("server: %s", resp.Status)
+		return fmt.Errorf("server: %s", resp.Status)
 	}
-	var st CoverStatsJSON
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return nil, err
-	}
-	return &st, nil
-}
-
-// Stats fetches /v1/stats.
-func (c *Client) Stats(ctx context.Context) (*StatsJSON, error) {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.hc.Do(hr)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("server: %s", resp.Status)
-	}
-	var st StatsJSON
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return nil, err
-	}
-	return &st, nil
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Metrics fetches the raw /metrics text.
-func (c *Client) Metrics(ctx context.Context) (string, error) {
+func (c *Client[Req, Dec]) Metrics(ctx context.Context) (string, error) {
 	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
 	if err != nil {
 		return "", err
@@ -203,12 +167,12 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 }
 
 // CloseIdle releases pooled connections.
-func (c *Client) CloseIdle() { c.hc.CloseIdleConnections() }
+func (c *Client[Req, Dec]) CloseIdle() { c.hc.CloseIdleConnections() }
 
 // WaitHealthy polls /healthz until it answers 200 or the deadline passes;
 // used against freshly started listeners by acload, the loopback
-// benchmark, and E14.
-func (c *Client) WaitHealthy(timeout time.Duration) error {
+// benchmarks, and E14/E15.
+func (c *Client[Req, Dec]) WaitHealthy(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		resp, err := c.hc.Get(c.base + "/healthz")

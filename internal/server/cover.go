@@ -1,30 +1,41 @@
 package server
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"io"
-	"net/http"
-
 	"admission/internal/coverengine"
 	"admission/internal/metrics"
 )
 
-// The set cover serving path (DESIGN.md §9): a Server may additionally
-// front a cover engine (internal/coverengine), exposing
-//
-//	POST /v1/cover        element arrival(s) in, NDJSON "sets chosen"
-//	                      decision stream out
-//	GET  /v1/cover/stats  cover engine statistics as JSON
-//
-// Unlike /v1/submit, cover submissions bypass the coalescing queue: the
-// cover engine's SubmitBatch already pipelines a whole HTTP submission
-// through the element shards in one pass, so the handler forwards each
-// body directly. One connection therefore remains FIFO end to end and the
-// decision stream is identical to driving the engine sequentially — the
-// property experiment E15 gates on.
+// WorkloadCover is the route name of the built-in set cover workload
+// (POST /v1/cover).
+const WorkloadCover = "cover"
+
+// Cover mounts a set cover engine (internal/coverengine, §§4–5) as the
+// "cover" workload: POST /v1/cover takes one element id (e.g. 3) or an
+// array (e.g. [0,4,4]) and streams one NDJSON "sets chosen" decision line
+// per arrival; GET /v1/cover/stats reports cover engine statistics. The
+// caller retains ownership of the engine. Cover submissions ride the same
+// generic batching pipeline as every workload; one connection therefore
+// remains FIFO end to end and the decision stream is identical to driving
+// the engine sequentially — the property experiment E15 gates on.
+func Cover(cov *coverengine.Engine) Registration {
+	return Register(WorkloadCover, cov, Codec[int, coverengine.Decision]{
+		Encode: func(d coverengine.Decision) any {
+			line := CoverDecisionJSON{
+				Seq:       d.Seq,
+				Element:   d.Element,
+				Arrival:   d.Arrival,
+				NewSets:   d.NewSets,
+				AddedCost: d.AddedCost,
+			}
+			if d.Err != nil {
+				line.Error = d.Err.Error()
+			}
+			return line
+		},
+		Stats:   func(q QueueState) any { return coverStats(cov, q) },
+		Metrics: func(reg *metrics.Registry) func(coverengine.Decision) { return coverMetrics(reg, cov) },
+	})
+}
 
 // CoverDecisionJSON is the wire form of one cover decision (one NDJSON
 // line of a /v1/cover response). Error is set instead of the decision
@@ -45,6 +56,10 @@ type CoverDecisionJSON struct {
 	Error string `json:"error,omitempty"`
 }
 
+// ErrorText returns the per-line refusal, satisfying the load generator's
+// wire-decision contract.
+func (d CoverDecisionJSON) ErrorText() string { return d.Error }
+
 // CoverStatsJSON is the /v1/cover/stats response body.
 type CoverStatsJSON struct {
 	// Mode names the per-shard algorithm ("reduction" or "bicriteria").
@@ -61,172 +76,47 @@ type CoverStatsJSON struct {
 	Cost          float64 `json:"cost"`
 	Preemptions   int64   `json:"preemptions"`
 	Augmentations int64   `json:"augmentations"`
+	// QueueDepth is the number of items waiting in the pipeline.
+	QueueDepth int `json:"queue_depth"`
 	// Draining reports whether Drain has been initiated.
 	Draining bool `json:"draining"`
 }
 
-// initCover registers the cover handlers' metrics; called by NewWithCover
-// only when a cover engine is attached.
-func (s *Server) initCover() {
-	s.coverArrivals = s.reg.NewCounter("acserve_cover_arrivals_total",
-		"Element arrivals served by the cover engine.")
-	s.coverErrors = s.reg.NewCounter("acserve_cover_errors_total",
-		"Element arrivals refused by the cover engine (saturated elements).")
-	s.coverSets = s.reg.NewCounter("acserve_cover_sets_chosen_total",
-		"Sets newly bought by cover decisions.")
-	s.coverCost = s.reg.NewCounter("acserve_cover_cost_total",
-		"Total cost of sets bought by cover decisions.")
-	s.reg.NewGaugeFunc("acserve_cover_chosen_sets",
-		"Distinct sets in the cover engine's global ledger.",
-		func() []metrics.Sample {
-			// ChosenCount reads the ledger mutex only — no per-scrape
-			// channel round-trip through the shard event loops.
-			return []metrics.Sample{{Value: float64(s.cov.ChosenCount())}}
-		})
-}
-
-// handleCover decodes one element arrival or an array of arrivals,
-// validates them all up front, forwards the batch to the cover engine, and
-// streams one NDJSON decision line per arrival, in arrival order.
-func (s *Server) handleCover(w http.ResponseWriter, r *http.Request) {
-	if s.cov == nil {
-		httpError(w, http.StatusNotFound, "set cover serving not enabled (start acserve with -cover)")
-		return
-	}
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	elems, err := decodeCoverSubmission(r, s.cfg.maxSubmit())
-	if err != nil {
-		s.malformed.Inc()
-		status := http.StatusBadRequest
-		if err == errTooLarge {
-			status = http.StatusRequestEntityTooLarge
-		}
-		httpError(w, status, "%v", err)
-		return
-	}
-	for i, j := range elems {
-		if err := s.cov.ValidateElement(j); err != nil {
-			s.malformed.Inc()
-			httpError(w, http.StatusBadRequest, "arrival %d: %v", i, err)
-			return
-		}
-	}
-	if !s.enter() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
-	ds, err := s.cov.SubmitBatch(elems)
-	s.exit()
-	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-
-	// Fold every decision into the counters before streaming anything: the
-	// engine has already served the whole batch, so a client that
-	// disconnects mid-stream must not leave the /metrics counters short of
-	// the engine's ledger (the reconciliation the tests assert).
-	for _, d := range ds {
-		if d.Err != nil {
-			s.coverErrors.Inc()
-		} else {
-			s.coverArrivals.Inc()
-			s.coverSets.Add(float64(len(d.NewSets)))
-			s.coverCost.Add(d.AddedCost)
-		}
-	}
-
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for _, d := range ds {
-		line := CoverDecisionJSON{
-			Seq:       d.Seq,
-			Element:   d.Element,
-			Arrival:   d.Arrival,
-			NewSets:   d.NewSets,
-			AddedCost: d.AddedCost,
-		}
-		if d.Err != nil {
-			line.Error = d.Err.Error()
-		}
-		if err := enc.Encode(line); err != nil {
-			return // client went away; decisions are already accounted
-		}
-	}
-	_ = bw.Flush()
-	if flusher, ok := w.(http.Flusher); ok {
-		flusher.Flush()
-	}
-}
-
-// decodeCoverSubmission parses the body as either a single element id or
-// an array of element ids.
-func decodeCoverSubmission(r *http.Request, maxItems int) ([]int, error) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
-	if err != nil {
-		return nil, fmt.Errorf("reading submission: %v", err)
-	}
-	if len(body) > maxBodyBytes {
-		return nil, errTooLarge
-	}
-	body = bytes.TrimSpace(body)
-	if len(body) == 0 {
-		return nil, fmt.Errorf("empty submission")
-	}
-	var elems []int
-	if body[0] == '[' {
-		if err := json.Unmarshal(body, &elems); err != nil {
-			return nil, fmt.Errorf("malformed submission: %v", err)
-		}
-	} else {
-		var one int
-		if err := json.Unmarshal(body, &one); err != nil {
-			return nil, fmt.Errorf("malformed submission: %v", err)
-		}
-		elems = []int{one}
-	}
-	if len(elems) == 0 {
-		return nil, fmt.Errorf("empty submission")
-	}
-	if len(elems) > maxItems {
-		return nil, errTooLarge
-	}
-	return elems, nil
-}
-
-// handleCoverStats renders cover engine statistics as JSON.
-func (s *Server) handleCoverStats(w http.ResponseWriter, r *http.Request) {
-	if s.cov == nil {
-		httpError(w, http.StatusNotFound, "set cover serving not enabled (start acserve with -cover)")
-		return
-	}
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
-	st := s.cov.Stats()
-	out := CoverStatsJSON{
-		Mode:          s.cov.Mode().String(),
-		Shards:        s.cov.Shards(),
-		Elements:      s.cov.NumElements(),
-		Sets:          s.cov.NumSets(),
+// coverStats renders the cover stats body from an engine snapshot.
+func coverStats(cov *coverengine.Engine, q QueueState) CoverStatsJSON {
+	st := cov.Snapshot()
+	return CoverStatsJSON{
+		Mode:          cov.Mode().String(),
+		Shards:        cov.Shards(),
+		Elements:      cov.NumElements(),
+		Sets:          cov.NumSets(),
 		Arrivals:      st.Arrivals,
 		Errors:        st.Errors,
 		ChosenSets:    st.ChosenSets,
 		Cost:          st.Cost,
 		Preemptions:   st.Preemptions,
 		Augmentations: st.Augmentations,
-		Draining:      s.draining.Load(),
+		QueueDepth:    q.Depth,
+		Draining:      q.Draining,
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(out)
 }
 
-// CoverEngine returns the attached cover engine, or nil when set cover
-// serving is not enabled. Callers (the harness's E15) use it to reconcile
-// client-side decision accounting against the engine's ledger.
-func (s *Server) CoverEngine() *coverengine.Engine { return s.cov }
+// coverMetrics registers the cover-specific collectors and returns the
+// per-decision observer feeding them.
+func coverMetrics(reg *metrics.Registry, cov *coverengine.Engine) func(coverengine.Decision) {
+	sets := reg.NewCounter("acserve_cover_sets_chosen_total",
+		"Sets newly bought by cover decisions.")
+	cost := reg.NewCounter("acserve_cover_cost_total",
+		"Total cost of sets bought by cover decisions.")
+	reg.NewGaugeFunc("acserve_cover_chosen_sets",
+		"Distinct sets in the cover engine's global ledger.",
+		func() []metrics.Sample {
+			// ChosenCount reads the ledger mutex only — no per-scrape
+			// channel round-trip through the shard event loops.
+			return []metrics.Sample{{Value: float64(cov.ChosenCount())}}
+		})
+	return func(d coverengine.Decision) {
+		sets.Add(float64(len(d.NewSets)))
+		cost.Add(d.AddedCost)
+	}
+}

@@ -15,7 +15,8 @@ import (
 	"admission/internal/setcover"
 )
 
-// newCoverServer stands up an admission engine + cover engine + Server.
+// newCoverServer stands up an admission engine + cover engine behind one
+// registry-based Server (both workloads mounted).
 func newCoverServer(t testing.TB, shards int, seed uint64) (*coverengine.Engine, *setcover.Instance, []int, *httptest.Server) {
 	t.Helper()
 	r := rng.New(seed)
@@ -37,7 +38,10 @@ func newCoverServer(t testing.TB, shards int, seed uint64) (*coverengine.Engine,
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewWithCover(eng, cov, Config{})
+	s, err := New(Config{}, Admission(eng), Cover(cov))
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -53,14 +57,14 @@ func newCoverServer(t testing.TB, shards int, seed uint64) (*coverengine.Engine,
 // ledger and the /metrics counters.
 func TestCoverLoopbackReconciles(t *testing.T) {
 	cov, ins, arrivals, ts := newCoverServer(t, 2, 5)
-	client := NewClient(ts.URL, 2)
+	client := NewCoverClient(ts.URL, 2)
 	defer client.CloseIdle()
 
-	report, err := RunCoverLoad(context.Background(), CoverLoadConfig{
-		BaseURL:  ts.URL,
-		Elements: arrivals,
-		Conns:    2,
-		Batch:    16,
+	report, err := RunCoverLoad(context.Background(), LoadConfig[int]{
+		BaseURL: ts.URL,
+		Items:   arrivals,
+		Conns:   2,
+		Batch:   16,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -68,7 +72,7 @@ func TestCoverLoopbackReconciles(t *testing.T) {
 	if report.Decided != int64(len(arrivals)) {
 		t.Fatalf("decided %d of %d arrivals", report.Decided, len(arrivals))
 	}
-	st := cov.Stats()
+	st := cov.Snapshot()
 	if st.Arrivals+st.Errors != int64(len(arrivals)) {
 		t.Fatalf("engine saw %d+%d arrivals, client sent %d", st.Arrivals, st.Errors, len(arrivals))
 	}
@@ -81,8 +85,8 @@ func TestCoverLoopbackReconciles(t *testing.T) {
 	if phase1 < 0 {
 		t.Fatalf("client saw %d sets bought, ledger holds %d", report.SetsBought, st.ChosenSets)
 	}
-	stats, err := client.CoverStats(context.Background())
-	if err != nil {
+	var stats CoverStatsJSON
+	if err := client.Stats(context.Background(), &stats); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Arrivals != st.Arrivals || stats.ChosenSets != st.ChosenSets || stats.Cost != st.Cost {
@@ -95,16 +99,24 @@ func TestCoverLoopbackReconciles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := metricValue(t, metricsText, "acserve_cover_arrivals_total"); got != float64(st.Arrivals) {
-		t.Fatalf("cover arrivals metric %v, engine %d", got, st.Arrivals)
+	if got := metricValue(t, metricsText, "acserve_cover_decisions_total"); got != float64(st.Arrivals) {
+		t.Fatalf("cover decisions metric %v, engine %d", got, st.Arrivals)
+	}
+	if got := metricValue(t, metricsText, "acserve_cover_errors_total"); got != float64(st.Errors) {
+		t.Fatalf("cover errors metric %v, engine %d", got, st.Errors)
 	}
 	if got := metricValue(t, metricsText, "acserve_cover_sets_chosen_total"); got != float64(report.SetsBought) {
 		t.Fatalf("cover sets metric %v, client saw %v", got, report.SetsBought)
 	}
+	// The uniform service stats agree with the ledger too.
+	svc := cov.Stats()
+	if svc.Accepted != st.Arrivals || svc.Errors != st.Errors || svc.Objective != st.Cost {
+		t.Fatalf("uniform service stats %+v disagree with snapshot %+v", svc, st)
+	}
 }
 
 // TestCoverNotEnabled checks the cover endpoints 404 cleanly on a server
-// without a cover engine.
+// without a cover workload registered.
 func TestCoverNotEnabled(t *testing.T) {
 	_, _, ts := newTestServer(t, []int{4}, 1, Config{})
 	resp, err := http.Post(ts.URL+"/v1/cover", "application/json", strings.NewReader("[0]"))
@@ -113,7 +125,7 @@ func TestCoverNotEnabled(t *testing.T) {
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("POST /v1/cover without cover engine: %d, want 404", resp.StatusCode)
+		t.Fatalf("POST /v1/cover without cover workload: %d, want 404", resp.StatusCode)
 	}
 	resp, err = http.Get(ts.URL + "/v1/cover/stats")
 	if err != nil {
@@ -121,7 +133,7 @@ func TestCoverNotEnabled(t *testing.T) {
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("GET /v1/cover/stats without cover engine: %d, want 404", resp.StatusCode)
+		t.Fatalf("GET /v1/cover/stats without cover workload: %d, want 404", resp.StatusCode)
 	}
 }
 
@@ -129,7 +141,7 @@ func TestCoverNotEnabled(t *testing.T) {
 // 4xx without reaching the engine.
 func TestCoverMalformed(t *testing.T) {
 	cov, _, _, ts := newCoverServer(t, 1, 9)
-	before := cov.Stats()
+	before := cov.Snapshot()
 	cases := []struct {
 		name, body string
 		status     int
@@ -158,13 +170,11 @@ func TestCoverMalformed(t *testing.T) {
 			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
 		}
 	}
-	after := cov.Stats()
+	after := cov.Snapshot()
 	if after.Arrivals != before.Arrivals || after.Errors != before.Errors {
 		t.Fatal("malformed submission reached the cover engine")
 	}
 	// A single bare integer is the one-arrival form.
-	client := NewClient(ts.URL, 1)
-	defer client.CloseIdle()
 	resp, err := http.Post(ts.URL+"/v1/cover", "application/json", strings.NewReader("0"))
 	if err != nil {
 		t.Fatal(err)
@@ -187,17 +197,13 @@ func TestCoverDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	acfg := core.DefaultConfig()
-	acfg.Seed = 1
-	eng, err := engine.New([]int{4}, engine.Config{Algorithm: acfg})
+	s, err := New(Config{}, Cover(cov))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewWithCover(eng, cov, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer func() {
 		ts.Close()
-		eng.Close()
 		cov.Close()
 	}()
 	if err := s.Drain(context.Background()); err != nil {

@@ -1,15 +1,15 @@
 package server
 
 import (
-	"bytes"
-	"net/http/httptest"
 	"testing"
+
+	"admission/internal/problem"
 )
 
-// FuzzSubmitDecode throws arbitrary bytes at the /v1/submit body decoder:
-// it must never panic, and anything it accepts must be a well-formed,
-// bounded batch (every request decodable, the item limit respected) —
-// the engine-level Validate pass downstream assumes exactly that shape.
+// FuzzSubmitDecode throws arbitrary bytes at the generic body decoder
+// instantiated at the admission request type: it must never panic, and
+// anything it accepts must be a well-formed non-empty batch — the
+// service-level Validate pass downstream assumes exactly that shape.
 // Run with
 //
 //	go test -fuzz FuzzSubmitDecode ./internal/server
@@ -24,24 +24,20 @@ func FuzzSubmitDecode(f *testing.F) {
 	f.Add([]byte(`{"edges":[1e309],"cost":1}`))
 
 	f.Fuzz(func(t *testing.T, body []byte) {
-		const maxItems = 16
-		req := httptest.NewRequest("POST", "/v1/submit", bytes.NewReader(body))
-		reqs, err := decodeSubmission(req, maxItems)
+		reqs, err := DecodeJSONBatch[problem.Request](body)
 		if err != nil {
 			return // refused without panicking
 		}
 		if len(reqs) == 0 {
 			t.Fatal("decoder accepted an empty submission")
 		}
-		if len(reqs) > maxItems {
-			t.Fatalf("decoder accepted %d items over the %d limit", len(reqs), maxItems)
-		}
 	})
 }
 
-// FuzzCoverDecode throws arbitrary bytes at the /v1/cover body decoder
-// with the same contract: no panics, and accepted bodies are non-empty
-// bounded integer batches. Run with
+// FuzzCoverDecode throws arbitrary bytes at the generic body decoder
+// instantiated at the cover request type (bare element ids) with the same
+// contract: no panics, and accepted bodies are non-empty integer batches.
+// Run with
 //
 //	go test -fuzz FuzzCoverDecode ./internal/server
 func FuzzCoverDecode(f *testing.F) {
@@ -55,17 +51,12 @@ func FuzzCoverDecode(f *testing.F) {
 	f.Add([]byte(``))
 
 	f.Fuzz(func(t *testing.T, body []byte) {
-		const maxItems = 16
-		req := httptest.NewRequest("POST", "/v1/cover", bytes.NewReader(body))
-		elems, err := decodeCoverSubmission(req, maxItems)
+		elems, err := DecodeJSONBatch[int](body)
 		if err != nil {
 			return // refused without panicking
 		}
 		if len(elems) == 0 {
 			t.Fatal("decoder accepted an empty submission")
-		}
-		if len(elems) > maxItems {
-			t.Fatalf("decoder accepted %d items over the %d limit", len(elems), maxItems)
 		}
 	})
 }

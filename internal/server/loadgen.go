@@ -11,60 +11,78 @@ import (
 	"admission/internal/workload"
 )
 
-// LoadConfig configures one load-generation run against a Server (the
-// engine behind cmd/acload and the E14 loopback experiment).
-type LoadConfig struct {
+// WireDecision is the constraint the generic load generator places on
+// decision line types: a line can report a per-item failure as text.
+// DecisionJSON and CoverDecisionJSON satisfy it.
+type WireDecision interface {
+	// ErrorText returns the per-line failure, or "" for a clean decision.
+	ErrorText() string
+}
+
+// LoadConfig configures one load-generation run against a Server workload
+// (the engine behind cmd/acload and the E14/E15 loopback experiments).
+type LoadConfig[Req any] struct {
 	// BaseURL is the target server.
 	BaseURL string
-	// Requests is the sequence to send, in order (split round-robin by
-	// batch across connections when Conns > 1).
-	Requests []problem.Request
+	// Workload is the route name to submit to (WorkloadAdmission,
+	// WorkloadCover, or any registered name).
+	Workload string
+	// Items is the sequence to send, in order (split round-robin by batch
+	// across connections when Conns > 1).
+	Items []Req
 	// Conns is the number of concurrent submitting connections
 	// (default 1).
 	Conns int
-	// Batch is the number of requests per HTTP submission (default 64).
+	// Batch is the number of items per HTTP submission (default 64).
 	Batch int
-	// RPS is the target request rate summed over all connections;
+	// RPS is the target item rate summed over all connections;
 	// 0 means unthrottled.
 	RPS float64
-	// Repeat cycles the request sequence this many times (default 1).
+	// Repeat cycles the item sequence this many times (default 1).
 	Repeat int
 }
 
-func (c LoadConfig) conns() int {
+func (c LoadConfig[Req]) conns() int {
 	if c.Conns <= 0 {
 		return 1
 	}
 	return c.Conns
 }
 
-func (c LoadConfig) batch() int {
+func (c LoadConfig[Req]) batch() int {
 	if c.Batch <= 0 {
 		return 64
 	}
 	return c.Batch
 }
 
-func (c LoadConfig) repeat() int {
+func (c LoadConfig[Req]) repeat() int {
 	if c.Repeat <= 0 {
 		return 1
 	}
 	return c.Repeat
 }
 
-// LoadReport summarizes one load run. Latencies are per-batch round trips
-// (enqueue-to-last-decision as seen by the client), so they include the
-// server's coalescing delay.
+// LoadReport summarizes one load run, for any workload. Latencies are
+// per-batch round trips (submit-to-last-decision as seen by the client),
+// so they include the server's coalescing delay. The workload-specific
+// aggregates (Accepted/Preempted for admission, SetsBought/CostAdded for
+// cover) are filled by the observer the run was started with; the rest is
+// generic.
 type LoadReport struct {
-	// Sent counts requests submitted; Decided counts decision lines
-	// received (equal unless errors occurred).
+	// Sent counts items submitted; Decided counts decision lines received
+	// (equal unless errors occurred).
 	Sent, Decided int64
-	// Accepted and Preempted aggregate the decision stream.
-	Accepted, Preempted int64
-	// Errors counts per-item engine errors reported in the stream.
+	// Errors counts per-item failures reported in the stream.
 	Errors int64
 	// Batches counts HTTP submissions.
 	Batches int64
+	// Accepted and Preempted aggregate an admission decision stream.
+	Accepted, Preempted int64
+	// SetsBought and CostAdded aggregate a cover decision stream (each set
+	// is reported bought exactly once across the whole run).
+	SetsBought int64
+	CostAdded  float64
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 	// Throughput is Decided / Elapsed in decisions per second.
@@ -73,41 +91,48 @@ type LoadReport struct {
 	LatencyP50, LatencyP90, LatencyP99, LatencyMax time.Duration
 }
 
-// String renders the report as the acload summary block.
+// String renders the generic part of the report as the acload summary
+// block; the binary prints the workload-specific aggregate line itself.
 func (r *LoadReport) String() string {
 	return fmt.Sprintf(
-		"sent:        %d requests in %d batches\n"+
-			"decided:     %d (%d accepted, %d preemptions, %d errors)\n"+
+		"sent:        %d items in %d batches\n"+
+			"decided:     %d (%d errors)\n"+
 			"elapsed:     %v\n"+
 			"throughput:  %.0f decisions/s\n"+
 			"latency:     p50 %v  p90 %v  p99 %v  max %v (per batch)",
-		r.Sent, r.Batches, r.Decided, r.Accepted, r.Preempted, r.Errors,
+		r.Sent, r.Batches, r.Decided, r.Errors,
 		r.Elapsed.Round(time.Millisecond), r.Throughput,
 		r.LatencyP50, r.LatencyP90, r.LatencyP99, r.LatencyMax)
 }
 
-// RunLoad drives the server with cfg.Requests and collects a LoadReport.
-// It fails fast on transport-level errors; per-item engine errors are
-// counted and do not stop the run. The context cancels the run early.
-func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
-	if len(cfg.Requests) == 0 {
-		return nil, fmt.Errorf("loadgen: no requests")
+// RunLoad drives one server workload with cfg.Items and collects a
+// LoadReport — the one load-generator loop every workload shares. It fails
+// fast on transport-level errors; per-item failures are counted and do not
+// stop the run. The context cancels the run early. observe (optional)
+// folds each clean decision line into the report's workload-specific
+// aggregates under the run's lock.
+func RunLoad[Req any, Dec WireDecision](ctx context.Context, cfg LoadConfig[Req], observe func(Dec, *LoadReport)) (*LoadReport, error) {
+	if len(cfg.Items) == 0 {
+		return nil, fmt.Errorf("loadgen: no items")
+	}
+	if cfg.Workload == "" {
+		return nil, fmt.Errorf("loadgen: no workload name")
 	}
 	conns := cfg.conns()
 	batchSize := cfg.batch()
-	client := NewClient(cfg.BaseURL, conns)
+	client := NewClient[Req, Dec](cfg.BaseURL, cfg.Workload, conns)
 	defer client.CloseIdle()
 
 	// Pre-chunk the repeated sequence into batches, assigned round-robin
 	// to workers so each connection sends a similar share.
-	var batches [][]problem.Request
+	var batches [][]Req
 	for rep := 0; rep < cfg.repeat(); rep++ {
-		for lo := 0; lo < len(cfg.Requests); lo += batchSize {
+		for lo := 0; lo < len(cfg.Items); lo += batchSize {
 			hi := lo + batchSize
-			if hi > len(cfg.Requests) {
-				hi = len(cfg.Requests)
+			if hi > len(cfg.Items) {
+				hi = len(cfg.Items)
 			}
-			batches = append(batches, cfg.Requests[lo:hi])
+			batches = append(batches, cfg.Items[lo:hi])
 		}
 	}
 
@@ -162,193 +187,24 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 				local.Batches++
 				for _, d := range ds {
 					local.Decided++
-					if d.Error != "" {
+					if d.ErrorText() != "" {
 						local.Errors++
 						continue
 					}
-					if d.Accepted {
-						local.Accepted++
+					if observe != nil {
+						observe(d, &local)
 					}
-					local.Preempted += int64(len(d.Preempted))
 				}
 			}
 			mu.Lock()
 			report.Sent += local.Sent
 			report.Decided += local.Decided
+			report.Errors += local.Errors
+			report.Batches += local.Batches
 			report.Accepted += local.Accepted
 			report.Preempted += local.Preempted
-			report.Errors += local.Errors
-			report.Batches += local.Batches
-			allLats = append(allLats, lats...)
-			mu.Unlock()
-		}(w)
-	}
-	wg.Wait()
-	report.Elapsed = time.Since(start)
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if report.Elapsed > 0 {
-		report.Throughput = float64(report.Decided) / report.Elapsed.Seconds()
-	}
-	report.LatencyP50, report.LatencyP90, report.LatencyP99, report.LatencyMax = latencyQuantiles(allLats)
-	return &report, nil
-}
-
-// CoverLoadConfig configures one load-generation run against a Server's
-// set cover path (the engine behind acload -cover and the E15 loopback
-// experiment).
-type CoverLoadConfig struct {
-	// BaseURL is the target server.
-	BaseURL string
-	// Elements is the arrival sequence to send, in order (split round-robin
-	// by batch across connections when Conns > 1).
-	Elements []int
-	// Conns is the number of concurrent submitting connections (default 1).
-	Conns int
-	// Batch is the number of arrivals per HTTP submission (default 64).
-	Batch int
-	// RPS is the target arrival rate summed over all connections;
-	// 0 means unthrottled.
-	RPS float64
-}
-
-func (c CoverLoadConfig) conns() int {
-	if c.Conns <= 0 {
-		return 1
-	}
-	return c.Conns
-}
-
-func (c CoverLoadConfig) batch() int {
-	if c.Batch <= 0 {
-		return 64
-	}
-	return c.Batch
-}
-
-// CoverLoadReport summarizes one cover load run. Latencies are per-batch
-// round trips as seen by the client.
-type CoverLoadReport struct {
-	// Sent counts arrivals submitted; Decided counts decision lines
-	// received.
-	Sent, Decided int64
-	// SetsBought and CostAdded aggregate the decision stream (each set is
-	// reported bought exactly once across the whole run).
-	SetsBought int64
-	CostAdded  float64
-	// Errors counts per-arrival refusals reported in the stream.
-	Errors int64
-	// Batches counts HTTP submissions.
-	Batches int64
-	// Elapsed is the wall-clock duration of the run.
-	Elapsed time.Duration
-	// Throughput is Decided / Elapsed in arrivals per second.
-	Throughput float64
-	// LatencyP50 .. LatencyMax are batch round-trip quantiles.
-	LatencyP50, LatencyP90, LatencyP99, LatencyMax time.Duration
-}
-
-// String renders the report as the acload -cover summary block.
-func (r *CoverLoadReport) String() string {
-	return fmt.Sprintf(
-		"sent:        %d arrivals in %d batches\n"+
-			"decided:     %d (%d sets bought, cost %g, %d errors)\n"+
-			"elapsed:     %v\n"+
-			"throughput:  %.0f arrivals/s\n"+
-			"latency:     p50 %v  p90 %v  p99 %v  max %v (per batch)",
-		r.Sent, r.Batches, r.Decided, r.SetsBought, r.CostAdded, r.Errors,
-		r.Elapsed.Round(time.Millisecond), r.Throughput,
-		r.LatencyP50, r.LatencyP90, r.LatencyP99, r.LatencyMax)
-}
-
-// RunCoverLoad drives the server's /v1/cover path with cfg.Elements and
-// collects a CoverLoadReport. It fails fast on transport-level errors;
-// per-arrival refusals are counted and do not stop the run.
-func RunCoverLoad(ctx context.Context, cfg CoverLoadConfig) (*CoverLoadReport, error) {
-	if len(cfg.Elements) == 0 {
-		return nil, fmt.Errorf("loadgen: no arrivals")
-	}
-	conns := cfg.conns()
-	batchSize := cfg.batch()
-	client := NewClient(cfg.BaseURL, conns)
-	defer client.CloseIdle()
-
-	var batches [][]int
-	for lo := 0; lo < len(cfg.Elements); lo += batchSize {
-		hi := lo + batchSize
-		if hi > len(cfg.Elements) {
-			hi = len(cfg.Elements)
-		}
-		batches = append(batches, cfg.Elements[lo:hi])
-	}
-
-	// Pacing: with a target RPS each worker spaces its batch starts so the
-	// aggregate rate is RPS (same scheme as RunLoad).
-	var perWorkerInterval time.Duration
-	if cfg.RPS > 0 {
-		perWorkerInterval = time.Duration(float64(batchSize*conns) / cfg.RPS * float64(time.Second))
-	}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		report   CoverLoadReport
-		allLats  []time.Duration
-	)
-	start := time.Now()
-	for w := 0; w < conns; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var lats []time.Duration
-			var local CoverLoadReport
-			next := time.Now()
-			for bi := w; bi < len(batches); bi += conns {
-				if ctx.Err() != nil {
-					break
-				}
-				if perWorkerInterval > 0 {
-					if d := time.Until(next); d > 0 {
-						select {
-						case <-time.After(d):
-						case <-ctx.Done():
-						}
-					}
-					next = next.Add(perWorkerInterval)
-				}
-				batch := batches[bi]
-				t0 := time.Now()
-				ds, err := client.CoverSubmit(ctx, batch)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("loadgen: conn %d cover batch %d: %w", w, bi, err)
-					}
-					mu.Unlock()
-					break
-				}
-				lats = append(lats, time.Since(t0))
-				local.Sent += int64(len(batch))
-				local.Batches++
-				for _, d := range ds {
-					local.Decided++
-					if d.Error != "" {
-						local.Errors++
-						continue
-					}
-					local.SetsBought += int64(len(d.NewSets))
-					local.CostAdded += d.AddedCost
-				}
-			}
-			mu.Lock()
-			report.Sent += local.Sent
-			report.Decided += local.Decided
 			report.SetsBought += local.SetsBought
 			report.CostAdded += local.CostAdded
-			report.Errors += local.Errors
-			report.Batches += local.Batches
 			allLats = append(allLats, lats...)
 			mu.Unlock()
 		}(w)
@@ -363,11 +219,44 @@ func RunCoverLoad(ctx context.Context, cfg CoverLoadConfig) (*CoverLoadReport, e
 	}
 	report.LatencyP50, report.LatencyP90, report.LatencyP99, report.LatencyMax = latencyQuantiles(allLats)
 	return &report, nil
+}
+
+// ObserveAdmission folds one admission decision line into a LoadReport's
+// admission aggregates (the observer RunAdmissionLoad installs).
+func ObserveAdmission(d DecisionJSON, r *LoadReport) {
+	if d.Accepted {
+		r.Accepted++
+	}
+	r.Preempted += int64(len(d.Preempted))
+}
+
+// ObserveCover folds one cover decision line into a LoadReport's cover
+// aggregates (the observer RunCoverLoad installs).
+func ObserveCover(d CoverDecisionJSON, r *LoadReport) {
+	r.SetsBought += int64(len(d.NewSets))
+	r.CostAdded += d.AddedCost
+}
+
+// RunAdmissionLoad runs the generic load loop against the built-in
+// admission workload with the admission observer installed.
+func RunAdmissionLoad(ctx context.Context, cfg LoadConfig[problem.Request]) (*LoadReport, error) {
+	if cfg.Workload == "" {
+		cfg.Workload = WorkloadAdmission
+	}
+	return RunLoad(ctx, cfg, ObserveAdmission)
+}
+
+// RunCoverLoad runs the generic load loop against the built-in set cover
+// workload with the cover observer installed.
+func RunCoverLoad(ctx context.Context, cfg LoadConfig[int]) (*LoadReport, error) {
+	if cfg.Workload == "" {
+		cfg.Workload = WorkloadCover
+	}
+	return RunLoad(ctx, cfg, ObserveCover)
 }
 
 // latencyQuantiles sorts the collected batch round trips and returns the
-// p50/p90/p99/max quantiles (zeros for an empty sample). Shared by RunLoad
-// and RunCoverLoad so the quantile index math lives in one place.
+// p50/p90/p99/max quantiles (zeros for an empty sample).
 func latencyQuantiles(lats []time.Duration) (p50, p90, p99, max time.Duration) {
 	if len(lats) == 0 {
 		return 0, 0, 0, 0
@@ -394,12 +283,12 @@ type AdversaryResult struct {
 	RejectedCost float64
 }
 
-// RunAdversarial plays an adaptive adversary against the server,
-// submitting one request at a time (the adversary needs each outcome
-// before producing the next request). The server must front an engine over
-// exactly adv.Capacities().
+// RunAdversarial plays an adaptive adversary against the server's
+// admission workload, submitting one request at a time (the adversary
+// needs each outcome before producing the next request). The server must
+// front an engine over exactly adv.Capacities().
 func RunAdversarial(ctx context.Context, baseURL string, adv workload.Adversary) (*AdversaryResult, error) {
-	client := NewClient(baseURL, 1)
+	client := NewAdmissionClient(baseURL, 1)
 	defer client.CloseIdle()
 	res := &AdversaryResult{
 		Instance: &problem.Instance{Capacities: append([]int(nil), adv.Capacities()...)},

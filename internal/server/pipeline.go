@@ -1,0 +1,384 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"admission/internal/metrics"
+	"admission/internal/service"
+)
+
+// pipe is one workload's coalescing batch pipeline plus its HTTP handler
+// pair — the single generic serving path every registered workload shares.
+// Handlers enqueue whole submissions (one channel operation per HTTP
+// request, not per item) under an item-counted bound (Config.QueueLen), so
+// buffered memory stays bounded regardless of submission sizes; the
+// flusher goroutine coalesces queued submissions into engine batches of up
+// to Config.BatchSize items, dispatches them through the service's
+// pipelined batch path, and hands each submission its slice of the
+// decisions. One flusher per workload
+// preserves global FIFO order over that workload's queue, which keeps
+// one-connection traffic decision-deterministic — the property the
+// E14/E15 identity gates rely on.
+type pipe[Req any, Dec service.Decision] struct {
+	srv   *Server
+	name  string
+	svc   service.Service[Req, Dec]
+	codec Codec[Req, Dec]
+	queue chan *submission[Req, Dec]
+	loops sync.WaitGroup
+
+	// queuedItems bounds buffered work by items, not submissions, so the
+	// memory held behind the queue is QueueLen items regardless of how
+	// large individual submissions are. Guarded by qmu; handlers wait on
+	// qcond for room, the flusher signals as chunks are delivered.
+	qmu         sync.Mutex
+	qcond       *sync.Cond
+	queuedItems int
+
+	decisions *metrics.Counter
+	errItems  *metrics.Counter
+	batchSz   *metrics.Histogram
+	latency   *metrics.Histogram
+	observe   func(Dec)
+}
+
+// submission is one HTTP request's items awaiting their decisions. The
+// done channel is buffered for the worst-case chunk count, so the flusher
+// never blocks on a slow or disconnected client.
+type submission[Req any, Dec service.Decision] struct {
+	reqs []Req
+	enq  time.Time
+	done chan chunk[Dec]
+}
+
+// chunk is one contiguous slice of a submission's decisions (one flush's
+// worth), or a whole-batch failure covering n items.
+type chunk[Dec any] struct {
+	ds  []Dec
+	n   int
+	err error
+}
+
+// flushSpan records how many items of one submission entered a flush.
+type flushSpan[Req any, Dec service.Decision] struct {
+	sub *submission[Req, Dec]
+	n   int
+}
+
+// newPipe builds a workload pipeline, registers its metrics under the
+// acserve_<name>_* prefix, and starts its flusher.
+func newPipe[Req any, Dec service.Decision](s *Server, name string, svc service.Service[Req, Dec], codec Codec[Req, Dec]) *pipe[Req, Dec] {
+	p := &pipe[Req, Dec]{
+		srv:   s,
+		name:  name,
+		svc:   svc,
+		codec: codec,
+		// Every queued submission carries ≥ 1 item, so QueueLen slots can
+		// never be the binding constraint — the item bound below is.
+		queue: make(chan *submission[Req, Dec], s.cfg.queueLen()),
+	}
+	p.qcond = sync.NewCond(&p.qmu)
+	prefix := "acserve_" + name + "_"
+	p.decisions = s.reg.NewCounter(prefix+"decisions_total",
+		"Items decided by the "+name+" workload (per-item failures excluded).")
+	p.errItems = s.reg.NewCounter(prefix+"errors_total",
+		"Items refused by the "+name+" workload with a per-item failure.")
+	p.batchSz = s.reg.NewHistogram(prefix+"batch_size",
+		"Coalesced engine batch sizes of the "+name+" workload.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+	p.latency = s.reg.NewHistogram(prefix+"decision_latency_seconds",
+		"Queue-to-decision latency per submission chunk of the "+name+" workload.",
+		metrics.ExponentialBuckets(16e-6, 2, 16)) // 16µs .. ~0.5s
+	s.reg.NewGaugeFunc(prefix+"queue_depth",
+		"Items waiting in the "+name+" batching queue.",
+		func() []metrics.Sample {
+			p.qmu.Lock()
+			depth := p.queuedItems
+			p.qmu.Unlock()
+			return []metrics.Sample{{Value: float64(depth)}}
+		})
+	if codec.Metrics != nil {
+		p.observe = codec.Metrics(s.reg)
+	}
+	p.loops.Add(1)
+	go p.flushLoop()
+	return p
+}
+
+// closeQueue ends the pipeline's intake; the flusher drains the rest and
+// exits.
+func (p *pipe[Req, Dec]) closeQueue() { close(p.queue) }
+
+// await waits for the flusher to decide and answer everything that was
+// queued, or for ctx.
+func (p *pipe[Req, Dec]) await(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		p.loops.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// flushLoop coalesces queued submissions into engine batches: a batch
+// flushes when it reaches BatchSize items or when FlushInterval has
+// elapsed since its first item. Submissions larger than BatchSize are
+// chunked across flushes; each chunk's decisions are delivered as soon as
+// its flush completes, so large submissions stream early decisions. Exits
+// when the queue is closed and fully served.
+func (p *pipe[Req, Dec]) flushLoop() {
+	defer p.loops.Done()
+	size := p.srv.cfg.batchSize()
+	interval := p.srv.cfg.flushInterval()
+	reqs := make([]Req, 0, size)
+	spans := make([]flushSpan[Req, Dec], 0, 16)
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+
+	var cur *submission[Req, Dec] // partially consumed submission
+	off := 0
+	closed := false
+	for {
+		if cur == nil {
+			var ok bool
+			cur, ok = <-p.queue
+			if !ok {
+				return
+			}
+			off = 0
+		}
+		// A fresh batch starts now; arm its flush deadline.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(interval)
+		reqs = reqs[:0]
+		spans = spans[:0]
+	fill:
+		for len(reqs) < size {
+			if cur == nil {
+				if closed {
+					break fill
+				}
+				select {
+				case next, ok := <-p.queue:
+					if !ok {
+						closed = true
+						break fill
+					}
+					cur = next
+					off = 0
+				case <-timer.C:
+					break fill
+				}
+				continue
+			}
+			take := size - len(reqs)
+			if rem := len(cur.reqs) - off; take > rem {
+				take = rem
+			}
+			reqs = append(reqs, cur.reqs[off:off+take]...)
+			spans = append(spans, flushSpan[Req, Dec]{sub: cur, n: take})
+			off += take
+			p.releaseItems(take)
+			if off == len(cur.reqs) {
+				cur = nil
+			}
+		}
+		p.flush(reqs, spans)
+		if closed && cur == nil {
+			return
+		}
+	}
+}
+
+// flush submits one coalesced batch through the service's pipelined batch
+// path and delivers each submission its chunk of decisions, folding every
+// decision into the metrics counters before delivery — a client that
+// disconnects mid-stream must not leave /metrics short of the engine's
+// ledger. Items were validated at the HTTP boundary, so the prevalidated
+// fast path is used when the service has one. A whole-batch error (the
+// service was closed under the server) fans out to every chunk; per-item
+// failures reach only their own line via the decision's DecisionErr.
+func (p *pipe[Req, Dec]) flush(reqs []Req, spans []flushSpan[Req, Dec]) {
+	p.batchSz.Observe(float64(len(reqs)))
+	ds, err := service.SubmitPrevalidated(context.Background(), p.svc, reqs)
+	now := time.Now()
+	at := 0
+	for _, sp := range spans {
+		c := chunk[Dec]{n: sp.n, err: err}
+		if err == nil {
+			c.ds = ds[at : at+sp.n]
+		}
+		at += sp.n
+		p.latency.Observe(now.Sub(sp.sub.enq).Seconds())
+		for _, d := range c.ds {
+			if d.DecisionErr() != nil {
+				p.errItems.Inc()
+				continue
+			}
+			p.decisions.Inc()
+			if p.observe != nil {
+				p.observe(d)
+			}
+		}
+		sp.sub.done <- c
+	}
+}
+
+// decode parses and bounds one submission body.
+func (p *pipe[Req, Dec]) decode(r *http.Request) ([]Req, error) {
+	body, err := readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	decode := p.codec.Decode
+	if decode == nil {
+		decode = DecodeJSONBatch[Req]
+	}
+	reqs, err := decode(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(reqs) > p.srv.cfg.maxSubmit() {
+		return nil, errTooLarge
+	}
+	return reqs, nil
+}
+
+// handleSubmit decodes one submission (a single item or an array),
+// validates every item up front (the whole submission is rejected if any
+// item is invalid), enqueues it into the workload's batching pipeline, and
+// streams one NDJSON decision line per item, in item order, as chunks of
+// decisions arrive from the flusher.
+func (p *pipe[Req, Dec]) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s := p.srv
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	reqs, err := p.decode(r)
+	if err != nil {
+		s.malformed.Inc()
+		status := http.StatusBadRequest
+		if err == errTooLarge {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	for i := range reqs {
+		if err := p.svc.Validate(reqs[i]); err != nil {
+			s.malformed.Inc()
+			httpError(w, http.StatusBadRequest, "item %d: %v", i, err)
+			return
+		}
+	}
+	if !s.enter() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	// Backpressure by items: wait for queue headroom before enqueueing.
+	// An admitted submission may overshoot the bound by itself (at most
+	// MaxSubmit items), like the old per-item queue once a submission
+	// started enqueueing; the flusher releases room as it takes items, so
+	// waiters here make progress as long as the pipeline is flushing.
+	limit := s.cfg.queueLen()
+	p.qmu.Lock()
+	for p.queuedItems >= limit {
+		p.qcond.Wait()
+	}
+	p.queuedItems += len(reqs)
+	p.qmu.Unlock()
+	sub := &submission[Req, Dec]{
+		reqs: reqs,
+		enq:  time.Now(),
+		// Buffered for the worst-case chunk count so the flusher never
+		// blocks on this submission's consumer.
+		done: make(chan chunk[Dec], len(reqs)/s.cfg.batchSize()+2),
+	}
+	p.queue <- sub
+	s.exit()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	flusher, _ := w.(http.Flusher)
+	gone := false
+	written := 0
+	for served := 0; served < len(reqs); {
+		c := <-sub.done
+		served += c.n
+		if gone {
+			continue // keep receiving so the buffered chunks are consumed
+		}
+		if c.err != nil {
+			// Whole-batch failure: one error line per item in the chunk.
+			line := errorJSON{Error: c.err.Error()}
+			for i := 0; i < c.n && !gone; i++ {
+				gone = enc.Encode(line) != nil
+			}
+			continue
+		}
+		for _, d := range c.ds {
+			if enc.Encode(p.codec.Encode(d)) != nil {
+				// Client went away; decisions are already accounted.
+				gone = true
+				break
+			}
+			written++
+			// Stream periodically so large submissions see early decisions.
+			if written%64 == 0 && flusher != nil {
+				_ = bw.Flush()
+				flusher.Flush()
+			}
+		}
+	}
+	if gone {
+		return
+	}
+	_ = bw.Flush()
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// releaseItems returns item headroom to the queue bound and wakes blocked
+// handlers.
+func (p *pipe[Req, Dec]) releaseItems(n int) {
+	p.qmu.Lock()
+	p.queuedItems -= n
+	p.qmu.Unlock()
+	p.qcond.Broadcast()
+}
+
+// handleStats renders the workload's statistics (via its codec) as JSON.
+func (p *pipe[Req, Dec]) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	p.qmu.Lock()
+	depth := p.queuedItems
+	p.qmu.Unlock()
+	body := p.codec.Stats(QueueState{Depth: depth, Draining: p.srv.draining.Load()})
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// name reported for debugging and future introspection endpoints.
+func (p *pipe[Req, Dec]) String() string { return fmt.Sprintf("pipe(%s)", p.name) }

@@ -1,206 +1,268 @@
-// Package server is the network-facing admission service (DESIGN.md §7):
-// a stdlib-only net/http JSON front end over the sharded concurrent engine
-// (internal/engine), with a coalescing batch pipeline, streaming decision
-// responses, a Prometheus-text /metrics endpoint, and graceful drain. It
-// optionally also serves online set cover with repetitions over a cover
-// engine (internal/coverengine) — the /v1/cover path, DESIGN.md §9 and
-// cover.go in this package.
+// Package server is the network-facing serving layer (DESIGN.md §7 and
+// §10): a stdlib-only net/http JSON front end over any engine implementing
+// the generic service contract (internal/service), with a per-workload
+// coalescing batch pipeline, streaming NDJSON decision responses, a
+// Prometheus-text /metrics endpoint, and graceful drain.
 //
-// Serving the paper's §3 randomized-preemptive algorithm behind a request
-// boundary adds no algorithmic content — the engine already decides
-// requests in arrival order — so this package's job is purely systems: it
-// turns many small HTTP submissions into few large engine batches
-// (amortizing the per-operation channel round-trip of the shard event
-// loops) and makes the engine's accounting observable.
+// A Server is a registry of workloads: each Register mounts one
+// service.Service under /v1/<name> (submissions) and /v1/<name>/stats
+// (statistics) through one generic handler and one generic batching
+// pipeline. The built-in workloads are the §2/§3 admission engine
+// (Admission, internal/engine) and the §§4–5 set cover engine (Cover,
+// internal/coverengine); a new workload plugs in with a Registration — a
+// codec for its wire format plus its service — and inherits batching,
+// streaming, validation, metrics and drain without touching this package.
+//
+// Serving the paper's algorithms behind a request boundary adds no
+// algorithmic content — the engines already decide arrivals in order — so
+// this package's job is purely systems: it turns many small HTTP
+// submissions into few large engine batches (amortizing the per-operation
+// channel round-trip of the shard event loops) and makes the engines'
+// accounting observable.
 //
 // Concurrency contract: a Server's HTTP handlers are safe for any number
-// of concurrent connections; the batch pipeline is a single flusher
-// goroutine (preserving global FIFO order over the submission queue, which
-// keeps one-connection traffic decision-deterministic), and Drain may be
-// called from any goroutine, concurrently with in-flight handlers. The
-// Server does not close its engine — the caller owns it.
+// of concurrent connections; each workload's pipeline is a single flusher
+// goroutine (preserving global FIFO order over that workload's submission
+// queue, which keeps one-connection traffic decision-deterministic), and
+// Drain may be called from any goroutine, concurrently with in-flight
+// handlers. The Server does not close its services — the caller owns them.
 package server
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"admission/internal/coverengine"
-	"admission/internal/engine"
 	"admission/internal/metrics"
-	"admission/internal/problem"
+	"admission/internal/service"
 )
 
-// Config tunes the batching pipeline. The zero value gets defaults.
+// Default pipeline parameters, applied when the corresponding Config field
+// is zero.
+const (
+	// DefaultBatchSize is the default maximum engine batch.
+	DefaultBatchSize = 256
+	// DefaultFlushInterval is the default wait bound of a non-full batch.
+	DefaultFlushInterval = 500 * time.Microsecond
+	// DefaultQueueLen is the default per-workload bound on queued items.
+	DefaultQueueLen = 8192
+	// DefaultMaxSubmit is the default per-request item cap.
+	DefaultMaxSubmit = 16384
+)
+
+// Config tunes the batching pipeline shared by every registered workload.
+// The zero value means every documented default; negative values are
+// rejected by New with a descriptive error.
 type Config struct {
-	// BatchSize is the maximum number of queued submissions coalesced into
-	// one engine batch (default 256).
+	// BatchSize is the maximum number of queued items coalesced into one
+	// engine batch (0 means DefaultBatchSize).
 	BatchSize int
 	// FlushInterval bounds how long a non-full batch waits for more
-	// submissions before flushing (default 500µs). Larger values trade
-	// latency for throughput under light load; under saturation batches
-	// fill before the timer fires and the interval is irrelevant.
+	// submissions before flushing (0 means DefaultFlushInterval). Larger
+	// values trade latency for throughput under light load; under
+	// saturation batches fill before the timer fires and the interval is
+	// irrelevant.
 	FlushInterval time.Duration
-	// QueueLen is the submission queue capacity; enqueueing blocks when it
-	// is full, back-pressuring HTTP clients (default 8192).
+	// QueueLen bounds each workload's queued work, counted in items
+	// (requests/arrivals) across all queued HTTP submissions; enqueueing
+	// blocks when the bound is reached, back-pressuring clients (0 means
+	// DefaultQueueLen). One submission may overshoot the bound by at most
+	// MaxSubmit items, mirroring the pre-§10 per-item queue's behaviour of
+	// committing a submission once it starts enqueueing.
 	QueueLen int
-	// MaxSubmit caps the number of requests in one HTTP submission body
-	// (default 16384; larger bodies get 413).
+	// MaxSubmit caps the number of items in one HTTP submission body
+	// (0 means DefaultMaxSubmit; larger bodies get 413).
 	MaxSubmit int
 }
 
+// validate rejects negative fields with a descriptive error; zero always
+// means the documented default (a Config is never "timer-less").
+func (c Config) validate() error {
+	if c.BatchSize < 0 {
+		return fmt.Errorf("server: BatchSize %d is negative; use 0 for the default %d", c.BatchSize, DefaultBatchSize)
+	}
+	if c.FlushInterval < 0 {
+		return fmt.Errorf("server: FlushInterval %v is negative; use 0 for the default %v", c.FlushInterval, DefaultFlushInterval)
+	}
+	if c.QueueLen < 0 {
+		return fmt.Errorf("server: QueueLen %d is negative; use 0 for the default %d", c.QueueLen, DefaultQueueLen)
+	}
+	if c.MaxSubmit < 0 {
+		return fmt.Errorf("server: MaxSubmit %d is negative; use 0 for the default %d", c.MaxSubmit, DefaultMaxSubmit)
+	}
+	return nil
+}
+
 func (c Config) batchSize() int {
-	if c.BatchSize <= 0 {
-		return 256
+	if c.BatchSize == 0 {
+		return DefaultBatchSize
 	}
 	return c.BatchSize
 }
 
 func (c Config) flushInterval() time.Duration {
-	if c.FlushInterval <= 0 {
-		return 500 * time.Microsecond
+	if c.FlushInterval == 0 {
+		return DefaultFlushInterval
 	}
 	return c.FlushInterval
 }
 
 func (c Config) queueLen() int {
-	if c.QueueLen <= 0 {
-		return 8192
+	if c.QueueLen == 0 {
+		return DefaultQueueLen
 	}
 	return c.QueueLen
 }
 
 func (c Config) maxSubmit() int {
-	if c.MaxSubmit <= 0 {
-		return 16384
+	if c.MaxSubmit == 0 {
+		return DefaultMaxSubmit
 	}
 	return c.MaxSubmit
 }
 
-// result is one decided submission, delivered on an item's done channel.
-type result struct {
-	d   engine.Decision
-	err error
+// QueueState is the pipeline view handed to a workload's Stats codec hook.
+type QueueState struct {
+	// Depth is the number of items waiting in the workload's batching
+	// queue.
+	Depth int
+	// Draining reports whether Drain has been initiated.
+	Draining bool
 }
 
-// item is one queued submission awaiting its engine decision.
-type item struct {
-	req  problem.Request
-	enq  time.Time
-	done chan result
+// Codec describes one workload's wire format: how decisions and statistics
+// are rendered, and optionally how request bodies are parsed and which
+// workload-specific metrics are kept. Together with a service.Service it
+// is everything Register needs to serve a workload.
+type Codec[Req any, Dec service.Decision] struct {
+	// Encode renders one decision as its NDJSON wire line (a
+	// JSON-marshalable value). Required.
+	Encode func(Dec) any
+	// Stats renders the workload's /v1/<name>/stats response body.
+	// Required.
+	Stats func(q QueueState) any
+	// Decode parses one HTTP submission body into requests. Nil means
+	// DecodeJSONBatch[Req] (a single JSON value or a JSON array).
+	Decode func(body []byte) ([]Req, error)
+	// Metrics optionally registers workload-specific collectors on the
+	// server's registry and returns a per-decision observer invoked for
+	// every successfully decided item (nil for none).
+	Metrics func(reg *metrics.Registry) func(Dec)
 }
 
-// itemPool recycles items (and their one-shot done channels — each carries
-// exactly one send and one receive per use, like the engine's reply pool).
-var itemPool = sync.Pool{New: func() any {
-	return &item{done: make(chan result, 1)}
-}}
+// Registration mounts one workload on a Server during New. Build one with
+// Register (or the built-in Admission and Cover helpers).
+type Registration func(s *Server) error
 
-// Server fronts one engine with the batching pipeline and HTTP handlers,
-// and optionally a cover engine with the set cover serving path (cover.go).
+// Register mounts svc as the workload called name: POST /v1/<name> serves
+// submissions through the shared batching pipeline and GET
+// /v1/<name>/stats its statistics. The name must be non-empty and
+// URL-path-safe; registering the same name twice fails New.
+func Register[Req any, Dec service.Decision](name string, svc service.Service[Req, Dec], codec Codec[Req, Dec]) Registration {
+	return func(s *Server) error {
+		if name == "" || strings.ContainsAny(name, "/ ?#") {
+			return fmt.Errorf("server: invalid workload name %q", name)
+		}
+		if codec.Encode == nil || codec.Stats == nil {
+			return fmt.Errorf("server: workload %q: codec needs Encode and Stats", name)
+		}
+		if _, dup := s.workloads[name]; dup {
+			return fmt.Errorf("server: workload %q registered twice", name)
+		}
+		p := newPipe(s, name, svc, codec)
+		s.workloads[name] = p
+		s.names = append(s.names, name)
+		s.mux.HandleFunc("/v1/"+name, p.handleSubmit)
+		s.mux.HandleFunc("/v1/"+name+"/stats", p.handleStats)
+		return nil
+	}
+}
+
+// workloadPipe is the non-generic face of a mounted workload's pipeline.
+type workloadPipe interface {
+	// closeQueue ends the pipeline's intake; the flusher then drains what
+	// is queued and exits. Called exactly once, by Drain (or New's unwind).
+	closeQueue()
+	// await waits for the flusher to finish deciding and answering
+	// everything that was queued, or for ctx.
+	await(ctx context.Context) error
+}
+
+// Server is the workload registry plus the shared HTTP surface: one
+// generic handler pair per registered workload, /metrics, /healthz, and a
+// graceful drain across all pipelines.
 type Server struct {
-	eng   *engine.Engine
-	cov   *coverengine.Engine // nil unless created with NewWithCover
-	cfg   Config
-	queue chan *item
-	loops sync.WaitGroup
+	cfg       Config
+	mux       *http.ServeMux
+	workloads map[string]workloadPipe
+	names     []string
 
 	draining   atomic.Bool
 	submitters atomic.Int64 // handlers currently enqueueing; see enter/exit
-	drainOnce  sync.Once
-	drainErr   error
+	// drainMu serializes Drain; queuesClosed records that every pipe's
+	// intake has been closed, so a Drain that timed out can be retried
+	// with a fresh context and resume waiting instead of replaying a
+	// cached error.
+	drainMu      sync.Mutex
+	queuesClosed bool
 
 	reg       *metrics.Registry
-	accepts   *metrics.Counter
-	rejects   *metrics.Counter
-	preempts  *metrics.Counter
 	malformed *metrics.Counter
-	batchSz   *metrics.Histogram
-	latency   *metrics.Histogram
-
-	coverArrivals *metrics.Counter
-	coverErrors   *metrics.Counter
-	coverSets     *metrics.Counter
-	coverCost     *metrics.Counter
 }
 
-// New creates a Server over an existing engine and starts its flusher
-// goroutine. The caller retains ownership of the engine (and must Close it
-// after Drain).
-func New(eng *engine.Engine, cfg Config) *Server {
-	return NewWithCover(eng, nil, cfg)
-}
-
-// NewWithCover creates a Server that additionally serves online set cover
-// through the given cover engine (nil disables the cover path, making this
-// identical to New). A nil admission engine is also allowed — the result
-// is a cover-only server whose /v1/submit and /v1/stats answer 404.
-// Ownership follows New: the caller closes both engines after Drain.
-func NewWithCover(eng *engine.Engine, cov *coverengine.Engine, cfg Config) *Server {
+// New creates a Server over the given workload registrations and starts
+// one flusher goroutine per workload. It fails on an invalid Config
+// (negative fields), an empty registry, or a bad registration. The caller
+// retains ownership of the registered services (and must Close them after
+// Drain).
+func New(cfg Config, regs ...Registration) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(regs) == 0 {
+		return nil, errors.New("server: no workloads registered")
+	}
 	s := &Server{
-		eng:   eng,
-		cov:   cov,
-		cfg:   cfg,
-		queue: make(chan *item, cfg.queueLen()),
-		reg:   metrics.NewRegistry(),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		workloads: map[string]workloadPipe{},
+		reg:       metrics.NewRegistry(),
 	}
-	s.accepts = s.reg.NewCounter("acserve_decisions_accept_total",
-		"Requests admitted by the engine (may later be preempted).")
-	s.rejects = s.reg.NewCounter("acserve_decisions_reject_total",
-		"Requests rejected on arrival.")
-	s.preempts = s.reg.NewCounter("acserve_preemptions_total",
-		"Previously accepted requests preempted by later decisions.")
 	s.malformed = s.reg.NewCounter("acserve_malformed_total",
-		"HTTP submissions rejected before reaching the engine (bad JSON or invalid request).")
-	s.batchSz = s.reg.NewHistogram("acserve_batch_size",
-		"Coalesced engine batch sizes.",
-		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
-	s.latency = s.reg.NewHistogram("acserve_decision_latency_seconds",
-		"Queue-to-decision latency per request.",
-		metrics.ExponentialBuckets(16e-6, 2, 16)) // 16µs .. ~0.5s
-	s.reg.NewGaugeFunc("acserve_queue_depth",
-		"Submissions waiting in the batching queue.",
-		func() []metrics.Sample {
-			return []metrics.Sample{{Value: float64(len(s.queue))}}
-		})
-	if s.eng != nil {
-		s.reg.NewGaugeFunc("acserve_shard_occupancy",
-			"Per-shard integral load (incl. cross-shard reservations) over shard capacity.",
-			func() []metrics.Sample {
-				per := s.eng.ShardStats()
-				out := make([]metrics.Sample, len(per))
-				for i, st := range per {
-					occ := 0.0
-					if st.Capacity > 0 {
-						occ = float64(st.Load) / float64(st.Capacity)
-					}
-					out[i] = metrics.Sample{
-						Labels: map[string]string{"shard": fmt.Sprint(st.Shard)},
-						Value:  occ,
-					}
-				}
-				return out
-			})
+		"HTTP submissions rejected before reaching an engine (bad JSON or invalid items).")
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	for _, reg := range regs {
+		if err := reg(s); err != nil {
+			// Unwind pipes already mounted so their flushers exit.
+			for _, name := range s.names {
+				s.workloads[name].closeQueue()
+				_ = s.workloads[name].await(context.Background())
+			}
+			return nil, err
+		}
 	}
-	if s.cov != nil {
-		s.initCover()
-	}
-	s.loops.Add(1)
-	go s.flushLoop()
-	return s
+	sort.Strings(s.names)
+	return s, nil
 }
 
-// enter registers an enqueueing handler; false once draining (same
-// counter-then-flag pattern as the engine's admission path).
+// Workloads returns the registered workload names, sorted.
+func (s *Server) Workloads() []string {
+	return append([]string(nil), s.names...)
+}
+
+// enter registers an enqueueing handler; false once draining (the same
+// counter-then-flag pattern as the engines' admission paths).
 func (s *Server) enter() bool {
 	s.submitters.Add(1)
 	if s.draining.Load() {
@@ -213,98 +275,17 @@ func (s *Server) enter() bool {
 // exit balances enter.
 func (s *Server) exit() { s.submitters.Add(-1) }
 
-// flushLoop coalesces queued submissions into engine batches: a batch
-// flushes when it reaches BatchSize or when FlushInterval has elapsed
-// since its first item. Exits when the queue is closed and drained.
-func (s *Server) flushLoop() {
-	defer s.loops.Done()
-	size := s.cfg.batchSize()
-	interval := s.cfg.flushInterval()
-	batch := make([]*item, 0, size)
-	reqs := make([]problem.Request, 0, size)
-	timer := time.NewTimer(interval)
-	defer timer.Stop()
-	for {
-		first, ok := <-s.queue
-		if !ok {
-			return
-		}
-		batch = append(batch[:0], first)
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(interval)
-		closed := false
-	collect:
-		for len(batch) < size {
-			select {
-			case next, ok := <-s.queue:
-				if !ok {
-					closed = true
-					break collect
-				}
-				batch = append(batch, next)
-			case <-timer.C:
-				break collect
-			}
-		}
-		s.flush(batch, reqs[:0])
-		if closed {
-			return
-		}
-	}
-}
-
-// flush submits one coalesced batch to the engine and delivers each
-// decision to its submitter, updating the decision counters. Requests were
-// validated at the HTTP boundary, so the pre-validated engine path is
-// used. A whole-batch error (only ErrClosed — the engine was closed under
-// the server) fans out to every item; a per-request engine failure
-// (Decision.Err) reaches only its own submitter, and such requests count
-// in neither the accept nor the reject counter (mirroring the engine,
-// which charges them as neither).
-func (s *Server) flush(batch []*item, reqs []problem.Request) {
-	for _, it := range batch {
-		reqs = append(reqs, it.req)
-	}
-	s.batchSz.Observe(float64(len(batch)))
-	ds, err := s.eng.SubmitBatchPrevalidated(reqs)
-	now := time.Now()
-	for i, it := range batch {
-		var res result
-		switch {
-		case err != nil:
-			res.err = err
-		case ds[i].Err != nil:
-			res.err = ds[i].Err
-		default:
-			res.d = ds[i]
-			if res.d.Accepted {
-				s.accepts.Inc()
-			} else {
-				s.rejects.Inc()
-			}
-			s.preempts.Add(float64(len(res.d.Preempted)))
-		}
-		s.latency.Observe(now.Sub(it.enq).Seconds())
-		it.done <- res
-	}
-}
-
-// Drain gracefully shuts the pipeline down: new submissions are refused
-// with 503, handlers already enqueueing finish, every queued submission is
-// decided and answered, and the flusher exits. Drain is idempotent; the
-// context bounds how long to wait. The engine stays open — close it after
-// Drain returns.
+// Drain gracefully shuts every workload pipeline down: new submissions are
+// refused with 503, handlers already enqueueing finish, every queued
+// submission is decided and answered, and the flushers exit. Drain is
+// idempotent and retryable: the context bounds how long to wait, and a
+// Drain that returned a context error can be called again with a fresh
+// context to resume waiting (every pipeline's intake is closed before any
+// waiting starts, so all flushers keep draining in the meantime). The
+// services stay open — close them after Drain returns.
 func (s *Server) Drain(ctx context.Context) error {
-	s.drainOnce.Do(func() { s.drainErr = s.drain(ctx) })
-	return s.drainErr
-}
-
-func (s *Server) drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
 	s.draining.Store(true)
 	for s.submitters.Load() != 0 {
 		select {
@@ -314,18 +295,21 @@ func (s *Server) drain(ctx context.Context) error {
 			runtime.Gosched()
 		}
 	}
-	close(s.queue)
-	done := make(chan struct{})
-	go func() {
-		s.loops.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	if !s.queuesClosed {
+		// Close every intake before waiting on any pipe, so a timeout
+		// while waiting for one workload never leaves another's flusher
+		// blocked on an open queue.
+		for _, name := range s.names {
+			s.workloads[name].closeQueue()
+		}
+		s.queuesClosed = true
 	}
+	for _, name := range s.names {
+		if err := s.workloads[name].await(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Draining reports whether Drain has been initiated.
@@ -333,42 +317,17 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the server's HTTP routes:
 //
-//	POST /v1/submit      JSON request(s) in, NDJSON decision stream out
-//	GET  /v1/stats       engine + pipeline statistics as JSON
-//	POST /v1/cover       element arrival(s) in, NDJSON cover decisions out
-//	                     (404 unless a cover engine is attached)
-//	GET  /v1/cover/stats cover engine statistics as JSON
-//	GET  /metrics        Prometheus text exposition
-//	GET  /healthz        liveness (503 while draining)
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/submit", s.handleSubmit)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/cover", s.handleCover)
-	mux.HandleFunc("/v1/cover/stats", s.handleCoverStats)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
-}
+//	POST /v1/<workload>       JSON item(s) in, NDJSON decision stream out
+//	GET  /v1/<workload>/stats workload + pipeline statistics as JSON
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness (503 while draining)
+//
+// with one route pair per registered workload (e.g. /v1/admission and
+// /v1/cover for the built-ins).
+func (s *Server) Handler() http.Handler { return s.mux }
 
-// DecisionJSON is the wire form of one engine decision (one NDJSON line of
-// a /v1/submit response). Error is set instead of the decision fields when
-// the submission failed inside the engine.
-type DecisionJSON struct {
-	// ID is the engine-assigned global request ID.
-	ID int `json:"id"`
-	// Accepted reports admission; single-shard accepts may later be
-	// preempted, cross-shard accepts are permanent.
-	Accepted bool `json:"accepted"`
-	// CrossShard reports that the request took the two-phase path.
-	CrossShard bool `json:"cross_shard,omitempty"`
-	// Preempted lists global IDs of requests evicted by this decision.
-	Preempted []int `json:"preempted,omitempty"`
-	// Error carries an engine-level failure for this submission.
-	Error string `json:"error,omitempty"`
-}
-
-// errorJSON is the body of a non-200 response.
+// errorJSON is the body of a non-200 response and of per-item error lines
+// emitted when a whole engine batch fails.
 type errorJSON struct {
 	Error string `json:"error"`
 }
@@ -380,96 +339,39 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	_ = json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
-// handleSubmit decodes one request or an array of requests, validates them
-// all up front (the whole submission is rejected if any item is invalid),
-// enqueues them into the batching pipeline, and streams one decision line
-// per request, in request order, as decisions arrive.
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.eng == nil {
-		httpError(w, http.StatusNotFound, "admission serving not enabled on this server")
-		return
-	}
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	reqs, err := decodeSubmission(r, s.cfg.maxSubmit())
-	if err != nil {
-		s.malformed.Inc()
-		status := http.StatusBadRequest
-		if err == errTooLarge {
-			status = http.StatusRequestEntityTooLarge
-		}
-		httpError(w, status, "%v", err)
-		return
-	}
-	for i := range reqs {
-		if err := s.eng.ValidateRequest(reqs[i]); err != nil {
-			s.malformed.Inc()
-			httpError(w, http.StatusBadRequest, "request %d: %v", i, err)
-			return
-		}
-	}
-	if !s.enter() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
-	items := make([]*item, len(reqs))
-	now := time.Now()
-	for i := range reqs {
-		it := itemPool.Get().(*item)
-		it.req = reqs[i]
-		it.enq = now
-		items[i] = it
-		s.queue <- it
-	}
-	s.exit()
+// errTooLarge marks an over-limit submission (mapped to 413).
+var errTooLarge = errors.New("submission exceeds the per-request item limit")
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	flusher, _ := w.(http.Flusher)
-	for i, it := range items {
-		res := <-it.done
-		it.req = problem.Request{}
-		itemPool.Put(it)
-		line := DecisionJSON{
-			ID:         res.d.ID,
-			Accepted:   res.d.Accepted,
-			CrossShard: res.d.CrossShard,
-			Preempted:  res.d.Preempted,
-		}
-		if res.err != nil {
-			line.Error = res.err.Error()
-		}
-		if err := enc.Encode(line); err != nil {
-			// Client went away; keep receiving so remaining items are
-			// recycled, then give up on writing.
-			for _, rest := range items[i+1:] {
-				<-rest.done
-				rest.req = problem.Request{}
-				itemPool.Put(rest)
-			}
-			return
-		}
-		// Stream periodically so large submissions see early decisions.
-		if i%64 == 63 && flusher != nil {
-			_ = bw.Flush()
-			flusher.Flush()
-		}
+// maxBodyBytes caps a submission body read (64 MiB).
+const maxBodyBytes = 64 << 20
+
+// DecodeJSONBatch parses a submission body as either a single JSON value
+// of type Req or a JSON array of them — the wire convention every built-in
+// workload shares. It is the default Codec.Decode.
+func DecodeJSONBatch[Req any](body []byte) ([]Req, error) {
+	body = bytes.TrimSpace(body)
+	if len(body) == 0 {
+		return nil, errors.New("empty submission")
 	}
-	_ = bw.Flush()
-	if flusher != nil {
-		flusher.Flush()
+	if body[0] == '[' {
+		var reqs []Req
+		if err := json.Unmarshal(body, &reqs); err != nil {
+			return nil, fmt.Errorf("malformed submission: %v", err)
+		}
+		if len(reqs) == 0 {
+			return nil, errors.New("empty submission")
+		}
+		return reqs, nil
 	}
+	var one Req
+	if err := json.Unmarshal(body, &one); err != nil {
+		return nil, fmt.Errorf("malformed submission: %v", err)
+	}
+	return []Req{one}, nil
 }
 
-// errTooLarge marks an over-limit submission (mapped to 413).
-var errTooLarge = fmt.Errorf("submission exceeds the per-request item limit")
-
-// decodeSubmission parses the body as either a single request object or an
-// array of requests.
-func decodeSubmission(r *http.Request, maxItems int) ([]problem.Request, error) {
+// readBody reads a submission body under the global size cap.
+func readBody(r *http.Request) ([]byte, error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 	if err != nil {
 		return nil, fmt.Errorf("reading submission: %v", err)
@@ -477,98 +379,7 @@ func decodeSubmission(r *http.Request, maxItems int) ([]problem.Request, error) 
 	if len(body) > maxBodyBytes {
 		return nil, errTooLarge
 	}
-	body = bytes.TrimSpace(body)
-	if len(body) == 0 {
-		return nil, fmt.Errorf("empty submission")
-	}
-	var reqs []problem.Request
-	if body[0] == '[' {
-		if err := json.Unmarshal(body, &reqs); err != nil {
-			return nil, fmt.Errorf("malformed submission: %v", err)
-		}
-	} else {
-		var one problem.Request
-		if err := json.Unmarshal(body, &one); err != nil {
-			return nil, fmt.Errorf("malformed submission: %v", err)
-		}
-		reqs = []problem.Request{one}
-	}
-	if len(reqs) == 0 {
-		return nil, fmt.Errorf("empty submission")
-	}
-	if len(reqs) > maxItems {
-		return nil, errTooLarge
-	}
-	return reqs, nil
-}
-
-// maxBodyBytes caps a submission body read (64 MiB).
-const maxBodyBytes = 64 << 20
-
-// StatsJSON is the /v1/stats response body.
-type StatsJSON struct {
-	// Requests .. RejectedCost mirror engine.Stats.
-	Requests           int64   `json:"requests"`
-	Accepted           int64   `json:"accepted"`
-	Rejected           int64   `json:"rejected"`
-	CrossShard         int64   `json:"cross_shard"`
-	CrossShardAccepted int64   `json:"cross_shard_accepted"`
-	Preemptions        int64   `json:"preemptions"`
-	RejectedCost       float64 `json:"rejected_cost"`
-	// Shards is the per-shard occupancy view.
-	Shards []ShardJSON `json:"shards"`
-	// QueueDepth is the number of submissions waiting in the pipeline.
-	QueueDepth int `json:"queue_depth"`
-	// Draining reports whether Drain has been initiated.
-	Draining bool `json:"draining"`
-}
-
-// ShardJSON is one shard's row in StatsJSON.
-type ShardJSON struct {
-	// Shard is the shard index.
-	Shard int `json:"shard"`
-	// Requests counts single-shard requests decided by this shard.
-	Requests int `json:"requests"`
-	// Preemptions counts in-shard accept-then-reject events.
-	Preemptions int `json:"preemptions"`
-	// Load and Capacity give the shard's integral occupancy.
-	Load     int `json:"load"`
-	Capacity int `json:"capacity"`
-}
-
-// handleStats renders engine and pipeline statistics as JSON.
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if s.eng == nil {
-		httpError(w, http.StatusNotFound, "admission serving not enabled on this server")
-		return
-	}
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
-	st := s.eng.Stats()
-	out := StatsJSON{
-		Requests:           st.Requests,
-		Accepted:           st.Accepted,
-		Rejected:           st.Requests - st.Accepted,
-		CrossShard:         st.CrossShard,
-		CrossShardAccepted: st.CrossShardAccepted,
-		Preemptions:        st.Preemptions,
-		RejectedCost:       st.RejectedCost,
-		QueueDepth:         len(s.queue),
-		Draining:           s.draining.Load(),
-	}
-	for _, sh := range s.eng.ShardStats() {
-		out.Shards = append(out.Shards, ShardJSON{
-			Shard:       sh.Shard,
-			Requests:    sh.Requests,
-			Preemptions: sh.Preemptions,
-			Load:        sh.Load,
-			Capacity:    sh.Capacity,
-		})
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(out)
+	return body, nil
 }
 
 // handleMetrics renders the Prometheus text exposition.

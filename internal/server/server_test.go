@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -34,7 +35,8 @@ func testInstance(t testing.TB, seed uint64, n int) *problem.Instance {
 	return ins
 }
 
-// newTestServer stands up an engine + Server + httptest listener.
+// newTestServer stands up an engine + Server + httptest listener with the
+// engine mounted as the admission workload.
 func newTestServer(t testing.TB, caps []int, shards int, cfg Config) (*engine.Engine, *Server, *httptest.Server) {
 	t.Helper()
 	acfg := core.DefaultConfig()
@@ -43,7 +45,10 @@ func newTestServer(t testing.TB, caps []int, shards int, cfg Config) (*engine.En
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(eng, cfg)
+	s, err := New(cfg, Admission(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -69,13 +74,153 @@ func metricValue(t *testing.T, text, name string) float64 {
 	return 0
 }
 
+// TestConfigValidation pins the Config contract: zero fields mean the
+// documented defaults (never "no timer"), negative fields are rejected at
+// construction with a descriptive error.
+func TestConfigValidation(t *testing.T) {
+	if got := (Config{}).flushInterval(); got != DefaultFlushInterval {
+		t.Fatalf("zero FlushInterval resolves to %v, want the default %v", got, DefaultFlushInterval)
+	}
+	if got := (Config{}).batchSize(); got != DefaultBatchSize {
+		t.Fatalf("zero BatchSize resolves to %d, want the default %d", got, DefaultBatchSize)
+	}
+	eng, err := engine.New([]int{4}, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative flush", Config{FlushInterval: -time.Millisecond}, "FlushInterval"},
+		{"negative batch", Config{BatchSize: -1}, "BatchSize"},
+		{"negative queue", Config{QueueLen: -1}, "QueueLen"},
+		{"negative max submit", Config{MaxSubmit: -1}, "MaxSubmit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg, Admission(eng))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New(%+v): got %v, want error naming %s", tc.cfg, err, tc.want)
+			}
+		})
+	}
+	t.Run("no workloads", func(t *testing.T) {
+		if _, err := New(Config{}); err == nil {
+			t.Fatal("New with no registrations should fail")
+		}
+	})
+	t.Run("duplicate workload", func(t *testing.T) {
+		_, err := New(Config{}, Admission(eng), Admission(eng))
+		if err == nil || !strings.Contains(err.Error(), "twice") {
+			t.Fatalf("duplicate registration: got %v", err)
+		}
+	})
+	t.Run("zero config serves", func(t *testing.T) {
+		s, err := New(Config{}, Admission(eng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Workloads(); len(got) != 1 || got[0] != WorkloadAdmission {
+			t.Fatalf("Workloads() = %v", got)
+		}
+		_ = s.Drain(context.Background())
+	})
+}
+
+// TestItemBackpressureLiveness runs many oversized submissions through a
+// pipeline whose item bound is far smaller than any single submission:
+// every submission must still be admitted (one submission may overshoot
+// the bound by itself) and decided — the bound throttles, it never
+// wedges.
+func TestItemBackpressureLiveness(t *testing.T) {
+	ins := testInstance(t, 29, 800)
+	eng, s, ts := newTestServer(t, ins.Capacities, 2, Config{QueueLen: 2, BatchSize: 16})
+	client := NewAdmissionClient(ts.URL, 8)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * 50
+			if _, err := client.Submit(ctx, ins.Requests[lo:lo+50]); err != nil {
+				errCh <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if st := eng.Snapshot(); st.Requests != 800 {
+		t.Fatalf("engine decided %d of 800 under a tight item bound", st.Requests)
+	}
+}
+
+// TestClientSubmitHonoursContextMidStream is the regression test for the
+// streaming-cancellation fix: the server writes one decision line and then
+// stalls; cancelling the context must abort the hung NDJSON read loop
+// promptly instead of blocking until the server gives up.
+func TestClientSubmitHonoursContextMidStream(t *testing.T) {
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"id":0,"accepted":true}` + "\n"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-stall // hang the stream: the second line never arrives
+	}))
+	defer func() {
+		close(stall)
+		ts.Close()
+	}()
+
+	client := NewAdmissionClient(ts.URL, 1)
+	defer client.CloseIdle()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	type result struct {
+		ds  []DecisionJSON
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		ds, err := client.Submit(ctx, []problem.Request{{Edges: []int{0}, Cost: 1}, {Edges: []int{0}, Cost: 1}})
+		done <- result{ds, err}
+	}()
+	select {
+	case r := <-done:
+		if !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("Submit on stalled stream: got err %v (decisions %v), want context.Canceled", r.err, r.ds)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit did not return after cancellation: ctx is not wired through the NDJSON read loop")
+	}
+}
+
 // TestLifecycleMetricsReconcile is the acceptance-criteria test: after a
 // full serve-and-drain lifecycle, the /metrics counters reconcile exactly
 // with the engine's accept/reject/preempt totals.
 func TestLifecycleMetricsReconcile(t *testing.T) {
 	ins := testInstance(t, 5, 600)
 	eng, s, ts := newTestServer(t, ins.Capacities, 4, Config{})
-	client := NewClient(ts.URL, 4)
+	client := NewAdmissionClient(ts.URL, 4)
 	ctx := context.Background()
 
 	var preempted int64
@@ -101,7 +246,7 @@ func TestLifecycleMetricsReconcile(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng.Close()
-	st := eng.Stats()
+	st := eng.Snapshot()
 
 	if st.Requests != int64(len(ins.Requests)) {
 		t.Fatalf("engine saw %d requests, want %d", st.Requests, len(ins.Requests))
@@ -118,37 +263,44 @@ func TestLifecycleMetricsReconcile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := metricValue(t, text, "acserve_decisions_accept_total"); got != float64(st.Accepted) {
+	if got := metricValue(t, text, "acserve_admission_accept_total"); got != float64(st.Accepted) {
 		t.Fatalf("accept counter %g, engine %d", got, st.Accepted)
 	}
-	if got := metricValue(t, text, "acserve_decisions_reject_total"); got != float64(st.Requests-st.Accepted) {
+	if got := metricValue(t, text, "acserve_admission_reject_total"); got != float64(st.Requests-st.Accepted) {
 		t.Fatalf("reject counter %g, engine %d", got, st.Requests-st.Accepted)
 	}
-	if got := metricValue(t, text, "acserve_preemptions_total"); got != float64(st.Preemptions) {
+	if got := metricValue(t, text, "acserve_admission_preemptions_total"); got != float64(st.Preemptions) {
 		t.Fatalf("preempt counter %g, engine %d", got, st.Preemptions)
 	}
+	if got := metricValue(t, text, "acserve_admission_decisions_total"); got != float64(st.Requests) {
+		t.Fatalf("decisions counter %g, engine %d", got, st.Requests)
+	}
 	for _, want := range []string{
-		"acserve_shard_occupancy{shard=\"0\"}",
-		"acserve_decision_latency_seconds_bucket",
-		"acserve_batch_size_count",
-		"acserve_queue_depth",
+		"acserve_admission_shard_occupancy{shard=\"0\"}",
+		"acserve_admission_decision_latency_seconds_bucket",
+		"acserve_admission_batch_size_count",
+		"acserve_admission_queue_depth",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics output missing %q", want)
 		}
 	}
 
-	// /v1/stats agrees too.
-	stats, err := client.Stats(ctx)
-	if err != nil {
+	// /v1/admission/stats agrees too, and the uniform service stats match.
+	var stats StatsJSON
+	if err := client.Stats(ctx, &stats); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Requests != st.Requests || stats.Accepted != st.Accepted ||
 		stats.Preemptions != st.Preemptions || stats.RejectedCost != st.RejectedCost {
-		t.Fatalf("/v1/stats %+v disagrees with engine %+v", stats, st)
+		t.Fatalf("/v1/admission/stats %+v disagrees with engine %+v", stats, st)
 	}
 	if len(stats.Shards) != 4 {
 		t.Fatalf("got %d shard rows, want 4", len(stats.Shards))
+	}
+	svc := eng.Stats()
+	if svc.Requests != st.Requests || svc.Accepted != st.Accepted || svc.Objective != st.RejectedCost || svc.Shards != 4 {
+		t.Fatalf("uniform service stats %+v disagree with snapshot %+v", svc, st)
 	}
 }
 
@@ -156,7 +308,7 @@ func TestLifecycleMetricsReconcile(t *testing.T) {
 func TestMalformedSubmissions(t *testing.T) {
 	_, _, ts := newTestServer(t, []int{4, 4}, 1, Config{})
 	post := func(body string) *http.Response {
-		resp, err := http.Post(ts.URL+"/v1/submit", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+"/v1/admission", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,7 +343,7 @@ func TestMalformedSubmissions(t *testing.T) {
 	// Oversize submissions get 413.
 	t.Run("too many items", func(t *testing.T) {
 		_, _, ts2 := newTestServer(t, []int{4}, 1, Config{MaxSubmit: 2})
-		resp, err := http.Post(ts2.URL+"/v1/submit", "application/json",
+		resp, err := http.Post(ts2.URL+"/v1/admission", "application/json",
 			strings.NewReader(`[{"edges":[0],"cost":1},{"edges":[0],"cost":1},{"edges":[0],"cost":1}]`))
 		if err != nil {
 			t.Fatal(err)
@@ -204,13 +356,25 @@ func TestMalformedSubmissions(t *testing.T) {
 
 	// Wrong method.
 	t.Run("GET submit", func(t *testing.T) {
-		resp, err := http.Get(ts.URL + "/v1/submit")
+		resp, err := http.Get(ts.URL + "/v1/admission")
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Fatalf("status %d, want 405", resp.StatusCode)
+		}
+	})
+
+	// Unregistered workloads 404.
+	t.Run("unknown workload", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/nonesuch", "application/json", strings.NewReader(`1`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status %d, want 404", resp.StatusCode)
 		}
 	})
 
@@ -231,7 +395,7 @@ func TestMalformedSubmissions(t *testing.T) {
 	})
 
 	// Malformed counter moved.
-	client := NewClient(ts.URL, 1)
+	client := NewAdmissionClient(ts.URL, 1)
 	text, err := client.Metrics(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -247,7 +411,7 @@ func TestGracefulDrain(t *testing.T) {
 	ins := testInstance(t, 9, 2000)
 	eng, s, ts := newTestServer(t, ins.Capacities, 2,
 		Config{BatchSize: 32, FlushInterval: 5 * time.Millisecond})
-	client := NewClient(ts.URL, 8)
+	client := NewAdmissionClient(ts.URL, 8)
 	ctx := context.Background()
 
 	// Launch concurrent submitters, then drain while their batches are in
@@ -293,7 +457,7 @@ func TestGracefulDrain(t *testing.T) {
 	// the engine's request count matches the decisions the clients got
 	// back (503-refused batches contributed to neither).
 	eng.Close()
-	st := eng.Stats()
+	st := eng.Snapshot()
 	if st.Requests != decided {
 		t.Fatalf("engine decided %d requests, clients received %d decisions", st.Requests, decided)
 	}
@@ -328,18 +492,18 @@ func TestGracefulDrain(t *testing.T) {
 }
 
 // TestLoadgenLoopback exercises the acload→acserve path end to end over a
-// real TCP listener: RunLoad must decide everything it sent and reconcile
-// with the engine's accounting. Run under -race in CI.
+// real TCP listener: the generic load loop must decide everything it sent
+// and reconcile with the engine's accounting. Run under -race in CI.
 func TestLoadgenLoopback(t *testing.T) {
 	ins := testInstance(t, 13, 1200)
 	eng, s, ts := newTestServer(t, ins.Capacities, 4, Config{})
 	_ = s
-	report, err := RunLoad(context.Background(), LoadConfig{
-		BaseURL:  ts.URL,
-		Requests: ins.Requests,
-		Conns:    4,
-		Batch:    64,
-		Repeat:   2,
+	report, err := RunAdmissionLoad(context.Background(), LoadConfig[problem.Request]{
+		BaseURL: ts.URL,
+		Items:   ins.Requests,
+		Conns:   4,
+		Batch:   64,
+		Repeat:  2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -354,7 +518,7 @@ func TestLoadgenLoopback(t *testing.T) {
 	if report.Throughput <= 0 || report.LatencyP50 <= 0 || report.LatencyMax < report.LatencyP99 {
 		t.Fatalf("implausible report: %+v", report)
 	}
-	st := eng.Stats()
+	st := eng.Snapshot()
 	if st.Requests != wantSent {
 		t.Fatalf("engine saw %d requests, want %d", st.Requests, wantSent)
 	}
@@ -375,12 +539,12 @@ func TestRPSPacing(t *testing.T) {
 	ins := testInstance(t, 17, 200)
 	_, _, ts := newTestServer(t, ins.Capacities, 1, Config{})
 	start := time.Now()
-	report, err := RunLoad(context.Background(), LoadConfig{
-		BaseURL:  ts.URL,
-		Requests: ins.Requests,
-		Conns:    2,
-		Batch:    25,
-		RPS:      2000,
+	report, err := RunAdmissionLoad(context.Background(), LoadConfig[problem.Request]{
+		BaseURL: ts.URL,
+		Items:   ins.Requests,
+		Conns:   2,
+		Batch:   25,
+		RPS:     2000,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -434,8 +598,9 @@ func TestDeterministicLoopback(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ref.Close()
+	ctx := context.Background()
 	for _, r := range ins.Requests {
-		if _, err := ref.Submit(r); err != nil {
+		if _, err := ref.Submit(ctx, r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -444,23 +609,26 @@ func TestDeterministicLoopback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(eng, Config{})
+	s, err := New(Config{}, Admission(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer func() {
 		ts.Close()
 		_ = s.Drain(context.Background())
 		eng.Close()
 	}()
-	report, err := RunLoad(context.Background(), LoadConfig{
-		BaseURL:  ts.URL,
-		Requests: ins.Requests,
-		Conns:    1,
-		Batch:    50,
+	report, err := RunAdmissionLoad(context.Background(), LoadConfig[problem.Request]{
+		BaseURL: ts.URL,
+		Items:   ins.Requests,
+		Conns:   1,
+		Batch:   50,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	refStats, loopStats := ref.Stats(), eng.Stats()
+	refStats, loopStats := ref.Snapshot(), eng.Snapshot()
 	if refStats.Accepted != loopStats.Accepted || refStats.RejectedCost != loopStats.RejectedCost {
 		t.Fatalf("loopback diverged from direct engine: %+v vs %+v", loopStats, refStats)
 	}

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrStreamClosed is returned by Stream.Send after Close.
+var ErrStreamClosed = errors.New("service: stream closed")
+
+// Await is one in-flight submission: calling it blocks until the decision
+// is available or ctx is done. Implementations must resolve the underlying
+// operation (and its accounting) exactly once even when the caller's ctx
+// fires first — a cancelled Await hands the pending reply to a background
+// drainer rather than dropping it.
+type Await[Dec any] func(ctx context.Context) (Dec, error)
+
+// Ready wraps an already-made decision as an Await, for dispatch paths
+// that decide inline (e.g. the admission engine's two-phase cross-shard
+// protocol, which needs replies before it can commit).
+func Ready[Dec any](d Dec, err error) Await[Dec] {
+	return func(context.Context) (Dec, error) { return d, err }
+}
+
+// streamItem is one resolved decision travelling from the collector to
+// Recv.
+type streamItem[Dec any] struct {
+	dec Dec
+	err error
+}
+
+// Stream is an ordered, pipelined submission stream over a Service: Send
+// dispatches a request to the service's shards without waiting for earlier
+// decisions, and Recv yields decisions in exactly the order requests were
+// sent — including under concurrent senders, whose requests are ordered by
+// Send's internal serialization.
+//
+// Lifecycle: Close ends the sending side; Recv then drains every already
+// sent submission and returns io.EOF. Cancelling the stream's context
+// aborts blocked Send and Recv calls promptly; submissions already
+// dispatched are still resolved (and accounted by the service) in the
+// background. A Stream must be Closed even after cancellation — Close is
+// what lets the internal collector exit.
+type Stream[Req any, Dec any] struct {
+	ctx      context.Context
+	dispatch func(context.Context, Req) (Await[Dec], error)
+	stop     func() bool // detaches the context watchdog
+
+	sendMu sync.Mutex
+	closed bool
+	pend   chan Await[Dec]
+	out    chan streamItem[Dec]
+}
+
+// NewStream builds a Stream over a dispatch function: dispatch fires one
+// request into the service (returning an Await for its decision) and is
+// called under the stream's send lock, so its call order defines the
+// decision order. depth sizes the stream's two internal buffers (pending
+// awaits and resolved decisions), so up to about 2×depth unreceived
+// decisions may be outstanding before Send blocks — the stream's window
+// (≤ 0 means 256). Concrete services expose this through their Stream
+// method; callers never construct one directly.
+func NewStream[Req any, Dec any](ctx context.Context, depth int, dispatch func(context.Context, Req) (Await[Dec], error)) *Stream[Req, Dec] {
+	if depth <= 0 {
+		depth = 256
+	}
+	s := &Stream[Req, Dec]{
+		ctx:      ctx,
+		dispatch: dispatch,
+		pend:     make(chan Await[Dec], depth),
+		out:      make(chan streamItem[Dec], depth),
+	}
+	// If the context dies the stream closes itself so the collector exits
+	// even when the caller never calls Close.
+	s.stop = context.AfterFunc(ctx, func() { _ = s.Close() })
+	go s.collect()
+	return s
+}
+
+// collect resolves pending awaits in send order and hands the decisions to
+// Recv. It exits when Close closes pend; every dispatched submission is
+// resolved exactly once even if the receiver is gone.
+func (s *Stream[Req, Dec]) collect() {
+	for aw := range s.pend {
+		d, err := aw(s.ctx)
+		select {
+		case s.out <- streamItem[Dec]{d, err}:
+		case <-s.ctx.Done():
+			// The receiver may have given up; deliver if there is room,
+			// else drop — the await has already resolved and accounted.
+			select {
+			case s.out <- streamItem[Dec]{d, err}:
+			default:
+			}
+		}
+	}
+	close(s.out)
+}
+
+// Send dispatches one request into the stream. It blocks only when the
+// stream's window (about twice its depth) of unreceived decisions is
+// outstanding, and returns the context's error once the stream's context
+// is done, or ErrStreamClosed after Close.
+func (s *Stream[Req, Dec]) Send(req Req) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.closed {
+		return ErrStreamClosed
+	}
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	aw, err := s.dispatch(s.ctx, req)
+	if err != nil {
+		return err
+	}
+	select {
+	case s.pend <- aw:
+		return nil
+	case <-s.ctx.Done():
+		// Already dispatched: resolve the await inline — with ctx done it
+		// cannot block (it either finds the reply ready or hands it to the
+		// service's *tracked* drainer), so by the time Send returns the
+		// operation is registered with the service's drain accounting and
+		// a subsequent Drain/Close still reports exact statistics.
+		_, _ = aw(s.ctx)
+		return s.ctx.Err()
+	}
+}
+
+// Recv returns the next decision in send order. After Close it keeps
+// returning queued decisions until the stream is drained, then io.EOF.
+// Once the stream's context is done it returns the context's error when no
+// decision is immediately available.
+func (s *Stream[Req, Dec]) Recv() (Dec, error) {
+	var zero Dec
+	select {
+	case it, ok := <-s.out:
+		if !ok {
+			return zero, io.EOF
+		}
+		return it.dec, it.err
+	case <-s.ctx.Done():
+		// Prefer a decision that is already available (or the EOF of a
+		// drained stream) over reporting cancellation.
+		select {
+		case it, ok := <-s.out:
+			if !ok {
+				return zero, io.EOF
+			}
+			return it.dec, it.err
+		default:
+			return zero, s.ctx.Err()
+		}
+	}
+}
+
+// Close ends the sending side: subsequent Sends fail with ErrStreamClosed,
+// already-sent submissions are still decided, and Recv drains them before
+// returning io.EOF. Close is idempotent and never discards queued work —
+// the drain-completes-queued guarantee the serving layer's shutdown relies
+// on.
+func (s *Stream[Req, Dec]) Close() error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.stop != nil {
+		s.stop()
+	}
+	close(s.pend)
+	return nil
+}

@@ -1,0 +1,302 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeDec is a minimal decision type for stream tests.
+type fakeDec struct {
+	seq int
+	err error
+}
+
+func (d fakeDec) DecisionErr() error { return d.err }
+
+// slowOracle is a stub dispatcher: it assigns sequence numbers in dispatch
+// order and resolves each decision on its own goroutine after a scheduling
+// delay, so resolution order is scrambled relative to dispatch order
+// unless the Stream restores it.
+type slowOracle struct {
+	mu       sync.Mutex
+	next     int
+	resolved atomic.Int64
+}
+
+func (o *slowOracle) dispatch(ctx context.Context, delay time.Duration) (Await[fakeDec], error) {
+	o.mu.Lock()
+	seq := o.next
+	o.next++
+	o.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(delay)
+		close(done)
+	}()
+	return func(ctx context.Context) (fakeDec, error) {
+		select {
+		case <-done:
+			o.resolved.Add(1)
+			return fakeDec{seq: seq}, nil
+		case <-ctx.Done():
+			go func() { <-done; o.resolved.Add(1) }()
+			return fakeDec{}, ctx.Err()
+		}
+	}, nil
+}
+
+// TestStreamOrderedUnderConcurrentWriters drives one stream from many
+// goroutines and checks Recv yields decisions in exactly dispatch order,
+// even though the stub resolves them at random delays.
+func TestStreamOrderedUnderConcurrentWriters(t *testing.T) {
+	oracle := &slowOracle{}
+	s := NewStream(context.Background(), 8, func(ctx context.Context, d time.Duration) (Await[fakeDec], error) {
+		return oracle.dispatch(ctx, d)
+	})
+
+	const writers = 8
+	const perWriter = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				delay := time.Duration((w*perWriter+i)%5) * 100 * time.Microsecond
+				if err := s.Send(delay); err != nil {
+					t.Errorf("writer %d: Send: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		s.Close()
+	}()
+
+	got := 0
+	for {
+		d, err := s.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Recv %d: %v", got, err)
+		}
+		if d.seq != got {
+			t.Fatalf("Recv %d: got seq %d, want %d (order broken)", got, d.seq, got)
+		}
+		got++
+	}
+	if got != writers*perWriter {
+		t.Fatalf("received %d decisions, want %d", got, writers*perWriter)
+	}
+}
+
+// TestStreamCancellationMidStream cancels a stream with decisions pending
+// and checks Send/Recv fail promptly while every dispatched submission is
+// still resolved (accounted) in the background.
+func TestStreamCancellationMidStream(t *testing.T) {
+	oracle := &slowOracle{}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewStream(ctx, 4, func(ctx context.Context, d time.Duration) (Await[fakeDec], error) {
+		return oracle.dispatch(ctx, d)
+	})
+	defer s.Close()
+
+	const sent = 6
+	for i := 0; i < sent; i++ {
+		if err := s.Send(20 * time.Millisecond); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	cancel()
+
+	// Send must fail with the context error once cancelled.
+	if err := s.Send(0); !errors.Is(err, context.Canceled) && !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("Send after cancel: got %v, want context.Canceled or ErrStreamClosed", err)
+	}
+	// Recv must not hang: each pending slot reports either its decision or
+	// the cancellation, and the stream ends with EOF.
+	deadline := time.After(5 * time.Second)
+	for {
+		type res struct {
+			d   fakeDec
+			err error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			d, err := s.Recv()
+			ch <- res{d, err}
+		}()
+		select {
+		case r := <-ch:
+			if r.err == io.EOF {
+				goto drained
+			}
+			if r.err != nil && !errors.Is(r.err, context.Canceled) {
+				t.Fatalf("Recv: %v", r.err)
+			}
+		case <-deadline:
+			t.Fatal("Recv hung after cancellation")
+		}
+	}
+drained:
+	// Every dispatched submission must still be resolved in the background.
+	waitFor(t, 5*time.Second, func() bool { return oracle.resolved.Load() == sent })
+}
+
+// TestStreamDrainCompletesQueued closes a stream with work still queued
+// and checks every queued submission is decided and delivered before EOF.
+func TestStreamDrainCompletesQueued(t *testing.T) {
+	oracle := &slowOracle{}
+	s := NewStream(context.Background(), 64, func(ctx context.Context, d time.Duration) (Await[fakeDec], error) {
+		return oracle.dispatch(ctx, d)
+	})
+	const sent = 40
+	for i := 0; i < sent; i++ {
+		if err := s.Send(time.Duration(i%3) * time.Millisecond); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Send(0); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("Send after Close: got %v, want ErrStreamClosed", err)
+	}
+	for i := 0; i < sent; i++ {
+		d, err := s.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d after Close: %v", i, err)
+		}
+		if d.seq != i {
+			t.Fatalf("Recv %d: got seq %d", i, d.seq)
+		}
+	}
+	if _, err := s.Recv(); err != io.EOF {
+		t.Fatalf("Recv past end: got %v, want io.EOF", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestStreamDispatchError checks a failing dispatch surfaces on Send and
+// leaves the stream usable.
+func TestStreamDispatchError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	s := NewStream(context.Background(), 4, func(ctx context.Context, ok bool) (Await[fakeDec], error) {
+		calls++
+		if !ok {
+			return nil, boom
+		}
+		return Ready(fakeDec{seq: calls}, nil), nil
+	})
+	defer s.Close()
+	if err := s.Send(false); !errors.Is(err, boom) {
+		t.Fatalf("Send(false): got %v, want boom", err)
+	}
+	if err := s.Send(true); err != nil {
+		t.Fatalf("Send(true): %v", err)
+	}
+	if d, err := s.Recv(); err != nil || d.seq != 2 {
+		t.Fatalf("Recv: %v %v", d, err)
+	}
+}
+
+// TestReady checks the inline-decision adapter.
+func TestReady(t *testing.T) {
+	want := errors.New("per-item")
+	aw := Ready(fakeDec{seq: 7, err: want}, nil)
+	d, err := aw(context.Background())
+	if err != nil || d.seq != 7 || !errors.Is(d.DecisionErr(), want) {
+		t.Fatalf("Ready round-trip: %v %v", d, err)
+	}
+}
+
+// TestSubmitPrevalidatedFallsBack checks the helper uses the optional
+// Batcher fast path when present and SubmitBatch otherwise.
+func TestSubmitPrevalidatedFallsBack(t *testing.T) {
+	plain := &stubService{}
+	if _, err := SubmitPrevalidated[int, fakeDec](context.Background(), plain, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if plain.batches != 1 || plain.prevalidated != 0 {
+		t.Fatalf("plain service: batches=%d prevalidated=%d", plain.batches, plain.prevalidated)
+	}
+	fast := &stubBatcher{}
+	if _, err := SubmitPrevalidated[int, fakeDec](context.Background(), fast, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if fast.batches != 0 || fast.prevalidated != 1 {
+		t.Fatalf("batcher service: batches=%d prevalidated=%d", fast.batches, fast.prevalidated)
+	}
+}
+
+// stubService implements Service[int, fakeDec] counting calls.
+type stubService struct {
+	batches, prevalidated int
+}
+
+func (s *stubService) Submit(ctx context.Context, req int) (fakeDec, error) {
+	return fakeDec{seq: req}, nil
+}
+
+func (s *stubService) SubmitBatch(ctx context.Context, reqs []int) ([]fakeDec, error) {
+	s.batches++
+	out := make([]fakeDec, len(reqs))
+	for i, r := range reqs {
+		out[i] = fakeDec{seq: r}
+	}
+	return out, nil
+}
+
+func (s *stubService) Stream(ctx context.Context) (*Stream[int, fakeDec], error) {
+	return NewStream(ctx, 4, func(ctx context.Context, req int) (Await[fakeDec], error) {
+		return Ready(fakeDec{seq: req}, nil), nil
+	}), nil
+}
+
+func (s *stubService) Validate(req int) error {
+	if req < 0 {
+		return fmt.Errorf("negative request %d", req)
+	}
+	return nil
+}
+
+func (s *stubService) Stats() Stats                    { return Stats{} }
+func (s *stubService) Drain(ctx context.Context) error { return nil }
+func (s *stubService) Close() error                    { return nil }
+
+// stubBatcher adds the prevalidated fast path to stubService.
+type stubBatcher struct{ stubService }
+
+func (s *stubBatcher) SubmitBatchPrevalidated(ctx context.Context, reqs []int) ([]fakeDec, error) {
+	s.prevalidated++
+	out := make([]fakeDec, len(reqs))
+	for i, r := range reqs {
+		out[i] = fakeDec{seq: r}
+	}
+	return out, nil
+}
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

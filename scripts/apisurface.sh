@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# apisurface.sh — the CI public-API gate: the root package's godoc surface
+# (`go doc -all .`, normalized) is pinned as a golden file, API.txt, so any
+# PR that changes the facade — adds, removes, or re-signatures an exported
+# identifier — shows the change explicitly in review instead of slipping
+# it through.
+#
+# Usage:
+#   scripts/apisurface.sh            # check against API.txt (CI mode)
+#   scripts/apisurface.sh update     # regenerate API.txt after an
+#                                    # intentional facade change
+#
+# Normalization: trailing whitespace stripped and CRLF folded, so the
+# golden is stable across platforms and go patch releases that only move
+# whitespace.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+golden="API.txt"
+
+gen() {
+    go doc -all . | sed -e 's/[[:space:]]*$//' -e 's/\r$//'
+}
+
+case "${1:-check}" in
+update)
+    gen >"$golden"
+    echo "apisurface: $golden regenerated ($(wc -l <"$golden") lines)"
+    ;;
+check)
+    if [ ! -f "$golden" ]; then
+        echo "apisurface: $golden missing; run scripts/apisurface.sh update" >&2
+        exit 1
+    fi
+    if ! diff -u "$golden" <(gen); then
+        echo >&2
+        echo "apisurface: public API surface changed." >&2
+        echo "If intentional, run scripts/apisurface.sh update and commit API.txt." >&2
+        exit 1
+    fi
+    echo "apisurface: public API surface unchanged"
+    ;;
+*)
+    echo "usage: scripts/apisurface.sh [check|update]" >&2
+    exit 2
+    ;;
+esac
