@@ -9,6 +9,12 @@
 //	acload -url http://127.0.0.1:8080 -workload grid -n 20000 -conns 8 -batch 256
 //	acload -url http://127.0.0.1:8080 -workload single-edge -n 5000 -rps 10000
 //
+// -wire switches steady-state and cover submissions to the binary wire
+// protocol (DESIGN.md §11) — decision-identical to JSON, built for
+// throughput:
+//
+//	acload -url http://127.0.0.1:8080 -workload grid -n 20000 -conns 8 -wire
+//
 // The workload must fit the server's capacity vector: start acserve with
 // the same -workload/-cap (or -edges ≥ the workload's edge count).
 //
@@ -56,6 +62,7 @@ func main() {
 		batch    = flag.Int("batch", 128, "requests per HTTP submission")
 		rps      = flag.Float64("rps", 0, "target requests/sec over all connections (0 = unthrottled)")
 		repeat   = flag.Int("repeat", 1, "times to cycle the sequence")
+		wireOn   = flag.Bool("wire", false, "submit over the binary wire protocol (steady-state and cover modes)")
 		advName  = flag.String("adversary", "", "adaptive adversary mode: weighted-trap | path-trap | repeated-trap")
 		advW     = flag.Float64("W", 1000, "adversary: expensive-request cost")
 		advK     = flag.Int("K", 8, "adversary: path length (path-trap)")
@@ -75,7 +82,7 @@ func main() {
 		return
 	}
 	if *cover {
-		runCover(ctx, *url, *coverWl, *coverSeed, *n, *conns, *batch, *rps)
+		runCover(ctx, *url, *coverWl, *coverSeed, *n, *conns, *batch, *rps, *wireOn)
 		return
 	}
 
@@ -94,6 +101,7 @@ func main() {
 		Batch:   *batch,
 		RPS:     *rps,
 		Repeat:  *repeat,
+		Wire:    *wireOn,
 	})
 	if err != nil {
 		fail(err)
@@ -129,7 +137,7 @@ func runAdversary(ctx context.Context, url, name string, w float64, k, rounds in
 
 // runCover drives /v1/cover with a named set-cover workload's arrivals and
 // prints the throughput/latency summary.
-func runCover(ctx context.Context, url, name string, seed uint64, n, conns, batch int, rps float64) {
+func runCover(ctx context.Context, url, name string, seed uint64, n, conns, batch int, rps float64, wire bool) {
 	w, err := workload.BuildNamedCover(name, n, seed)
 	if err != nil {
 		fail(err)
@@ -140,6 +148,7 @@ func runCover(ctx context.Context, url, name string, seed uint64, n, conns, batc
 		Conns:   conns,
 		Batch:   batch,
 		RPS:     rps,
+		Wire:    wire,
 	})
 	if err != nil {
 		fail(err)

@@ -30,6 +30,12 @@
 //	GET  /metrics            Prometheus text format
 //	GET  /healthz            liveness; 503 while draining
 //
+// The same /v1/<workload> routes also speak the length-prefixed binary
+// wire protocol (DESIGN.md §11): a submission with Content-Type
+// application/x-acwire is decoded from framed binary and answered with a
+// framed binary decision stream, decision-identical to the JSON path.
+// -wire=false turns the binary codec off (such submissions get 415).
+//
 // On SIGINT/SIGTERM the server stops accepting connections, completes
 // in-flight submissions (HTTP drain, then pipeline drain), closes the
 // engines, and prints final statistics to stderr.
@@ -65,6 +71,7 @@ func main() {
 		batch      = flag.Int("batch", 256, "max submissions coalesced into one engine batch")
 		flush      = flag.Duration("flush", 500*time.Microsecond, "max wait before flushing a non-full batch")
 		queue      = flag.Int("queue", 8192, "queued-item bound per workload (backpressure)")
+		wireOK     = flag.Bool("wire", true, "accept binary wire-protocol submissions (Content-Type application/x-acwire); -wire=false answers them 415 and serves JSON only")
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 
 		cover     = flag.Bool("cover", false, "also serve online set cover (/v1/cover)")
@@ -102,6 +109,7 @@ func main() {
 		BatchSize:     *batch,
 		FlushInterval: *flush,
 		QueueLen:      *queue,
+		JSONOnly:      !*wireOK,
 	}, regs...)
 	if err != nil {
 		fail(err)

@@ -195,16 +195,17 @@ func runE15(cfg Config) ([]*Table, error) {
 		verdict = "FAIL"
 	}
 	t.AddNote("direct = sequential §4 reduction (ReductionRunner); loopback = acserve /v1/cover HTTP path on 127.0.0.1")
-	t.AddNote("conns=1 serves a 1-shard engine with the direct run's seed; its decision stream was compared line by line and is identical")
+	t.AddNote("conns=1 serves 1-shard engines with the direct run's seed over both the JSON and binary codecs; each decision stream was compared line by line and is identical")
 	t.AddNote("OPT is the integral offline bound (exact when proven, else greedy); acceptance: mean served cost within 2x — worst observed %.2f: %s", worst, verdict)
 	return []*Table{t}, nil
 }
 
 // e15Identical serves the arrivals over a one-connection loopback against
-// a one-shard cover engine and fails unless the streamed decisions match
-// the sequential reduction exactly — same newly bought sets on every
-// arrival, same final cover and cost. Returns the served cost and
-// throughput.
+// one-shard cover engines — once through the JSON codec and once through
+// the binary wire codec — and fails unless both streamed decision
+// sequences match the sequential reduction exactly: same newly bought sets
+// on every arrival, same final cover and cost. Returns the JSON run's cost
+// and throughput (the numbers E15 has always reported).
 func e15Identical(ins *setcover.Instance, arrivals []int, seed uint64) (cost, thru float64, err error) {
 	ref, err := setcover.NewReductionRunner(ins, setcover.ReductionConfig{Seed: seed})
 	if err != nil {
@@ -219,24 +220,65 @@ func e15Identical(ins *setcover.Instance, arrivals []int, seed uint64) (cost, th
 		want[t] = added
 	}
 
+	for _, codec := range []struct {
+		name string
+		wire bool
+	}{{"json", false}, {"wire", true}} {
+		got, served, elapsed, err := coverStreamConns1(ins, arrivals, seed, codec.wire)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s codec: %w", codec.name, err)
+		}
+		if len(got) != len(arrivals) {
+			return 0, 0, fmt.Errorf("%s codec: served %d decisions for %d arrivals", codec.name, len(got), len(arrivals))
+		}
+		for t := range got {
+			if got[t].Error != "" {
+				return 0, 0, fmt.Errorf("%s codec: arrival %d refused: %s", codec.name, t, got[t].Error)
+			}
+			if fmt.Sprint(got[t].NewSets) != fmt.Sprint(want[t]) {
+				return 0, 0, fmt.Errorf("%s codec: arrival %d (element %d): served bought %v, sequential %v",
+					codec.name, t, arrivals[t], got[t].NewSets, want[t])
+			}
+		}
+		if served != ref.Cost() {
+			return 0, 0, fmt.Errorf("%s codec: served cost %v, sequential %v", codec.name, served, ref.Cost())
+		}
+		if !codec.wire {
+			cost = served
+			thru = float64(len(arrivals)) / elapsed.Seconds()
+		}
+	}
+	return cost, thru, nil
+}
+
+// coverStreamConns1 serves the arrivals in 64-item batches over one
+// loopback connection against a fresh one-shard cover engine, using the
+// JSON or binary client, and returns the full decision stream, the
+// engine's final cost, and the submit-loop duration.
+func coverStreamConns1(ins *setcover.Instance, arrivals []int, seed uint64, wireCodec bool) ([]server.CoverDecisionJSON, float64, time.Duration, error) {
 	cov, err := coverengine.New(ins, coverengine.Config{Shards: 1, Seed: seed})
 	if err != nil {
-		return 0, 0, err
+		return nil, 0, 0, err
 	}
 	defer cov.Close()
 	srv, err := server.New(server.Config{}, server.Cover(cov))
 	if err != nil {
-		return 0, 0, err
+		return nil, 0, 0, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return 0, 0, err
+		return nil, 0, 0, err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() { _ = httpSrv.Serve(ln) }()
 	defer func() { _ = httpSrv.Close() }()
 
-	client := server.NewCoverClient("http://"+ln.Addr().String(), 1)
+	var client *server.Client[int, server.CoverDecisionJSON]
+	if wireCodec {
+		client = server.NewCoverWireClient("http://"+ln.Addr().String(), 1)
+	} else {
+		client = server.NewCoverClient("http://"+ln.Addr().String(), 1)
+	}
 	defer client.CloseIdle()
 	const batch = 64
 	got := make([]server.CoverDecisionJSON, 0, len(arrivals))
@@ -248,31 +290,15 @@ func e15Identical(ins *setcover.Instance, arrivals []int, seed uint64) (cost, th
 		}
 		ds, err := client.Submit(context.Background(), arrivals[lo:hi])
 		if err != nil {
-			return 0, 0, err
+			return nil, 0, 0, err
 		}
 		got = append(got, ds...)
 	}
 	elapsed := time.Since(start)
 	if err := drainServer(srv); err != nil {
-		return 0, 0, err
+		return nil, 0, 0, err
 	}
-
-	if len(got) != len(arrivals) {
-		return 0, 0, fmt.Errorf("served %d decisions for %d arrivals", len(got), len(arrivals))
-	}
-	for t := range got {
-		if got[t].Error != "" {
-			return 0, 0, fmt.Errorf("arrival %d refused: %s", t, got[t].Error)
-		}
-		if fmt.Sprint(got[t].NewSets) != fmt.Sprint(want[t]) {
-			return 0, 0, fmt.Errorf("arrival %d (element %d): served bought %v, sequential %v",
-				t, arrivals[t], got[t].NewSets, want[t])
-		}
-	}
-	if cov.Cost() != ref.Cost() {
-		return 0, 0, fmt.Errorf("served cost %v, sequential %v", cov.Cost(), ref.Cost())
-	}
-	return cov.Cost(), float64(len(arrivals)) / elapsed.Seconds(), nil
+	return got, cov.Cost(), elapsed, nil
 }
 
 // serveCoverLoopback stands a cover-serving server up on a loopback

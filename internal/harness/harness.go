@@ -1,4 +1,4 @@
-// Package harness defines and runs the reproduction experiments E1–E15 (see
+// Package harness defines and runs the reproduction experiments E1–E16 (see
 // DESIGN.md §4): for each theorem of the paper it measures empirical
 // competitive ratios against offline optima across parameter sweeps, fits
 // the predicted scaling law, and renders tables (ASCII for the terminal, CSV

@@ -42,8 +42,8 @@ func TestTableCSV(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(reg))
+	if len(reg) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(reg))
 	}
 	ids := map[string]bool{}
 	for _, e := range reg {
@@ -254,6 +254,43 @@ func TestE15CoverLoopbackWithinTolerance(t *testing.T) {
 	}
 }
 
+// TestE16WireLoopbackWithinTolerance is the E16 acceptance criterion: the
+// binary wire protocol is decision-invisible. Both conns=1 codecs are
+// compared line by line against the direct engine inside the experiment
+// (it errors out on the first divergence, so completing proves identity),
+// the wire conns=8 accounting reconciles with the engine, and every
+// served ratio stays within 2x of direct.
+func TestE16WireLoopbackWithinTolerance(t *testing.T) {
+	tables := runExperiment(t, "E16", 1)
+	tbl := tables[0]
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("E16: %d rows, want 4\n%s", len(tbl.Rows), tbl.ASCII())
+	}
+	for _, row := range tbl.Rows {
+		var rel float64
+		if _, err := fmt.Sscanf(row[3], "%f", &rel); err != nil {
+			t.Fatalf("unparsable vs-direct cell %q", row[3])
+		}
+		if rel > 2 {
+			t.Fatalf("E16: %s ratio %.2fx the direct baseline, tolerance is 2x\n%s",
+				row[0], rel, tbl.ASCII())
+		}
+	}
+	// Both single-connection codecs run the direct seed over a FIFO
+	// pipeline, so their ratio cells match direct exactly.
+	for _, i := range []int{1, 2} {
+		if tbl.Rows[i][2] != tbl.Rows[0][2] {
+			t.Fatalf("E16: %s ratio %q differs from direct %q\n%s",
+				tbl.Rows[i][0], tbl.Rows[i][2], tbl.Rows[0][2], tbl.ASCII())
+		}
+	}
+	for _, note := range tbl.Notes {
+		if strings.Contains(note, "FAIL") {
+			t.Fatalf("E16 verdict failed: %s", note)
+		}
+	}
+}
+
 // TestE11EngineWithinTolerance is the E11 acceptance criterion: the sharded
 // engine's empirical ratio stays within 2x of the unsharded §3 algorithm
 // (the K=1 baseline) at every shard count.
@@ -327,7 +364,7 @@ func TestRunAllAtTinyScale(t *testing.T) {
 		t.Fatalf("RunAll produced %d tables", len(tables))
 	}
 	out := buf.String()
-	for _, id := range []string{"E1", "E4", "E10", "E11", "E12", "E13", "E14"} {
+	for _, id := range []string{"E1", "E4", "E10", "E11", "E12", "E13", "E14", "E16"} {
 		if !strings.Contains(out, id) {
 			t.Fatalf("RunAll output missing %s", id)
 		}

@@ -6,6 +6,7 @@ import (
 	"admission/internal/engine"
 	"admission/internal/metrics"
 	"admission/internal/problem"
+	"admission/internal/wire"
 )
 
 // WorkloadAdmission is the route name of the built-in admission workload
@@ -33,7 +34,62 @@ func Admission(eng *engine.Engine) Registration {
 		},
 		Stats:   func(q QueueState) any { return admissionStats(eng, q) },
 		Metrics: func(reg *metrics.Registry) func(engine.Decision) { return admissionMetrics(reg, eng) },
+		Wire: &WireCodec[problem.Request, engine.Decision]{
+			DecodeRequest: func(payload []byte) (problem.Request, error) {
+				var wr wire.AdmissionRequest
+				if err := wire.DecodeAdmissionRequest(payload, &wr); err != nil {
+					return problem.Request{}, err
+				}
+				return problem.Request{Edges: wr.Edges, Cost: wr.Cost}, nil
+			},
+			AppendDecision: func(buf []byte, d engine.Decision) []byte {
+				wd := wire.AdmissionDecision{
+					ID:         d.ID,
+					Accepted:   d.Accepted,
+					CrossShard: d.CrossShard,
+					Preempted:  d.Preempted,
+				}
+				if d.Err != nil {
+					wd.Error = d.Err.Error()
+				}
+				return wire.AppendAdmissionDecision(buf, &wd)
+			},
+		},
 	})
+}
+
+// AdmissionClientWire returns the client-side binary hooks for the
+// admission workload: requests frame as wire.AdmissionRequest, decision
+// frames (including whole-batch wire.TagStreamError lines) decode into the
+// same DecisionJSON lines the NDJSON client yields.
+func AdmissionClientWire() ClientWire[problem.Request, DecisionJSON] {
+	return ClientWire[problem.Request, DecisionJSON]{
+		AppendRequest: func(buf []byte, r problem.Request) []byte {
+			return wire.AppendAdmissionRequest(buf, r.Edges, r.Cost)
+		},
+		DecodeDecision: func(payload []byte) (DecisionJSON, error) {
+			if tag, err := wire.Tag(payload); err != nil {
+				return DecisionJSON{}, err
+			} else if tag == wire.TagStreamError {
+				msg, err := wire.DecodeStreamError(payload)
+				if err != nil {
+					return DecisionJSON{}, err
+				}
+				return DecisionJSON{Error: msg}, nil
+			}
+			var wd wire.AdmissionDecision
+			if err := wire.DecodeAdmissionDecision(payload, &wd); err != nil {
+				return DecisionJSON{}, err
+			}
+			return DecisionJSON{
+				ID:         wd.ID,
+				Accepted:   wd.Accepted,
+				CrossShard: wd.CrossShard,
+				Preempted:  wd.Preempted,
+				Error:      wd.Error,
+			}, nil
+		},
+	}
 }
 
 // DecisionJSON is the wire form of one admission decision (one NDJSON line

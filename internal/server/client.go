@@ -6,11 +6,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
 
 	"admission/internal/problem"
+	"admission/internal/wire"
 )
 
 // Client is the generic HTTP client for one workload of a Server, used by
@@ -26,6 +28,21 @@ type Client[Req any, Dec any] struct {
 	base     string
 	workload string
 	hc       *http.Client
+	wire     *ClientWire[Req, Dec]
+}
+
+// ClientWire is the pair of hooks that switches a Client onto the binary
+// wire protocol: requests are appended as canonical frames into a pooled
+// buffer and decisions decoded straight out of framed response payloads —
+// one framed write and one framed streaming read per batch, over the
+// transport's persistent connections.
+type ClientWire[Req any, Dec any] struct {
+	// AppendRequest appends one item as a tagged, length-prefixed frame.
+	AppendRequest func(buf []byte, req Req) []byte
+	// DecodeDecision decodes one response frame payload (which may carry
+	// the workload's decision tag or wire.TagStreamError) into the
+	// workload's decision line type.
+	DecodeDecision func(payload []byte) (Dec, error)
 }
 
 // NewClient creates a client for the named workload of the server at
@@ -44,6 +61,16 @@ func NewClient[Req any, Dec any](baseURL, workload string, maxConns int) *Client
 	}
 }
 
+// NewWireClient creates a client that speaks the binary wire protocol for
+// the named workload. It shares everything with NewClient except the
+// submission codec: Submit posts framed binary bodies and reads framed
+// binary decision streams.
+func NewWireClient[Req any, Dec any](baseURL, workload string, maxConns int, cw ClientWire[Req, Dec]) *Client[Req, Dec] {
+	c := NewClient[Req, Dec](baseURL, workload, maxConns)
+	c.wire = &cw
+	return c
+}
+
 // NewAdmissionClient creates a client for the built-in admission workload.
 func NewAdmissionClient(baseURL string, maxConns int) *Client[problem.Request, DecisionJSON] {
 	return NewClient[problem.Request, DecisionJSON](baseURL, WorkloadAdmission, maxConns)
@@ -53,6 +80,21 @@ func NewAdmissionClient(baseURL string, maxConns int) *Client[problem.Request, D
 func NewCoverClient(baseURL string, maxConns int) *Client[int, CoverDecisionJSON] {
 	return NewClient[int, CoverDecisionJSON](baseURL, WorkloadCover, maxConns)
 }
+
+// NewAdmissionWireClient creates a binary-protocol client for the built-in
+// admission workload, decision-identical to NewAdmissionClient.
+func NewAdmissionWireClient(baseURL string, maxConns int) *Client[problem.Request, DecisionJSON] {
+	return NewWireClient(baseURL, WorkloadAdmission, maxConns, AdmissionClientWire())
+}
+
+// NewCoverWireClient creates a binary-protocol client for the built-in set
+// cover workload, decision-identical to NewCoverClient.
+func NewCoverWireClient(baseURL string, maxConns int) *Client[int, CoverDecisionJSON] {
+	return NewWireClient(baseURL, WorkloadCover, maxConns, CoverClientWire())
+}
+
+// Wire reports whether the client submits over the binary wire protocol.
+func (c *Client[Req, Dec]) Wire() bool { return c.wire != nil }
 
 // Workload returns the workload name the client submits to.
 func (c *Client[Req, Dec]) Workload() string { return c.workload }
@@ -67,6 +109,9 @@ func (c *Client[Req, Dec]) Workload() string { return c.workload }
 // error — it does not wait for the server to finish or the connection to
 // time out.
 func (c *Client[Req, Dec]) Submit(ctx context.Context, items []Req) ([]Dec, error) {
+	if c.wire != nil {
+		return c.submitWire(ctx, items)
+	}
 	body, err := json.Marshal(items)
 	if err != nil {
 		return nil, err
@@ -123,6 +168,71 @@ func (c *Client[Req, Dec]) Submit(ctx context.Context, items []Req) ([]Dec, erro
 	}
 	if len(out) != len(items) {
 		return out, fmt.Errorf("got %d decisions for %d items", len(out), len(items))
+	}
+	return out, nil
+}
+
+// submitWire is Submit over the binary wire protocol: the batch is
+// appended into one pooled framed body (count header plus one request
+// frame per item), posted with the wire Content-Type, and the framed
+// decision stream is read back with a FrameScanner — exactly one decision
+// frame per item, a clean EOF after the last, anything else is an error.
+// Cancellation mirrors the JSON path: ctx closes the streaming body.
+func (c *Client[Req, Dec]) submitWire(ctx context.Context, items []Req) ([]Dec, error) {
+	wb := wire.GetBuffer()
+	defer wire.PutBuffer(wb)
+	wb.B = wire.AppendSubmitHeader(wb.B, len(items))
+	for _, it := range items {
+		wb.B = c.wire.AppendRequest(wb.B, it)
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/"+c.workload, bytes.NewReader(wb.B))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", wire.ContentType)
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorJSON
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return nil, fmt.Errorf("server: %s", e.Error)
+	}
+	stop := context.AfterFunc(ctx, func() { resp.Body.Close() })
+	defer stop()
+
+	out := make([]Dec, 0, len(items))
+	sc := wire.NewFrameScanner(resp.Body)
+	for len(out) < len(items) {
+		payload, err := sc.Next()
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return out, cerr
+			}
+			if err == io.EOF {
+				return out, fmt.Errorf("got %d decisions for %d items", len(out), len(items))
+			}
+			return out, fmt.Errorf("decoding decision frame %d: %v", len(out), err)
+		}
+		d, err := c.wire.DecodeDecision(payload)
+		if err != nil {
+			return out, fmt.Errorf("decoding decision frame %d: %v", len(out), err)
+		}
+		out = append(out, d)
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		if err == nil {
+			return out, fmt.Errorf("trailing decision frames after %d items", len(items))
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return out, cerr
+		}
+		return out, err
 	}
 	return out, nil
 }

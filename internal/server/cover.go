@@ -3,6 +3,7 @@ package server
 import (
 	"admission/internal/coverengine"
 	"admission/internal/metrics"
+	"admission/internal/wire"
 )
 
 // WorkloadCover is the route name of the built-in set cover workload
@@ -34,7 +35,56 @@ func Cover(cov *coverengine.Engine) Registration {
 		},
 		Stats:   func(q QueueState) any { return coverStats(cov, q) },
 		Metrics: func(reg *metrics.Registry) func(coverengine.Decision) { return coverMetrics(reg, cov) },
+		Wire: &WireCodec[int, coverengine.Decision]{
+			DecodeRequest: wire.DecodeCoverRequest,
+			AppendDecision: func(buf []byte, d coverengine.Decision) []byte {
+				wd := wire.CoverDecision{
+					Seq:       d.Seq,
+					Element:   d.Element,
+					Arrival:   d.Arrival,
+					NewSets:   d.NewSets,
+					AddedCost: d.AddedCost,
+				}
+				if d.Err != nil {
+					wd.Error = d.Err.Error()
+				}
+				return wire.AppendCoverDecision(buf, &wd)
+			},
+		},
 	})
+}
+
+// CoverClientWire returns the client-side binary hooks for the set cover
+// workload: elements frame as wire.CoverRequest, decision frames
+// (including whole-batch wire.TagStreamError lines) decode into the same
+// CoverDecisionJSON lines the NDJSON client yields.
+func CoverClientWire() ClientWire[int, CoverDecisionJSON] {
+	return ClientWire[int, CoverDecisionJSON]{
+		AppendRequest: wire.AppendCoverRequest,
+		DecodeDecision: func(payload []byte) (CoverDecisionJSON, error) {
+			if tag, err := wire.Tag(payload); err != nil {
+				return CoverDecisionJSON{}, err
+			} else if tag == wire.TagStreamError {
+				msg, err := wire.DecodeStreamError(payload)
+				if err != nil {
+					return CoverDecisionJSON{}, err
+				}
+				return CoverDecisionJSON{Error: msg}, nil
+			}
+			var wd wire.CoverDecision
+			if err := wire.DecodeCoverDecision(payload, &wd); err != nil {
+				return CoverDecisionJSON{}, err
+			}
+			return CoverDecisionJSON{
+				Seq:       wd.Seq,
+				Element:   wd.Element,
+				Arrival:   wd.Arrival,
+				NewSets:   wd.NewSets,
+				AddedCost: wd.AddedCost,
+				Error:     wd.Error,
+			}, nil
+		},
+	}
 }
 
 // CoverDecisionJSON is the wire form of one cover decision (one NDJSON

@@ -40,6 +40,11 @@ type LoadConfig[Req any] struct {
 	RPS float64
 	// Repeat cycles the item sequence this many times (default 1).
 	Repeat int
+	// Wire submits over the binary wire protocol instead of JSON. Honored
+	// by the built-in RunAdmissionLoad/RunCoverLoad wrappers (which know
+	// their workload's frame hooks); RunLoadWith callers choose the
+	// protocol by the client they construct.
+	Wire bool
 }
 
 func (c LoadConfig[Req]) conns() int {
@@ -112,16 +117,23 @@ func (r *LoadReport) String() string {
 // folds each clean decision line into the report's workload-specific
 // aggregates under the run's lock.
 func RunLoad[Req any, Dec WireDecision](ctx context.Context, cfg LoadConfig[Req], observe func(Dec, *LoadReport)) (*LoadReport, error) {
-	if len(cfg.Items) == 0 {
-		return nil, fmt.Errorf("loadgen: no items")
-	}
 	if cfg.Workload == "" {
 		return nil, fmt.Errorf("loadgen: no workload name")
 	}
+	client := NewClient[Req, Dec](cfg.BaseURL, cfg.Workload, cfg.conns())
+	defer client.CloseIdle()
+	return RunLoadWith(ctx, client, cfg, observe)
+}
+
+// RunLoadWith is RunLoad over a caller-constructed client — the hook that
+// lets the same load loop drive either protocol (pass a NewWireClient for
+// binary submissions). The caller retains ownership of the client.
+func RunLoadWith[Req any, Dec WireDecision](ctx context.Context, client *Client[Req, Dec], cfg LoadConfig[Req], observe func(Dec, *LoadReport)) (*LoadReport, error) {
+	if len(cfg.Items) == 0 {
+		return nil, fmt.Errorf("loadgen: no items")
+	}
 	conns := cfg.conns()
 	batchSize := cfg.batch()
-	client := NewClient[Req, Dec](cfg.BaseURL, cfg.Workload, conns)
-	defer client.CloseIdle()
 
 	// Pre-chunk the repeated sequence into batches, assigned round-robin
 	// to workers so each connection sends a similar share.
@@ -238,19 +250,31 @@ func ObserveCover(d CoverDecisionJSON, r *LoadReport) {
 }
 
 // RunAdmissionLoad runs the generic load loop against the built-in
-// admission workload with the admission observer installed.
+// admission workload with the admission observer installed, over the
+// protocol cfg.Wire selects.
 func RunAdmissionLoad(ctx context.Context, cfg LoadConfig[problem.Request]) (*LoadReport, error) {
 	if cfg.Workload == "" {
 		cfg.Workload = WorkloadAdmission
+	}
+	if cfg.Wire {
+		client := NewWireClient(cfg.BaseURL, cfg.Workload, cfg.conns(), AdmissionClientWire())
+		defer client.CloseIdle()
+		return RunLoadWith(ctx, client, cfg, ObserveAdmission)
 	}
 	return RunLoad(ctx, cfg, ObserveAdmission)
 }
 
 // RunCoverLoad runs the generic load loop against the built-in set cover
-// workload with the cover observer installed.
+// workload with the cover observer installed, over the protocol cfg.Wire
+// selects.
 func RunCoverLoad(ctx context.Context, cfg LoadConfig[int]) (*LoadReport, error) {
 	if cfg.Workload == "" {
 		cfg.Workload = WorkloadCover
+	}
+	if cfg.Wire {
+		client := NewWireClient(cfg.BaseURL, cfg.Workload, cfg.conns(), CoverClientWire())
+		defer client.CloseIdle()
+		return RunLoadWith(ctx, client, cfg, ObserveCover)
 	}
 	return RunLoad(ctx, cfg, ObserveCover)
 }

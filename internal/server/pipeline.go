@@ -5,12 +5,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"admission/internal/metrics"
 	"admission/internal/service"
+	"admission/internal/wire"
 )
 
 // pipe is one workload's coalescing batch pipeline plus its HTTP handler
@@ -240,8 +243,30 @@ func (p *pipe[Req, Dec]) flush(reqs []Req, spans []flushSpan[Req, Dec]) {
 	}
 }
 
-// decode parses and bounds one submission body.
-func (p *pipe[Req, Dec]) decode(r *http.Request) ([]Req, error) {
+// isWireContentType reports whether ct (with optional parameters) names
+// the binary wire protocol.
+func isWireContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == wire.ContentType
+}
+
+// decode parses and bounds one submission body in the negotiated format.
+func (p *pipe[Req, Dec]) decode(r *http.Request, wireMode bool) ([]Req, error) {
+	if wireMode {
+		// Binary bodies land in a pooled buffer: WireCodec.DecodeRequest
+		// must copy whatever it keeps (the payload dies with the call), so
+		// the buffer returns to the pool the moment decoding ends instead
+		// of feeding the garbage collector once per submission.
+		buf := wire.GetBuffer()
+		defer wire.PutBuffer(buf)
+		var err error
+		if buf.B, err = readBodyInto(r, buf.B); err != nil {
+			return nil, err
+		}
+		return p.decodeWireBody(buf.B)
+	}
 	body, err := readBody(r)
 	if err != nil {
 		return nil, err
@@ -260,10 +285,133 @@ func (p *pipe[Req, Dec]) decode(r *http.Request) ([]Req, error) {
 	return reqs, nil
 }
 
-// handleSubmit decodes one submission (a single item or an array),
-// validates every item up front (the whole submission is rejected if any
-// item is invalid), enqueues it into the workload's batching pipeline, and
-// streams one NDJSON decision line per item, in item order, as chunks of
+// decodeWireBody parses a framed binary submission: uvarint item count,
+// then one request frame per item, nothing trailing. The count is bounded
+// (by wire.ReadSubmitHeader against the body size and here against
+// MaxSubmit) before any allocation sized by it.
+func (p *pipe[Req, Dec]) decodeWireBody(body []byte) ([]Req, error) {
+	count, rest, err := wire.ReadSubmitHeader(body)
+	if err != nil {
+		return nil, err
+	}
+	if count > p.srv.cfg.maxSubmit() {
+		return nil, errTooLarge
+	}
+	reqs := make([]Req, 0, count)
+	for i := 0; i < count; i++ {
+		var payload []byte
+		if payload, rest, err = wire.NextFrame(rest); err != nil {
+			return nil, fmt.Errorf("wire frame %d: %v", i, err)
+		}
+		req, err := p.codec.Wire.DecodeRequest(payload)
+		if err != nil {
+			return nil, fmt.Errorf("wire frame %d: %v", i, err)
+		}
+		reqs = append(reqs, req)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %d frames", len(rest), count)
+	}
+	return reqs, nil
+}
+
+// decisionSink streams one submission's decision lines in the negotiated
+// format. Writes return false once the client is gone.
+type decisionSink[Dec service.Decision] interface {
+	// decision writes one decision line.
+	decision(d Dec) bool
+	// errorLine writes one whole-batch failure line.
+	errorLine(msg string) bool
+	// finish flushes whatever is buffered.
+	finish()
+}
+
+// jsonSink renders NDJSON decision lines (the original codec), flushing
+// periodically so large submissions see early decisions.
+type jsonSink[Dec service.Decision] struct {
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	flusher http.Flusher
+	encode  func(Dec) any
+	written int
+}
+
+func (s *jsonSink[Dec]) decision(d Dec) bool {
+	if s.enc.Encode(s.encode(d)) != nil {
+		return false
+	}
+	s.written++
+	if s.written%64 == 0 && s.flusher != nil {
+		_ = s.bw.Flush()
+		s.flusher.Flush()
+	}
+	return true
+}
+
+func (s *jsonSink[Dec]) errorLine(msg string) bool {
+	return s.enc.Encode(errorJSON{Error: msg}) == nil
+}
+
+func (s *jsonSink[Dec]) finish() {
+	_ = s.bw.Flush()
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+}
+
+// wireFlushBytes is the buffered-bytes threshold at which the binary sink
+// writes its pooled buffer through to the client.
+const wireFlushBytes = 32 << 10
+
+// wireSink renders length-prefixed binary decision frames out of a pooled
+// buffer — zero allocations per decision in steady state.
+type wireSink[Dec service.Decision] struct {
+	w         io.Writer
+	flusher   http.Flusher
+	buf       *wire.Buffer
+	appendDec func([]byte, Dec) []byte
+}
+
+func (s *wireSink[Dec]) decision(d Dec) bool {
+	s.buf.B = s.appendDec(s.buf.B, d)
+	return s.maybeFlush()
+}
+
+func (s *wireSink[Dec]) errorLine(msg string) bool {
+	s.buf.B = wire.AppendStreamError(s.buf.B, msg)
+	return s.maybeFlush()
+}
+
+func (s *wireSink[Dec]) maybeFlush() bool {
+	if len(s.buf.B) < wireFlushBytes {
+		return true
+	}
+	return s.flushNow()
+}
+
+func (s *wireSink[Dec]) flushNow() bool {
+	if len(s.buf.B) == 0 {
+		return true
+	}
+	_, err := s.w.Write(s.buf.B)
+	s.buf.B = s.buf.B[:0]
+	if err != nil {
+		return false
+	}
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+	return true
+}
+
+func (s *wireSink[Dec]) finish() { s.flushNow() }
+
+// handleSubmit decodes one submission (a JSON item or array, or a framed
+// binary body when the request's Content-Type negotiates the wire
+// protocol), validates every item up front (the whole submission is
+// rejected if any item is invalid), enqueues it into the workload's
+// batching pipeline, and streams one decision line per item, in item
+// order and in the same format the submission used, as chunks of
 // decisions arrive from the flusher.
 func (p *pipe[Req, Dec]) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s := p.srv
@@ -271,7 +419,13 @@ func (p *pipe[Req, Dec]) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	reqs, err := p.decode(r)
+	wireMode := isWireContentType(r.Header.Get("Content-Type"))
+	if wireMode && (p.codec.Wire == nil || s.cfg.JSONOnly) {
+		httpError(w, http.StatusUnsupportedMediaType,
+			"workload %q does not serve the binary wire protocol", p.name)
+		return
+	}
+	reqs, err := p.decode(r, wireMode)
 	if err != nil {
 		s.malformed.Inc()
 		status := http.StatusBadRequest
@@ -314,12 +468,19 @@ func (p *pipe[Req, Dec]) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	p.queue <- sub
 	s.exit()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
 	flusher, _ := w.(http.Flusher)
+	var sink decisionSink[Dec]
+	if wireMode {
+		w.Header().Set("Content-Type", wire.ContentType)
+		wb := wire.GetBuffer()
+		defer wire.PutBuffer(wb)
+		sink = &wireSink[Dec]{w: w, flusher: flusher, buf: wb, appendDec: p.codec.Wire.AppendDecision}
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		bw := bufio.NewWriter(w)
+		sink = &jsonSink[Dec]{bw: bw, enc: json.NewEncoder(bw), flusher: flusher, encode: p.codec.Encode}
+	}
 	gone := false
-	written := 0
 	for served := 0; served < len(reqs); {
 		c := <-sub.done
 		served += c.n
@@ -328,33 +489,24 @@ func (p *pipe[Req, Dec]) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		if c.err != nil {
 			// Whole-batch failure: one error line per item in the chunk.
-			line := errorJSON{Error: c.err.Error()}
+			line := c.err.Error()
 			for i := 0; i < c.n && !gone; i++ {
-				gone = enc.Encode(line) != nil
+				gone = !sink.errorLine(line)
 			}
 			continue
 		}
 		for _, d := range c.ds {
-			if enc.Encode(p.codec.Encode(d)) != nil {
+			if !sink.decision(d) {
 				// Client went away; decisions are already accounted.
 				gone = true
 				break
-			}
-			written++
-			// Stream periodically so large submissions see early decisions.
-			if written%64 == 0 && flusher != nil {
-				_ = bw.Flush()
-				flusher.Flush()
 			}
 		}
 	}
 	if gone {
 		return
 	}
-	_ = bw.Flush()
-	if flusher != nil {
-		flusher.Flush()
-	}
+	sink.finish()
 }
 
 // releaseItems returns item headroom to the queue bound and wakes blocked

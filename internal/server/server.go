@@ -83,6 +83,11 @@ type Config struct {
 	// MaxSubmit caps the number of items in one HTTP submission body
 	// (0 means DefaultMaxSubmit; larger bodies get 413).
 	MaxSubmit int
+	// JSONOnly disables the binary wire protocol: submissions with
+	// Content-Type application/x-acwire get 415 even on workloads whose
+	// codec defines a wire format. The default (false) negotiates the
+	// codec per submission from the Content-Type header.
+	JSONOnly bool
 }
 
 // validate rejects negative fields with a descriptive error; zero always
@@ -158,6 +163,28 @@ type Codec[Req any, Dec service.Decision] struct {
 	// server's registry and returns a per-decision observer invoked for
 	// every successfully decided item (nil for none).
 	Metrics func(reg *metrics.Registry) func(Dec)
+	// Wire optionally defines the workload's binary wire format
+	// (internal/wire, DESIGN.md §11). Nil means the workload is
+	// JSON-only; set, a submission with Content-Type application/x-acwire
+	// is decoded from framed binary and answered with a framed binary
+	// decision stream instead of NDJSON.
+	Wire *WireCodec[Req, Dec]
+}
+
+// WireCodec maps one workload's request and decision types onto the binary
+// wire protocol (internal/wire). Append hooks write length-prefixed frames
+// into a caller-owned buffer (the server streams out of a pooled one, so
+// steady-state encoding allocates nothing per decision); DecodeRequest
+// parses one submitted frame's payload. Whole-batch failures need no hook:
+// they are framed by the workload-independent wire.AppendStreamError.
+type WireCodec[Req any, Dec service.Decision] struct {
+	// DecodeRequest parses one request frame payload. The payload aliases a
+	// pooled read buffer that is recycled after decoding, so the returned
+	// request must not retain it — copy anything kept. Required.
+	DecodeRequest func(payload []byte) (Req, error)
+	// AppendDecision appends one decision's frame to buf and returns the
+	// extended buffer. Required.
+	AppendDecision func(buf []byte, d Dec) []byte
 }
 
 // Registration mounts one workload on a Server during New. Build one with
@@ -175,6 +202,9 @@ func Register[Req any, Dec service.Decision](name string, svc service.Service[Re
 		}
 		if codec.Encode == nil || codec.Stats == nil {
 			return fmt.Errorf("server: workload %q: codec needs Encode and Stats", name)
+		}
+		if codec.Wire != nil && (codec.Wire.DecodeRequest == nil || codec.Wire.AppendDecision == nil) {
+			return fmt.Errorf("server: workload %q: wire codec needs DecodeRequest and AppendDecision", name)
 		}
 		if _, dup := s.workloads[name]; dup {
 			return fmt.Errorf("server: workload %q registered twice", name)
@@ -380,6 +410,33 @@ func readBody(r *http.Request) ([]byte, error) {
 		return nil, errTooLarge
 	}
 	return body, nil
+}
+
+// readBodyInto reads a submission body into dst (reusing its capacity)
+// under the global size cap, growing at most once when Content-Length is
+// declared. The filled slice may have a new backing array; the caller owns
+// whichever is returned.
+func readBodyInto(r *http.Request, dst []byte) ([]byte, error) {
+	dst = dst[:0]
+	if n := r.ContentLength; n > 0 && n <= maxBodyBytes && int64(cap(dst)) < n {
+		dst = make([]byte, 0, n)
+	}
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Body.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if len(dst) > maxBodyBytes {
+			return dst, errTooLarge
+		}
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, fmt.Errorf("reading submission: %v", err)
+		}
+	}
 }
 
 // handleMetrics renders the Prometheus text exposition.

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+
+	"admission/internal/wire"
+)
+
+// submitRaw posts an arbitrary body with the given content type and returns
+// the status code and response body.
+func submitRaw(t *testing.T, url, workload, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/"+workload, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestWireAdmissionCrossCodecIdentical stands up two identically seeded
+// servers and drives the same request sequence through one over NDJSON and
+// through the other over the binary wire protocol, one connection each.
+// Single-connection traffic is FIFO end to end, so the two decision
+// streams must be line-for-line identical — the codec must not be able to
+// change a decision.
+func TestWireAdmissionCrossCodecIdentical(t *testing.T) {
+	ins := testInstance(t, 77, 400)
+	_, _, tsJSON := newTestServer(t, ins.Capacities, 2, Config{})
+	_, _, tsWire := newTestServer(t, ins.Capacities, 2, Config{})
+
+	jc := NewAdmissionClient(tsJSON.URL, 1)
+	wc := NewAdmissionWireClient(tsWire.URL, 1)
+	if !wc.Wire() || jc.Wire() {
+		t.Fatal("client protocol selection is wrong")
+	}
+	ctx := context.Background()
+	const batch = 32
+	for lo := 0; lo < len(ins.Requests); lo += batch {
+		hi := min(lo+batch, len(ins.Requests))
+		jds, err := jc.Submit(ctx, ins.Requests[lo:hi])
+		if err != nil {
+			t.Fatalf("json submit: %v", err)
+		}
+		wds, err := wc.Submit(ctx, ins.Requests[lo:hi])
+		if err != nil {
+			t.Fatalf("wire submit: %v", err)
+		}
+		if !reflect.DeepEqual(jds, wds) {
+			t.Fatalf("decision streams diverge at batch [%d,%d):\n json %+v\n wire %+v", lo, hi, jds, wds)
+		}
+	}
+}
+
+// TestWireCoverCrossCodecIdentical is the cover-workload twin: the same
+// arrival sequence over both codecs against identically seeded servers,
+// including per-item refusals (elements arriving more often than their
+// degree), must yield identical decision lines.
+func TestWireCoverCrossCodecIdentical(t *testing.T) {
+	_, ins, arrivals, tsJSON := newCoverServer(t, 2, 9)
+	_, ins2, _, tsWire := newCoverServer(t, 2, 9)
+	if ins.M() != ins2.M() {
+		t.Fatal("seeded instances diverge")
+	}
+	// Append repeats of one element so some arrivals exceed its degree and
+	// are refused per-item — the error path must round-trip the codec too.
+	seq := append(append([]int{}, arrivals...), 0, 0, 0, 0, 0, 0, 0, 0)
+
+	jc := NewCoverClient(tsJSON.URL, 1)
+	wc := NewCoverWireClient(tsWire.URL, 1)
+	ctx := context.Background()
+	const batch = 16
+	errorsSeen := 0
+	for lo := 0; lo < len(seq); lo += batch {
+		hi := min(lo+batch, len(seq))
+		jds, err := jc.Submit(ctx, seq[lo:hi])
+		if err != nil {
+			t.Fatalf("json submit: %v", err)
+		}
+		wds, err := wc.Submit(ctx, seq[lo:hi])
+		if err != nil {
+			t.Fatalf("wire submit: %v", err)
+		}
+		if !reflect.DeepEqual(jds, wds) {
+			t.Fatalf("decision streams diverge at batch [%d,%d):\n json %+v\n wire %+v", lo, hi, jds, wds)
+		}
+		for _, d := range wds {
+			if d.Error != "" {
+				errorsSeen++
+			}
+		}
+	}
+	if errorsSeen == 0 {
+		t.Fatal("expected some per-item refusals to exercise the wire error path")
+	}
+}
+
+// TestWireContentTypeNegotiation pins the negotiation matrix: parameters
+// after the media type are ignored, JSONOnly servers refuse wire bodies
+// with 415 while still serving JSON, and JSON submissions are untouched by
+// the wire codec's presence.
+func TestWireContentTypeNegotiation(t *testing.T) {
+	ins := testInstance(t, 3, 4)
+	_, _, ts := newTestServer(t, ins.Capacities, 1, Config{})
+
+	body := wire.AppendSubmitHeader(nil, 1)
+	body = wire.AppendAdmissionRequest(body, ins.Requests[0].Edges, ins.Requests[0].Cost)
+
+	if code, _ := submitRaw(t, ts.URL, WorkloadAdmission, wire.ContentType+"; v=1", body); code != http.StatusOK {
+		t.Fatalf("wire submit with content-type params: got %d, want 200", code)
+	}
+
+	_, _, tsOnly := newTestServer(t, ins.Capacities, 1, Config{JSONOnly: true})
+	if code, _ := submitRaw(t, tsOnly.URL, WorkloadAdmission, wire.ContentType, body); code != http.StatusUnsupportedMediaType {
+		t.Fatalf("wire submit against JSONOnly server: got %d, want 415", code)
+	}
+	if code, _ := submitRaw(t, tsOnly.URL, WorkloadAdmission, "application/json",
+		[]byte(`{"edges":[0],"cost":1}`)); code != http.StatusOK {
+		t.Fatalf("json submit against JSONOnly server: got %d, want 200", code)
+	}
+	wc := NewAdmissionWireClient(tsOnly.URL, 1)
+	if _, err := wc.Submit(context.Background(), ins.Requests[:1]); err == nil {
+		t.Fatal("wire client against JSONOnly server should surface the 415")
+	}
+}
+
+// TestWireMalformedBodies pins the HTTP status of every decoder refusal:
+// hostile or damaged binary bodies are 400s (413 for an honest
+// over-MaxSubmit count), and each failure lands in the malformed counter
+// rather than panicking or hanging the pipeline.
+func TestWireMalformedBodies(t *testing.T) {
+	ins := testInstance(t, 5, 4)
+	_, _, ts := newTestServer(t, ins.Capacities, 1, Config{MaxSubmit: 8})
+
+	good := wire.AppendSubmitHeader(nil, 1)
+	good = wire.AppendAdmissionRequest(good, ins.Requests[0].Edges, ins.Requests[0].Cost)
+
+	cases := []struct {
+		name string
+		body []byte
+		want int
+	}{
+		{"empty", nil, http.StatusBadRequest},
+		{"zero count", []byte{0x00}, http.StatusBadRequest},
+		{"count without frames", []byte{0x05}, http.StatusBadRequest},
+		{"absurd count", []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, http.StatusBadRequest},
+		{"over max submit", func() []byte {
+			b := wire.AppendSubmitHeader(nil, 9)
+			for i := 0; i < 9; i++ {
+				b = wire.AppendAdmissionRequest(b, []int{0}, 1)
+			}
+			return b
+		}(), http.StatusRequestEntityTooLarge},
+		{"truncated frame", good[:len(good)-2], http.StatusBadRequest},
+		{"trailing bytes", append(append([]byte{}, good...), 0xAA), http.StatusBadRequest},
+		{"wrong tag", func() []byte {
+			b := wire.AppendSubmitHeader(nil, 1)
+			return wire.AppendCoverRequest(b, 3) // cover frame on the admission route
+		}(), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := submitRaw(t, ts.URL, WorkloadAdmission, wire.ContentType, tc.body)
+			if code != tc.want {
+				t.Fatalf("got %d (%s), want %d", code, bytes.TrimSpace(body), tc.want)
+			}
+		})
+	}
+	// The route still works after every refusal.
+	if code, _ := submitRaw(t, ts.URL, WorkloadAdmission, wire.ContentType, good); code != http.StatusOK {
+		t.Fatalf("clean wire submit after refusals: got %d, want 200", code)
+	}
+}
+
+// TestWireConcurrentSubmissions hammers the binary path from many
+// goroutines sharing one client — the pooled encode/decode buffers and the
+// sink's pooled response buffer must be race-free (this test is the wire
+// half of the -race CI gate) — and reconciles the total decision count.
+func TestWireConcurrentSubmissions(t *testing.T) {
+	ins := testInstance(t, 11, 64)
+	eng, _, ts := newTestServer(t, ins.Capacities, 2, Config{})
+	wc := NewAdmissionWireClient(ts.URL, 8)
+
+	const workers = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ds, err := wc.Submit(context.Background(), ins.Requests)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(ds) != len(ins.Requests) {
+					errs <- fmt.Errorf("got %d decisions for %d items", len(ds), len(ins.Requests))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got, want := eng.Snapshot().Requests, int64(workers*rounds*len(ins.Requests)); got != want {
+		t.Fatalf("engine decided %d requests, want %d", got, want)
+	}
+}

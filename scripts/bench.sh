@@ -11,9 +11,9 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_6.json}"
 
-pattern='BenchmarkRandomizedOfferWeighted$|BenchmarkRandomizedOfferUnweighted$|BenchmarkRandomizedScalingM|BenchmarkRandomizedScalingC|BenchmarkEngineThroughput|BenchmarkServerLoopback|BenchmarkCoverEngineThroughput|BenchmarkCoverLoopback'
+pattern='BenchmarkRandomizedOfferWeighted$|BenchmarkRandomizedOfferUnweighted$|BenchmarkRandomizedScalingM|BenchmarkRandomizedScalingC|BenchmarkEngineThroughput|BenchmarkServerLoopback|BenchmarkCoverEngineThroughput|BenchmarkCoverLoopback|BenchmarkWireLoopback'
 
 raw="$(go test -run '^$' -bench "$pattern" -benchmem -count=1 .)"
 echo "$raw" >&2
@@ -23,17 +23,20 @@ BEGIN { print "[" ; first = 1 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = "" ; bytes = "" ; allocs = ""
+    ns = "" ; bytes = "" ; allocs = "" ; dec = ""
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns = $(i-1)
-        if ($i == "B/op")      bytes = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "ns/op")       ns = $(i-1)
+        if ($i == "B/op")        bytes = $(i-1)
+        if ($i == "allocs/op")   allocs = $(i-1)
+        if ($i == "decisions/s") dec = $(i-1)
     }
     if (ns == "") next
     if (!first) print ","
     first = 0
-    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
         name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+    if (dec != "") printf ", \"decisions_per_sec\": %s", dec
+    printf "}"
 }
 END { print "\n]" }
 ' > "$out"
