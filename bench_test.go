@@ -1,4 +1,4 @@
-// Benchmarks: one per reproduction experiment (E1–E16, see DESIGN.md §4 and
+// Benchmarks: one per reproduction experiment (E1–E17, see DESIGN.md §4 and
 // EXPERIMENTS.md), micro-benchmarks of the individual algorithms, and
 // throughput benchmarks of the sharded concurrent engines (DESIGN.md §5 and
 // §9) and the HTTP serving layer over loopback (DESIGN.md §7).
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -36,6 +37,7 @@ import (
 	"admission/internal/server"
 	"admission/internal/setcover"
 	"admission/internal/trace"
+	"admission/internal/wal"
 	"admission/internal/workload"
 )
 
@@ -647,6 +649,102 @@ func BenchmarkWireLoopback(b *testing.B) {
 				b.ReportMetric(float64(len(ins.Requests)), "requests/op")
 			})
 		}
+	}
+}
+
+// BenchmarkWALLoopback measures what durability costs on the serving hot
+// path: the BenchmarkWireLoopback conns=8 binary-codec run repeated with
+// the decision WAL off and on (DESIGN.md §12). The wal=on run appends and
+// group-commit-fsyncs every decision before its response frame is
+// released, so the gap between the two decisions/s figures is the whole
+// price of crash durability. The committed acceptance figure is wal=on ≥
+// 50% of the BENCH_6 wire conns=8 throughput.
+func BenchmarkWALLoopback(b *testing.B) {
+	ins := wireBenchInstance()
+	const conns = 8
+	for _, durable := range []bool{false, true} {
+		name := "wal=off"
+		if durable {
+			name = "wal=on"
+		}
+		b.Run(fmt.Sprintf("%s/conns=%d", name, conns), func(b *testing.B) {
+			// Aggregate throughput across iterations, as in
+			// BenchmarkWireLoopback.
+			var decided int64
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				acfg := core.UnweightedConfig()
+				acfg.Seed = uint64(i)
+				eng, err := engine.New(ins.Capacities, engine.Config{Shards: 4, Algorithm: acfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reg := server.Admission(eng)
+				var log *wal.Log
+				if durable {
+					// A fresh directory per iteration: the engine seed
+					// varies with i, so the fingerprints would not match.
+					log, err = wal.Open(filepath.Join(b.TempDir(), strconv.Itoa(i)),
+						wal.Options{Kind: wal.KindAdmission, Fingerprint: eng.Fingerprint()})
+					if err != nil {
+						b.Fatal(err)
+					}
+					reg = server.AdmissionDurable(eng, log, server.DurableOptions{})
+				}
+				srv, err := server.New(server.Config{}, reg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				httpSrv := &http.Server{Handler: srv.Handler()}
+				go func() { _ = httpSrv.Serve(ln) }()
+				base := "http://" + ln.Addr().String()
+				if err := server.NewAdmissionClient(base, 1).WaitHealthy(5 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				start := time.Now()
+				report, err := server.RunAdmissionLoad(context.Background(), server.LoadConfig[problem.Request]{
+					BaseURL: base,
+					Items:   ins.Requests,
+					Conns:   conns,
+					Batch:   1024,
+					Wire:    true,
+				})
+				elapsed += time.Since(start)
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.Decided != int64(len(ins.Requests)) || report.Errors != 0 {
+					b.Fatalf("decided %d of %d, %d errors", report.Decided, len(ins.Requests), report.Errors)
+				}
+				decided += report.Decided
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				if err := srv.Drain(ctx); err != nil {
+					b.Fatal(err)
+				}
+				cancel()
+				_ = httpSrv.Close()
+				if log != nil {
+					if log.DurableSeq() != int64(len(ins.Requests)) {
+						b.Fatalf("durable seq %d, want %d", log.DurableSeq(), len(ins.Requests))
+					}
+					if err := log.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				eng.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(decided)/elapsed.Seconds(), "decisions/s")
+			b.ReportMetric(float64(len(ins.Requests)), "requests/op")
+		})
 	}
 }
 

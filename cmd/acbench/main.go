@@ -1,7 +1,10 @@
-// Command acbench regenerates the reproduction experiments E1–E13 (see
+// Command acbench regenerates the reproduction experiments E1–E17 (see
 // DESIGN.md §4 and EXPERIMENTS.md): empirical competitive-ratio sweeps for
 // every theorem of Alon–Azar–Gutner (SPAA 2005), with scaling-law fits,
-// plus the sharded-engine validation sweep (E11, DESIGN.md §5).
+// plus the systems validation experiments — the sharded engine (E11,
+// DESIGN.md §5), the serving loopbacks (E14–E16, §§7–11), and WAL crash
+// recovery (E17, §12, which re-executes this binary as a durable server
+// child and SIGKILLs it).
 //
 // Usage:
 //
@@ -24,6 +27,11 @@ import (
 )
 
 func main() {
+	// E17 re-executes this binary as its durable-server child.
+	if os.Getenv(harness.E17ChildEnv) != "" {
+		harness.RunE17Child()
+		return
+	}
 	var (
 		expID   = flag.String("exp", "", "experiment id to run (default: all)")
 		list    = flag.Bool("list", false, "list experiments and exit")

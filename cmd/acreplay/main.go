@@ -1,32 +1,85 @@
-// Command acreplay audits a RecordedRun artifact produced by acsim -record:
-// it replays the decision log against the embedded instance with an
-// independent state machine and verifies capacity feasibility at every
+// Command acreplay audits serving artifacts offline. It has two modes.
+//
+// Artifact mode (the default) audits a RecordedRun produced by acsim
+// -record: it replays the decision log against the embedded instance with
+// an independent state machine and verifies capacity feasibility at every
 // event, the legality of each state transition, and the claimed objective.
 //
 //	acsim -workload grid -n 60 -alg randomized -record run.json
 //	acreplay run.json
 //
-// Exit code 0 means the artifact is internally consistent; any tampering
-// with the instance, the log, or the claimed cost is reported and exits 1.
+// WAL mode (-wal) is the offline fsck for a decision log written by
+// acserve -wal-dir (DESIGN.md §12): it opens the directory read-only,
+// rebuilds the engine from the same configuration flags acserve was
+// started with, and replays the whole log — the compacted snapshot prefix
+// is checked against the stamped state digest, and every tail record's
+// regenerated decision is verified field for field against the logged one.
+// Nothing on disk is modified; a torn final record is reported, not
+// truncated. The engine flags must match the recorded run (wal.Open
+// rejects a mismatched configuration fingerprint).
+//
+//	acreplay -wal -edges 64 -cap 16 -shards 8 /var/lib/acserve/admission
+//	acreplay -wal -cover -cover-workload cover-random /var/lib/acserve/cover
+//
+// Exit code 0 means the artifact or log is internally consistent; any
+// tampering, corruption, or divergence is reported and exits 1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"admission/internal/core"
+	"admission/internal/coverengine"
+	"admission/internal/engine"
 	"admission/internal/opt"
+	"admission/internal/server"
 	"admission/internal/trace"
+	"admission/internal/wal"
+	"admission/internal/workload"
 )
 
 func main() {
-	quiet := flag.Bool("q", false, "suppress the summary; exit code only")
+	var (
+		quiet   = flag.Bool("q", false, "suppress the summary; exit code only")
+		walMode = flag.Bool("wal", false, "fsck a decision WAL directory instead of a RecordedRun artifact")
+
+		wl         = flag.String("workload", "", "built-in workload supplying the capacity vector (overrides -edges)")
+		edges      = flag.Int("edges", 32, "number of edges for a flat network")
+		capacity   = flag.Int("cap", 8, "per-edge capacity")
+		shards     = flag.Int("shards", 1, "engine shard count")
+		seed       = flag.Uint64("seed", 1, "algorithm seed")
+		unweighted = flag.Bool("unweighted", false, "use the paper's unweighted constants")
+
+		cover     = flag.Bool("cover", false, "the WAL is a set cover decision log")
+		coverWl   = flag.String("cover-workload", "cover-random", "named set-cover workload supplying the set system")
+		coverSeed = flag.Uint64("cover-seed", 1, "set-cover workload + algorithm seed")
+		coverSh   = flag.Int("cover-shards", 1, "cover engine element-partition shard count")
+		coverMode = flag.String("cover-mode", "reduction", "cover algorithm: reduction | bicriteria")
+		coverEps  = flag.Float64("cover-eps", 0.25, "bicriteria slack ε in (0,1)")
+	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: acreplay [-q] <run.json>")
+		fmt.Fprintln(os.Stderr, "       acreplay [-q] -wal [engine flags] <wal-dir>")
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
+	if *walMode {
+		if *cover {
+			fsckCoverWAL(flag.Arg(0), *coverWl, *coverSeed, *coverSh, *coverMode, *coverEps, *quiet)
+		} else {
+			fsckAdmissionWAL(flag.Arg(0), *wl, *edges, *capacity, *shards, *seed, *unweighted, *quiet)
+		}
+		return
+	}
+	verifyArtifact(flag.Arg(0), *quiet)
+}
+
+// verifyArtifact is the original RecordedRun audit.
+func verifyArtifact(path string, quiet bool) {
+	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
 	}
@@ -40,10 +93,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "acreplay: VERIFICATION FAILED: %v\n", err)
 		os.Exit(1)
 	}
-	if *quiet {
+	if quiet {
 		return
 	}
-	fmt.Printf("artifact:       %s\n", flag.Arg(0))
+	fmt.Printf("artifact:       %s\n", path)
 	fmt.Printf("algorithm:      %s\n", rr.Algorithm)
 	fmt.Printf("instance:       %d edges, %d requests\n", rr.Instance.M(), rr.Instance.N())
 	fmt.Printf("events:         %d\n", len(rr.Events))
@@ -55,6 +108,114 @@ func main() {
 		}
 	}
 	fmt.Println("OK: the recorded run is internally consistent")
+}
+
+// fsckAdmissionWAL replays an admission decision log read-only into a
+// fresh engine built from the given configuration.
+func fsckAdmissionWAL(dir, wl string, edges, capacity, shards int, seed uint64, unweighted, quiet bool) {
+	caps, err := buildCapacities(wl, edges, capacity, seed)
+	if err != nil {
+		fail(err)
+	}
+	acfg := core.DefaultConfig()
+	if unweighted {
+		acfg = core.UnweightedConfig()
+	}
+	acfg.Seed = seed
+	eng, err := engine.New(caps, engine.Config{Shards: shards, Algorithm: acfg})
+	if err != nil {
+		fail(err)
+	}
+	defer eng.Close()
+	log := openWAL(dir, wal.KindAdmission, eng.Fingerprint())
+	defer log.Close()
+	info, err := server.RecoverAdmission(log, eng)
+	if err != nil {
+		failedFsck(err)
+	}
+	reportFsck(dir, log, info, eng.StateDigest(), quiet)
+}
+
+// fsckCoverWAL replays a set cover decision log read-only into a fresh
+// cover engine built from the given named workload.
+func fsckCoverWAL(dir, wl string, seed uint64, shards int, mode string, eps float64, quiet bool) {
+	w, err := workload.BuildNamedCover(wl, 0, seed)
+	if err != nil {
+		fail(err)
+	}
+	cfg := coverengine.Config{Shards: shards, Seed: seed, Eps: eps}
+	switch mode {
+	case "reduction":
+		cfg.Mode = coverengine.ModeReduction
+	case "bicriteria":
+		cfg.Mode = coverengine.ModeBicriteria
+	default:
+		fail(fmt.Errorf("unknown cover mode %q (want reduction|bicriteria)", mode))
+	}
+	cov, err := coverengine.New(w.Instance, cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer cov.Close()
+	log := openWAL(dir, wal.KindCover, cov.Fingerprint())
+	defer log.Close()
+	info, err := server.RecoverCover(log, cov)
+	if err != nil {
+		failedFsck(err)
+	}
+	reportFsck(dir, log, info, cov.StateDigest(), quiet)
+}
+
+// openWAL opens a decision log for replay only: corruption anywhere but a
+// torn final record fails here, before any replay starts.
+func openWAL(dir string, kind wal.Kind, fingerprint string) *wal.Log {
+	log, err := wal.Open(dir, wal.Options{Kind: kind, Fingerprint: fingerprint, ReadOnly: true})
+	if err != nil {
+		failedFsck(err)
+	}
+	return log
+}
+
+// reportFsck prints the fsck summary after a successful replay.
+func reportFsck(dir string, log *wal.Log, info server.RecoveryInfo, digest uint64, quiet bool) {
+	if quiet {
+		return
+	}
+	fmt.Printf("wal:            %s (%s)\n", dir, log.Kind())
+	fmt.Printf("decisions:      %d (%d snapshot + %d verified tail)\n",
+		info.SnapshotSeq+info.TailRecords, info.SnapshotSeq, info.TailRecords)
+	fmt.Printf("next seq:       %d\n", log.NextSeq())
+	fmt.Printf("state digest:   %016x\n", digest)
+	fmt.Printf("replay time:    %v\n", info.Duration.Round(time.Millisecond))
+	if info.TornBytes > 0 {
+		fmt.Printf("torn tail:      %d bytes (never acknowledged; a writable open truncates it)\n", info.TornBytes)
+	}
+	fmt.Println("OK: the decision log is internally consistent")
+}
+
+// buildCapacities mirrors acserve's capacity-vector construction so the
+// fsck engine matches the serving engine flag for flag.
+func buildCapacities(wl string, edges, capacity int, seed uint64) ([]int, error) {
+	if wl != "" {
+		ins, err := workload.BuildNamed(wl, workload.CostUnit, capacity, 0, seed)
+		if err != nil {
+			return nil, err
+		}
+		return ins.Capacities, nil
+	}
+	if edges <= 0 || capacity <= 0 {
+		return nil, fmt.Errorf("need -edges > 0 and -cap > 0")
+	}
+	caps := make([]int, edges)
+	for i := range caps {
+		caps[i] = capacity
+	}
+	return caps, nil
+}
+
+func failedFsck(err error) {
+	fmt.Fprintf(os.Stderr, "acreplay: VERIFICATION FAILED: %v\n", err)
+	os.Exit(1)
 }
 
 func fail(err error) {

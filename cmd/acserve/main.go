@@ -36,9 +36,23 @@
 // framed binary decision stream, decision-identical to the JSON path.
 // -wire=false turns the binary codec off (such submissions get 415).
 //
+// With -wal-dir the server is durable (DESIGN.md §12): every decision is
+// appended to a per-workload write-ahead log under the directory
+// (<dir>/admission, and <dir>/cover with -cover) and group-commit-fsynced
+// before its response line is released, and the log is snapshotted every
+// -snapshot-every decisions. On startup any prior state in the directory
+// is recovered — replayed through the freshly built engines and verified
+// decision-for-decision — before the listener opens, so a restart
+// continues the decision stream exactly where the crash cut it off
+// (experiment E17). The engine flags must match the recorded run;
+// wal.Open rejects a mismatched configuration fingerprint.
+//
+//	acserve -addr :8080 -edges 64 -cap 16 -shards 8 -wal-dir /var/lib/acserve
+//
 // On SIGINT/SIGTERM the server stops accepting connections, completes
-// in-flight submissions (HTTP drain, then pipeline drain), closes the
-// engines, and prints final statistics to stderr.
+// in-flight submissions (HTTP drain, then pipeline drain), snapshots and
+// closes the decision logs if durable, closes the engines, and prints
+// final statistics to stderr.
 package main
 
 import (
@@ -48,6 +62,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -56,6 +71,7 @@ import (
 	"admission/internal/coverengine"
 	"admission/internal/engine"
 	"admission/internal/server"
+	"admission/internal/wal"
 	"admission/internal/workload"
 )
 
@@ -73,6 +89,8 @@ func main() {
 		queue      = flag.Int("queue", 8192, "queued-item bound per workload (backpressure)")
 		wireOK     = flag.Bool("wire", true, "accept binary wire-protocol submissions (Content-Type application/x-acwire); -wire=false answers them 415 and serves JSON only")
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		walDir     = flag.String("wal-dir", "", "directory for per-workload decision WALs; enables durability and crash recovery (empty = in-memory only)")
+		snapEvery  = flag.Int64("snapshot-every", 100000, "logged decisions between automatic WAL snapshots (0 = only the shutdown snapshot)")
 
 		cover     = flag.Bool("cover", false, "also serve online set cover (/v1/cover)")
 		coverWl   = flag.String("cover-workload", "cover-random", "named set-cover workload supplying the set system")
@@ -96,14 +114,51 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	regs := []server.Registration{server.Admission(eng)}
-	var cov *coverengine.Engine
+	var (
+		regs   []server.Registration
+		admLog *wal.Log
+	)
+	if *walDir == "" {
+		regs = append(regs, server.Admission(eng))
+	} else {
+		admLog, err = wal.Open(filepath.Join(*walDir, "admission"),
+			wal.Options{Kind: wal.KindAdmission, Fingerprint: eng.Fingerprint()})
+		if err != nil {
+			fail(err)
+		}
+		info, err := server.RecoverAdmission(admLog, eng)
+		if err != nil {
+			fail(err)
+		}
+		reportRecovery("admission", admLog, info)
+		regs = append(regs, server.AdmissionDurable(eng, admLog,
+			server.DurableOptions{SnapshotEvery: *snapEvery, Replay: info}))
+	}
+	var (
+		cov    *coverengine.Engine
+		covLog *wal.Log
+	)
 	if *cover {
 		cov, err = buildCover(*coverWl, *coverSeed, *coverSh, *coverMode, *coverEps)
 		if err != nil {
 			fail(err)
 		}
-		regs = append(regs, server.Cover(cov))
+		if *walDir == "" {
+			regs = append(regs, server.Cover(cov))
+		} else {
+			covLog, err = wal.Open(filepath.Join(*walDir, "cover"),
+				wal.Options{Kind: wal.KindCover, Fingerprint: cov.Fingerprint()})
+			if err != nil {
+				fail(err)
+			}
+			info, err := server.RecoverCover(covLog, cov)
+			if err != nil {
+				fail(err)
+			}
+			reportRecovery("cover", covLog, info)
+			regs = append(regs, server.CoverDurable(cov, covLog,
+				server.DurableOptions{SnapshotEvery: *snapEvery, Replay: info}))
+		}
 	}
 	srv, err := server.New(server.Config{
 		BatchSize:     *batch,
@@ -146,6 +201,12 @@ func main() {
 	if err := srv.Drain(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "acserve: pipeline drain: %v\n", err)
 	}
+	// The pipelines have exited, so the engines are quiescent: stamp a
+	// final snapshot into each log so the next start replays nothing.
+	finishLog("admission", admLog, eng.StateDigest)
+	if cov != nil {
+		finishLog("cover", covLog, cov.StateDigest)
+	}
 	eng.Close()
 	st := eng.Snapshot()
 	fmt.Fprintf(os.Stderr,
@@ -157,6 +218,35 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"acserve: final cover stats: %d arrivals, %d sets chosen, cost %g\n",
 			cst.Arrivals, cst.ChosenSets, cst.Cost)
+	}
+}
+
+// reportRecovery prints one startup line summarizing what a workload's WAL
+// recovery replayed.
+func reportRecovery(name string, log *wal.Log, info server.RecoveryInfo) {
+	fmt.Fprintf(os.Stderr,
+		"acserve: %s wal: recovered %d decisions (%d snapshot + %d tail) in %v, next seq %d",
+		name, info.SnapshotSeq+info.TailRecords, info.SnapshotSeq, info.TailRecords,
+		info.Duration.Round(time.Millisecond), log.NextSeq())
+	if info.TornBytes > 0 {
+		fmt.Fprintf(os.Stderr, " (truncated a %d-byte torn final record)", info.TornBytes)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+// finishLog writes the shutdown snapshot (when decisions were logged since
+// the last one) and closes the log. Safe to call with a nil log.
+func finishLog(name string, log *wal.Log, digest func() uint64) {
+	if log == nil {
+		return
+	}
+	if log.RecordsSinceSnapshot() > 0 {
+		if err := log.WriteSnapshot(digest()); err != nil {
+			fmt.Fprintf(os.Stderr, "acserve: %s wal: shutdown snapshot: %v\n", name, err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "acserve: %s wal: close: %v\n", name, err)
 	}
 }
 

@@ -1,0 +1,98 @@
+// Package atomicfile implements the write-temp → fsync → rename → fsync-dir
+// persistence idiom shared by the durability layer (DESIGN.md §12): a file
+// written through WriteFile is either entirely the new content or entirely
+// absent/old after a crash at any point — rename is the only visibility
+// step and it is atomic on POSIX filesystems.
+//
+// The idiom leaves a uniquely named temp file behind when the process dies
+// between creation and rename. Such leftovers are harmless (they are never
+// opened by readers, which go through the final name) and are swept by
+// RemoveTemp on the next startup.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// tempPrefix marks in-progress writes; RemoveTemp sweeps files carrying it.
+const tempPrefix = ".atomic-tmp-"
+
+// WriteFile atomically replaces path with data: the bytes are written to a
+// uniquely named temp file in path's directory, fsynced, renamed over path,
+// and the directory is fsynced so the rename itself is durable. On any
+// error the temp file is removed and path is untouched (a crash between
+// creation and rename leaves a temp file for RemoveTemp to sweep).
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, tempPrefix+filepath.Base(path)+"-")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making completed renames and creations in it
+// durable. Filesystems that do not support fsync on directories make it a
+// no-op rather than an error.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return fmt.Errorf("atomicfile: sync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// RemoveTemp sweeps temp files left in dir by writes interrupted before
+// their rename (the crash-simulation path of the idiom). It returns the
+// number of leftovers removed.
+func RemoveTemp(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("atomicfile: %w", err)
+	}
+	removed := 0
+	for _, e := range entries {
+		if !e.Type().IsRegular() || !strings.HasPrefix(e.Name(), tempPrefix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, fmt.Errorf("atomicfile: %w", err)
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// IsTemp reports whether name (a base name, not a path) is an in-progress
+// temp file of this package — directory scanners use it to skip leftovers.
+func IsTemp(name string) bool { return strings.HasPrefix(name, tempPrefix) }

@@ -1,0 +1,103 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Replacement is atomic: the final content is entirely the new bytes.
+	if err := WriteFile(path, []byte("version-two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "version-two" {
+		t.Fatalf("after replace: %q", got)
+	}
+	// No temp files remain after successful writes.
+	if n, err := RemoveTemp(dir); err != nil || n != 0 {
+		t.Fatalf("leftovers after success: %d, %v", n, err)
+	}
+}
+
+func TestWriteFilePermissions(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "perm.bin")
+	if err := WriteFile(path, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o600 {
+		t.Fatalf("perm = %v, want 0600", st.Mode().Perm())
+	}
+}
+
+// TestCrashSimulationLeftoverTemp simulates a process dying between temp
+// creation and rename: a stray temp file must not shadow the real file, must
+// be recognized by IsTemp, and must be swept by RemoveTemp.
+func TestCrashSimulationLeftoverTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := WriteFile(path, []byte("durable"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A "crash" left a half-written temp behind.
+	stray := filepath.Join(dir, tempPrefix+"snap.bin-12345")
+	if err := os.WriteFile(stray, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !IsTemp(filepath.Base(stray)) {
+		t.Fatalf("IsTemp(%q) = false", filepath.Base(stray))
+	}
+	if IsTemp("snap.bin") {
+		t.Fatal("IsTemp claimed a real file")
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "durable" {
+		t.Fatalf("real file corrupted by leftover: %q", got)
+	}
+	n, err := RemoveTemp(dir)
+	if err != nil || n != 1 {
+		t.Fatalf("RemoveTemp = %d, %v; want 1, nil", n, err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("stray temp survived the sweep")
+	}
+	// Idempotent.
+	if n, err := RemoveTemp(dir); err != nil || n != 0 {
+		t.Fatalf("second sweep = %d, %v", n, err)
+	}
+}
+
+func TestWriteFileErrorLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "missing-parent", "x.bin")
+	if err := WriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("expected error writing under a missing directory")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("target appeared despite the error")
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error for a missing directory")
+	}
+}

@@ -190,9 +190,12 @@ type Stats struct {
 type Engine struct {
 	ins         *setcover.Instance
 	mode        Mode
-	streamDepth int     // Stream window, from Config.QueueLen
-	elemShard   []int32 // global element -> owning shard
-	elemLocal   []int32 // global element -> index within the shard
+	seed        uint64       // Config.Seed, kept for Fingerprint
+	eps         float64      // resolved bicriteria slack, kept for Fingerprint
+	coreCfg     *core.Config // Config.Core, kept for Fingerprint
+	streamDepth int          // Stream window, from Config.QueueLen
+	elemShard   []int32      // global element -> owning shard
+	elemLocal   []int32      // global element -> index within the shard
 	shards      []*shard
 
 	// The global chosen ledger: which sets have been bought, their count
@@ -252,6 +255,9 @@ func New(ins *setcover.Instance, cfg Config) (*Engine, error) {
 	e := &Engine{
 		ins:         ins,
 		mode:        cfg.Mode,
+		seed:        cfg.Seed,
+		eps:         cfg.eps(),
+		coreCfg:     cfg.Core,
 		streamDepth: cfg.queueLen(),
 		elemShard:   make([]int32, ins.N),
 		elemLocal:   make([]int32, ins.N),

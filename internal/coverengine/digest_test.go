@@ -1,0 +1,76 @@
+package coverengine
+
+import (
+	"context"
+	"testing"
+
+	"admission/internal/setcover"
+)
+
+func digestInstance() *setcover.Instance {
+	return &setcover.Instance{
+		N: 6,
+		Sets: [][]int{
+			{0, 1, 2}, {2, 3}, {3, 4, 5}, {0, 5}, {1, 4},
+		},
+	}
+}
+
+func digestCover(t *testing.T, seed uint64) *Engine {
+	t.Helper()
+	eng, err := New(digestInstance(), Config{Shards: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestStateDigestDeterministic mirrors the admission engine's digest
+// property for the cover ledger and per-element arrival counts.
+func TestStateDigestDeterministic(t *testing.T) {
+	ctx := context.Background()
+	a, b := digestCover(t, 11), digestCover(t, 11)
+	defer a.Close()
+	defer b.Close()
+	if a.StateDigest() != b.StateDigest() {
+		t.Fatal("fresh engines with equal config disagree")
+	}
+	arrivals := []int{0, 3, 1, 5, 2, 4, 0, 3}
+	if _, err := a.SubmitBatch(ctx, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubmitBatch(ctx, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	if ad, bd := a.StateDigest(), b.StateDigest(); ad != bd {
+		t.Fatalf("digests diverged after identical streams: %x vs %x", ad, bd)
+	}
+	if _, err := a.SubmitBatch(ctx, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if a.StateDigest() == b.StateDigest() {
+		t.Fatal("digest failed to separate different streams")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a, b := digestCover(t, 11), digestCover(t, 11)
+	defer a.Close()
+	defer b.Close()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("equal configs, different fingerprints:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	c := digestCover(t, 12)
+	defer c.Close()
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds, same fingerprint")
+	}
+	bic, err := New(digestInstance(), Config{Shards: 2, Mode: ModeBicriteria})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bic.Close()
+	if a.Fingerprint() == bic.Fingerprint() {
+		t.Fatal("different modes, same fingerprint")
+	}
+}

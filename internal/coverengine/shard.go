@@ -43,6 +43,9 @@ type shardSnapshot struct {
 	arrivals      int
 	preemptions   int
 	augmentations int
+	// countDigest hashes the per-element arrival counts, feeding the
+	// engine's StateDigest without copying the whole vector per snapshot.
+	countDigest uint64
 }
 
 // replyPool recycles the per-operation reply channels (one send and one
@@ -285,5 +288,10 @@ func (s *shard) snapshot() shardSnapshot {
 	if s.bic != nil {
 		snap.augmentations = s.bic.Augmentations()
 	}
+	var h fnv64 = fnvOffset
+	for _, c := range s.count {
+		h.int(c)
+	}
+	snap.countDigest = uint64(h)
 	return snap
 }

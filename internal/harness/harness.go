@@ -1,12 +1,15 @@
-// Package harness defines and runs the reproduction experiments E1–E16 (see
+// Package harness defines and runs the reproduction experiments E1–E17 (see
 // DESIGN.md §4): for each theorem of the paper it measures empirical
 // competitive ratios against offline optima across parameter sweeps, fits
 // the predicted scaling law, and renders tables (ASCII for the terminal, CSV
 // for plotting). E11 additionally validates the sharded serving engine
 // (DESIGN.md §5) against the unsharded algorithm it parallelizes, E14
 // validates the network-facing serving layer (DESIGN.md §7) against the
-// engine it fronts, and E15 validates the set cover serving path
-// (DESIGN.md §9) against the sequential §4 reduction.
+// engine it fronts, E15 validates the set cover serving path (DESIGN.md §9)
+// against the sequential §4 reduction, E16 validates the binary wire
+// protocol (DESIGN.md §11), and E17 validates WAL crash recovery
+// (DESIGN.md §12) by SIGKILLing a re-executed durable server child —
+// binaries hosting the suite must install the RunE17Child hook.
 //
 // The paper has no empirical section, so these experiments *are* the
 // reproduction targets: each checks that the measured ratio of the §2/§3/§5

@@ -2,9 +2,20 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 )
+
+// TestMain installs the E17 child hook: the crash-recovery experiment
+// re-executes this test binary as a durable server child and SIGKILLs it.
+func TestMain(m *testing.M) {
+	if os.Getenv(E17ChildEnv) != "" {
+		RunE17Child()
+		return
+	}
+	os.Exit(m.Run())
+}
 
 // testConfig shrinks everything so the full suite runs in seconds.
 func testConfig() Config {
@@ -42,8 +53,8 @@ func TestTableCSV(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(reg))
+	if len(reg) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(reg))
 	}
 	ids := map[string]bool{}
 	for _, e := range reg {
@@ -288,6 +299,34 @@ func TestE16WireLoopbackWithinTolerance(t *testing.T) {
 		if strings.Contains(note, "FAIL") {
 			t.Fatalf("E16 verdict failed: %s", note)
 		}
+	}
+}
+
+// TestE17CrashRecoveryIdentical is the E17 acceptance criterion: a durable
+// server SIGKILLed mid-load recovers exactly the acknowledged decision
+// prefix from its WAL and continues the stream byte-identically to an
+// uninterrupted run. The experiment errors out on any divergence — a
+// recovered count different from the acknowledged count, a served decision
+// differing from the golden stream, a failed SIGTERM shutdown snapshot, or
+// an fsck digest mismatch — so it completing at all proves the property;
+// the test additionally checks the table shape and verdict.
+func TestE17CrashRecoveryIdentical(t *testing.T) {
+	tables := runExperiment(t, "E17", 1)
+	tbl := tables[0]
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("E17: %d rows, want 5\n%s", len(tbl.Rows), tbl.ASCII())
+	}
+	ok := false
+	for _, note := range tbl.Notes {
+		if strings.Contains(note, "FAIL") {
+			t.Fatalf("E17 verdict failed: %s", note)
+		}
+		if strings.Contains(note, "PASS") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("E17: no PASS verdict\n%s", tbl.ASCII())
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"admission/internal/engine"
 	"admission/internal/metrics"
 	"admission/internal/problem"
+	"admission/internal/wal"
 	"admission/internal/wire"
 )
 
@@ -19,7 +20,46 @@ const WorkloadAdmission = "admission"
 // decision line per request; GET /v1/admission/stats reports engine and
 // pipeline statistics. The caller retains ownership of the engine.
 func Admission(eng *engine.Engine) Registration {
-	return Register(WorkloadAdmission, eng, Codec[problem.Request, engine.Decision]{
+	return Register(WorkloadAdmission, eng, admissionCodec(eng))
+}
+
+// AdmissionDurable mounts the admission workload with its decisions logged
+// through the write-ahead log (internal/wal, DESIGN.md §12): every decision
+// is appended and group-commit-fsynced before it is released to the client,
+// and the pipeline snapshots the log every opts.SnapshotEvery decisions.
+// The log must be open with the engine's Fingerprint, and — when the
+// directory held prior state — already replayed into eng with
+// RecoverAdmission. All engine traffic must flow through the server.
+func AdmissionDurable(eng *engine.Engine, log *wal.Log, opts DurableOptions) Registration {
+	codec := admissionCodec(eng)
+	codec.Durability = &Durability[problem.Request, engine.Decision]{
+		Log:           log,
+		StateDigest:   eng.StateDigest,
+		SnapshotEvery: opts.SnapshotEvery,
+		Replay:        opts.Replay,
+		Record: func(r problem.Request, d engine.Decision, rec *wal.Record) {
+			*rec = wal.Record{
+				Kind:         wal.KindAdmission,
+				AdmissionReq: wire.AdmissionRequest{Edges: r.Edges, Cost: r.Cost},
+				AdmissionDec: wire.AdmissionDecision{
+					ID:         d.ID,
+					Accepted:   d.Accepted,
+					CrossShard: d.CrossShard,
+					Preempted:  d.Preempted,
+				},
+			}
+			if d.Err != nil {
+				rec.AdmissionDec.Error = d.Err.Error()
+			}
+		},
+	}
+	return Register(WorkloadAdmission, eng, codec)
+}
+
+// admissionCodec is the admission workload's codec, shared by the durable
+// and in-memory registrations.
+func admissionCodec(eng *engine.Engine) Codec[problem.Request, engine.Decision] {
+	return Codec[problem.Request, engine.Decision]{
 		Encode: func(d engine.Decision) any {
 			line := DecisionJSON{
 				ID:         d.ID,
@@ -55,7 +95,7 @@ func Admission(eng *engine.Engine) Registration {
 				return wire.AppendAdmissionDecision(buf, &wd)
 			},
 		},
-	})
+	}
 }
 
 // AdmissionClientWire returns the client-side binary hooks for the

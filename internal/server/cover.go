@@ -3,6 +3,7 @@ package server
 import (
 	"admission/internal/coverengine"
 	"admission/internal/metrics"
+	"admission/internal/wal"
 	"admission/internal/wire"
 )
 
@@ -19,7 +20,45 @@ const WorkloadCover = "cover"
 // remains FIFO end to end and the decision stream is identical to driving
 // the engine sequentially — the property experiment E15 gates on.
 func Cover(cov *coverengine.Engine) Registration {
-	return Register(WorkloadCover, cov, Codec[int, coverengine.Decision]{
+	return Register(WorkloadCover, cov, coverCodec(cov))
+}
+
+// CoverDurable mounts the set cover workload with its decisions logged
+// through the write-ahead log, exactly as AdmissionDurable does for the
+// admission workload: open the log with cov.Fingerprint(), recover prior
+// state with RecoverCover, and route all engine traffic through the
+// server.
+func CoverDurable(cov *coverengine.Engine, log *wal.Log, opts DurableOptions) Registration {
+	codec := coverCodec(cov)
+	codec.Durability = &Durability[int, coverengine.Decision]{
+		Log:           log,
+		StateDigest:   cov.StateDigest,
+		SnapshotEvery: opts.SnapshotEvery,
+		Replay:        opts.Replay,
+		Record: func(element int, d coverengine.Decision, rec *wal.Record) {
+			*rec = wal.Record{
+				Kind:    wal.KindCover,
+				Element: element,
+				CoverDec: wire.CoverDecision{
+					Seq:       d.Seq,
+					Element:   d.Element,
+					Arrival:   d.Arrival,
+					NewSets:   d.NewSets,
+					AddedCost: d.AddedCost,
+				},
+			}
+			if d.Err != nil {
+				rec.CoverDec.Error = d.Err.Error()
+			}
+		},
+	}
+	return Register(WorkloadCover, cov, codec)
+}
+
+// coverCodec is the cover workload's codec, shared by the durable and
+// in-memory registrations.
+func coverCodec(cov *coverengine.Engine) Codec[int, coverengine.Decision] {
+	return Codec[int, coverengine.Decision]{
 		Encode: func(d coverengine.Decision) any {
 			line := CoverDecisionJSON{
 				Seq:       d.Seq,
@@ -51,7 +90,7 @@ func Cover(cov *coverengine.Engine) Registration {
 				return wire.AppendCoverDecision(buf, &wd)
 			},
 		},
-	})
+	}
 }
 
 // CoverClientWire returns the client-side binary hooks for the set cover

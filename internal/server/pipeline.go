@@ -13,6 +13,7 @@ import (
 
 	"admission/internal/metrics"
 	"admission/internal/service"
+	"admission/internal/wal"
 	"admission/internal/wire"
 )
 
@@ -49,6 +50,28 @@ type pipe[Req any, Dec service.Decision] struct {
 	batchSz   *metrics.Histogram
 	latency   *metrics.Histogram
 	observe   func(Dec)
+
+	// Durable pipelines (dur != nil) append every decided item to the WAL
+	// before its decisions are released: the flusher appends (buffered, no
+	// fsync) and hands the batch to the acker goroutine over ackCh, which
+	// group-commits — one fsync per commit cohort, skipped entirely when a
+	// previous cohort's fsync already covered the batch — and only then
+	// delivers the chunks. Delivery stays FIFO (one acker), so the
+	// decision-order identity the E14/E15/E16 gates rely on is preserved;
+	// fsync latency is paid once per cohort instead of per decision.
+	dur   *Durability[Req, Dec]
+	probe *walProbe
+	ackCh chan ackBatch[Req, Dec]
+}
+
+// ackBatch is one flushed batch in flight between the flusher (which
+// appended its records) and the acker (which makes them durable and
+// delivers the decisions).
+type ackBatch[Req any, Dec service.Decision] struct {
+	spans  []flushSpan[Req, Dec]
+	ds     []Dec
+	err    error
+	target int64 // WAL sequence the batch is durable at
 }
 
 // submission is one HTTP request's items awaiting their decisions. The
@@ -109,6 +132,13 @@ func newPipe[Req any, Dec service.Decision](s *Server, name string, svc service.
 	if codec.Metrics != nil {
 		p.observe = codec.Metrics(s.reg)
 	}
+	if codec.Durability != nil {
+		p.dur = codec.Durability
+		p.probe = s.registerDurable(name, p.dur.Replay)
+		p.ackCh = make(chan ackBatch[Req, Dec], 64)
+		p.loops.Add(1)
+		go p.ackLoop()
+	}
 	p.loops.Add(1)
 	go p.flushLoop()
 	return p
@@ -142,6 +172,9 @@ func (p *pipe[Req, Dec]) await(ctx context.Context) error {
 // when the queue is closed and fully served.
 func (p *pipe[Req, Dec]) flushLoop() {
 	defer p.loops.Done()
+	if p.ackCh != nil {
+		defer close(p.ackCh) // the acker drains in-flight batches and exits
+	}
 	size := p.srv.cfg.batchSize()
 	interval := p.srv.cfg.flushInterval()
 	reqs := make([]Req, 0, size)
@@ -203,6 +236,7 @@ func (p *pipe[Req, Dec]) flushLoop() {
 			}
 		}
 		p.flush(reqs, spans)
+		p.maybeSnapshot()
 		if closed && cur == nil {
 			return
 		}
@@ -210,16 +244,96 @@ func (p *pipe[Req, Dec]) flushLoop() {
 }
 
 // flush submits one coalesced batch through the service's pipelined batch
-// path and delivers each submission its chunk of decisions, folding every
-// decision into the metrics counters before delivery — a client that
-// disconnects mid-stream must not leave /metrics short of the engine's
-// ledger. Items were validated at the HTTP boundary, so the prevalidated
-// fast path is used when the service has one. A whole-batch error (the
-// service was closed under the server) fans out to every chunk; per-item
-// failures reach only their own line via the decision's DecisionErr.
+// path and delivers each submission its chunk of decisions. Items were
+// validated at the HTTP boundary, so the prevalidated fast path is used
+// when the service has one. A whole-batch error (the service was closed
+// under the server) fans out to every chunk; per-item failures reach only
+// their own line via the decision's DecisionErr. On a durable pipeline the
+// batch is appended to the WAL here (buffered) and handed to the acker,
+// which fsyncs before delivering — a decision is never released to a
+// client before the log covers it. A WAL append failure fails the whole
+// batch and poisons the log (fail-stop): subsequent batches keep failing
+// rather than serving decisions durability has lost.
 func (p *pipe[Req, Dec]) flush(reqs []Req, spans []flushSpan[Req, Dec]) {
 	p.batchSz.Observe(float64(len(reqs)))
 	ds, err := service.SubmitPrevalidated(context.Background(), p.svc, reqs)
+	if p.dur == nil {
+		p.deliver(spans, ds, err)
+		return
+	}
+	if err == nil {
+		err = p.logBatch(reqs, ds)
+	}
+	if err != nil {
+		ds = nil
+	}
+	p.ackCh <- ackBatch[Req, Dec]{
+		// spans is the flusher's scratch, reused next batch: copy it.
+		spans:  append([]flushSpan[Req, Dec](nil), spans...),
+		ds:     ds,
+		err:    err,
+		target: p.dur.Log.NextSeq(),
+	}
+}
+
+// logBatch appends one decided batch to the WAL (buffered; the acker
+// fsyncs) and feeds the shared WAL counters.
+func (p *pipe[Req, Dec]) logBatch(reqs []Req, ds []Dec) error {
+	var rec wal.Record
+	for i := range ds {
+		p.dur.Record(reqs[i], ds[i], &rec)
+		n, err := p.dur.Log.Append(&rec)
+		if err != nil {
+			return fmt.Errorf("wal append: %w", err)
+		}
+		p.srv.walAppends.Inc()
+		p.srv.walBytes.Add(float64(n))
+	}
+	return nil
+}
+
+// ackLoop is the durable pipeline's second stage: make each batch's
+// records durable, then deliver its decisions. The DurableSeq check is the
+// group-commit coalescing — when a later batch's fsync (or a rotation, or
+// a snapshot) already covered this batch, no disk touch happens at all.
+func (p *pipe[Req, Dec]) ackLoop() {
+	defer p.loops.Done()
+	log := p.dur.Log
+	for ab := range p.ackCh {
+		if ab.err == nil && log.DurableSeq() < ab.target {
+			start := time.Now()
+			if err := log.Sync(); err != nil {
+				ab.err = fmt.Errorf("wal sync: %w", err)
+				ab.ds = nil
+			} else {
+				p.srv.walFsync.Observe(time.Since(start).Seconds())
+			}
+		}
+		p.deliver(ab.spans, ab.ds, ab.err)
+	}
+}
+
+// maybeSnapshot compacts the WAL once enough decisions accumulated since
+// the last snapshot. It runs on the flusher between batches — the only
+// quiescent point where the engine's state digest is meaningful (every
+// submitted item is decided, none are in flight) and no append races the
+// compaction. A snapshot failure poisons the log; the next batch's append
+// surfaces the fail-stop to clients.
+func (p *pipe[Req, Dec]) maybeSnapshot() {
+	d := p.dur
+	if d == nil || d.SnapshotEvery <= 0 || d.Log.RecordsSinceSnapshot() < d.SnapshotEvery {
+		return
+	}
+	if err := d.Log.WriteSnapshot(d.StateDigest()); err == nil {
+		p.probe.lastSnapUnix.Store(time.Now().Unix())
+	}
+}
+
+// deliver hands each submission its chunk of decisions, folding every
+// decision into the metrics counters before delivery — a client that
+// disconnects mid-stream must not leave /metrics short of the engine's
+// ledger.
+func (p *pipe[Req, Dec]) deliver(spans []flushSpan[Req, Dec], ds []Dec, err error) {
 	now := time.Now()
 	at := 0
 	for _, sp := range spans {

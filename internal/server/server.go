@@ -45,6 +45,7 @@ import (
 
 	"admission/internal/metrics"
 	"admission/internal/service"
+	"admission/internal/wal"
 )
 
 // Default pipeline parameters, applied when the corresponding Config field
@@ -169,6 +170,39 @@ type Codec[Req any, Dec service.Decision] struct {
 	// is decoded from framed binary and answered with a framed binary
 	// decision stream instead of NDJSON.
 	Wire *WireCodec[Req, Dec]
+	// Durability optionally routes the workload through the write-ahead
+	// log (internal/wal, DESIGN.md §12). Nil means decisions are served
+	// from memory only.
+	Durability *Durability[Req, Dec]
+}
+
+// Durability wires one workload's pipeline into a decision WAL: every
+// decided item is appended to Log before its decision is released to the
+// client (group-commit fsync batching keeps the fsync off the per-decision
+// path — see pipe.ackLoop), and the pipeline snapshots the log every
+// SnapshotEvery decisions. The caller opens the Log (and runs
+// RecoverAdmission/RecoverCover first when the directory is non-empty);
+// AdmissionDurable and CoverDurable build this for the built-in workloads.
+//
+// A durable workload requires that all engine traffic flows through the
+// server: a Submit that bypasses the pipeline would consume a sequence
+// number the log never sees, and the next logged append would fail-stop
+// the log (wal.Log.Append's contiguity check).
+type Durability[Req any, Dec service.Decision] struct {
+	// Log is the open decision log; its kind and fingerprint must match
+	// the mounted engine. Required.
+	Log *wal.Log
+	// Record fills rec with the WAL record pairing req with its decision.
+	// Required.
+	Record func(req Req, dec Dec, rec *wal.Record)
+	// StateDigest returns the engine's deterministic state digest, stamped
+	// into snapshots for post-recovery verification. Required.
+	StateDigest func() uint64
+	// SnapshotEvery is the number of logged decisions between automatic
+	// snapshots (0 disables them).
+	SnapshotEvery int64
+	// Replay carries the startup recovery summary for /metrics.
+	Replay RecoveryInfo
 }
 
 // WireCodec maps one workload's request and decision types onto the binary
@@ -205,6 +239,9 @@ func Register[Req any, Dec service.Decision](name string, svc service.Service[Re
 		}
 		if codec.Wire != nil && (codec.Wire.DecodeRequest == nil || codec.Wire.AppendDecision == nil) {
 			return fmt.Errorf("server: workload %q: wire codec needs DecodeRequest and AppendDecision", name)
+		}
+		if d := codec.Durability; d != nil && (d.Log == nil || d.Record == nil || d.StateDigest == nil) {
+			return fmt.Errorf("server: workload %q: durability needs Log, Record and StateDigest", name)
 		}
 		if _, dup := s.workloads[name]; dup {
 			return fmt.Errorf("server: workload %q registered twice", name)
@@ -248,6 +285,61 @@ type Server struct {
 
 	reg       *metrics.Registry
 	malformed *metrics.Counter
+
+	// Shared WAL collectors, registered lazily by the first durable
+	// workload (metric names are global, so two durable workloads feed the
+	// same counters); walProbes carries the per-workload labelled state
+	// behind the snapshot/replay gauges. Mutated only during New.
+	walAppends *metrics.Counter
+	walBytes   *metrics.Counter
+	walFsync   *metrics.Histogram
+	walProbes  []*walProbe
+}
+
+// walProbe is one durable workload's labelled sample state for the shared
+// WAL gauges.
+type walProbe struct {
+	workload     string
+	replay       RecoveryInfo
+	lastSnapUnix atomic.Int64
+}
+
+// registerDurable registers the shared WAL collectors on first use and
+// adds one workload's probe. Called only from registrations during New.
+func (s *Server) registerDurable(name string, replay RecoveryInfo) *walProbe {
+	if s.walAppends == nil {
+		s.walAppends = s.reg.NewCounter("acserve_wal_appends_total",
+			"Decisions appended to the write-ahead log.")
+		s.walBytes = s.reg.NewCounter("acserve_wal_bytes_total",
+			"Bytes appended to the write-ahead log.")
+		s.walFsync = s.reg.NewHistogram("acserve_wal_fsync_seconds",
+			"Latency of WAL group-commit fsyncs (one per commit cohort, not per decision).",
+			metrics.ExponentialBuckets(32e-6, 2, 16)) // 32µs .. ~1s
+		sample := func(value func(p *walProbe) float64) func() []metrics.Sample {
+			return func() []metrics.Sample {
+				out := make([]metrics.Sample, len(s.walProbes))
+				for i, p := range s.walProbes {
+					out[i] = metrics.Sample{
+						Labels: map[string]string{"workload": p.workload},
+						Value:  value(p),
+					}
+				}
+				return out
+			}
+		}
+		s.reg.NewGaugeFunc("acserve_snapshot_last_unix",
+			"Unix time of the last WAL snapshot written by the pipeline (0 before the first).",
+			sample(func(p *walProbe) float64 { return float64(p.lastSnapUnix.Load()) }))
+		s.reg.NewGaugeFunc("acserve_wal_replay_seconds",
+			"Wall time of the startup WAL recovery replay.",
+			sample(func(p *walProbe) float64 { return p.replay.Duration.Seconds() }))
+		s.reg.NewGaugeFunc("acserve_wal_replay_records",
+			"Decisions replayed during startup WAL recovery (snapshot prefix plus tail).",
+			sample(func(p *walProbe) float64 { return float64(p.replay.SnapshotSeq + p.replay.TailRecords) }))
+	}
+	p := &walProbe{workload: name, replay: replay}
+	s.walProbes = append(s.walProbes, p)
+	return p
 }
 
 // New creates a Server over the given workload registrations and starts

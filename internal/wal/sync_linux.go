@@ -1,0 +1,22 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// fdatasync makes a file's data — and the metadata required to read it
+// back, such as its size — durable without forcing a journal commit for
+// attribute-only updates (mtime, ctime). On the group-commit path that
+// saves one ext4 journal transaction per cohort relative to fsync, which
+// is the difference between one and two disk round trips per commit.
+func fdatasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package wal is the durability layer of the serving stack (DESIGN.md
+// §12): a write-ahead log of engine decisions plus periodic snapshots,
+// giving acserve crash recovery that is provably decision-identical to an
+// uninterrupted run (experiment E17).
+//
+// # Model
+//
+// Both engines are decision-deterministic: given the same seed and the
+// same per-shard arrival order, they reproduce the same decision stream
+// (the property the E14/E15/E16 identity gates already enforce). The WAL
+// therefore persists *inputs paired with their decisions*, in submission
+// order, rather than dumping engine state: recovery replays the logged
+// requests through a freshly built engine and verifies that every replayed
+// decision matches the logged one. A snapshot is the same idea compacted —
+// the request prefix only, with the decisions dropped and the engine's
+// state digest kept for verification — which keeps persisted state
+// proportional to the inputs, in the spirit of the space-efficient local
+// computation algorithms line of work (PAPERS.md).
+//
+// # On-disk layout
+//
+// A log directory holds numbered segment files and snapshot files:
+//
+//	wal-%016x.seg   records for sequence numbers [firstSeq, nextSeq)
+//	snap-%016x.snap compacted request prefix covering [0, seq)
+//
+// Every record is uvarint(len) | payload | crc32c(payload); the payload is
+// a kind byte followed by the request frame and the decision frame in the
+// binary wire codec (internal/wire) — the same canonical length-prefixed
+// framing the serving hot path speaks, reused rather than reinvented.
+// Segment and snapshot headers use the same record framing; snapshots
+// additionally carry a whole-body CRC and are written via
+// internal/atomicfile (write-temp → fsync → rename → fsync-dir).
+//
+// # Recovery invariants
+//
+// Open scans every segment:
+//
+//   - A torn final record (truncated bytes, or a CRC mismatch extending to
+//     the physical end of the last segment) is tolerated and truncated
+//     away: group commit guarantees a torn record was never acknowledged
+//     to any client.
+//   - Any damage before the tail — a CRC mismatch followed by more bytes,
+//     a broken length prefix mid-file, a gap in the sequence numbers, a
+//     non-final segment that does not meet its successor — is corruption
+//     and fails Open loudly. Durability must not silently drop
+//     acknowledged decisions.
+//   - A missing snapshot is fine while the segment chain still reaches
+//     back to sequence 0 (full replay); segments are pruned only after a
+//     newer snapshot is durable, so a valid chain always exists unless the
+//     directory was tampered with.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"admission/internal/wire"
+)
+
+// Kind discriminates which workload a log (and each of its records)
+// belongs to.
+type Kind uint8
+
+// Kinds of logged decisions.
+const (
+	// KindAdmission records admission-control decisions
+	// (internal/engine).
+	KindAdmission Kind = 1
+	// KindCover records set-cover decisions (internal/coverengine).
+	KindCover Kind = 2
+)
+
+// String names the kind for errors and headers.
+func (k Kind) String() string {
+	switch k {
+	case KindAdmission:
+		return "admission"
+	case KindCover:
+		return "cover"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+func (k Kind) valid() bool { return k == KindAdmission || k == KindCover }
+
+// Errors of the durability layer. ErrCorrupt wraps every refusal to
+// recover (damage before the log tail); errors.Is distinguishes it from a
+// tolerated torn tail, which is not an error at all.
+var (
+	// ErrCorrupt marks damage that recovery must not paper over:
+	// acknowledged decisions would be lost.
+	ErrCorrupt = errors.New("wal: corrupt")
+	// ErrMismatch marks a log whose kind or fingerprint does not match the
+	// engine it is being opened for.
+	ErrMismatch = errors.New("wal: log does not match engine")
+	// ErrReadOnly is returned by mutating operations on a read-only log.
+	ErrReadOnly = errors.New("wal: read-only")
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: closed")
+)
+
+// castagnoli is the CRC-32C table shared by records and snapshots.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// MaxRecord bounds one record's payload, sharing the wire codec's frame
+// bound so a corrupt length prefix cannot drive a huge allocation.
+const MaxRecord = wire.MaxFrame
+
+// Record is one logged decision: the submitted request paired with the
+// engine's reaction, in the engine's global submission order. Exactly the
+// fields of the matching kind are meaningful.
+type Record struct {
+	// Kind selects which workload's fields are set.
+	Kind Kind
+	// AdmissionReq and AdmissionDec hold a KindAdmission record.
+	AdmissionReq wire.AdmissionRequest
+	AdmissionDec wire.AdmissionDecision
+	// Element and CoverDec hold a KindCover record.
+	Element  int
+	CoverDec wire.CoverDecision
+}
+
+// Seq returns the record's engine-assigned sequence number (the admission
+// decision ID or the cover arrival sequence).
+func (r *Record) Seq() int64 {
+	if r.Kind == KindCover {
+		return int64(r.CoverDec.Seq)
+	}
+	return int64(r.AdmissionDec.ID)
+}
+
+// Request is one compacted snapshot entry: the input half of a Record,
+// which is all replay needs (the engine regenerates the decision).
+type Request struct {
+	// Kind selects which field is set.
+	Kind Kind
+	// Admission is the request of a KindAdmission entry.
+	Admission wire.AdmissionRequest
+	// Element is the arrival of a KindCover entry.
+	Element int
+}
+
+// AppendRecord appends rec's on-disk encoding — uvarint length, payload,
+// CRC-32C — to buf and returns the extended buffer. The payload reuses the
+// wire codec's canonical frames, so encodings are unique: any valid record
+// decodes and re-encodes to the same bytes (the property FuzzWALDecode
+// asserts).
+func AppendRecord(buf []byte, rec *Record) ([]byte, error) {
+	pb := wire.GetBuffer()
+	defer wire.PutBuffer(pb)
+	p, err := appendPayload(pb.B[:0], rec)
+	if err != nil {
+		return buf, err
+	}
+	pb.B = p
+	return appendFramed(buf, p), nil
+}
+
+// appendPayload encodes the record payload: kind byte, request frame,
+// decision frame.
+func appendPayload(p []byte, rec *Record) ([]byte, error) {
+	p = append(p, byte(rec.Kind))
+	switch rec.Kind {
+	case KindAdmission:
+		p = wire.AppendAdmissionRequest(p, rec.AdmissionReq.Edges, rec.AdmissionReq.Cost)
+		p = wire.AppendAdmissionDecision(p, &rec.AdmissionDec)
+	case KindCover:
+		p = wire.AppendCoverRequest(p, rec.Element)
+		p = wire.AppendCoverDecision(p, &rec.CoverDec)
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", rec.Kind)
+	}
+	return p, nil
+}
+
+// appendFramed appends one length-prefixed CRC-protected blob (the framing
+// shared by records and headers).
+func appendFramed(buf, payload []byte) []byte {
+	buf = appendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.Checksum(payload, castagnoli)
+	return append(buf, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+}
+
+// DecodeRecord parses one record payload (the bytes between the length
+// prefix and the CRC, already verified) into rec. Decoding is strict: the
+// frames must carry the right tags in the right order with nothing
+// trailing, and the embedded wire codec rejects non-minimal varints, so
+// accepted payloads re-encode byte-identically.
+func DecodeRecord(payload []byte, rec *Record) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("wal: empty record payload")
+	}
+	*rec = Record{Kind: Kind(payload[0])}
+	body := payload[1:]
+	reqFrame, rest, err := wire.NextFrame(body)
+	if err != nil {
+		return fmt.Errorf("wal: record request frame: %w", err)
+	}
+	decFrame, rest, err := wire.NextFrame(rest)
+	if err != nil {
+		return fmt.Errorf("wal: record decision frame: %w", err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("wal: %d trailing bytes in record payload", len(rest))
+	}
+	switch rec.Kind {
+	case KindAdmission:
+		if err := wire.DecodeAdmissionRequest(reqFrame, &rec.AdmissionReq); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if err := wire.DecodeAdmissionDecision(decFrame, &rec.AdmissionDec); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	case KindCover:
+		if rec.Element, err = wire.DecodeCoverRequest(reqFrame); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if err := wire.DecodeCoverDecision(decFrame, &rec.CoverDec); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	default:
+		return fmt.Errorf("wal: unknown record kind %d", rec.Kind)
+	}
+	return nil
+}
+
+// request extracts the input half of a record for snapshot compaction.
+func (r *Record) request() Request {
+	return Request{Kind: r.Kind, Admission: r.AdmissionReq, Element: r.Element}
+}
+
+// appendRequestFrame appends one snapshot entry as its wire request frame.
+func appendRequestFrame(buf []byte, req Request) ([]byte, error) {
+	switch req.Kind {
+	case KindAdmission:
+		return wire.AppendAdmissionRequest(buf, req.Admission.Edges, req.Admission.Cost), nil
+	case KindCover:
+		return wire.AppendCoverRequest(buf, req.Element), nil
+	default:
+		return buf, fmt.Errorf("wal: unknown request kind %d", req.Kind)
+	}
+}
+
+// decodeRequestFrame parses one snapshot entry from its wire request frame
+// payload.
+func decodeRequestFrame(kind Kind, payload []byte) (Request, error) {
+	req := Request{Kind: kind}
+	switch kind {
+	case KindAdmission:
+		if err := wire.DecodeAdmissionRequest(payload, &req.Admission); err != nil {
+			return req, fmt.Errorf("wal: %w", err)
+		}
+	case KindCover:
+		var err error
+		if req.Element, err = wire.DecodeCoverRequest(payload); err != nil {
+			return req, fmt.Errorf("wal: %w", err)
+		}
+	default:
+		return req, fmt.Errorf("wal: unknown request kind %d", kind)
+	}
+	return req, nil
+}
+
+// appendUvarint appends v as a minimal LEB128 uvarint (the wire codec's
+// integer encoding).
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// uvarint reads a minimal LEB128 uvarint from b, returning the value and
+// the bytes consumed; n == 0 means truncated, n < 0 means invalid
+// (non-minimal or overflowing) — the same strictness as the wire codec, so
+// every encoding accepted anywhere in the log is canonical.
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if i == 9 && c > 1 {
+			return 0, -1 // overflows uint64
+		}
+		v |= uint64(c&0x7f) << (7 * i)
+		if c < 0x80 {
+			if c == 0 && i > 0 {
+				return 0, -1 // non-minimal: trailing zero group
+			}
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
