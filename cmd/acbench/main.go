@@ -1,4 +1,4 @@
-// Command acbench regenerates the reproduction experiments E1–E17 (see
+// Command acbench regenerates the reproduction experiments E1–E18 (see
 // DESIGN.md §4 and EXPERIMENTS.md): empirical competitive-ratio sweeps for
 // every theorem of Alon–Azar–Gutner (SPAA 2005), with scaling-law fits,
 // plus the systems validation experiments — the sharded engine (E11,

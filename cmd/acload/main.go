@@ -35,6 +35,16 @@
 //
 //	acload -url http://127.0.0.1:8080 -cover -cover-workload cover-random -n 20000
 //	acload -url http://127.0.0.1:8080 -cover -cover-workload cover-repeat -conns 8
+//
+// Query mode drives the server's local-computation query tier (/v1/query)
+// with seeded random positions, optionally at neighborhood fidelity. The
+// server must have been started with -query and a matching
+// -query-workload/-query-seed pair (plus cost model, capacity and length)
+// so both sides derive the same arrival order; -query-n must not exceed
+// the server's:
+//
+//	acload -url http://127.0.0.1:8080 -query -query-n 4096 -n 20000 -conns 8 -wire
+//	acload -url http://127.0.0.1:8080 -query -query-fidelity neighborhood -n 5000
 package main
 
 import (
@@ -45,7 +55,9 @@ import (
 	"os/signal"
 	"syscall"
 
+	"admission/internal/lca"
 	"admission/internal/problem"
+	"admission/internal/rng"
 	"admission/internal/server"
 	"admission/internal/workload"
 )
@@ -71,6 +83,11 @@ func main() {
 		cover     = flag.Bool("cover", false, "drive the set cover path (/v1/cover) instead of /v1/admission")
 		coverWl   = flag.String("cover-workload", "cover-random", "named set-cover workload (must match the server's)")
 		coverSeed = flag.Uint64("cover-seed", 1, "set-cover workload seed (must match the server's)")
+
+		query      = flag.Bool("query", false, "drive the local-computation query tier (/v1/query) instead of /v1/admission")
+		queryN     = flag.Int("query-n", 4096, "positions of the server's query arrival order (must not exceed the server's -query-n)")
+		querySeed  = flag.Uint64("query-pos-seed", 1, "seed for the random query positions")
+		queryFidel = flag.String("query-fidelity", "exact", "query replay layer: exact | neighborhood")
 	)
 	flag.Parse()
 
@@ -83,6 +100,10 @@ func main() {
 	}
 	if *cover {
 		runCover(ctx, *url, *coverWl, *coverSeed, *n, *conns, *batch, *rps, *wireOn)
+		return
+	}
+	if *query {
+		runQuery(ctx, *url, *queryN, *querySeed, *queryFidel, *n, *conns, *batch, *rps, *wireOn)
 		return
 	}
 
@@ -156,6 +177,37 @@ func runCover(ctx context.Context, url, name string, seed uint64, n, conns, batc
 	fmt.Printf("cover workload: %s (n=%d elements, m=%d sets)\n", w.Name, w.Instance.N, w.Instance.M())
 	fmt.Println(report)
 	fmt.Printf("cover:       %d sets bought, cost %g\n", report.SetsBought, report.CostAdded)
+}
+
+// runQuery drives /v1/query with n seeded random positions in [0, posN)
+// and prints the throughput/latency summary.
+func runQuery(ctx context.Context, url string, posN int, posSeed uint64, fidelity string, n, conns, batch int, rps float64, wire bool) {
+	fid, err := lca.ParseFidelity(fidelity)
+	if err != nil {
+		fail(err)
+	}
+	if posN <= 0 || n <= 0 {
+		fail(fmt.Errorf("need -query-n > 0 and -n > 0"))
+	}
+	r := rng.New(posSeed)
+	qs := make([]lca.Query, n)
+	for i := range qs {
+		qs[i] = lca.Query{Pos: int(r.Uint64() % uint64(posN)), Fidelity: fid}
+	}
+	report, err := server.RunQueryLoad(ctx, server.LoadConfig[lca.Query]{
+		BaseURL: url,
+		Items:   qs,
+		Conns:   conns,
+		Batch:   batch,
+		RPS:     rps,
+		Wire:    wire,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("query tier:  %d positions, %s fidelity\n", posN, fid)
+	fmt.Println(report)
+	fmt.Printf("queries:     %d accepted, %d preempted positions\n", report.Accepted, report.Preempted)
 }
 
 func fail(err error) {

@@ -19,6 +19,15 @@
 //	acserve -addr :8080 -cover -cover-workload cover-random -cover-shards 4
 //	acserve -addr :8080 -cover -cover-mode bicriteria -cover-eps 0.25
 //
+// With -query the server additionally serves the local-computation query
+// tier (internal/lca, DESIGN.md §13): stateless "what would the decision
+// at position r be?" queries over a seeded arrival order that server and
+// client both derive from the -query-workload/-query-seed pair — the
+// sequence itself is never transmitted. Queries fan out across
+// -query-workers independent replays:
+//
+//	acserve -addr :8080 -query -query-workload random -query-seed 7 -query-n 4096
+//
 // Endpoints:
 //
 //	POST /v1/admission       one request {"edges":[0,1],"cost":2.5} or an
@@ -27,6 +36,10 @@
 //	POST /v1/cover           element id(s), e.g. 3 or [0,4,4]; one NDJSON
 //	                         "sets chosen" decision line per arrival
 //	GET  /v1/cover/stats     cover engine statistics (JSON)
+//	POST /v1/query           one query {"pos":17} (optionally with
+//	                         "fidelity":"neighborhood") or an array; one
+//	                         NDJSON reconstructed-decision line per query
+//	GET  /v1/query/stats     query engine statistics (JSON)
 //	GET  /metrics            Prometheus text format
 //	GET  /healthz            liveness; 503 while draining
 //
@@ -70,6 +83,7 @@ import (
 	"admission/internal/core"
 	"admission/internal/coverengine"
 	"admission/internal/engine"
+	"admission/internal/lca"
 	"admission/internal/server"
 	"admission/internal/wal"
 	"admission/internal/workload"
@@ -91,6 +105,14 @@ func main() {
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		walDir     = flag.String("wal-dir", "", "directory for per-workload decision WALs; enables durability and crash recovery (empty = in-memory only)")
 		snapEvery  = flag.Int64("snapshot-every", 100000, "logged decisions between automatic WAL snapshots (0 = only the shutdown snapshot)")
+
+		query        = flag.Bool("query", false, "also serve local-computation decision queries (/v1/query)")
+		queryWl      = flag.String("query-workload", "random", "named workload supplying the query tier's seeded arrival order")
+		queryCosts   = flag.String("query-costs", "uniform", "query arrival-order cost model: unit | uniform | pareto")
+		queryCap     = flag.Int("query-cap", 8, "per-edge capacity of the query arrival order")
+		queryN       = flag.Int("query-n", 4096, "query arrival-order length (queryable positions)")
+		querySeed    = flag.Uint64("query-seed", 1, "query arrival-order seed (must match the client's)")
+		queryWorkers = flag.Int("query-workers", 0, "concurrent query simulations (0 = GOMAXPROCS)")
 
 		cover     = flag.Bool("cover", false, "also serve online set cover (/v1/cover)")
 		coverWl   = flag.String("cover-workload", "cover-random", "named set-cover workload supplying the set system")
@@ -160,6 +182,28 @@ func main() {
 				server.DurableOptions{SnapshotEvery: *snapEvery, Replay: info}))
 		}
 	}
+	var qeng *lca.Engine
+	if *query {
+		model, err := workload.ParseCostModel(*queryCosts)
+		if err != nil {
+			fail(err)
+		}
+		qeng, err = lca.New(lca.Config{
+			Source: lca.Source{
+				Workload: *queryWl,
+				Model:    model,
+				Capacity: *queryCap,
+				N:        *queryN,
+				Seed:     *querySeed,
+			},
+			Algorithm: acfg,
+			Workers:   *queryWorkers,
+		})
+		if err != nil {
+			fail(err)
+		}
+		regs = append(regs, server.Query(qeng))
+	}
 	srv, err := server.New(server.Config{
 		BatchSize:     *batch,
 		FlushInterval: *flush,
@@ -178,6 +222,11 @@ func main() {
 		if cov != nil {
 			fmt.Fprintf(os.Stderr, "acserve: cover: %s (%s), n=%d elements, m=%d sets, %d shards\n",
 				*coverWl, cov.Mode(), cov.NumElements(), cov.NumSets(), cov.Shards())
+		}
+		if qeng != nil {
+			src := qeng.Source()
+			fmt.Fprintf(os.Stderr, "acserve: query: %s/%s seed %d, %d positions, %d workers\n",
+				src.Workload, src.Model, src.Seed, qeng.Positions(), qeng.Workers())
 		}
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errCh <- err
@@ -218,6 +267,13 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"acserve: final cover stats: %d arrivals, %d sets chosen, cost %g\n",
 			cst.Arrivals, cst.ChosenSets, cst.Cost)
+	}
+	if qeng != nil {
+		qeng.Close()
+		qst := qeng.Stats()
+		fmt.Fprintf(os.Stderr,
+			"acserve: final query stats: %d queries, %d accepted, %d errors, %g replayed arrivals\n",
+			qst.Requests, qst.Accepted, qst.Errors, qst.Objective)
 	}
 }
 

@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"admission/internal/core"
+	"admission/internal/engine"
+	"admission/internal/lca"
+	"admission/internal/server"
+	"admission/internal/stats"
+	"admission/internal/workload"
+)
+
+// --- E18: local-computation query tier — streaming consistency -----------
+//
+// E18 validates the query tier (internal/lca, DESIGN.md §13): the same
+// seeded arrival order is decided four ways — streamed sequentially
+// through a 1-shard engine (the reference), answered position by position
+// by the lca engine at exact fidelity, and served through /v1/query with
+// one connection over both codecs. All four decision streams must be
+// line-identical (position/ID, accepted, preempted) at every position: a
+// stateless prefix replay must not be able to disagree with the stateful
+// streaming run it reconstructs. The worker sweep then measures the
+// tier's horizontal scaling — queries are independent simulations, so
+// queries/s must grow with the worker bound, which a shared-ledger design
+// structurally cannot do. Acceptance (see EXPERIMENTS.md §E18): zero
+// line divergences in every repetition, and workers=8 throughput ≥ 2x
+// workers=1.
+
+func init() {
+	registry = append(registry,
+		Experiment{"E18", "Local-computation query tier: consistency with the streaming engine and worker scaling (§3 over DESIGN.md §13)", runE18},
+	)
+}
+
+func runE18(cfg Config) ([]*Table, error) {
+	n := cfg.scaledInt(192, 48)
+	workerSweep := []int{1, 2, 4, 8}
+
+	type e18Point struct {
+		ok    bool
+		thrus []float64 // queries/s per workerSweep entry
+	}
+	points := make([]e18Point, cfg.reps())
+	var mu sync.Mutex
+	err := parallelEach(cfg.reps(), cfg.workers(), func(rep int) error {
+		alg := core.DefaultConfig()
+		alg.Seed = cfg.Seed ^ (uint64(rep+1) * 0xE18E18)
+		src := lca.Source{
+			Workload: "random",
+			Model:    workload.CostUniform,
+			Capacity: 4,
+			N:        n,
+			Seed:     cfg.Seed ^ (uint64(rep+1) * 7477),
+		}
+		qeng, err := lca.New(lca.Config{Source: src, Algorithm: alg, Workers: 4})
+		if err != nil {
+			return err
+		}
+		defer qeng.Close()
+		ins := qeng.Instance()
+
+		// Streaming reference: the same arrival order through a 1-shard
+		// engine under the same algorithm seed — the decision stream every
+		// exact query answer must reproduce.
+		seng, err := engine.New(ins.Capacities, engine.Config{Shards: 1, Algorithm: alg})
+		if err != nil {
+			return err
+		}
+		direct := make([]server.QueryDecisionJSON, 0, len(ins.Requests))
+		for _, req := range ins.Requests {
+			d, err := seng.Submit(context.Background(), req)
+			if err != nil {
+				seng.Close()
+				return fmt.Errorf("E18: streaming reference rep %d: %w", rep, err)
+			}
+			direct = append(direct, server.QueryDecisionJSON{
+				Pos: d.ID, Accepted: d.Accepted, Preempted: d.Preempted,
+			})
+		}
+		seng.Close()
+
+		qs := make([]lca.Query, len(ins.Requests))
+		for i := range qs {
+			qs[i] = lca.Query{Pos: i}
+		}
+
+		// Identity gate 1: local exact answers at every position.
+		answers, err := qeng.SubmitBatch(context.Background(), qs)
+		if err != nil {
+			return err
+		}
+		for t, a := range answers {
+			if a.Err != nil {
+				return fmt.Errorf("E18: local rep %d: query %d failed: %v", rep, t, a.Err)
+			}
+			if a.Pos != direct[t].Pos || a.Accepted != direct[t].Accepted ||
+				fmt.Sprint(a.Preempted) != fmt.Sprint(direct[t].Preempted) {
+				return fmt.Errorf("E18: local rep %d: position %d diverges: query %+v, streaming %+v",
+					rep, t, a, direct[t])
+			}
+		}
+
+		// Identity gate 2: the served conns=1 streams over both codecs.
+		for _, wireCodec := range []bool{false, true} {
+			codec := "json"
+			if wireCodec {
+				codec = "wire"
+			}
+			got, err := queryStreamConns1(qeng, qs, wireCodec)
+			if err != nil {
+				return fmt.Errorf("E18: %s conns=1 rep %d: %w", codec, rep, err)
+			}
+			if len(got) != len(direct) {
+				return fmt.Errorf("E18: %s conns=1 rep %d: %d decisions for %d queries", codec, rep, len(got), len(direct))
+			}
+			for t := range got {
+				if got[t].Error != "" {
+					return fmt.Errorf("E18: %s conns=1 rep %d: query %d refused: %s", codec, rep, t, got[t].Error)
+				}
+				if got[t].Pos != direct[t].Pos || got[t].Accepted != direct[t].Accepted ||
+					fmt.Sprint(got[t].Preempted) != fmt.Sprint(direct[t].Preempted) {
+					return fmt.Errorf("E18: %s conns=1 rep %d: decision %d diverges: served %+v, streaming %+v",
+						codec, rep, t, got[t], direct[t])
+				}
+			}
+		}
+
+		// Worker sweep: fresh engines with growing worker bounds answer the
+		// same query set; throughput is batch wall clock.
+		thrus := make([]float64, len(workerSweep))
+		for wi, workers := range workerSweep {
+			weng, err := lca.New(lca.Config{Source: src, Algorithm: alg, Workers: workers})
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			if _, err := weng.SubmitBatch(context.Background(), qs); err != nil {
+				weng.Close()
+				return err
+			}
+			thrus[wi] = float64(len(qs)) / time.Since(start).Seconds()
+			weng.Close()
+		}
+		mu.Lock()
+		points[rep] = e18Point{ok: true, thrus: thrus}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sums := make([]*stats.Summary, len(workerSweep))
+	for wi := range workerSweep {
+		sums[wi] = &stats.Summary{}
+		for rep := 0; rep < cfg.reps(); rep++ {
+			if points[rep].ok {
+				sums[wi].Add(points[rep].thrus[wi])
+			}
+		}
+	}
+
+	t := &Table{
+		ID:      "E18",
+		Title:   "Local-computation query tier: streaming consistency and worker scaling (DESIGN.md §13)",
+		Columns: []string{"workers", "throughput (queries/s)", "speedup vs workers=1"},
+	}
+	base := sums[0].Mean()
+	var speedup8 float64
+	for wi, workers := range workerSweep {
+		rel := 0.0
+		if base > 0 {
+			rel = sums[wi].Mean() / base
+		}
+		if workers == 8 {
+			speedup8 = rel
+		}
+		t.AddRow(fmt.Sprintf("%d", workers),
+			fmt.Sprintf("%.0f", sums[wi].Mean()),
+			fmt.Sprintf("%.2fx", rel))
+	}
+	verdict := "PASS"
+	if speedup8 < 2 {
+		verdict = "FAIL"
+	}
+	t.AddNote("identity: exact answers at all %d positions line-identical to the 1-shard streaming engine, locally and served over json+wire conns=1, in every repetition", n)
+	t.AddNote("acceptance: workers=8 ≥ 2x workers=1 on the same query set — observed %.2fx on a GOMAXPROCS=%d host: %s", speedup8, runtime.GOMAXPROCS(0), verdict)
+	t.AddNote("queries are independent prefix replays (no shared ledger), so the sweep measures the tier's horizontal-scaling claim directly")
+	return []*Table{t}, nil
+}
+
+// queryStreamConns1 serves the query sequence over a one-connection
+// loopback in 64-item batches using the JSON or binary client and returns
+// the full decision-line stream. The engine stays open (it is stateless
+// across queries, so reuse across scenarios is sound).
+func queryStreamConns1(qeng *lca.Engine, qs []lca.Query, wireCodec bool) ([]server.QueryDecisionJSON, error) {
+	srv, err := server.New(server.Config{}, server.Query(qeng))
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() { _ = httpSrv.Close() }()
+
+	base := "http://" + ln.Addr().String()
+	var client *server.Client[lca.Query, server.QueryDecisionJSON]
+	if wireCodec {
+		client = server.NewQueryWireClient(base, 1)
+	} else {
+		client = server.NewQueryClient(base, 1)
+	}
+	defer client.CloseIdle()
+
+	const batch = 64
+	got := make([]server.QueryDecisionJSON, 0, len(qs))
+	for lo := 0; lo < len(qs); lo += batch {
+		hi := lo + batch
+		if hi > len(qs) {
+			hi = len(qs)
+		}
+		ds, err := client.Submit(context.Background(), qs[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		got = append(got, ds...)
+	}
+	if err := drainServer(srv); err != nil {
+		return nil, err
+	}
+	return got, nil
+}

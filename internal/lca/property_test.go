@@ -1,0 +1,128 @@
+package lca
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"admission/internal/core"
+	"admission/internal/problem"
+	"admission/internal/rng"
+	"admission/internal/workload"
+)
+
+// The property suite is the package-local half of the E18 consistency
+// guarantee: for every algorithm mode of §2/§3, an exact-fidelity query
+// answer must equal the decision a full sequential replay of the same
+// seeded arrival order produces at that position — same acceptance, same
+// preempted set. It samples ≥100 (seed, position) pairs per mode across
+// several named workloads, so a regression in either the replay path or
+// the core algorithm's determinism fails here under -race before it can
+// reach the serving stack.
+
+// propertyMode names one algorithm configuration of the suite.
+type propertyMode struct {
+	name  string
+	alg   core.Config
+	model workload.CostModel
+}
+
+func propertyModes() []propertyMode {
+	oracle := core.DefaultConfig()
+	oracle.AlphaMode = core.AlphaOracle
+	oracle.Alpha = 8
+	noPrune := core.DefaultConfig()
+	noPrune.DisableReqPruning = true
+	return []propertyMode{
+		{name: "weighted-doubling", alg: core.DefaultConfig(), model: workload.CostUniform},
+		{name: "weighted-oracle", alg: oracle, model: workload.CostPareto},
+		{name: "weighted-no-pruning", alg: noPrune, model: workload.CostUniform},
+		{name: "unweighted", alg: core.UnweightedConfig(), model: workload.CostUnit},
+	}
+}
+
+// sequentialOutcomes replays the full arrival order through one fresh §3
+// instance — the reference the streaming engine is bit-identical to at one
+// shard — and records every outcome.
+func sequentialOutcomes(t *testing.T, ins *problem.Instance, alg core.Config) []problem.Outcome {
+	t.Helper()
+	ref, err := core.NewRandomized(ins.Capacities, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([]problem.Outcome, len(ins.Requests))
+	for i, r := range ins.Requests {
+		out, err := ref.Offer(i, r)
+		if err != nil {
+			t.Fatalf("reference replay failed at %d: %v", i, err)
+		}
+		outs[i] = out
+	}
+	return outs
+}
+
+func TestPropertyExactMatchesSequentialReplay(t *testing.T) {
+	const (
+		n         = 120
+		seeds     = 5
+		perSeed   = 25
+		wantPairs = 100
+	)
+	workloads := []string{"random", "blocks", "line", "grid", "hotspot"}
+	ctx := context.Background()
+
+	for _, mode := range propertyModes() {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			t.Parallel()
+			pairs := 0
+			for s := 0; s < seeds; s++ {
+				seed := uint64(1000*s + 17)
+				alg := mode.alg
+				alg.Seed = seed * 31
+				eng, err := New(Config{
+					Source: Source{
+						Workload: workloads[s%len(workloads)],
+						Model:    mode.model,
+						Capacity: 3,
+						N:        n,
+						Seed:     seed,
+					},
+					Algorithm: alg,
+					Workers:   4,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := sequentialOutcomes(t, eng.Instance(), alg)
+
+				// Sample positions covering both ends plus a seeded spread.
+				r := rng.New(seed ^ 0xE18)
+				qs := make([]Query, 0, perSeed)
+				qs = append(qs, Query{Pos: 0}, Query{Pos: eng.Positions() - 1})
+				for len(qs) < perSeed {
+					qs = append(qs, Query{Pos: int(r.Uint64() % uint64(eng.Positions()))})
+				}
+				answers, err := eng.SubmitBatch(ctx, qs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, a := range answers {
+					want := ref[qs[i].Pos]
+					if a.Accepted != want.Accepted || fmt.Sprint(a.Preempted) != fmt.Sprint(want.Preempted) {
+						t.Fatalf("%s seed %d pos %d: query answered accepted=%v preempted=%v, sequential replay decided accepted=%v preempted=%v",
+							mode.name, seed, qs[i].Pos, a.Accepted, a.Preempted, want.Accepted, want.Preempted)
+					}
+					if a.Replayed != qs[i].Pos+1 {
+						t.Fatalf("exact answer at pos %d replayed %d arrivals, want %d", qs[i].Pos, a.Replayed, qs[i].Pos+1)
+					}
+					pairs++
+				}
+				eng.Close()
+			}
+			if pairs < wantPairs {
+				t.Fatalf("suite sampled only %d (seed, position) pairs, want ≥ %d", pairs, wantPairs)
+			}
+		})
+	}
+}

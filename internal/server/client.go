@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"admission/internal/lca"
 	"admission/internal/problem"
 	"admission/internal/wire"
 )
@@ -79,6 +80,18 @@ func NewAdmissionClient(baseURL string, maxConns int) *Client[problem.Request, D
 // NewCoverClient creates a client for the built-in set cover workload.
 func NewCoverClient(baseURL string, maxConns int) *Client[int, CoverDecisionJSON] {
 	return NewClient[int, CoverDecisionJSON](baseURL, WorkloadCover, maxConns)
+}
+
+// NewQueryClient creates a client for the built-in local-computation query
+// workload.
+func NewQueryClient(baseURL string, maxConns int) *Client[lca.Query, QueryDecisionJSON] {
+	return NewClient[lca.Query, QueryDecisionJSON](baseURL, WorkloadQuery, maxConns)
+}
+
+// NewQueryWireClient creates a binary-protocol client for the built-in
+// local-computation query workload, decision-identical to NewQueryClient.
+func NewQueryWireClient(baseURL string, maxConns int) *Client[lca.Query, QueryDecisionJSON] {
+	return NewWireClient(baseURL, WorkloadQuery, maxConns, QueryClientWire())
 }
 
 // NewAdmissionWireClient creates a binary-protocol client for the built-in

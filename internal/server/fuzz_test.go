@@ -1,9 +1,14 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
+	"reflect"
 	"testing"
 
+	"admission/internal/lca"
 	"admission/internal/problem"
+	"admission/internal/wire"
 )
 
 // FuzzSubmitDecode throws arbitrary bytes at the generic body decoder
@@ -57,6 +62,76 @@ func FuzzCoverDecode(f *testing.F) {
 		}
 		if len(elems) == 0 {
 			t.Fatal("decoder accepted an empty submission")
+		}
+	})
+}
+
+// FuzzQueryDecode throws arbitrary bytes at both request decoders of the
+// query workload — the JSON body decoder instantiated at lca.Query and the
+// binary submit-body loop over wire.QueryRequest frames. Neither may
+// panic, accepted JSON batches must be non-empty with only known fidelity
+// spellings and survive a marshal→decode round trip, and accepted wire
+// bodies must re-encode to the identical bytes (canonical round trip).
+// Run with
+//
+//	go test -fuzz FuzzQueryDecode ./internal/server
+func FuzzQueryDecode(f *testing.F) {
+	f.Add([]byte(`{"pos":3}`))
+	f.Add([]byte(`[{"pos":0},{"pos":17,"fidelity":"neighborhood"}]`))
+	f.Add([]byte(`[{"pos":1,"fidelity":"exact"}]`))
+	f.Add([]byte(`[{"pos":1,"fidelity":"bogus"}]`))
+	f.Add([]byte(`[{"pos":9e99}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	wb := wire.AppendSubmitHeader(nil, 2)
+	wb = wire.AppendQueryRequest(wb, &wire.QueryRequest{Pos: 0})
+	wb = wire.AppendQueryRequest(wb, &wire.QueryRequest{Pos: 17, Fidelity: wire.QueryFidelityNeighborhood})
+	f.Add(wb)
+	f.Add(wb[:len(wb)-1])                     // truncated last frame
+	f.Add(append(append([]byte{}, wb...), 1)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		// JSON view.
+		if qs, err := DecodeJSONBatch[lca.Query](body); err == nil {
+			if len(qs) == 0 {
+				t.Fatal("decoder accepted an empty submission")
+			}
+			for _, q := range qs {
+				if !q.Fidelity.Valid() {
+					t.Fatalf("decoder accepted unknown fidelity %d", q.Fidelity)
+				}
+			}
+			re, err := json.Marshal(qs)
+			if err != nil {
+				t.Fatalf("accepted batch does not re-marshal: %v", err)
+			}
+			back, err := DecodeJSONBatch[lca.Query](re)
+			if err != nil || !reflect.DeepEqual(back, qs) {
+				t.Fatalf("JSON round trip drifted: %v\n  in  %+v\n  out %+v", err, qs, back)
+			}
+		}
+		// Wire view: the server's submit loop, one query frame per item.
+		count, rest, err := wire.ReadSubmitHeader(body)
+		if err != nil {
+			return
+		}
+		reenc := wire.AppendSubmitHeader(nil, count)
+		for i := 0; i < count; i++ {
+			var payload []byte
+			if payload, rest, err = wire.NextFrame(rest); err != nil {
+				return
+			}
+			var q wire.QueryRequest
+			if err := wire.DecodeQueryRequest(payload, &q); err != nil {
+				return
+			}
+			reenc = wire.AppendQueryRequest(reenc, &q)
+		}
+		if len(rest) != 0 {
+			return
+		}
+		if !bytes.Equal(reenc, body) {
+			t.Fatalf("accepted wire body is not canonical:\n  in  %x\n  out %x", body, reenc)
 		}
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"admission/internal/lca"
 	"admission/internal/problem"
 	"admission/internal/workload"
 )
@@ -262,6 +263,32 @@ func RunAdmissionLoad(ctx context.Context, cfg LoadConfig[problem.Request]) (*Lo
 		return RunLoadWith(ctx, client, cfg, ObserveAdmission)
 	}
 	return RunLoad(ctx, cfg, ObserveAdmission)
+}
+
+// ObserveQuery folds one query decision line into a LoadReport's
+// admission-style aggregates (the observer RunQueryLoad installs):
+// accepted answers and preempted positions count exactly like their
+// streaming counterparts.
+func ObserveQuery(d QueryDecisionJSON, r *LoadReport) {
+	if d.Accepted {
+		r.Accepted++
+	}
+	r.Preempted += int64(len(d.Preempted))
+}
+
+// RunQueryLoad runs the generic load loop against the built-in
+// local-computation query workload with the query observer installed, over
+// the protocol cfg.Wire selects.
+func RunQueryLoad(ctx context.Context, cfg LoadConfig[lca.Query]) (*LoadReport, error) {
+	if cfg.Workload == "" {
+		cfg.Workload = WorkloadQuery
+	}
+	if cfg.Wire {
+		client := NewWireClient(cfg.BaseURL, cfg.Workload, cfg.conns(), QueryClientWire())
+		defer client.CloseIdle()
+		return RunLoadWith(ctx, client, cfg, ObserveQuery)
+	}
+	return RunLoad(ctx, cfg, ObserveQuery)
 }
 
 // RunCoverLoad runs the generic load loop against the built-in set cover

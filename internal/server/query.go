@@ -1,0 +1,198 @@
+package server
+
+import (
+	"admission/internal/lca"
+	"admission/internal/metrics"
+	"admission/internal/wire"
+)
+
+// WorkloadQuery is the route name of the built-in local-computation query
+// workload (POST /v1/query).
+const WorkloadQuery = "query"
+
+// Query mounts a local-computation query engine (internal/lca, DESIGN.md
+// §13) as the "query" workload: POST /v1/query takes one query
+// {"pos":17} (optionally {"pos":17,"fidelity":"neighborhood"}) or an array
+// of them and streams one NDJSON reconstructed-decision line per query;
+// GET /v1/query/stats reports query engine statistics. The caller retains
+// ownership of the engine. Unlike the streaming workloads the engine is
+// stateless across queries, so the pipeline's batches fan out across the
+// engine's worker pool instead of feeding one sequential ledger.
+func Query(eng *lca.Engine) Registration {
+	return Register(WorkloadQuery, eng, queryCodec(eng))
+}
+
+// queryCodec is the query workload's codec.
+func queryCodec(eng *lca.Engine) Codec[lca.Query, lca.Answer] {
+	return Codec[lca.Query, lca.Answer]{
+		Encode: func(a lca.Answer) any {
+			line := QueryDecisionJSON{
+				Pos:       a.Pos,
+				Accepted:  a.Accepted,
+				Preempted: a.Preempted,
+				Replayed:  a.Replayed,
+			}
+			if a.Fidelity != lca.FidelityExact {
+				line.Fidelity = a.Fidelity.String()
+			}
+			if a.Err != nil {
+				line.Error = a.Err.Error()
+			}
+			return line
+		},
+		Stats:   func(q QueueState) any { return queryStats(eng, q) },
+		Metrics: func(reg *metrics.Registry) func(lca.Answer) { return queryMetrics(reg, eng) },
+		Wire: &WireCodec[lca.Query, lca.Answer]{
+			DecodeRequest: func(payload []byte) (lca.Query, error) {
+				var wq wire.QueryRequest
+				if err := wire.DecodeQueryRequest(payload, &wq); err != nil {
+					return lca.Query{}, err
+				}
+				// The wire fidelity bytes are defined to match lca's values;
+				// DecodeQueryRequest already rejected unknown bytes.
+				return lca.Query{Pos: wq.Pos, Fidelity: lca.Fidelity(wq.Fidelity)}, nil
+			},
+			AppendDecision: func(buf []byte, a lca.Answer) []byte {
+				wd := wire.QueryDecision{
+					Pos:          a.Pos,
+					Accepted:     a.Accepted,
+					Neighborhood: a.Fidelity == lca.FidelityNeighborhood,
+					Preempted:    a.Preempted,
+					Replayed:     a.Replayed,
+				}
+				if a.Err != nil {
+					wd.Error = a.Err.Error()
+				}
+				return wire.AppendQueryDecision(buf, &wd)
+			},
+		},
+	}
+}
+
+// QueryClientWire returns the client-side binary hooks for the query
+// workload: queries frame as wire.QueryRequest, decision frames (including
+// whole-batch wire.TagStreamError lines) decode into the same
+// QueryDecisionJSON lines the NDJSON client yields.
+func QueryClientWire() ClientWire[lca.Query, QueryDecisionJSON] {
+	return ClientWire[lca.Query, QueryDecisionJSON]{
+		AppendRequest: func(buf []byte, q lca.Query) []byte {
+			wq := wire.QueryRequest{Pos: q.Pos, Fidelity: byte(q.Fidelity)}
+			return wire.AppendQueryRequest(buf, &wq)
+		},
+		DecodeDecision: func(payload []byte) (QueryDecisionJSON, error) {
+			if tag, err := wire.Tag(payload); err != nil {
+				return QueryDecisionJSON{}, err
+			} else if tag == wire.TagStreamError {
+				msg, err := wire.DecodeStreamError(payload)
+				if err != nil {
+					return QueryDecisionJSON{}, err
+				}
+				return QueryDecisionJSON{Error: msg}, nil
+			}
+			var wd wire.QueryDecision
+			if err := wire.DecodeQueryDecision(payload, &wd); err != nil {
+				return QueryDecisionJSON{}, err
+			}
+			line := QueryDecisionJSON{
+				Pos:       wd.Pos,
+				Accepted:  wd.Accepted,
+				Preempted: wd.Preempted,
+				Replayed:  wd.Replayed,
+				Error:     wd.Error,
+			}
+			if wd.Neighborhood {
+				line.Fidelity = lca.FidelityNeighborhood.String()
+			}
+			return line, nil
+		},
+	}
+}
+
+// QueryDecisionJSON is the wire form of one reconstructed query decision
+// (one NDJSON line of a /v1/query response). Its decision fields (Pos =
+// streaming ID, Accepted, Preempted) are line-comparable with
+// DecisionJSON, the property experiment E18 gates on.
+type QueryDecisionJSON struct {
+	// Pos is the queried arrival position (the streaming engine's ID).
+	Pos int `json:"pos"`
+	// Accepted reports admission at Pos.
+	Accepted bool `json:"accepted"`
+	// Preempted lists global positions evicted by this decision.
+	Preempted []int `json:"preempted,omitempty"`
+	// Replayed counts the arrivals simulated to answer the query.
+	Replayed int `json:"replayed,omitempty"`
+	// Fidelity names a non-default replay layer ("" means exact).
+	Fidelity string `json:"fidelity,omitempty"`
+	// Error carries a per-query failure.
+	Error string `json:"error,omitempty"`
+}
+
+// ErrorText returns the per-line failure, satisfying the load generator's
+// wire-decision contract.
+func (d QueryDecisionJSON) ErrorText() string { return d.Error }
+
+// QueryStatsJSON is the /v1/query/stats response body.
+type QueryStatsJSON struct {
+	// Workload .. Seed give the source arrival-order spec, so a client can
+	// check it queries the sequence it thinks it does.
+	Workload  string `json:"workload"`
+	Model     string `json:"model"`
+	Capacity  int    `json:"capacity"`
+	Positions int    `json:"positions"`
+	Seed      uint64 `json:"seed"`
+	// Workers is the engine's concurrent-simulation bound.
+	Workers int `json:"workers"`
+	// Queries .. ReplayedArrivals mirror the engine's service.Stats.
+	Queries          int64 `json:"queries"`
+	Accepted         int64 `json:"accepted"`
+	Errors           int64 `json:"errors"`
+	ReplayedArrivals int64 `json:"replayed_arrivals"`
+	// QueueDepth is the number of items waiting in the pipeline.
+	QueueDepth int `json:"queue_depth"`
+	// Draining reports whether Drain has been initiated.
+	Draining bool `json:"draining"`
+}
+
+// queryStats renders the query stats body from an engine snapshot.
+func queryStats(eng *lca.Engine, q QueueState) QueryStatsJSON {
+	st := eng.Stats()
+	src := eng.Source()
+	return QueryStatsJSON{
+		Workload:         src.Workload,
+		Model:            src.Model.String(),
+		Capacity:         src.Capacity,
+		Positions:        eng.Positions(),
+		Seed:             src.Seed,
+		Workers:          eng.Workers(),
+		Queries:          st.Requests,
+		Accepted:         st.Accepted,
+		Errors:           st.Errors,
+		ReplayedArrivals: int64(st.Objective),
+		QueueDepth:       q.Depth,
+		Draining:         q.Draining,
+	}
+}
+
+// queryMetrics registers the query-specific collectors and returns the
+// per-decision observer feeding them.
+func queryMetrics(reg *metrics.Registry, eng *lca.Engine) func(lca.Answer) {
+	accepts := reg.NewCounter("acserve_query_accept_total",
+		"Queries answered with an accepted decision.")
+	rejects := reg.NewCounter("acserve_query_reject_total",
+		"Queries answered with a rejected decision.")
+	replayed := reg.NewCounter("acserve_query_replayed_arrivals_total",
+		"Arrivals simulated to answer queries (the tier's local-computation cost).")
+	reg.NewGaugeFunc("acserve_query_workers",
+		"Concurrent query-simulation bound of the lca engine.",
+		func() []metrics.Sample {
+			return []metrics.Sample{{Value: float64(eng.Workers())}}
+		})
+	return func(a lca.Answer) {
+		if a.Accepted {
+			accepts.Inc()
+		} else {
+			rejects.Inc()
+		}
+		replayed.Add(float64(a.Replayed))
+	}
+}

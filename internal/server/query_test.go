@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"admission/internal/core"
+	"admission/internal/lca"
+	"admission/internal/workload"
+)
+
+// newQueryServer stands up a query engine behind a registry-based Server.
+func newQueryServer(t testing.TB, n int, seed uint64, workers int) (*lca.Engine, *httptest.Server) {
+	t.Helper()
+	alg := core.DefaultConfig()
+	alg.Seed = seed
+	eng, err := lca.New(lca.Config{
+		Source:    lca.Source{Workload: "random", Model: workload.CostUniform, Capacity: 3, N: n, Seed: seed},
+		Algorithm: alg,
+		Workers:   workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{}, Query(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Drain(context.Background())
+		eng.Close()
+	})
+	return eng, ts
+}
+
+// TestQueryLoopbackBothProtocols serves every position over HTTP through
+// both codecs and requires the decision lines to be identical to each
+// other and to direct engine answers — the serving-layer half of the E18
+// consistency guarantee.
+func TestQueryLoopbackBothProtocols(t *testing.T) {
+	eng, ts := newQueryServer(t, 48, 7, 4)
+	ctx := context.Background()
+
+	qs := make([]lca.Query, eng.Positions())
+	for i := range qs {
+		qs[i] = lca.Query{Pos: i}
+		if i%5 == 0 {
+			qs[i].Fidelity = lca.FidelityNeighborhood
+		}
+	}
+	jsonClient := NewQueryClient(ts.URL, 2)
+	defer jsonClient.CloseIdle()
+	wireClient := NewQueryWireClient(ts.URL, 2)
+	defer wireClient.CloseIdle()
+
+	viaJSON, err := jsonClient.Submit(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaWire, err := wireClient.Submit(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaJSON) != len(qs) || len(viaWire) != len(qs) {
+		t.Fatalf("got %d JSON / %d wire decisions for %d queries", len(viaJSON), len(viaWire), len(qs))
+	}
+	for i := range qs {
+		if fmt.Sprint(viaJSON[i]) != fmt.Sprint(viaWire[i]) {
+			t.Fatalf("query %d: JSON line %+v != wire line %+v", i, viaJSON[i], viaWire[i])
+		}
+		direct, err := eng.Submit(ctx, qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := viaJSON[i]
+		if got.Pos != direct.Pos || got.Accepted != direct.Accepted ||
+			fmt.Sprint(got.Preempted) != fmt.Sprint(direct.Preempted) || got.Replayed != direct.Replayed {
+			t.Fatalf("query %d: served line %+v != direct answer %+v", i, got, direct)
+		}
+		wantFid := ""
+		if qs[i].Fidelity == lca.FidelityNeighborhood {
+			wantFid = "neighborhood"
+		}
+		if got.Fidelity != wantFid {
+			t.Fatalf("query %d: fidelity %q, want %q", i, got.Fidelity, wantFid)
+		}
+	}
+
+	// Stats reflect the engine and the source spec.
+	var stats QueryStatsJSON
+	if err := jsonClient.Stats(ctx, &stats); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	src := eng.Source()
+	if stats.Queries != st.Requests || stats.Accepted != st.Accepted || stats.Errors != st.Errors ||
+		stats.ReplayedArrivals != int64(st.Objective) {
+		t.Fatalf("/v1/query/stats %+v does not match engine stats %+v", stats, st)
+	}
+	if stats.Workload != src.Workload || stats.Seed != src.Seed || stats.Positions != eng.Positions() ||
+		stats.Model != src.Model.String() || stats.Workers != eng.Workers() {
+		t.Fatalf("/v1/query/stats shape wrong: %+v", stats)
+	}
+
+	// Metrics reconcile with the decisions that passed through the server
+	// (the direct eng.Submit calls above bypass the serving observer).
+	var servedAccepts, servedReplayed float64
+	for _, lines := range [][]QueryDecisionJSON{viaJSON, viaWire} {
+		for _, d := range lines {
+			if d.Accepted {
+				servedAccepts++
+			}
+			servedReplayed += float64(d.Replayed)
+		}
+	}
+	metricsText, err := jsonClient.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, metricsText, "acserve_query_accept_total"); got != servedAccepts {
+		t.Fatalf("accept metric %v, served lines accepted %v", got, servedAccepts)
+	}
+	if got := metricValue(t, metricsText, "acserve_query_replayed_arrivals_total"); got != servedReplayed {
+		t.Fatalf("replayed metric %v, served lines replayed %v", got, servedReplayed)
+	}
+	if got := metricValue(t, metricsText, "acserve_query_workers"); got != float64(eng.Workers()) {
+		t.Fatalf("workers metric %v, engine %d", got, eng.Workers())
+	}
+}
+
+// TestQueryLoadBothProtocols drives the generic load loop against the
+// query workload over both protocols and reconciles the reports.
+func TestQueryLoadBothProtocols(t *testing.T) {
+	eng, ts := newQueryServer(t, 40, 3, 4)
+	qs := make([]lca.Query, eng.Positions())
+	for i := range qs {
+		qs[i] = lca.Query{Pos: i}
+	}
+	for _, wire := range []bool{false, true} {
+		report, err := RunQueryLoad(context.Background(), LoadConfig[lca.Query]{
+			BaseURL: ts.URL,
+			Items:   qs,
+			Conns:   2,
+			Batch:   8,
+			Wire:    wire,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Decided != int64(len(qs)) || report.Errors != 0 {
+			t.Fatalf("wire=%v: decided %d of %d (%d errors)", wire, report.Decided, len(qs), report.Errors)
+		}
+		if report.Accepted == 0 {
+			t.Fatalf("wire=%v: load run observed no accepted answers", wire)
+		}
+	}
+}
+
+// TestQueryMalformed checks malformed and invalid query submissions map to
+// 4xx without reaching the engine.
+func TestQueryMalformed(t *testing.T) {
+	eng, ts := newQueryServer(t, 16, 5, 2)
+	before := eng.Stats()
+	cases := []struct {
+		name, body string
+	}{
+		{"not json", "{"},
+		{"empty body", ""},
+		{"empty array", "[]"},
+		{"negative position", `[{"pos":-1}]`},
+		{"position out of range", `[{"pos":16}]`},
+		{"unknown fidelity", `[{"pos":1,"fidelity":"bogus"}]`},
+		{"numeric fidelity", `[{"pos":1,"fidelity":1}]`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/query: status %d, want 405", resp.StatusCode)
+	}
+	if after := eng.Stats(); after.Requests != before.Requests {
+		t.Fatal("malformed submission reached the query engine")
+	}
+	// The single-query form works.
+	resp, err = http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(`{"pos":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-query form: status %d", resp.StatusCode)
+	}
+}
+
+// TestQueryNotEnabled checks the query endpoints 404 cleanly on a server
+// without a query workload registered.
+func TestQueryNotEnabled(t *testing.T) {
+	_, _, ts := newTestServer(t, []int{4}, 1, Config{})
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(`{"pos":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /v1/query without query workload: %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/query/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/query/stats without query workload: %d, want 404", resp.StatusCode)
+	}
+}

@@ -49,6 +49,10 @@ func FuzzWireDecodeSubmit(f *testing.F) {
 		cov = AppendCoverRequest(cov, e)
 	}
 	f.Add(cov)
+	qry := AppendSubmitHeader(nil, 2)
+	qry = AppendQueryRequest(qry, &QueryRequest{Pos: 0})
+	qry = AppendQueryRequest(qry, &QueryRequest{Pos: 17, Fidelity: QueryFidelityNeighborhood})
+	f.Add(qry)
 	f.Add([]byte{})
 	f.Add([]byte{0x00})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // absurd count
@@ -82,6 +86,23 @@ func FuzzWireDecodeSubmit(f *testing.F) {
 			_, err := DecodeCoverRequest(payload)
 			return err
 		})
+		// Query view: accepted bodies must also round-trip canonically.
+		var qreenc []byte
+		qn, qerr := decodeSubmitAs(body, func(payload []byte) error {
+			var q QueryRequest
+			if err := DecodeQueryRequest(payload, &q); err != nil {
+				return err
+			}
+			qreenc = AppendQueryRequest(qreenc, &q)
+			return nil
+		})
+		if qerr == nil && qn > 0 {
+			full := AppendSubmitHeader(nil, qn)
+			full = append(full, qreenc...)
+			if !bytes.Equal(full, body) {
+				t.Fatalf("accepted query body is not canonical:\n  in  %x\n  out %x", body, full)
+			}
+		}
 	})
 }
 
@@ -97,6 +118,7 @@ func FuzzWireDecodeDecision(f *testing.F) {
 	stream = AppendAdmissionDecision(stream, &AdmissionDecision{ID: 1, Accepted: true, Preempted: []int{0}})
 	stream = AppendCoverDecision(stream, &CoverDecision{Seq: 2, Element: 1, Arrival: 1, NewSets: []int{3}, AddedCost: 2})
 	stream = AppendStreamError(stream, "boom")
+	stream = AppendQueryDecision(stream, &QueryDecision{Pos: 4, Accepted: true, Preempted: []int{1}, Replayed: 5})
 	f.Add(stream)
 	f.Add(stream[:len(stream)-1])
 	f.Add([]byte{})
@@ -108,6 +130,7 @@ func FuzzWireDecodeDecision(f *testing.F) {
 		sc := NewFrameScanner(bytes.NewReader(data))
 		var ad AdmissionDecision
 		var cd CoverDecision
+		var qd QueryDecision
 		for frames := 0; ; frames++ {
 			payload, err := sc.Next()
 			if err == io.EOF {
@@ -136,6 +159,14 @@ func FuzzWireDecodeDecision(f *testing.F) {
 					rp, _, _ := NextFrame(re)
 					if !bytes.Equal(rp, payload) {
 						t.Fatalf("non-canonical cover decision accepted: % x", payload)
+					}
+				}
+			case TagQueryDecision:
+				if err := DecodeQueryDecision(payload, &qd); err == nil {
+					re := AppendQueryDecision(nil, &qd)
+					rp, _, _ := NextFrame(re)
+					if !bytes.Equal(rp, payload) {
+						t.Fatalf("non-canonical query decision accepted: % x", payload)
 					}
 				}
 			case TagStreamError:

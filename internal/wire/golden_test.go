@@ -38,6 +38,9 @@ func goldenFixtures(t *testing.T) []struct {
 	covDec := CoverDecision{Seq: 5, Element: 3, Arrival: 2, NewSets: []int{1, 8}, AddedCost: 3.25}
 	const covElem = 12
 	const streamMsg = "service closed"
+	qryReq := QueryRequest{Pos: 17, Fidelity: QueryFidelityNeighborhood}
+	qryDec := QueryDecision{Pos: 17, Accepted: true, Neighborhood: true, Preempted: []int{4, 11}, Replayed: 9}
+	qryErr := QueryDecision{Pos: 3, Replayed: 4, Error: "lca: replay failed at position 2: boom"}
 
 	payloadOf := func(t *testing.T, frame []byte) []byte {
 		t.Helper()
@@ -132,6 +135,46 @@ func goldenFixtures(t *testing.T) []struct {
 				}
 				if got != streamMsg {
 					t.Fatalf("decoded %q, want %q", got, streamMsg)
+				}
+			},
+		},
+		{
+			name:   "query_request",
+			encode: func() []byte { return AppendQueryRequest(nil, &qryReq) },
+			check: func(t *testing.T, frame []byte) {
+				var got QueryRequest
+				if err := DecodeQueryRequest(payloadOf(t, frame), &got); err != nil {
+					t.Fatal(err)
+				}
+				if got != qryReq {
+					t.Fatalf("decoded %+v, want %+v", got, qryReq)
+				}
+			},
+		},
+		{
+			name:   "query_decision",
+			encode: func() []byte { return AppendQueryDecision(nil, &qryDec) },
+			check: func(t *testing.T, frame []byte) {
+				var got QueryDecision
+				if err := DecodeQueryDecision(payloadOf(t, frame), &got); err != nil {
+					t.Fatal(err)
+				}
+				if got.Pos != qryDec.Pos || !got.Accepted || !got.Neighborhood ||
+					len(got.Preempted) != 2 || got.Replayed != qryDec.Replayed {
+					t.Fatalf("decoded %+v, want %+v", got, qryDec)
+				}
+			},
+		},
+		{
+			name:   "query_decision_error",
+			encode: func() []byte { return AppendQueryDecision(nil, &qryErr) },
+			check: func(t *testing.T, frame []byte) {
+				var got QueryDecision
+				if err := DecodeQueryDecision(payloadOf(t, frame), &got); err != nil {
+					t.Fatal(err)
+				}
+				if got.Pos != qryErr.Pos || got.Accepted || got.Error != qryErr.Error {
+					t.Fatalf("decoded %+v, want %+v", got, qryErr)
 				}
 			},
 		},

@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Query fidelity bytes (the wire spelling of internal/lca's Fidelity).
+// Decoders reject any other value, keeping the encoding canonical.
+const (
+	// QueryFidelityExact selects the full-prefix replay layer.
+	QueryFidelityExact byte = 0
+	// QueryFidelityNeighborhood selects the conflict-component replay
+	// layer.
+	QueryFidelityNeighborhood byte = 1
+)
+
+// Query decision flag bits.
+const (
+	flagQueryAccepted     byte = 1 << 0
+	flagQueryNeighborhood byte = 1 << 1
+)
+
+// QueryRequest is the wire form of one decision query (DESIGN.md §13).
+type QueryRequest struct {
+	// Pos is the queried arrival position.
+	Pos int
+	// Fidelity is the replay layer byte (QueryFidelityExact or
+	// QueryFidelityNeighborhood).
+	Fidelity byte
+}
+
+// QueryDecision is the wire form of one reconstructed query decision line.
+type QueryDecision struct {
+	// Pos echoes the queried position (the streaming engine's ID for the
+	// same arrival).
+	Pos int
+	// Accepted reports admission at Pos.
+	Accepted bool
+	// Neighborhood reports the conflict-component replay layer (false
+	// means exact).
+	Neighborhood bool
+	// Preempted lists global positions evicted by this decision.
+	Preempted []int
+	// Replayed counts the arrivals simulated to answer the query.
+	Replayed int
+	// Error carries a per-query failure ("" for none).
+	Error string
+}
+
+// AppendQueryRequest appends one framed decision query and returns the
+// extended buffer. It never allocates beyond growing buf.
+func AppendQueryRequest(buf []byte, q *QueryRequest) []byte {
+	mark := len(buf)
+	buf = append(buf, TagQueryRequest)
+	buf = binary.AppendVarint(buf, int64(q.Pos))
+	buf = append(buf, q.Fidelity)
+	return sealFrame(buf, mark)
+}
+
+// AppendQueryDecision appends one framed query decision and returns the
+// extended buffer.
+func AppendQueryDecision(buf []byte, d *QueryDecision) []byte {
+	mark := len(buf)
+	buf = append(buf, TagQueryDecision)
+	buf = binary.AppendVarint(buf, int64(d.Pos))
+	var flags byte
+	if d.Accepted {
+		flags |= flagQueryAccepted
+	}
+	if d.Neighborhood {
+		flags |= flagQueryNeighborhood
+	}
+	buf = append(buf, flags)
+	buf = appendInts(buf, d.Preempted)
+	buf = binary.AppendUvarint(buf, uint64(d.Replayed))
+	buf = appendString(buf, d.Error)
+	return sealFrame(buf, mark)
+}
+
+// DecodeQueryRequest decodes one decision-query payload into q. Unknown
+// fidelity bytes are rejected (ErrNonMinimal), so accepted payloads
+// re-encode to identical bytes.
+func DecodeQueryRequest(payload []byte, q *QueryRequest) error {
+	r := reader{p: payload}
+	if err := r.open(TagQueryRequest); err != nil {
+		return err
+	}
+	var err error
+	if q.Pos, err = r.varint(); err != nil {
+		return err
+	}
+	if r.off >= len(r.p) {
+		return ErrTruncated
+	}
+	q.Fidelity = r.p[r.off]
+	r.off++
+	if q.Fidelity > QueryFidelityNeighborhood {
+		return fmt.Errorf("%w: unknown fidelity byte 0x%02x", ErrNonMinimal, q.Fidelity)
+	}
+	return r.done()
+}
+
+// DecodeQueryDecision decodes one query decision payload into d, reusing
+// d.Preempted's capacity.
+func DecodeQueryDecision(payload []byte, d *QueryDecision) error {
+	r := reader{p: payload}
+	if err := r.open(TagQueryDecision); err != nil {
+		return err
+	}
+	var err error
+	if d.Pos, err = r.varint(); err != nil {
+		return err
+	}
+	if r.off >= len(r.p) {
+		return ErrTruncated
+	}
+	flags := r.p[r.off]
+	r.off++
+	if flags&^(flagQueryAccepted|flagQueryNeighborhood) != 0 {
+		return fmt.Errorf("%w: unknown flag bits 0x%02x", ErrNonMinimal, flags)
+	}
+	d.Accepted = flags&flagQueryAccepted != 0
+	d.Neighborhood = flags&flagQueryNeighborhood != 0
+	if d.Preempted, err = r.ints(d.Preempted); err != nil {
+		return err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	d.Replayed = int(n)
+	if d.Error, err = r.str(); err != nil {
+		return err
+	}
+	return r.done()
+}

@@ -65,6 +65,11 @@ const (
 	// TagStreamError frames a whole-batch failure line (the binary
 	// counterpart of the JSON path's {"error": ...} line).
 	TagStreamError byte = 0x05
+	// TagQueryRequest frames one local-computation decision query
+	// (DESIGN.md §13).
+	TagQueryRequest byte = 0x06
+	// TagQueryDecision frames one reconstructed query decision line.
+	TagQueryDecision byte = 0x07
 )
 
 // Admission decision flag bits.

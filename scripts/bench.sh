@@ -11,9 +11,9 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 
-pattern='BenchmarkRandomizedOfferWeighted$|BenchmarkRandomizedOfferUnweighted$|BenchmarkRandomizedScalingM|BenchmarkRandomizedScalingC|BenchmarkEngineThroughput|BenchmarkServerLoopback|BenchmarkCoverEngineThroughput|BenchmarkCoverLoopback|BenchmarkWireLoopback|BenchmarkWALLoopback'
+pattern='BenchmarkRandomizedOfferWeighted$|BenchmarkRandomizedOfferUnweighted$|BenchmarkRandomizedScalingM|BenchmarkRandomizedScalingC|BenchmarkEngineThroughput|BenchmarkServerLoopback|BenchmarkCoverEngineThroughput|BenchmarkCoverLoopback|BenchmarkWireLoopback|BenchmarkWALLoopback|BenchmarkQueryLoopback'
 
 raw="$(go test -run '^$' -bench "$pattern" -benchmem -count=1 .)"
 echo "$raw" >&2
@@ -23,12 +23,13 @@ BEGIN { print "[" ; first = 1 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = "" ; bytes = "" ; allocs = "" ; dec = ""
+    ns = "" ; bytes = "" ; allocs = "" ; dec = "" ; qry = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")       ns = $(i-1)
         if ($i == "B/op")        bytes = $(i-1)
         if ($i == "allocs/op")   allocs = $(i-1)
         if ($i == "decisions/s") dec = $(i-1)
+        if ($i == "queries/s")   qry = $(i-1)
     }
     if (ns == "") next
     if (!first) print ","
@@ -36,6 +37,7 @@ BEGIN { print "[" ; first = 1 }
     printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
         name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
     if (dec != "") printf ", \"decisions_per_sec\": %s", dec
+    if (qry != "") printf ", \"queries_per_sec\": %s", qry
     printf "}"
 }
 END { print "\n]" }
