@@ -25,6 +25,7 @@ import (
 
 	"admission"
 	"admission/internal/baseline"
+	"admission/internal/cluster"
 	"admission/internal/core"
 	"admission/internal/coverengine"
 	"admission/internal/engine"
@@ -930,6 +931,132 @@ func BenchmarkQueryLoopback(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(decided)/elapsed.Seconds(), "queries/s")
 			b.ReportMetric(float64(len(qs)), "requests/op")
+		})
+	}
+}
+
+// BenchmarkClusterLoopback measures the cluster tier end to end on the
+// routing-bound workload: an admission load stream of single-edge offers
+// (with a 1-in-16 cross-partition pair mix) through the acrouter path —
+// load client → router HTTP server → consistent-hash router → cluster RPC
+// → backends — against the same stream into a plain single-node acserve.
+// backends=1 prices the pure protocol overhead of the extra tier;
+// backends=3 adds partitioned fan-out and two-phase settles. The
+// decisions/s metric at backends=3 is the committed BENCH_9 figure, held
+// by E19 to within 2x of the single-node path on the same machine.
+func BenchmarkClusterLoopback(b *testing.B) {
+	const m, capacity = 48, 4
+	caps := make([]int, m)
+	for e := range caps {
+		caps[e] = capacity
+	}
+	r := rng.New(9)
+	reqs := make([]problem.Request, 4096)
+	for i := range reqs {
+		e := r.Intn(m)
+		reqs[i] = problem.Request{Edges: []int{e}, Cost: 1}
+		if i%16 == 15 {
+			reqs[i].Edges = []int{e, (e + 1 + r.Intn(m-1)) % m}
+		}
+	}
+	ecfg := func() engine.Config {
+		acfg := core.UnweightedConfig()
+		acfg.Seed = 9
+		return engine.Config{Shards: 2, Algorithm: acfg}
+	}
+
+	serve := func(b *testing.B, reg server.Registration) (string, func()) {
+		srv, err := server.New(server.Config{FlushInterval: 20 * time.Microsecond}, reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		return "http://" + ln.Addr().String(), func() { _ = httpSrv.Close() }
+	}
+
+	for _, backends := range []int{0, 1, 3} {
+		name := fmt.Sprintf("backends=%d", backends)
+		if backends == 0 {
+			name = "single-node"
+		}
+		b.Run(name, func(b *testing.B) {
+			var decided int64
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				var base string
+				var cleanup []func()
+				if backends == 0 {
+					eng, err := engine.New(caps, ecfg())
+					if err != nil {
+						b.Fatal(err)
+					}
+					url, stop := serve(b, server.Admission(eng))
+					base = url
+					cleanup = append(cleanup, stop, func() { eng.Close() })
+				} else {
+					ring, err := cluster.NewRing(m, backends, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					clients := make([]*cluster.Client, backends)
+					for bi := 0; bi < backends; bi++ {
+						bcaps, err := ring.Caps(caps, bi)
+						if err != nil {
+							b.Fatal(err)
+						}
+						be, err := cluster.NewBackend(bcaps, cluster.BackendConfig{Engine: ecfg()})
+						if err != nil {
+							b.Fatal(err)
+						}
+						url, stop := serve(b, server.ClusterBackend(be))
+						clients[bi] = cluster.NewClient(url, cluster.RetryPolicy{MaxAttempts: 2})
+						cleanup = append(cleanup, stop, func() { be.Close() })
+					}
+					router, err := cluster.NewRouter(caps, clients,
+						cluster.RouterConfig{Backend: cluster.BackendConfig{Engine: ecfg()}, ResyncEvery: time.Hour})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					if err := router.WaitReady(ctx); err != nil {
+						b.Fatal(err)
+					}
+					cancel()
+					url, stop := serve(b, server.RouterAdmission(router))
+					base = url
+					cleanup = append(cleanup, stop, func() { _ = router.Close() })
+				}
+				b.StartTimer()
+				start := time.Now()
+				report, err := server.RunAdmissionLoad(context.Background(), server.LoadConfig[problem.Request]{
+					BaseURL: base,
+					Items:   reqs,
+					Conns:   4,
+					Batch:   256,
+				})
+				elapsed += time.Since(start)
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.Decided != int64(len(reqs)) || report.Errors != 0 {
+					b.Fatalf("decided %d of %d, %d errors", report.Decided, len(reqs), report.Errors)
+				}
+				decided += report.Decided
+				for j := len(cleanup) - 1; j >= 0; j-- {
+					cleanup[j]()
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(decided)/elapsed.Seconds(), "decisions/s")
+			b.ReportMetric(float64(len(reqs)), "requests/op")
 		})
 	}
 }

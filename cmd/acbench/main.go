@@ -27,9 +27,13 @@ import (
 )
 
 func main() {
-	// E17 re-executes this binary as its durable-server child.
+	// E17 and E19 re-execute this binary as their durable-server children.
 	if os.Getenv(harness.E17ChildEnv) != "" {
 		harness.RunE17Child()
+		return
+	}
+	if os.Getenv(harness.E19ChildEnv) != "" {
+		harness.RunE19Child()
 		return
 	}
 	var (

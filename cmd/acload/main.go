@@ -45,12 +45,23 @@
 //
 //	acload -url http://127.0.0.1:8080 -query -query-n 4096 -n 20000 -conns 8 -wire
 //	acload -url http://127.0.0.1:8080 -query -query-fidelity neighborhood -n 5000
+//
+// Cluster mode (-cluster) drives an acrouter exactly like a single
+// acserve — the routed /v1/admission path is request-compatible — and
+// afterwards fetches the router's reconciliation ledger from the stats
+// endpoint, printing per-backend applied counts, shed refusals and the
+// cross-backend total, and failing if any ledger row is down or carries
+// an unsettled journal:
+//
+//	acload -url http://127.0.0.1:8080 -cluster -workload single-edge -n 20000 -conns 8
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -83,6 +94,8 @@ func main() {
 		cover     = flag.Bool("cover", false, "drive the set cover path (/v1/cover) instead of /v1/admission")
 		coverWl   = flag.String("cover-workload", "cover-random", "named set-cover workload (must match the server's)")
 		coverSeed = flag.Uint64("cover-seed", 1, "set-cover workload seed (must match the server's)")
+
+		clusterOn = flag.Bool("cluster", false, "after the run, fetch and verify the acrouter reconciliation ledger from the stats endpoint")
 
 		query      = flag.Bool("query", false, "drive the local-computation query tier (/v1/query) instead of /v1/admission")
 		queryN     = flag.Int("query-n", 4096, "positions of the server's query arrival order (must not exceed the server's -query-n)")
@@ -129,6 +142,56 @@ func main() {
 	}
 	fmt.Println(report)
 	fmt.Printf("admission:   %d accepted, %d preemptions\n", report.Accepted, report.Preempted)
+	if *clusterOn {
+		if err := printLedger(ctx, *url); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// printLedger fetches the acrouter reconciliation ledger from the stats
+// endpoint and prints one line per backend. It fails when a backend is
+// down or its journal holds unsettled operations — after a drained run
+// the router's account of every backend must be exact.
+func printLedger(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/admission/stats", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("router stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("router stats: %s", resp.Status)
+	}
+	var st server.RouterStatsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("router stats: %w", err)
+	}
+	if len(st.Backends) == 0 {
+		return fmt.Errorf("stats body carries no backend ledger — is %s an acrouter?", url)
+	}
+	fmt.Printf("cluster:     %d backends, %d cross-backend requests, %d shed refusals\n",
+		len(st.Backends), st.CrossBackend, st.ShedRefusals)
+	var bad int
+	for b, row := range st.Backends {
+		status := "reconciled"
+		if row.Down {
+			status = "DOWN: " + row.Cause
+			bad++
+		} else if row.Journal != 0 {
+			status = fmt.Sprintf("UNSETTLED: %d journaled ops", row.Journal)
+			bad++
+		}
+		fmt.Printf("  backend %d: %d ops acked (%d sent, %d phantoms, %d resyncs) — %s\n",
+			b, row.Acked, row.Sent, row.Phantoms, row.Resyncs, status)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d backend ledgers failed reconciliation", bad, len(st.Backends))
+	}
+	return nil
 }
 
 // runAdversary plays one adaptive adversary game over HTTP and prints the

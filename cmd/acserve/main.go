@@ -49,6 +49,20 @@
 // framed binary decision stream, decision-identical to the JSON path.
 // -wire=false turns the binary codec off (such submissions get 415).
 //
+// With -cluster-size and -cluster-index the server runs as one cluster
+// backend (DESIGN.md §14): it derives its slice of the global edge set
+// from the consistent-hash ring — the same derivation acrouter makes, so
+// nothing about the partition is transmitted — and serves the cluster
+// operation protocol (offers, two-phase reserves and settles) under
+// /v1/cluster instead of the admission workload. Combine with -wal-dir
+// for a durable backend whose applied watermark survives a crash
+// (experiment E19's fault leg):
+//
+//	acserve -addr :8081 -edges 64 -cap 8 -cluster-size 3 -cluster-index 0 -wal-dir /var/lib/acserve0
+//
+// Cluster mode serves only the cluster workload; -cover and -query are
+// rejected.
+//
 // With -wal-dir the server is durable (DESIGN.md §12): every decision is
 // appended to a per-workload write-ahead log under the directory
 // (<dir>/admission, and <dir>/cover with -cover) and group-commit-fsynced
@@ -80,6 +94,7 @@ import (
 	"syscall"
 	"time"
 
+	"admission/internal/cluster"
 	"admission/internal/core"
 	"admission/internal/coverengine"
 	"admission/internal/engine"
@@ -120,6 +135,10 @@ func main() {
 		coverSh   = flag.Int("cover-shards", 1, "cover engine element-partition shard count")
 		coverMode = flag.String("cover-mode", "reduction", "cover algorithm: reduction | bicriteria")
 		coverEps  = flag.Float64("cover-eps", 0.25, "bicriteria slack ε in (0,1)")
+
+		clusterSize  = flag.Int("cluster-size", 0, "run as one backend of an acrouter cluster of this size (0 = standalone)")
+		clusterIndex = flag.Int("cluster-index", 0, "this backend's ring index in [0, cluster-size)")
+		clusterVn    = flag.Int("cluster-vnodes", 0, "virtual nodes per backend on the hash ring (0 = default; must match the router)")
 	)
 	flag.Parse()
 
@@ -132,6 +151,17 @@ func main() {
 		acfg = core.UnweightedConfig()
 	}
 	acfg.Seed = *seed
+	if *clusterSize > 0 {
+		if *cover || *query {
+			fail(fmt.Errorf("cluster mode serves only the cluster workload; drop -cover/-query"))
+		}
+		serveClusterBackend(caps, engine.Config{Shards: *shards, Algorithm: acfg}, clusterFlags{
+			size: *clusterSize, index: *clusterIndex, vnodes: *clusterVn,
+			addr: *addr, batch: *batch, flush: *flush, queue: *queue,
+			wire: *wireOK, drainT: *drainT, walDir: *walDir, snapEvery: *snapEvery,
+		})
+		return
+	}
 	eng, err := engine.New(caps, engine.Config{Shards: *shards, Algorithm: acfg})
 	if err != nil {
 		fail(err)
@@ -275,6 +305,102 @@ func main() {
 			"acserve: final query stats: %d queries, %d accepted, %d errors, %g replayed arrivals\n",
 			qst.Requests, qst.Accepted, qst.Errors, qst.Objective)
 	}
+}
+
+// clusterFlags carries the serving knobs into the cluster-backend mode.
+type clusterFlags struct {
+	size, index, vnodes int
+	addr                string
+	batch, queue        int
+	flush, drainT       time.Duration
+	wire                bool
+	walDir              string
+	snapEvery           int64
+}
+
+// serveClusterBackend runs the server as one backend of an acrouter
+// cluster: it projects the global capacity vector onto this index's ring
+// partition, serves the cluster operation protocol under /v1/cluster —
+// durably when -wal-dir is set — and on SIGINT/SIGTERM drains, snapshots
+// and reports the applied history the router reconciles against.
+func serveClusterBackend(caps []int, ecfg engine.Config, f clusterFlags) {
+	if f.index < 0 || f.index >= f.size {
+		fail(fmt.Errorf("-cluster-index %d outside [0, %d)", f.index, f.size))
+	}
+	ring, err := cluster.NewRing(len(caps), f.size, f.vnodes)
+	if err != nil {
+		fail(err)
+	}
+	bcaps, err := ring.Caps(caps, f.index)
+	if err != nil {
+		fail(err)
+	}
+	be, err := cluster.NewBackend(bcaps, cluster.BackendConfig{Engine: ecfg})
+	if err != nil {
+		fail(err)
+	}
+	var reg server.Registration
+	var cluLog *wal.Log
+	if f.walDir == "" {
+		reg = server.ClusterBackend(be)
+	} else {
+		cluLog, err = wal.Open(filepath.Join(f.walDir, "cluster"),
+			wal.Options{Kind: wal.KindCluster, Fingerprint: be.Fingerprint()})
+		if err != nil {
+			fail(err)
+		}
+		info, err := server.RecoverCluster(cluLog, be)
+		if err != nil {
+			fail(err)
+		}
+		reportRecovery("cluster", cluLog, info)
+		reg = server.ClusterBackendDurable(be, cluLog,
+			server.DurableOptions{SnapshotEvery: f.snapEvery, Replay: info})
+	}
+	srv, err := server.New(server.Config{
+		BatchSize:     f.batch,
+		FlushInterval: f.flush,
+		QueueLen:      f.queue,
+		JSONOnly:      !f.wire,
+	}, reg)
+	if err != nil {
+		fail(err)
+	}
+
+	httpSrv := &http.Server{Addr: f.addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr,
+			"acserve: cluster backend %d/%d on %s: %d of %d edges, fingerprint %s, %d shards\n",
+			f.index, f.size, f.addr, len(bcaps), len(caps), be.Fingerprint(), be.Engine().Shards())
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fail(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "acserve: %v — draining\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), f.drainT)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "acserve: http shutdown: %v\n", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "acserve: pipeline drain: %v\n", err)
+	}
+	finishLog("cluster", cluLog, be.StateDigest)
+	st := be.Stats()
+	_ = be.Close()
+	fmt.Fprintf(os.Stderr,
+		"acserve: final cluster stats: %d operations applied, %d accepted, %d open transactions, rejected cost %g\n",
+		st.Requests, st.Accepted, be.OpenTxs(), st.Objective)
 }
 
 // reportRecovery prints one startup line summarizing what a workload's WAL

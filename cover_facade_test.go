@@ -1,0 +1,32 @@
+package admission_test
+
+import (
+	"testing"
+
+	"admission"
+)
+
+// TestNewSetCoverRunner covers the root-facade constructor for the
+// sequential §4 reduction runner: arrivals are served one at a time and
+// the final chosen family covers everything that arrived.
+func TestNewSetCoverRunner(t *testing.T) {
+	sys := &admission.SetSystem{
+		N:    4,
+		Sets: [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}},
+	}
+	r, err := admission.NewSetCoverRunner(sys, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{0, 2, 1, 3} {
+		if _, err := r.Arrive(j); err != nil {
+			t.Fatalf("arrival %d: %v", j, err)
+		}
+	}
+	if err := r.CheckCover(); err != nil {
+		t.Fatalf("final family does not cover the arrivals: %v", err)
+	}
+	if len(r.Chosen()) == 0 {
+		t.Fatal("runner bought no sets for four arrivals")
+	}
+}

@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"admission/internal/wire"
+
+	"context"
+)
+
+// newTestClient builds a client against url with every nondeterministic
+// hook pinned: sleeps are recorded instead of slept, and jitter draws the
+// constant jitter value (1 = the backoff ceiling, 0 = the floor).
+func newTestClient(url string, policy RetryPolicy, jitter float64) (*Client, *[]time.Duration) {
+	c := NewClient(url, policy)
+	sleeps := &[]time.Duration{}
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		*sleeps = append(*sleeps, d)
+		return nil
+	}
+	c.rnd = func() float64 { return jitter }
+	return c, sleeps
+}
+
+// writeDecisions frames decisions into a 200 wire response.
+func writeDecisions(w http.ResponseWriter, ds ...wire.AdmissionDecision) {
+	var buf []byte
+	for i := range ds {
+		buf = wire.AppendAdmissionDecision(buf, &ds[i])
+	}
+	w.Header().Set("Content-Type", wire.ContentType)
+	_, _ = w.Write(buf)
+}
+
+// failWith answers every request with the given status (and optional
+// Retry-After), counting calls.
+func failWith(status int, retryAfter string, calls *atomic.Int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.WriteHeader(status)
+		fmt.Fprintf(w, `{"error":"synthetic %d"}`, status)
+	}
+}
+
+var testOps = []Op{
+	{Kind: OpOffer, Edges: []int{0}, Cost: 1},
+	{Kind: OpReserve, Tx: 3, Edges: []int{1}},
+}
+
+// TestClientBackoffSchedule pins the exact retry schedule under a fake
+// clock: with jitter drawn at the ceiling, attempt k sleeps
+// min(MaxDelay, BaseDelay<<k) — here 10ms, 20ms, 40ms — and the backend
+// sees exactly MaxAttempts submissions before ErrUnavailable surfaces.
+func TestClientBackoffSchedule(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(failWith(http.StatusServiceUnavailable, "", &calls))
+	defer ts.Close()
+	c, sleeps := newTestClient(ts.URL, RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}, 1)
+
+	_, err := c.Submit(context.Background(), testOps)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("error %v, want ErrUnavailable", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("backend saw %d attempts, want 4", got)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(*sleeps) != len(want) {
+		t.Fatalf("slept %v, want %v", *sleeps, want)
+	}
+	for i, d := range want {
+		if (*sleeps)[i] != d {
+			t.Fatalf("sleep %d was %v, want %v (schedule %v)", i, (*sleeps)[i], d, *sleeps)
+		}
+	}
+}
+
+// TestClientJitterBounds pins the jitter window: a delay d is drawn from
+// [d/2, d] — the floor at jitter 0, the ceiling at jitter 1, linear in
+// between.
+func TestClientJitterBounds(t *testing.T) {
+	for _, tc := range []struct {
+		jitter float64
+		want   []time.Duration
+	}{
+		{0, []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}},
+		{0.5, []time.Duration{7500 * time.Microsecond, 15 * time.Millisecond, 30 * time.Millisecond}},
+		{1, []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}},
+	} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(failWith(http.StatusServiceUnavailable, "", &calls))
+		c, sleeps := newTestClient(ts.URL, RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}, tc.jitter)
+		_, err := c.Submit(context.Background(), testOps)
+		ts.Close()
+		if !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("jitter %v: error %v, want ErrUnavailable", tc.jitter, err)
+		}
+		if len(*sleeps) != len(tc.want) {
+			t.Fatalf("jitter %v: slept %v, want %v", tc.jitter, *sleeps, tc.want)
+		}
+		for i := range tc.want {
+			if (*sleeps)[i] != tc.want[i] {
+				t.Fatalf("jitter %v: sleep %d was %v, want %v", tc.jitter, i, (*sleeps)[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestClientRetryAfterFloor pins Retry-After honoring: the server's
+// advertised delay floors the computed backoff, and 429 maps to
+// ErrRateLimited.
+func TestClientRetryAfterFloor(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(failWith(http.StatusTooManyRequests, "1", &calls))
+	defer ts.Close()
+	c, sleeps := newTestClient(ts.URL, RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}, 1)
+
+	_, err := c.Submit(context.Background(), testOps)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("error %v, want ErrRateLimited", err)
+	}
+	for i, d := range *sleeps {
+		if d != time.Second {
+			t.Fatalf("sleep %d was %v, want the 1s Retry-After floor (schedule %v)", i, d, *sleeps)
+		}
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("%d sleeps for 3 attempts, want 2", len(*sleeps))
+	}
+}
+
+// TestClientSuccessAfterRetry checks a transient refusal heals: two 503s,
+// then a clean exchange.
+func TestClientSuccessAfterRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		writeDecisions(w,
+			wire.AdmissionDecision{ID: 0, Accepted: true},
+			wire.AdmissionDecision{ID: 1, Accepted: false, CrossShard: true},
+		)
+	}))
+	defer ts.Close()
+	c, sleeps := newTestClient(ts.URL, RetryPolicy{MaxAttempts: 4}, 1)
+
+	ds, err := c.Submit(context.Background(), testOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || !ds[0].Accepted || ds[1].Accepted || !ds[1].CrossShard {
+		t.Fatalf("decisions %+v", ds)
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*sleeps))
+	}
+}
+
+// TestClientSentinelMapping pins the sentinel for every backend failure
+// class and whether it is retried.
+func TestClientSentinelMapping(t *testing.T) {
+	garbage := binary.AppendUvarint(nil, 3)
+	garbage = append(garbage, 0x7F, 0x00, 0x00) // unknown tag
+	cases := []struct {
+		name     string
+		handler  http.HandlerFunc
+		sentinel error
+		attempts int64 // expected backend calls under MaxAttempts=3
+	}{
+		{"rate limited", failWith(http.StatusTooManyRequests, "", new(atomic.Int64)), ErrRateLimited, 3},
+		{"bad gateway", failWith(http.StatusBadGateway, "", new(atomic.Int64)), ErrUnavailable, 3},
+		{"unavailable", failWith(http.StatusServiceUnavailable, "", new(atomic.Int64)), ErrUnavailable, 3},
+		{"gateway timeout", failWith(http.StatusGatewayTimeout, "", new(atomic.Int64)), ErrUnavailable, 3},
+		{"client error", failWith(http.StatusBadRequest, "", new(atomic.Int64)), ErrRejected, 1},
+		{"server error", failWith(http.StatusInternalServerError, "", new(atomic.Int64)), ErrInterrupted, 1},
+		{
+			"empty stream", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", wire.ContentType)
+			}, ErrInterrupted, 1,
+		},
+		{
+			"truncated stream", func(w http.ResponseWriter, r *http.Request) {
+				// One decision where two are owed.
+				writeDecisions(w, wire.AdmissionDecision{ID: 0, Accepted: true})
+			}, ErrInterrupted, 1,
+		},
+		{
+			"truncated frame", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", wire.ContentType)
+				// A frame claiming 100 bytes, delivering 3.
+				_, _ = w.Write(append(binary.AppendUvarint(nil, 100), 1, 2, 3))
+			}, ErrInterrupted, 1,
+		},
+		{
+			"garbage frame", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", wire.ContentType)
+				_, _ = w.Write(garbage)
+			}, ErrProtocol, 1,
+		},
+		{
+			"stream error frame", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", wire.ContentType)
+				_, _ = w.Write(wire.AppendStreamError(nil, "wal append failed"))
+			}, ErrInterrupted, 1,
+		},
+		{
+			"trailing frames", func(w http.ResponseWriter, r *http.Request) {
+				writeDecisions(w,
+					wire.AdmissionDecision{ID: 0}, wire.AdmissionDecision{ID: 1}, wire.AdmissionDecision{ID: 2})
+			}, ErrProtocol, 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int64
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				calls.Add(1)
+				tc.handler(w, r)
+			}))
+			defer ts.Close()
+			c, _ := newTestClient(ts.URL, RetryPolicy{MaxAttempts: 3}, 1)
+			_, err := c.Submit(context.Background(), testOps)
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("error %v, want %v", err, tc.sentinel)
+			}
+			if got := calls.Load(); got != tc.attempts {
+				t.Fatalf("backend saw %d attempts, want %d", got, tc.attempts)
+			}
+		})
+	}
+}
+
+// TestClientConnectionRefused maps a failed dial onto retryable
+// unavailability: nothing reached the backend, repeating is safe.
+func TestClientConnectionRefused(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // the port is now closed: dials are refused
+
+	c, sleeps := newTestClient(url, RetryPolicy{MaxAttempts: 3}, 1)
+	_, err := c.Submit(context.Background(), testOps)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("error %v, want ErrUnavailable", err)
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("slept %d times, want 2 (dial failures are retried)", len(*sleeps))
+	}
+	if _, err := c.Stats(context.Background()); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("stats error %v, want ErrUnavailable", err)
+	}
+}
+
+// TestClientFingerprintMismatch checks identity verification: a backend
+// reporting a different engine fingerprint is refused permanently.
+func TestClientFingerprintMismatch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(BackendStatsJSON{Fingerprint: "admission/v1 m=9 k=1 seed=0 cfg=0000000000000000"})
+	}))
+	defer ts.Close()
+	c, sleeps := newTestClient(ts.URL, RetryPolicy{MaxAttempts: 3}, 1)
+
+	err := c.CheckFingerprint(context.Background(), "admission/v1 m=4 k=1 seed=0 cfg=1111111111111111")
+	if !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("error %v, want ErrFingerprintMismatch", err)
+	}
+	if len(*sleeps) != 0 {
+		t.Fatalf("fingerprint mismatch was retried (%d sleeps)", len(*sleeps))
+	}
+}
+
+// TestClientStats round-trips the stats body.
+func TestClientStats(t *testing.T) {
+	want := BackendStatsJSON{
+		Fingerprint: "admission/v1 m=4 k=1 seed=0 cfg=1111111111111111",
+		StateDigest: "00000000deadbeef",
+		Requests:    42, Accepted: 30, Errors: 1, OpenTxs: 2, Shards: 1, QueueDepth: 3, Draining: true,
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/"+Workload+"/stats" {
+			http.NotFound(w, r)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(want)
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(ts.URL, RetryPolicy{}, 1)
+
+	got, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("stats %+v, want %+v", got, want)
+	}
+	if err := c.CheckFingerprint(context.Background(), want.Fingerprint); err != nil {
+		t.Fatalf("matching fingerprint refused: %v", err)
+	}
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestRingDeterminism re-derives the same partition from the same triple:
+// router and backends never exchange the partition, so this is the
+// property the whole tier rests on.
+func TestRingDeterminism(t *testing.T) {
+	for _, tc := range []struct{ m, backends, vnodes int }{
+		{1, 1, 0}, {10, 1, 0}, {50, 3, 0}, {200, 5, 16}, {1000, 7, 64},
+	} {
+		a, err := NewRing(tc.m, tc.backends, tc.vnodes)
+		if err != nil {
+			t.Fatalf("NewRing(%+v): %v", tc, err)
+		}
+		b, err := NewRing(tc.m, tc.backends, tc.vnodes)
+		if err != nil {
+			t.Fatalf("NewRing(%+v) second derivation: %v", tc, err)
+		}
+		for ge := 0; ge < tc.m; ge++ {
+			if a.Owner(ge) != b.Owner(ge) || a.Local(ge) != b.Local(ge) {
+				t.Fatalf("%+v: edge %d maps to (%d,%d) and (%d,%d) across derivations",
+					tc, ge, a.Owner(ge), a.Local(ge), b.Owner(ge), b.Local(ge))
+			}
+		}
+	}
+}
+
+// TestRingCoverage checks the partition is a partition: every edge owned
+// exactly once, local indices are the rank in the owner's sorted set, and
+// every backend non-empty.
+func TestRingCoverage(t *testing.T) {
+	const m, backends = 500, 4
+	r, err := NewRing(m, backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for b := 0; b < backends; b++ {
+		owned := r.Owned(b)
+		if len(owned) == 0 {
+			t.Fatalf("backend %d owns no edges", b)
+		}
+		if !sort.IntsAreSorted(owned) {
+			t.Fatalf("backend %d owned set not sorted: %v", b, owned)
+		}
+		total += len(owned)
+		for local, ge := range owned {
+			if r.Owner(ge) != b {
+				t.Fatalf("edge %d in backend %d's owned set but Owner says %d", ge, b, r.Owner(ge))
+			}
+			if r.Local(ge) != local {
+				t.Fatalf("edge %d: Local %d, rank in owned set %d", ge, r.Local(ge), local)
+			}
+		}
+	}
+	if total != m {
+		t.Fatalf("owned sets cover %d edges, ring has %d", total, m)
+	}
+}
+
+// TestRingSingleBackendIdentity pins the N=1 special case: local indices
+// equal global indices, which is what makes a one-backend cluster
+// configuration-identical to a direct engine (experiment E19's premise).
+func TestRingSingleBackendIdentity(t *testing.T) {
+	const m = 37
+	r, err := NewRing(m, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ge := 0; ge < m; ge++ {
+		if r.Owner(ge) != 0 || r.Local(ge) != ge {
+			t.Fatalf("edge %d: owner %d local %d, want 0 and %d", ge, r.Owner(ge), r.Local(ge), ge)
+		}
+	}
+	caps := make([]int, m)
+	for i := range caps {
+		caps[i] = i + 1
+	}
+	bcaps, err := r.Caps(caps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range caps {
+		if bcaps[i] != caps[i] {
+			t.Fatalf("projected capacity %d is %d, want %d", i, bcaps[i], caps[i])
+		}
+	}
+}
+
+// TestRingCaps checks the projection against the owner map directly.
+func TestRingCaps(t *testing.T) {
+	const m, backends = 64, 3
+	r, err := NewRing(m, backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make([]int, m)
+	for i := range caps {
+		caps[i] = 100 + i
+	}
+	for b := 0; b < backends; b++ {
+		bcaps, err := r.Caps(caps, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for local, ge := range r.Owned(b) {
+			if bcaps[local] != caps[ge] {
+				t.Fatalf("backend %d local %d: capacity %d, global edge %d has %d",
+					b, local, bcaps[local], ge, caps[ge])
+			}
+		}
+	}
+	if _, err := r.Caps(caps[:m-1], 0); err == nil {
+		t.Fatal("Caps accepted a capacity vector of the wrong length")
+	}
+}
+
+// TestRingGroup checks request grouping: touched backends sorted, local
+// translation correct, duplicates preserved per backend.
+func TestRingGroup(t *testing.T) {
+	const m, backends = 100, 3
+	r, err := NewRing(m, backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := []int{3, 97, 41, 8, 60}
+	touched, locals := r.Group(edges)
+	if !sort.IntsAreSorted(touched) {
+		t.Fatalf("touched backends not sorted: %v", touched)
+	}
+	if len(locals) != len(touched) {
+		t.Fatalf("%d local groups for %d touched backends", len(locals), len(touched))
+	}
+	group := func(b int) []int {
+		for j, tb := range touched {
+			if tb == b {
+				return locals[j]
+			}
+		}
+		return nil
+	}
+	seen := 0
+	for j := range touched {
+		seen += len(locals[j])
+	}
+	if seen != len(edges) {
+		t.Fatalf("grouping lost edges: %d grouped, %d submitted", seen, len(edges))
+	}
+	for _, ge := range edges {
+		b := r.Owner(ge)
+		found := false
+		for _, local := range group(b) {
+			if local == r.Local(ge) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("edge %d (backend %d local %d) missing from its group %v",
+				ge, b, r.Local(ge), group(b))
+		}
+	}
+}
+
+// TestRingErrors pins the constructor's refusals.
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(0, 1, 0); err == nil {
+		t.Fatal("accepted zero edges")
+	}
+	if _, err := NewRing(5, 0, 0); err == nil {
+		t.Fatal("accepted zero backends")
+	}
+	if _, err := NewRing(5, 2, -1); err == nil {
+		t.Fatal("accepted negative vnodes")
+	}
+	// Far more backends than edges: someone must end up empty.
+	if _, err := NewRing(2, 10, 4); err == nil {
+		t.Fatal("accepted a partition with empty backends")
+	}
+}

@@ -1,0 +1,352 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"admission/internal/cluster"
+	"admission/internal/core"
+	"admission/internal/engine"
+	"admission/internal/problem"
+	"admission/internal/rng"
+	"admission/internal/server"
+)
+
+// gate fronts a backend's handler with a switchable failure mode, so
+// tests can shed and re-admit a backend without process games.
+type gate struct {
+	mu   sync.Mutex
+	mode int // gatePass, gateUnavailable, gateInterrupt
+	h    http.Handler
+}
+
+const (
+	gatePass = iota
+	// gateUnavailable refuses with 503 before the backend sees anything —
+	// the provably-not-applied failure class.
+	gateUnavailable
+	// gateInterrupt lets the backend apply the submission, then kills the
+	// connection mid-response — the indeterminate failure class.
+	gateInterrupt
+)
+
+func (g *gate) set(mode int) {
+	g.mu.Lock()
+	g.mode = mode
+	g.mu.Unlock()
+}
+
+func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	mode := g.mode
+	g.mu.Unlock()
+	switch mode {
+	case gateUnavailable:
+		http.Error(w, `{"error":"gate closed"}`, http.StatusServiceUnavailable)
+	case gateInterrupt:
+		rec := httptest.NewRecorder()
+		g.h.ServeHTTP(rec, r) // the backend applies the operations...
+		body := rec.Body.Bytes()
+		_, _ = w.Write(body[:len(body)/2]) // ...but the client sees half
+		panic(http.ErrAbortHandler)
+	default:
+		g.h.ServeHTTP(w, r)
+	}
+}
+
+// testCluster is one in-process cluster: N gated backend servers plus a
+// router.
+type testCluster struct {
+	router   *cluster.Router
+	backends []*cluster.Backend
+	clients  []*cluster.Client
+	gates    []*gate
+}
+
+func newTestCluster(t testing.TB, caps []int, backends int, seed uint64) *testCluster {
+	t.Helper()
+	acfg := core.DefaultConfig()
+	acfg.Seed = seed
+	bcfg := cluster.BackendConfig{Engine: engine.Config{Shards: 1, Algorithm: acfg}}
+	ring, err := cluster.NewRing(len(caps), backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{}
+	for b := 0; b < backends; b++ {
+		bcaps, err := ring.Caps(caps, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be, err := cluster.NewBackend(bcaps, bcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := server.New(server.Config{}, server.ClusterBackend(be))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := &gate{h: s.Handler()}
+		ts := httptest.NewServer(g)
+		t.Cleanup(func() {
+			ts.Close()
+			_ = s.Drain(context.Background())
+			be.Close()
+		})
+		tc.backends = append(tc.backends, be)
+		tc.gates = append(tc.gates, g)
+		tc.clients = append(tc.clients, cluster.NewClient(ts.URL, cluster.RetryPolicy{MaxAttempts: 1}))
+	}
+	tc.router, err = cluster.NewRouter(caps, tc.clients, cluster.RouterConfig{
+		Backend:     bcfg,
+		ResyncEvery: time.Hour, // resync only when the test asks
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tc.router.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := tc.router.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+// reconcile asserts the exact router↔backend ledger identity: every
+// backend routable, journals empty, and the router's acked counter equal
+// to the backend's applied-operation counter.
+func reconcile(t *testing.T, tc *testCluster) {
+	t.Helper()
+	led := tc.router.Ledger()
+	for b, row := range led.Backends {
+		if row.Down {
+			t.Fatalf("backend %d still shed: %s", b, row.Cause)
+		}
+		if row.Journal != 0 {
+			t.Fatalf("backend %d has %d journaled in-doubt operations", b, row.Journal)
+		}
+		st, err := tc.clients[b].Stats(context.Background())
+		if err != nil {
+			t.Fatalf("backend %d stats: %v", b, err)
+		}
+		if row.Acked != st.Requests {
+			t.Fatalf("backend %d: router acked %d, backend applied %d", b, row.Acked, st.Requests)
+		}
+	}
+}
+
+// randomRequest draws a request with k distinct edges.
+func randomRequest(r *rng.RNG, m, k int, weighted bool) problem.Request {
+	if k > m {
+		k = m
+	}
+	seen := map[int]bool{}
+	var edges []int
+	for len(edges) < k {
+		e := r.Intn(m)
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	cost := 1.0
+	if weighted {
+		cost = float64(1 + r.Intn(3))
+	}
+	return problem.Request{Edges: edges, Cost: cost}
+}
+
+// TestRouterSingleBackendPropertyIdentity is the property test extending
+// the golden-trace lineage across the RPC boundary: for 50 seeded
+// workloads, a cluster of one backend — ring, wire protocol, serving
+// pipeline and all — is decision-identical to the in-process 1-shard
+// engine, and the ledgers reconcile exactly.
+func TestRouterSingleBackendPropertyIdentity(t *testing.T) {
+	ctx := context.Background()
+	for seed := uint64(0); seed < 50; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rng.New(seed)
+			m := 3 + r.Intn(8)
+			caps := make([]int, m)
+			for i := range caps {
+				caps[i] = 1 + r.Intn(4)
+			}
+			acfg := core.DefaultConfig()
+			acfg.Seed = seed
+			ecfg := engine.Config{Shards: 1, Algorithm: acfg}
+			eng, err := engine.New(caps, ecfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+
+			tc := newTestCluster(t, caps, 1, seed)
+			if got, want := tc.router.BackendFingerprint(0), eng.Fingerprint(); got != want {
+				t.Fatalf("router derives fingerprint %q, direct engine reports %q", got, want)
+			}
+
+			for i := 0; i < 40; i++ {
+				req := randomRequest(r, m, 1+r.Intn(2), !acfg.Unweighted)
+				rd, rerr := tc.router.Submit(ctx, req)
+				ed, eerr := eng.Submit(ctx, req)
+				if (rerr == nil) != (eerr == nil) {
+					t.Fatalf("request %d: router err %v, engine err %v", i, rerr, eerr)
+				}
+				if rd.ID != ed.ID || rd.Accepted != ed.Accepted || rd.CrossShard != ed.CrossShard {
+					t.Fatalf("request %d diverged: routed %+v, direct %+v", i, rd, ed)
+				}
+				if len(rd.Preempted) != len(ed.Preempted) {
+					t.Fatalf("request %d preemptions diverged: routed %v, direct %v", i, rd.Preempted, ed.Preempted)
+				}
+				for j := range rd.Preempted {
+					if rd.Preempted[j] != ed.Preempted[j] {
+						t.Fatalf("request %d preemptions diverged: routed %v, direct %v", i, rd.Preempted, ed.Preempted)
+					}
+				}
+			}
+			if got, want := tc.backends[0].StateDigest(), eng.StateDigest(); got != want {
+				t.Fatalf("state digests diverged: routed backend %016x, direct engine %016x", got, want)
+			}
+			reconcile(t, tc)
+		})
+	}
+}
+
+// TestRouterCrossBackendTwoPhase drives the reserve/commit protocol over
+// real HTTP: a request spanning both backends is granted atomically,
+// holds capacity on both, and leaves no open transactions.
+func TestRouterCrossBackendTwoPhase(t *testing.T) {
+	ctx := context.Background()
+	caps := make([]int, 40)
+	for i := range caps {
+		caps[i] = 1
+	}
+	tc := newTestCluster(t, caps, 2, 3)
+	ring := tc.router.Ring()
+	ea, eb := ring.Owned(0)[0], ring.Owned(1)[0]
+
+	d, err := tc.router.Submit(ctx, problem.Request{Edges: []int{ea, eb}, Cost: 1})
+	if err != nil || !d.Accepted || !d.CrossShard {
+		t.Fatalf("cross-backend request: %+v err %v, want cross-shard accept", d, err)
+	}
+	// Capacity is held on both partitions: the same pair cannot fit again,
+	// and each edge individually is full.
+	if d, err = tc.router.Submit(ctx, problem.Request{Edges: []int{ea, eb}, Cost: 1}); err != nil || d.Accepted {
+		t.Fatalf("second cross-backend request: %+v err %v, want refusal", d, err)
+	}
+	for _, e := range []int{ea, eb} {
+		if d, err = tc.router.Submit(ctx, problem.Request{Edges: []int{e}, Cost: 1}); err != nil || d.Accepted {
+			t.Fatalf("offer on committed edge %d: %+v err %v, want refusal", e, d, err)
+		}
+	}
+	for b := range tc.backends {
+		if got := tc.backends[b].OpenTxs(); got != 0 {
+			t.Fatalf("backend %d left %d transactions open", b, got)
+		}
+	}
+	reconcile(t, tc)
+}
+
+// TestRouterShedsAndReadmits sheds one backend behind a 503 gate: requests
+// touching its partition are refused with typed errors and do not hang,
+// the other partition keeps serving, and after the gate opens a forced
+// Resync re-admits the backend with the ledger exact.
+func TestRouterShedsAndReadmits(t *testing.T) {
+	ctx := context.Background()
+	caps := make([]int, 40)
+	for i := range caps {
+		caps[i] = 4
+	}
+	tc := newTestCluster(t, caps, 2, 5)
+	ring := tc.router.Ring()
+	ea, eb := ring.Owned(0)[0], ring.Owned(1)[0]
+
+	// Healthy warm-up on both partitions.
+	for _, e := range []int{ea, eb} {
+		if _, err := tc.router.Submit(ctx, problem.Request{Edges: []int{e}, Cost: 1}); err != nil {
+			t.Fatalf("warm-up on edge %d: %v", e, err)
+		}
+	}
+
+	tc.gates[1].set(gateUnavailable)
+	// First touch discovers the failure mid-exchange; every later touch is
+	// refused up front. Both carry the typed sentinel.
+	for i := 0; i < 3; i++ {
+		_, err := tc.router.Submit(ctx, problem.Request{Edges: []int{eb}, Cost: 1})
+		if !errors.Is(err, cluster.ErrPartitionDown) {
+			t.Fatalf("touch %d of the shed partition: %v, want ErrPartitionDown", i, err)
+		}
+	}
+	// A cross-backend request touching the shed partition is refused too.
+	if _, err := tc.router.Submit(ctx, problem.Request{Edges: []int{ea, eb}, Cost: 1}); !errors.Is(err, cluster.ErrPartitionDown) {
+		t.Fatalf("cross request into the shed partition: %v, want ErrPartitionDown", err)
+	}
+	// The healthy partition keeps deciding.
+	if d, err := tc.router.Submit(ctx, problem.Request{Edges: []int{ea}, Cost: 1}); err != nil || !d.Accepted {
+		t.Fatalf("healthy partition while peer shed: %+v err %v", d, err)
+	}
+	led := tc.router.Ledger()
+	if led.ShedRefusals < 4 {
+		t.Fatalf("ledger counts %d shed refusals, want ≥4", led.ShedRefusals)
+	}
+	if !led.Backends[1].Down {
+		t.Fatal("ledger does not mark the shed backend down")
+	}
+
+	tc.gates[1].set(gatePass)
+	if err := tc.router.Resync(ctx); err != nil {
+		t.Fatalf("resync after the gate opened: %v", err)
+	}
+	if d, err := tc.router.Submit(ctx, problem.Request{Edges: []int{eb}, Cost: 1}); err != nil || !d.Accepted {
+		t.Fatalf("re-admitted partition: %+v err %v", d, err)
+	}
+	reconcile(t, tc)
+}
+
+// TestRouterInterruptedExchangeResync covers the indeterminate failure
+// class: the backend applies a submission but the response dies mid-
+// stream. The router journals the in-doubt window, refuses the request,
+// and resync reconciles against the backend's applied watermark — counting
+// the applied-but-refused offer as a phantom and leaving the ledger exact.
+func TestRouterInterruptedExchangeResync(t *testing.T) {
+	ctx := context.Background()
+	caps := make([]int, 20)
+	for i := range caps {
+		caps[i] = 4
+	}
+	tc := newTestCluster(t, caps, 1, 9)
+
+	if _, err := tc.router.Submit(ctx, problem.Request{Edges: []int{0}, Cost: 1}); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+
+	tc.gates[0].set(gateInterrupt)
+	_, err := tc.router.Submit(ctx, problem.Request{Edges: []int{1}, Cost: 1})
+	if !errors.Is(err, cluster.ErrPartitionDown) {
+		t.Fatalf("interrupted exchange: %v, want ErrPartitionDown", err)
+	}
+	led := tc.router.Ledger()
+	if led.Backends[0].Journal != 1 {
+		t.Fatalf("journal holds %d entries after an interrupted offer, want 1", led.Backends[0].Journal)
+	}
+
+	tc.gates[0].set(gatePass)
+	if err := tc.router.Resync(ctx); err != nil {
+		t.Fatalf("resync: %v", err)
+	}
+	led = tc.router.Ledger()
+	if led.Backends[0].Phantoms != 1 {
+		t.Fatalf("resync counted %d phantoms, want 1 (the applied-but-refused offer)", led.Backends[0].Phantoms)
+	}
+	if d, err := tc.router.Submit(ctx, problem.Request{Edges: []int{2}, Cost: 1}); err != nil || !d.Accepted {
+		t.Fatalf("post-resync submit: %+v err %v", d, err)
+	}
+	reconcile(t, tc)
+}

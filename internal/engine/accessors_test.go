@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"admission/internal/core"
+	"admission/internal/problem"
+)
+
+// TestAccessorsDrainDecisionErr covers the introspection surface the
+// serving layer and binaries read — NumEdges, Drain after traffic, and the
+// DecisionErr adapter satisfying the generic service contract.
+func TestAccessorsDrainDecisionErr(t *testing.T) {
+	ctx := context.Background()
+	caps := []int{3, 3, 3, 3}
+	eng, err := New(caps, Config{Shards: 2, Algorithm: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.NumEdges() != len(caps) {
+		t.Fatalf("NumEdges() = %d, want %d", eng.NumEdges(), len(caps))
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := eng.Submit(ctx, problem.Request{Edges: []int{i % len(caps)}, Cost: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	sentinel := errors.New("boom")
+	if got := (Decision{Err: sentinel}).DecisionErr(); !errors.Is(got, sentinel) {
+		t.Fatalf("DecisionErr() = %v, want the wrapped error", got)
+	}
+	if got := (Decision{Accepted: true}).DecisionErr(); got != nil {
+		t.Fatalf("clean decision reports error %v", got)
+	}
+}

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"admission/internal/core"
+	"admission/internal/problem"
+)
+
+func newClusterTestEngine(t *testing.T, caps []int, shards int, seed uint64) *Engine {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	e, err := New(caps, Config{Shards: shards, Algorithm: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// TestClusterReserveCommitRelease exercises the engine's cluster-facing
+// two-phase ledger: reserve holds capacity atomically, commit makes it
+// permanent (beyond release's reach), release returns it.
+func TestClusterReserveCommitRelease(t *testing.T) {
+	ctx := context.Background()
+	e := newClusterTestEngine(t, []int{1, 1, 1, 1}, 2, 7)
+
+	d, err := e.SubmitReserve(ctx, []int{0, 3})
+	if err != nil || !d.Accepted || !d.CrossShard {
+		t.Fatalf("reserve [0 3]: d=%+v err=%v, want cross-shard grant", d, err)
+	}
+	// Capacity 1 is now held on both edges: a second reservation must be
+	// refused atomically (and hold nothing).
+	d2, err := e.SubmitReserve(ctx, []int{0, 1})
+	if err != nil || d2.Accepted {
+		t.Fatalf("reserve [0 1] with edge 0 full: d=%+v err=%v, want refusal", d2, err)
+	}
+	if d3, err := e.SubmitReserve(ctx, []int{1}); err != nil || !d3.Accepted {
+		t.Fatalf("reserve [1] after atomic refusal: d=%+v err=%v, want grant (nothing held)", d3, err)
+	}
+
+	if d, err = e.SubmitCommit(ctx, []int{0, 3}); err != nil || !d.Accepted {
+		t.Fatalf("commit [0 3]: d=%+v err=%v", d, err)
+	}
+	// Committed units are permanent: releasing them is an engine error.
+	if _, err = e.SubmitRelease(ctx, []int{0}); err == nil || !strings.Contains(err.Error(), "unreserved") {
+		t.Fatalf("release of committed edge 0: err=%v, want unreserved error", err)
+	}
+	// Committing an edge that holds no reservation is an error too.
+	if _, err = e.SubmitCommit(ctx, []int{2}); err == nil || !strings.Contains(err.Error(), "unreserved") {
+		t.Fatalf("commit of unreserved edge 2: err=%v, want unreserved error", err)
+	}
+
+	if d, err = e.SubmitRelease(ctx, []int{1}); err != nil || !d.Accepted {
+		t.Fatalf("release [1]: d=%+v err=%v", d, err)
+	}
+	if d, err = e.SubmitReserve(ctx, []int{1}); err != nil || !d.Accepted {
+		t.Fatalf("re-reserve [1] after release: d=%+v err=%v, want grant", d, err)
+	}
+
+	st := e.Snapshot()
+	want := []int{1, 1, 0, 1} // 0,3 committed; 1 reserved; 2 free
+	for ge, w := range want {
+		if st.Loads[ge] != w {
+			t.Fatalf("loads = %v, want %v", st.Loads, want)
+		}
+	}
+}
+
+// TestClusterOpsConsumeIDs pins that every cluster operation — including
+// empty no-ops — consumes exactly one global ID, interleaved with offers,
+// so a backend's decision stream stays contiguous for the WAL.
+func TestClusterOpsConsumeIDs(t *testing.T) {
+	ctx := context.Background()
+	e := newClusterTestEngine(t, []int{2, 2, 2, 2}, 2, 3)
+
+	ids := []int{}
+	rec := func(d Decision, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, d.ID)
+	}
+	rec(e.Submit(ctx, problem.Request{Edges: []int{0}, Cost: 1}))
+	rec(e.SubmitReserve(ctx, []int{1, 2}))
+	rec(e.SubmitCommit(ctx, nil))
+	rec(e.SubmitCommit(ctx, []int{1, 2}))
+	rec(e.SubmitRelease(ctx, nil))
+	rec(e.Submit(ctx, problem.Request{Edges: []int{3}, Cost: 1}))
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("ids = %v, want contiguous from 0", ids)
+		}
+	}
+	if got := e.Stats().Requests; got != int64(len(ids)) {
+		t.Fatalf("requests = %d, want %d", got, len(ids))
+	}
+}
+
+// TestClusterEmptyOps pins the protocol no-ops: empty edge lists decide
+// deterministically (refused) without touching capacity.
+func TestClusterEmptyOps(t *testing.T) {
+	ctx := context.Background()
+	e := newClusterTestEngine(t, []int{1, 1}, 1, 1)
+	before := e.Snapshot().Loads
+
+	for name, call := range map[string]func() (Decision, error){
+		"reserve": func() (Decision, error) { return e.SubmitReserve(ctx, nil) },
+		"commit":  func() (Decision, error) { return e.SubmitCommit(ctx, nil) },
+		"release": func() (Decision, error) { return e.SubmitRelease(ctx, nil) },
+	} {
+		d, err := call()
+		if err != nil || d.Accepted || !d.CrossShard {
+			t.Fatalf("%s(nil): d=%+v err=%v, want refused cross-shard no-op", name, d, err)
+		}
+	}
+	after := e.Snapshot().Loads
+	for ge := range before {
+		if before[ge] != after[ge] {
+			t.Fatalf("no-op moved loads: %v -> %v", before, after)
+		}
+	}
+}
+
+// TestClusterEdgeValidation rejects malformed cluster edge lists.
+func TestClusterEdgeValidation(t *testing.T) {
+	ctx := context.Background()
+	e := newClusterTestEngine(t, []int{1, 1}, 1, 1)
+	if _, err := e.SubmitReserve(ctx, []int{0, 2}); err == nil {
+		t.Fatal("reserve with out-of-range edge: want error")
+	}
+	if _, err := e.SubmitCommit(ctx, []int{1, 1}); err == nil {
+		t.Fatal("commit with duplicate edge: want error")
+	}
+	if _, err := e.SubmitRelease(ctx, []int{-1}); err == nil {
+		t.Fatal("release with negative edge: want error")
+	}
+}
+
+// TestConfigFingerprint pins that the router-side prediction matches what
+// a really-constructed engine reports, across shard counts and explicit
+// partitions.
+func TestConfigFingerprint(t *testing.T) {
+	caps := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	for _, cfg := range []Config{
+		{Shards: 1, Algorithm: core.DefaultConfig()},
+		{Shards: 3, Algorithm: core.UnweightedConfig()},
+		{Partition: [][]int{{7, 1, 3}, {0, 2, 4, 5, 6}}, Algorithm: core.DefaultConfig()},
+	} {
+		cfg.Algorithm.Seed = 42
+		want, err := ConfigFingerprint(caps, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(caps, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := e.Fingerprint()
+		e.Close()
+		if got != want {
+			t.Fatalf("ConfigFingerprint %q != engine %q (cfg %+v)", want, got, cfg)
+		}
+	}
+	if _, err := ConfigFingerprint(nil, Config{Algorithm: core.DefaultConfig()}); err == nil {
+		t.Fatal("ConfigFingerprint with no edges: want error")
+	}
+}
+
+// TestClusterOpsDigestDeterminism replays an identical mixed operation
+// stream into two engines and requires equal state digests — the property
+// WAL recovery of a cluster backend rests on.
+func TestClusterOpsDigestDeterminism(t *testing.T) {
+	ctx := context.Background()
+	run := func() uint64 {
+		e := newClusterTestEngine(t, []int{2, 2, 2, 2, 2, 2}, 3, 11)
+		steps := []func() (Decision, error){
+			func() (Decision, error) { return e.Submit(ctx, problem.Request{Edges: []int{0, 1}, Cost: 2}) },
+			func() (Decision, error) { return e.SubmitReserve(ctx, []int{2, 5}) },
+			func() (Decision, error) { return e.Submit(ctx, problem.Request{Edges: []int{3}, Cost: 1.5}) },
+			func() (Decision, error) { return e.SubmitCommit(ctx, []int{2, 5}) },
+			func() (Decision, error) { return e.SubmitReserve(ctx, []int{0, 4}) },
+			func() (Decision, error) { return e.SubmitRelease(ctx, []int{0, 4}) },
+			func() (Decision, error) { return e.SubmitCommit(ctx, nil) },
+			func() (Decision, error) { return e.Submit(ctx, problem.Request{Edges: []int{4, 5}, Cost: 3}) },
+		}
+		for i, step := range steps {
+			if _, err := step(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+		return e.StateDigest()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("digests diverged: %016x vs %016x", a, b)
+	}
+}

@@ -1,9 +1,6 @@
 package engine
 
-import (
-	"fmt"
-	"math"
-)
+import "math"
 
 // fnv64 accumulates a deterministic FNV-1a digest over fixed-width words.
 // It backs the durability layer's state verification (StateDigest,
@@ -44,26 +41,7 @@ func (h *fnv64) bool(v bool) {
 // differs. Two engines built from the same capacities and Config always
 // agree.
 func (e *Engine) Fingerprint() string {
-	var h fnv64 = fnvOffset
-	h.int(len(e.caps))
-	for _, c := range e.caps {
-		h.int(c)
-	}
-	h.int(len(e.shards))
-	for _, s := range e.edgeShard {
-		h.int(int(s))
-	}
-	cfg := e.algCfg
-	h.bool(cfg.Unweighted)
-	h.float(cfg.LogBase)
-	h.float(cfg.ThresholdFactor)
-	h.float(cfg.ProbFactor)
-	h.int(int(cfg.AlphaMode))
-	h.float(cfg.Alpha)
-	h.float(cfg.DoublingBudgetFactor)
-	h.bool(cfg.DisableReqPruning)
-	h.word(cfg.Seed)
-	return fmt.Sprintf("admission/v1 m=%d k=%d seed=%d cfg=%016x", len(e.caps), len(e.shards), e.algCfg.Seed, uint64(h))
+	return fingerprintOf(e.caps, len(e.shards), e.edgeShard, e.algCfg)
 }
 
 // StateDigest returns a deterministic digest of the engine's decision

@@ -263,6 +263,7 @@ func New(capacities []int, cfg Config) (*Engine, error) {
 			alg:         alg,
 			globalEdges: globalEdges,
 			reserved:    make([]int, len(part)),
+			committed:   make([]int, len(part)),
 		}
 		e.shards = append(e.shards, s)
 		e.loops.Add(1)

@@ -22,6 +22,10 @@ const (
 	opReserve
 	// opRelease undoes a granted reservation (two-phase abort).
 	opRelease
+	// opCommit makes a granted reservation permanent (cluster two-phase
+	// keep): the reserved unit moves to the committed ledger, out of
+	// release's reach.
+	opCommit
 	// opStats asks for a state snapshot.
 	opStats
 )
@@ -74,6 +78,7 @@ type shard struct {
 	alg         *core.Randomized
 	globalEdges []int // local edge -> global edge ID
 	reserved    []int // per local edge: granted cross-shard reservations
+	committed   []int // per local edge: committed (permanent) reservations
 	reqGlobal   []int // local request ID -> global request ID
 
 	// final is the snapshot taken when the loop exits; readable by other
@@ -145,6 +150,8 @@ func (s *shard) handle(o op) reply {
 		return s.reserve(o)
 	case opRelease:
 		return s.release(o)
+	case opCommit:
+		return s.commit(o)
 	case opStats:
 		return reply{stats: s.snapshot()}
 	default:
@@ -213,11 +220,27 @@ func (s *shard) release(o op) reply {
 	return reply{ok: true}
 }
 
+// commit finalizes a granted reservation: the reserved units move to the
+// committed ledger, where release cannot reach them. The capacity stays
+// shrunk — a committed cross-cluster accept is permanent.
+func (s *shard) commit(o op) reply {
+	for _, le := range o.edges {
+		if s.reserved[le] <= 0 {
+			return reply{err: fmt.Errorf("engine: shard %d: commit of unreserved edge %d", s.idx, le)}
+		}
+	}
+	for _, le := range o.edges {
+		s.reserved[le]--
+		s.committed[le]++
+	}
+	return reply{ok: true}
+}
+
 // snapshot captures the shard's accounting.
 func (s *shard) snapshot() shardSnapshot {
 	loads := s.alg.Loads()
 	for le, r := range s.reserved {
-		loads[le] += r
+		loads[le] += r + s.committed[le]
 	}
 	return shardSnapshot{
 		requests:     len(s.reqGlobal),

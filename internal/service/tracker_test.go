@@ -1,0 +1,67 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestDrainTracker covers the background-goroutine accounting both
+// engines' Drain/Close rely on: Go tracks, Idle observes, Wait and
+// PollIdle converge once the tracked work finishes.
+func TestDrainTracker(t *testing.T) {
+	var tr DrainTracker
+	if !tr.Idle() {
+		t.Fatal("fresh tracker not idle")
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	tr.Go(func() {
+		close(started)
+		<-release
+	})
+	<-started
+	if tr.Idle() {
+		t.Fatal("tracker idle while a goroutine is running")
+	}
+	close(release)
+	tr.Wait()
+	if !tr.Idle() {
+		t.Fatal("tracker not idle after Wait")
+	}
+	if err := PollIdle(context.Background(), tr.Idle); err != nil {
+		t.Fatal(err)
+	}
+	// PollIdle must give up when the context dies before idleness.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := PollIdle(ctx, func() bool { return false }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PollIdle on a dead context: %v, want context.Canceled", err)
+	}
+}
+
+// TestTrySend covers the shard-queue cancellation boundary: the
+// non-blocking fast path, the blocking path once the queue drains, and
+// the context error when the queue stays full.
+func TestTrySend(t *testing.T) {
+	ctx := context.Background()
+	ch := make(chan int, 1)
+	if err := TrySend(ctx, ch, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Queue now full: a concurrent consumer unblocks the slow path.
+	done := make(chan error, 1)
+	go func() { done <- TrySend(ctx, ch, 2) }()
+	if got := <-ch; got != 1 {
+		t.Fatalf("dequeued %d, want 1", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Full queue and a dead context: the send must fail, not block.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := TrySend(dead, ch, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrySend on a full queue with a dead context: %v, want context.Canceled", err)
+	}
+}

@@ -70,6 +70,24 @@ const (
 	KindAdmission Kind = 1
 	// KindCover records set-cover decisions (internal/coverengine).
 	KindCover Kind = 2
+	// KindCluster records cluster backend operations (internal/cluster):
+	// the union stream of local admissions and two-phase protocol messages
+	// a router submits to one backend.
+	KindCluster Kind = 3
+)
+
+// Cluster operation codes carried by a KindCluster record (Record.ClusterOp).
+// They mirror the cluster wire tags: an offer is framed as an admission
+// request, the protocol ops as the dedicated cluster frames.
+const (
+	// ClusterOpOffer is a backend-local admission offer.
+	ClusterOpOffer byte = 0
+	// ClusterOpReserve is phase 1 of a cross-backend admission.
+	ClusterOpReserve byte = 1
+	// ClusterOpCommit finalizes a granted reservation.
+	ClusterOpCommit byte = 2
+	// ClusterOpAbort releases a granted reservation.
+	ClusterOpAbort byte = 3
 )
 
 // String names the kind for errors and headers.
@@ -79,12 +97,14 @@ func (k Kind) String() string {
 		return "admission"
 	case KindCover:
 		return "cover"
+	case KindCluster:
+		return "cluster"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
 }
 
-func (k Kind) valid() bool { return k == KindAdmission || k == KindCover }
+func (k Kind) valid() bool { return k == KindAdmission || k == KindCover || k == KindCluster }
 
 // Errors of the durability layer. ErrCorrupt wraps every refusal to
 // recover (damage before the log tail); errors.Is distinguishes it from a
@@ -121,6 +141,13 @@ type Record struct {
 	// Element and CoverDec hold a KindCover record.
 	Element  int
 	CoverDec wire.CoverDecision
+	// ClusterOp and ClusterTx extend a KindCluster record: the operation
+	// code (ClusterOp* constants) and, for protocol ops, the router's
+	// transaction id. A cluster record reuses AdmissionReq for the
+	// operation's edges (and an offer's cost) and AdmissionDec for its
+	// decision.
+	ClusterOp byte
+	ClusterTx uint64
 }
 
 // Seq returns the record's engine-assigned sequence number (the admission
@@ -137,10 +164,14 @@ func (r *Record) Seq() int64 {
 type Request struct {
 	// Kind selects which field is set.
 	Kind Kind
-	// Admission is the request of a KindAdmission entry.
+	// Admission is the request of a KindAdmission entry (also the edge
+	// list, and for offers the cost, of a KindCluster entry).
 	Admission wire.AdmissionRequest
 	// Element is the arrival of a KindCover entry.
 	Element int
+	// ClusterOp and ClusterTx extend a KindCluster entry.
+	ClusterOp byte
+	ClusterTx uint64
 }
 
 // AppendRecord appends rec's on-disk encoding — uvarint length, payload,
@@ -170,10 +201,62 @@ func appendPayload(p []byte, rec *Record) ([]byte, error) {
 	case KindCover:
 		p = wire.AppendCoverRequest(p, rec.Element)
 		p = wire.AppendCoverDecision(p, &rec.CoverDec)
+	case KindCluster:
+		var err error
+		if p, err = appendClusterOpFrame(p, rec.ClusterOp, rec.ClusterTx, &rec.AdmissionReq); err != nil {
+			return nil, err
+		}
+		p = wire.AppendAdmissionDecision(p, &rec.AdmissionDec)
 	default:
 		return nil, fmt.Errorf("wal: unknown record kind %d", rec.Kind)
 	}
 	return p, nil
+}
+
+// appendClusterOpFrame appends one cluster operation as its wire request
+// frame: offers as admission requests, protocol ops as the cluster tags.
+func appendClusterOpFrame(p []byte, op byte, tx uint64, req *wire.AdmissionRequest) ([]byte, error) {
+	switch op {
+	case ClusterOpOffer:
+		return wire.AppendAdmissionRequest(p, req.Edges, req.Cost), nil
+	case ClusterOpReserve:
+		return wire.AppendClusterReserve(p, tx, req.Edges), nil
+	case ClusterOpCommit:
+		return wire.AppendClusterCommit(p, tx), nil
+	case ClusterOpAbort:
+		return wire.AppendClusterAbort(p, tx), nil
+	default:
+		return nil, fmt.Errorf("wal: unknown cluster op %d", op)
+	}
+}
+
+// decodeClusterOpFrame parses one cluster operation request frame,
+// dispatching on its wire tag.
+func decodeClusterOpFrame(payload []byte) (op byte, tx uint64, req wire.AdmissionRequest, err error) {
+	tag, err := wire.Tag(payload)
+	if err != nil {
+		return 0, 0, req, fmt.Errorf("wal: %w", err)
+	}
+	switch tag {
+	case wire.TagAdmissionRequest:
+		err = wire.DecodeAdmissionRequest(payload, &req)
+		return ClusterOpOffer, 0, req, err
+	case wire.TagClusterReserve:
+		var r wire.ClusterReserve
+		if err = wire.DecodeClusterReserve(payload, &r); err != nil {
+			return 0, 0, req, fmt.Errorf("wal: %w", err)
+		}
+		req.Edges = r.Edges
+		return ClusterOpReserve, r.Tx, req, nil
+	case wire.TagClusterCommit:
+		tx, err = wire.DecodeClusterTx(payload, wire.TagClusterCommit)
+		return ClusterOpCommit, tx, req, err
+	case wire.TagClusterAbort:
+		tx, err = wire.DecodeClusterTx(payload, wire.TagClusterAbort)
+		return ClusterOpAbort, tx, req, err
+	default:
+		return 0, 0, req, fmt.Errorf("wal: unexpected cluster op tag 0x%02x", tag)
+	}
 }
 
 // appendFramed appends one length-prefixed CRC-protected blob (the framing
@@ -222,6 +305,13 @@ func DecodeRecord(payload []byte, rec *Record) error {
 		if err := wire.DecodeCoverDecision(decFrame, &rec.CoverDec); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
+	case KindCluster:
+		if rec.ClusterOp, rec.ClusterTx, rec.AdmissionReq, err = decodeClusterOpFrame(reqFrame); err != nil {
+			return err
+		}
+		if err := wire.DecodeAdmissionDecision(decFrame, &rec.AdmissionDec); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
 	default:
 		return fmt.Errorf("wal: unknown record kind %d", rec.Kind)
 	}
@@ -230,7 +320,8 @@ func DecodeRecord(payload []byte, rec *Record) error {
 
 // request extracts the input half of a record for snapshot compaction.
 func (r *Record) request() Request {
-	return Request{Kind: r.Kind, Admission: r.AdmissionReq, Element: r.Element}
+	return Request{Kind: r.Kind, Admission: r.AdmissionReq, Element: r.Element,
+		ClusterOp: r.ClusterOp, ClusterTx: r.ClusterTx}
 }
 
 // appendRequestFrame appends one snapshot entry as its wire request frame.
@@ -240,6 +331,8 @@ func appendRequestFrame(buf []byte, req Request) ([]byte, error) {
 		return wire.AppendAdmissionRequest(buf, req.Admission.Edges, req.Admission.Cost), nil
 	case KindCover:
 		return wire.AppendCoverRequest(buf, req.Element), nil
+	case KindCluster:
+		return appendClusterOpFrame(buf, req.ClusterOp, req.ClusterTx, &req.Admission)
 	default:
 		return buf, fmt.Errorf("wal: unknown request kind %d", req.Kind)
 	}
@@ -258,6 +351,11 @@ func decodeRequestFrame(kind Kind, payload []byte) (Request, error) {
 		var err error
 		if req.Element, err = wire.DecodeCoverRequest(payload); err != nil {
 			return req, fmt.Errorf("wal: %w", err)
+		}
+	case KindCluster:
+		var err error
+		if req.ClusterOp, req.ClusterTx, req.Admission, err = decodeClusterOpFrame(payload); err != nil {
+			return req, err
 		}
 	default:
 		return req, fmt.Errorf("wal: unknown request kind %d", kind)

@@ -43,6 +43,26 @@ func mkCover(seq int) *Record {
 	return rec
 }
 
+// mkCluster builds a deterministic cluster record carrying sequence seq,
+// cycling through the four operation codes.
+func mkCluster(seq int) *Record {
+	rec := &Record{
+		Kind:         KindCluster,
+		ClusterOp:    byte(seq % 4),
+		AdmissionDec: wire.AdmissionDecision{ID: seq, Accepted: seq%3 != 0, CrossShard: seq%4 != 0},
+	}
+	switch rec.ClusterOp {
+	case ClusterOpOffer:
+		rec.AdmissionReq = wire.AdmissionRequest{Edges: []int{seq % 5, seq%5 + 3}, Cost: 1 + float64(seq%3)}
+	case ClusterOpReserve:
+		rec.ClusterTx = uint64(100 + seq)
+		rec.AdmissionReq = wire.AdmissionRequest{Edges: []int{seq % 7}}
+	default: // commit, abort: tx only
+		rec.ClusterTx = uint64(100 + seq)
+	}
+	return rec
+}
+
 // appendN appends admission records [from, from+n) and syncs.
 func appendN(t *testing.T, l *Log, from, n int) {
 	t.Helper()
@@ -90,7 +110,10 @@ func snapFiles(t *testing.T, dir string) []string {
 }
 
 func TestRecordRoundTrip(t *testing.T) {
-	for _, rec := range []*Record{mkAdm(0), mkAdm(4), mkAdm(12), mkCover(0), mkCover(7)} {
+	for _, rec := range []*Record{
+		mkAdm(0), mkAdm(4), mkAdm(12), mkCover(0), mkCover(7),
+		mkCluster(0), mkCluster(1), mkCluster(2), mkCluster(3),
+	} {
 		framed, err := AppendRecord(nil, rec)
 		if err != nil {
 			t.Fatal(err)
@@ -487,6 +510,75 @@ func TestClosed(t *testing.T) {
 	}
 	if err := l.WriteSnapshot(1); !errors.Is(err, ErrClosed) {
 		t.Fatalf("WriteSnapshot after close = %v", err)
+	}
+}
+
+// TestClusterKindEndToEnd runs a KindCluster log through append, reopen,
+// snapshot compaction, and replay: every operation code must survive both
+// the tail (full records) and the snapshot (request halves) verbatim.
+func TestClusterKindEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Kind: KindCluster, Fingerprint: "cluster/test-fp"}
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append(mkCluster(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	for i := 12; i < 16; i++ {
+		if _, err := l.Append(mkCluster(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var reqs []Request
+	if err := l2.ReplaySnapshot(func(req Request) error {
+		reqs = append(reqs, req)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 12 {
+		t.Fatalf("snapshot replayed %d cluster ops", len(reqs))
+	}
+	for i, req := range reqs {
+		orig := mkCluster(i)
+		if req.Kind != KindCluster || req.ClusterOp != orig.ClusterOp || req.ClusterTx != orig.ClusterTx ||
+			!reflect.DeepEqual(req.Admission.Edges, orig.AdmissionReq.Edges) || req.Admission.Cost != orig.AdmissionReq.Cost {
+			t.Fatalf("snapshot entry %d = %+v, want op %d tx %d req %+v",
+				i, req, orig.ClusterOp, orig.ClusterTx, orig.AdmissionReq)
+		}
+	}
+	tail := collectTail(t, l2)
+	if len(tail) != 4 {
+		t.Fatalf("tail replayed %d records", len(tail))
+	}
+	for i, rec := range tail {
+		wantPayload, _ := appendPayload(nil, mkCluster(12+i))
+		gotPayload, _ := appendPayload(nil, &rec)
+		if !reflect.DeepEqual(gotPayload, wantPayload) {
+			t.Fatalf("tail record %d differs after reopen", i)
+		}
 	}
 }
 

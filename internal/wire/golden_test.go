@@ -38,6 +38,8 @@ func goldenFixtures(t *testing.T) []struct {
 	covDec := CoverDecision{Seq: 5, Element: 3, Arrival: 2, NewSets: []int{1, 8}, AddedCost: 3.25}
 	const covElem = 12
 	const streamMsg = "service closed"
+	clReserve := ClusterReserve{Tx: 9, Edges: []int{1, 4, 6}}
+	const clTx = 300
 	qryReq := QueryRequest{Pos: 17, Fidelity: QueryFidelityNeighborhood}
 	qryDec := QueryDecision{Pos: 17, Accepted: true, Neighborhood: true, Preempted: []int{4, 11}, Replayed: 9}
 	qryErr := QueryDecision{Pos: 3, Replayed: 4, Error: "lca: replay failed at position 2: boom"}
@@ -175,6 +177,45 @@ func goldenFixtures(t *testing.T) []struct {
 				}
 				if got.Pos != qryErr.Pos || got.Accepted || got.Error != qryErr.Error {
 					t.Fatalf("decoded %+v, want %+v", got, qryErr)
+				}
+			},
+		},
+		{
+			name:   "cluster_reserve",
+			encode: func() []byte { return AppendClusterReserve(nil, clReserve.Tx, clReserve.Edges) },
+			check: func(t *testing.T, frame []byte) {
+				var got ClusterReserve
+				if err := DecodeClusterReserve(payloadOf(t, frame), &got); err != nil {
+					t.Fatal(err)
+				}
+				if got.Tx != clReserve.Tx || len(got.Edges) != len(clReserve.Edges) {
+					t.Fatalf("decoded %+v, want %+v", got, clReserve)
+				}
+			},
+		},
+		{
+			name:   "cluster_commit",
+			encode: func() []byte { return AppendClusterCommit(nil, clTx) },
+			check: func(t *testing.T, frame []byte) {
+				got, err := DecodeClusterTx(payloadOf(t, frame), TagClusterCommit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != clTx {
+					t.Fatalf("decoded tx %d, want %d", got, clTx)
+				}
+			},
+		},
+		{
+			name:   "cluster_abort",
+			encode: func() []byte { return AppendClusterAbort(nil, clTx) },
+			check: func(t *testing.T, frame []byte) {
+				got, err := DecodeClusterTx(payloadOf(t, frame), TagClusterAbort)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != clTx {
+					t.Fatalf("decoded tx %d, want %d", got, clTx)
 				}
 			},
 		},
