@@ -33,6 +33,7 @@ import (
 	"admission/internal/harness"
 	"admission/internal/lca"
 	"admission/internal/lp"
+	"admission/internal/ops"
 	"admission/internal/opt"
 	"admission/internal/problem"
 	"admission/internal/rng"
@@ -551,6 +552,69 @@ func BenchmarkServerLoopback(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(thru, "decisions/s")
 			b.ReportMetric(float64(len(ins.Requests)), "requests/op")
+		})
+	}
+}
+
+// BenchmarkAdminResize measures the live-operations control plane's
+// capacity-resize round trip (DESIGN.md §15) over loopback HTTP: each op
+// is one grow plus one shrink-back through POST /admin/v1/capacity, so
+// engine state is identical at every iteration boundary. The single-edge
+// case serializes through one shard's event loop; the all-edges case fans
+// out across every shard in parallel. The engine carries live load so the
+// resize competes with the decision path's occupancy bookkeeping.
+func BenchmarkAdminResize(b *testing.B) {
+	ins := benchInstance(b, false)
+	const token = "bench-admin-token"
+	acfg := core.DefaultConfig()
+	acfg.Seed = 1
+	eng, err := engine.New(ins.Capacities, engine.Config{Shards: 4, Algorithm: acfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{AdminToken: token}, server.Admission(eng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	admin := ops.NewAdminClient(base, token)
+	if err := admin.WaitHealthy(5 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		_ = httpSrv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+		eng.Close()
+	}()
+	// Load the engine so resizes run against live occupancy, not an idle
+	// covering program.
+	ctx := context.Background()
+	for _, r := range ins.Requests[:1024] {
+		if _, err := eng.Submit(ctx, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, scope := range []struct {
+		name string
+		edge int
+	}{{"edge", 0}, {"all-edges", engine.AllEdges}} {
+		b.Run(scope.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := admin.Resize(ctx, scope.edge, 1); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := admin.Resize(ctx, scope.edge, -1); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

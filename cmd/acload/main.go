@@ -46,6 +46,18 @@
 //	acload -url http://127.0.0.1:8080 -query -query-n 4096 -n 20000 -conns 8 -wire
 //	acload -url http://127.0.0.1:8080 -query -query-fidelity neighborhood -n 5000
 //
+// Scenario mode replays a named, seeded churn script from the
+// live-operations registry (internal/ops/scenario, DESIGN.md §15) —
+// diurnal, flash-crowd, drain-shrink or adversary — driving both the
+// submission path and, for scripts with admin actions, the /admin/v1/*
+// control plane. The driver keeps a client-side per-edge ledger of
+// accepted-minus-preempted requests and reconciles it exactly against the
+// server's occupancy view afterwards, failing on any divergence. Scripts
+// with admin actions need the server's -admin-token:
+//
+//	acload -url http://127.0.0.1:8080 -scenario flash-crowd -admin-token s3cret
+//	acload -url http://127.0.0.1:8080 -scenario diurnal -edges 32
+//
 // Cluster mode (-cluster) drives an acrouter exactly like a single
 // acserve — the routed /v1/admission path is request-compatible — and
 // afterwards fetches the router's reconciliation ledger from the stats
@@ -67,6 +79,8 @@ import (
 	"syscall"
 
 	"admission/internal/lca"
+	"admission/internal/ops"
+	"admission/internal/ops/scenario"
 	"admission/internal/problem"
 	"admission/internal/rng"
 	"admission/internal/server"
@@ -97,6 +111,10 @@ func main() {
 
 		clusterOn = flag.Bool("cluster", false, "after the run, fetch and verify the acrouter reconciliation ledger from the stats endpoint")
 
+		scName     = flag.String("scenario", "", "replay a named live-operations churn scenario: adversary | diurnal | drain-shrink | flash-crowd")
+		scEdges    = flag.Int("edges", 32, "scenario mode: number of edges the server was started with (ignored with -admin-token, which learns it from occupancy)")
+		adminToken = flag.String("admin-token", "", "server admin token; required by scenarios with admin actions and for the post-run ledger reconciliation")
+
 		query      = flag.Bool("query", false, "drive the local-computation query tier (/v1/query) instead of /v1/admission")
 		queryN     = flag.Int("query-n", 4096, "positions of the server's query arrival order (must not exceed the server's -query-n)")
 		querySeed  = flag.Uint64("query-pos-seed", 1, "seed for the random query positions")
@@ -117,6 +135,10 @@ func main() {
 	}
 	if *query {
 		runQuery(ctx, *url, *queryN, *querySeed, *queryFidel, *n, *conns, *batch, *rps, *wireOn)
+		return
+	}
+	if *scName != "" {
+		runScenario(ctx, *url, *scName, *adminToken, *scEdges, *capacity, int64(*seed), *conns)
 		return
 	}
 
@@ -240,6 +262,72 @@ func runCover(ctx context.Context, url, name string, seed uint64, n, conns, batc
 	fmt.Printf("cover workload: %s (n=%d elements, m=%d sets)\n", w.Name, w.Instance.N, w.Instance.M())
 	fmt.Println(report)
 	fmt.Printf("cover:       %d sets bought, cost %g\n", report.SetsBought, report.CostAdded)
+}
+
+// runScenario replays one named churn scenario against the server. With a
+// token it learns the capacity vector from the admin occupancy view and
+// reconciles the client-side ledger against it afterwards; without one it
+// assumes a flat edges×cap vector and skips reconciliation (the admin
+// plane is not mounted, so there is no occupancy view to audit against).
+func runScenario(ctx context.Context, url, name, token string, edges, capacity int, seed int64, conns int) {
+	d := &scenario.Driver{
+		Client: server.NewAdmissionClient(url, conns),
+		Seed:   seed,
+	}
+	m := edges
+	baseline := 0
+	if token != "" {
+		d.Admin = ops.NewAdminClient(url, token)
+		occ, err := d.Admin.Occupancy(ctx)
+		if err != nil {
+			fail(fmt.Errorf("scenario: fetching occupancy: %w", err))
+		}
+		if occ.Admission == nil {
+			fail(fmt.Errorf("scenario: server has no admission workload mounted"))
+		}
+		m = len(occ.Admission.Edges)
+		baseline = occ.Admission.Load
+	} else {
+		d.Caps = make([]int, edges)
+		for i := range d.Caps {
+			d.Caps[i] = capacity
+		}
+	}
+	sc, err := scenario.Lookup(name, m)
+	if err != nil {
+		fail(err)
+	}
+	rep, err := d.Run(ctx, sc)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("scenario:    %s (%s), seed %d, %d ticks\n", sc.Name, sc.About, seed, rep.Ticks)
+	fmt.Printf("traffic:     %d submitted, %d accepted, %d rejected, %d preempted, %d errors\n",
+		rep.Submitted, rep.Accepted, rep.Rejected, rep.Preempted, rep.Errors)
+	if len(rep.Resizes) > 0 {
+		fmt.Printf("capacity:    %d resizes (+%d / -%d units applied)\n",
+			len(rep.Resizes), rep.GrownUnits, rep.ShrunkUnits)
+	}
+	if d.Admin == nil {
+		fmt.Println("ledger:      reconciliation skipped (no -admin-token, occupancy view unavailable)")
+		return
+	}
+	if baseline > 0 {
+		// Exact reconciliation needs an idle engine at the start of the
+		// run: the ledger tracks only this run's request IDs, so load that
+		// predates it cannot be attributed edge by edge.
+		fmt.Printf("ledger:      reconciliation skipped (server started with %d live requests; use a fresh server for an exact audit)\n", baseline)
+		return
+	}
+	occ, err := d.Admin.Occupancy(ctx)
+	if err != nil {
+		fail(fmt.Errorf("scenario: fetching final occupancy: %w", err))
+	}
+	if err := rep.Reconcile(occ); err != nil {
+		fail(err)
+	}
+	fmt.Printf("ledger:      reconciled exactly (%d live requests over %d edges)\n",
+		len(rep.Live()), len(rep.Loads))
 }
 
 // runQuery drives /v1/query with n seeded random positions in [0, posN)

@@ -1,0 +1,155 @@
+// Command acops is the terminal operations dashboard of the
+// live-operations subsystem (DESIGN.md §15). It polls an acserve
+// instance's /metrics exposition and /admin/v1/occupancy view on an
+// interval, keeps the derived series (decision throughput, accept ratio,
+// engine capacity and load, per-shard occupancy, WAL fsync latency) in
+// fixed-size internal/timeseries rings, and renders them as sparklines
+// with plain ANSI escapes — no external dependencies, works in any
+// terminal:
+//
+//	acops -url http://127.0.0.1:8080 -token s3cret -interval 1s
+//
+// With -ndjson the dashboard is replaced by a machine-readable stream:
+// one JSON line per scrape carrying the newest value of every series,
+// suitable for piping into files or downstream tooling:
+//
+//	acops -url http://127.0.0.1:8080 -token s3cret -ndjson -duration 30s
+//
+// -token must match the server's -admin-token; against a server without
+// an admin plane the occupancy poll fails and acops exits with the
+// server's status. -duration bounds the run (0 = until SIGINT/SIGTERM);
+// -window sizes the ring (how many scrapes the sparklines span).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"admission/internal/ops"
+	"admission/internal/timeseries"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "acserve base URL")
+		token    = flag.String("token", "", "admin bearer token (must match the server's -admin-token)")
+		interval = flag.Duration("interval", time.Second, "scrape interval")
+		window   = flag.Int("window", 120, "scrapes kept per series (sparkline span)")
+		duration = flag.Duration("duration", 0, "total run time (0 = until interrupted)")
+		ndjson   = flag.Bool("ndjson", false, "emit one JSON line per scrape instead of the ANSI dashboard")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	admin := ops.NewAdminClient(*url, *token)
+	if err := admin.WaitHealthy(5 * time.Second); err != nil {
+		fail(err)
+	}
+	sc := ops.NewScraper(admin, *window)
+
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		if err := sc.Scrape(ctx); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fail(err)
+		}
+		if *ndjson {
+			if err := emitNDJSON(os.Stdout, sc.Set); err != nil {
+				fail(err)
+			}
+		} else {
+			fmt.Print(renderDashboard(sc.Set, *url))
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// emitNDJSON writes one JSON line with the newest value of every series.
+func emitNDJSON(w *os.File, set *timeseries.Set) error {
+	out := map[string]any{}
+	for _, name := range set.Names() {
+		if p, ok := set.Series(name).Last(); ok {
+			out[name] = p.V
+			out["t_unix_ms"] = p.T.UnixMilli()
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// sparkRunes are the eight block glyphs a sparkline quantizes into.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders points as one block glyph each, scaled to the
+// window's extrema (a flat series renders at the lowest level).
+func sparkline(pts []timeseries.Point) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	min, max := pts[0].V, pts[0].V
+	for _, p := range pts[1:] {
+		if p.V < min {
+			min = p.V
+		}
+		if p.V > max {
+			max = p.V
+		}
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		i := 0
+		if max > min {
+			i = int((p.V - min) / (max - min) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// renderDashboard draws the full screen: cursor home + clear, a header,
+// then one row per series with its latest value, window extrema, and
+// sparkline. Series render in sorted-name order so rows never jump.
+func renderDashboard(set *timeseries.Set, url string) string {
+	var b strings.Builder
+	b.WriteString("\x1b[H\x1b[2J")
+	names := set.Names()
+	sort.Strings(names)
+	b.WriteString(fmt.Sprintf("acops — %s — %s\n\n", url, time.Now().Format("15:04:05")))
+	for _, name := range names {
+		s := set.Series(name)
+		p, ok := s.Last()
+		if !ok {
+			continue
+		}
+		min, max, _ := s.MinMax()
+		b.WriteString(fmt.Sprintf("%-22s %10.3f  [%.3f .. %.3f]  %s\n",
+			name, p.V, min, max, sparkline(s.Points())))
+	}
+	return b.String()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "acops:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"admission/internal/timeseries"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q, want empty", got)
+	}
+	flat := []timeseries.Point{{V: 3}, {V: 3}, {V: 3}}
+	if got := sparkline(flat); got != "▁▁▁" {
+		t.Fatalf("flat sparkline = %q, want lowest glyphs", got)
+	}
+	ramp := []timeseries.Point{{V: 0}, {V: 1}, {V: 2}, {V: 3}}
+	got := []rune(sparkline(ramp))
+	if len(got) != len(ramp) {
+		t.Fatalf("sparkline has %d glyphs, want %d", len(got), len(ramp))
+	}
+	if got[0] != sparkRunes[0] || got[len(got)-1] != sparkRunes[len(sparkRunes)-1] {
+		t.Fatalf("ramp sparkline %q does not span min..max glyphs", string(got))
+	}
+	for i := 1; i < len(got); i++ {
+		prev := strings.IndexRune(string(sparkRunes), got[i-1])
+		cur := strings.IndexRune(string(sparkRunes), got[i])
+		if cur < prev {
+			t.Fatalf("ramp sparkline %q is not monotone", string(got))
+		}
+	}
+}
+
+func testSet(t *testing.T) *timeseries.Set {
+	t.Helper()
+	set := timeseries.NewSet(8)
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < 4; i++ {
+		set.Observe("capacity_total", base.Add(time.Duration(i)*time.Second), float64(16+i))
+		set.Observe("load_total", base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	return set
+}
+
+func TestRenderDashboard(t *testing.T) {
+	out := renderDashboard(testSet(t), "http://example:8080")
+	if !strings.HasPrefix(out, "\x1b[H\x1b[2J") {
+		t.Fatalf("dashboard does not start with home+clear: %q", out[:10])
+	}
+	for _, want := range []string{"http://example:8080", "capacity_total", "load_total", "[16.000 .. 19.000]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	// Rows render in sorted-name order so the display never jumps.
+	if strings.Index(out, "capacity_total") > strings.Index(out, "load_total") {
+		t.Fatalf("dashboard rows not in sorted order:\n%s", out)
+	}
+	if renderDashboard(timeseries.NewSet(1), "u") == "" {
+		t.Fatal("empty set renders nothing at all, want header")
+	}
+}
+
+func TestEmitNDJSON(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "out.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := emitNDJSON(f, testSet(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(string(raw))
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("want exactly one JSON line, got %q", line)
+	}
+	var got map[string]float64
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("line is not JSON: %v\n%s", err, line)
+	}
+	if got["capacity_total"] != 19 || got["load_total"] != 3 {
+		t.Fatalf("line carries stale values: %v", got)
+	}
+	if got["t_unix_ms"] == 0 {
+		t.Fatalf("line missing t_unix_ms: %v", got)
+	}
+}

@@ -43,6 +43,16 @@
 //	GET  /metrics            Prometheus text format
 //	GET  /healthz            liveness; 503 while draining
 //
+// With -admin-token the server additionally mounts the live-operations
+// control plane (DESIGN.md §15) under /admin/v1/* — live capacity
+// grow/shrink with drain semantics, intake pause/resume, WAL snapshot
+// triggering, and a structured occupancy view — every route requiring
+// "Authorization: Bearer <token>". Configuring the token also gates
+// /metrics and the per-workload stats routes (they leak occupancy);
+// /healthz and submissions stay open:
+//
+//	acserve -addr :8080 -edges 64 -cap 16 -admin-token s3cret
+//
 // The same /v1/<workload> routes also speak the length-prefixed binary
 // wire protocol (DESIGN.md §11): a submission with Content-Type
 // application/x-acwire is decoded from framed binary and answered with a
@@ -118,6 +128,7 @@ func main() {
 		queue      = flag.Int("queue", 8192, "queued-item bound per workload (backpressure)")
 		wireOK     = flag.Bool("wire", true, "accept binary wire-protocol submissions (Content-Type application/x-acwire); -wire=false answers them 415 and serves JSON only")
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		adminToken = flag.String("admin-token", "", "bearer token mounting the /admin/v1/* control plane and gating /metrics + stats (empty = admin plane disabled, observability open)")
 		walDir     = flag.String("wal-dir", "", "directory for per-workload decision WALs; enables durability and crash recovery (empty = in-memory only)")
 		snapEvery  = flag.Int64("snapshot-every", 100000, "logged decisions between automatic WAL snapshots (0 = only the shutdown snapshot)")
 
@@ -159,6 +170,7 @@ func main() {
 			size: *clusterSize, index: *clusterIndex, vnodes: *clusterVn,
 			addr: *addr, batch: *batch, flush: *flush, queue: *queue,
 			wire: *wireOK, drainT: *drainT, walDir: *walDir, snapEvery: *snapEvery,
+			adminToken: *adminToken,
 		})
 		return
 	}
@@ -239,6 +251,7 @@ func main() {
 		FlushInterval: *flush,
 		QueueLen:      *queue,
 		JSONOnly:      !*wireOK,
+		AdminToken:    *adminToken,
 	}, regs...)
 	if err != nil {
 		fail(err)
@@ -316,6 +329,7 @@ type clusterFlags struct {
 	wire                bool
 	walDir              string
 	snapEvery           int64
+	adminToken          string
 }
 
 // serveClusterBackend runs the server as one backend of an acrouter
@@ -362,6 +376,7 @@ func serveClusterBackend(caps []int, ecfg engine.Config, f clusterFlags) {
 		FlushInterval: f.flush,
 		QueueLen:      f.queue,
 		JSONOnly:      !f.wire,
+		AdminToken:    f.adminToken,
 	}, reg)
 	if err != nil {
 		fail(err)

@@ -484,6 +484,22 @@ func (f *Fractional) GrowCapacity(e int) error {
 	return nil
 }
 
+// RaiseCapacity adds one brand-new unit of capacity to edge e — an
+// operator-initiated scale-up, not the undo of a prior shrink (that is
+// GrowCapacity). Like growing, raising only loosens the covering
+// constraint Σ f ≥ n_e, so no weight work is needed and nothing can
+// become infeasible. The phase budget and pruning thresholds stay pinned
+// at their construction-time values: the competitive guarantee is stated
+// against the capacity vector the instance was built over, and a raise
+// widens headroom without re-deriving them.
+func (f *Fractional) RaiseCapacity(e int) error {
+	if e < 0 || e >= f.m {
+		return fmt.Errorf("core: raise of unknown edge %d", e)
+	}
+	f.caps[e]++
+	return nil
+}
+
 // RegisterInert appends a request that the caller has already rejected
 // outside the fractional accounting (the §3 |REQ_e| safeguard), so that
 // caller request IDs stay aligned with fractional IDs. The request joins no

@@ -373,6 +373,28 @@ func (a *Randomized) GrowCapacity(e int) error {
 	return nil
 }
 
+// RaiseCapacity adds one brand-new unit of capacity to edge e, raising the
+// original capacity along with the effective one — an operator-initiated
+// scale-up (the admin control plane's "grow"), as opposed to GrowCapacity,
+// which only restores a prior shrink. Raising never violates feasibility
+// (load ≤ effCap still holds after effCap increases) and needs no
+// preemptions. A later ShrinkCapacity of the same edge consumes the raised
+// unit first, so a raise-then-shrink pair returns the edge to its pre-raise
+// effective capacity. The §3 acceptance threshold stays pinned at its
+// construction-time value (it is derived from the constructed c_max); the
+// competitive guarantee is stated against the constructed capacity vector.
+func (a *Randomized) RaiseCapacity(e int) error {
+	if e < 0 || e >= a.frac.M() {
+		return fmt.Errorf("core: raise of unknown edge %d", e)
+	}
+	if err := a.frac.RaiseCapacity(e); err != nil {
+		return err
+	}
+	a.origCap[e]++
+	a.effCap[e]++
+	return nil
+}
+
 // CanShrink reports whether ShrinkCapacity(e) would be admissible: both the
 // integral layer (effective capacity) and the fractional layer (adjusted
 // capacity, which permanent accepts also consume) must have a unit left.
@@ -454,6 +476,11 @@ func (a *Randomized) Accepted(id int) bool {
 // Loads returns a copy of the current integral edge loads (including
 // permanently accepted requests).
 func (a *Randomized) Loads() []int { return append([]int(nil), a.load...) }
+
+// Capacities returns a copy of the per-edge effective capacities: original
+// capacity plus raises, minus outstanding shrinks (including the engine's
+// cross-shard reservations, which reserve by shrinking).
+func (a *Randomized) Capacities() []int { return append([]int(nil), a.effCap...) }
 
 // weightOf is a test hook.
 func (a *Randomized) weightOf(id int) float64 { return a.frac.Weight(id) }

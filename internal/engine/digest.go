@@ -46,12 +46,17 @@ func (e *Engine) Fingerprint() string {
 
 // StateDigest returns a deterministic digest of the engine's decision
 // state: the global counters, every shard's accounting, and the full load
-// vector. Two engines that processed identical per-shard request streams
-// report equal digests, which is what makes recovery provable — the
-// durability layer stamps the digest into each snapshot and compares it
-// after replaying the compacted prefix into a fresh engine. Meaningful
-// only at a quiescent point (no submissions in flight), where the same
-// consistency caveats as Stats vanish.
+// and effective-capacity vectors. Two engines that processed identical
+// per-shard request streams (including admin resizes, which serialize
+// through the same shard loops) report equal digests, which is what makes
+// recovery provable — the durability layer stamps the digest into each
+// snapshot and compares it after replaying the compacted prefix into a
+// fresh engine. Hashing the capacities also makes the digest sensitive to
+// live resizes: a resize that is a semantic no-op (grow then shrink back
+// with no arrivals in between) leaves the digest unchanged, while any
+// net capacity change moves it. Meaningful only at a quiescent point (no
+// submissions in flight), where the same consistency caveats as Stats
+// vanish.
 func (e *Engine) StateDigest() uint64 {
 	var h fnv64 = fnvOffset
 	h.int(len(e.shards))
@@ -67,6 +72,9 @@ func (e *Engine) StateDigest() uint64 {
 		h.int(len(snap.loads))
 		for _, load := range snap.loads {
 			h.int(load)
+		}
+		for _, c := range snap.caps {
+			h.int(c)
 		}
 	}
 	return uint64(h)

@@ -149,8 +149,12 @@ type Stats struct {
 	// requests, aggregated over shards and the cross-shard path.
 	RejectedCost float64
 	// Loads is the per-global-edge integral load, counting both shard-local
-	// accepts and cross-shard reservations. Loads[e] ≤ capacity[e] always.
+	// accepts and cross-shard reservations. Loads[e] ≤ Capacities[e] always.
 	Loads []int
+	// Capacities is the per-global-edge effective capacity: constructed
+	// capacity plus admin grows, minus admin shrinks (cross-shard
+	// reservations count as load, not as removed capacity).
+	Capacities []int
 }
 
 // Engine is the sharded concurrent admission server. Submit is safe for
@@ -692,7 +696,8 @@ type ShardStat struct {
 	RejectedCost float64
 	// Load is Σ over the shard's edges of integral load plus reservations.
 	Load int
-	// Capacity is Σ over the shard's edges of original capacity.
+	// Capacity is Σ over the shard's edges of effective capacity
+	// (constructed capacity adjusted by admin grows and shrinks).
 	Capacity int
 }
 
@@ -710,7 +715,7 @@ func (e *Engine) ShardStats() []ShardStat {
 		}
 		for li, load := range snap.loads {
 			st.Load += load
-			st.Capacity += e.caps[e.shards[si].globalEdges[li]]
+			st.Capacity += snap.caps[li]
 		}
 		out[si] = st
 	}
@@ -751,12 +756,15 @@ func (e *Engine) Snapshot() Stats {
 		CrossShardAccepted: e.crossAccepted.Load(),
 		RejectedCost:       e.crossRejected.Load(),
 		Loads:              make([]int, len(e.caps)),
+		Capacities:         make([]int, len(e.caps)),
 	}
 	for si, snap := range e.snapshots() {
 		st.RejectedCost += snap.rejectedCost
 		st.Preemptions += int64(snap.preemptions)
 		for li, load := range snap.loads {
-			st.Loads[e.shards[si].globalEdges[li]] = load
+			ge := e.shards[si].globalEdges[li]
+			st.Loads[ge] = load
+			st.Capacities[ge] = snap.caps[li]
 		}
 	}
 	return st

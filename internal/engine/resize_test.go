@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"admission/internal/core"
+	"admission/internal/problem"
+)
+
+// TestResizeValidation covers the argument checks and the closed-engine
+// path of the resize API.
+func TestResizeValidation(t *testing.T) {
+	ins := testInstance(t, 7, 10, false)
+	eng, err := New(ins.Capacities, Config{Shards: 2, Algorithm: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := eng.GrowCapacity(ctx, 0, 0); err == nil {
+		t.Fatal("grow of 0 units accepted")
+	}
+	if _, err := eng.ShrinkCapacity(ctx, len(ins.Capacities), 1); err == nil {
+		t.Fatal("shrink of out-of-range edge accepted")
+	}
+	if _, err := eng.GrowCapacity(ctx, -2, 1); err == nil {
+		t.Fatal("grow of negative edge accepted")
+	}
+	eng.Close()
+	if _, err := eng.GrowCapacity(ctx, 0, 1); err != ErrClosed {
+		t.Fatalf("grow after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestGrowShrinkObservable: a grow raises the observable capacity of
+// exactly the targeted edge, a shrink lowers it, and AllEdges fans out to
+// every shard.
+func TestGrowShrinkObservable(t *testing.T) {
+	ins := testInstance(t, 11, 0, false)
+	eng, err := New(ins.Capacities, Config{Shards: 3, Algorithm: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
+	res, err := eng.GrowCapacity(ctx, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 3 || res.Requested != 3 || len(res.Preempted) != 0 {
+		t.Fatalf("grow result %+v, want 3 applied, 3 requested, no preemptions", res)
+	}
+	caps := eng.Capacities()
+	for e, c := range caps {
+		want := ins.Capacities[e]
+		if e == 2 {
+			want += 3
+		}
+		if c != want {
+			t.Fatalf("edge %d: capacity %d, want %d", e, c, want)
+		}
+	}
+
+	m := len(ins.Capacities)
+	res, err = eng.ShrinkCapacity(ctx, AllEdges, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requested != m || res.Applied != m {
+		t.Fatalf("shrink-all result %+v, want %d requested and applied", res, m)
+	}
+	caps = eng.Capacities()
+	for e, c := range caps {
+		want := ins.Capacities[e] - 1
+		if e == 2 {
+			want += 3
+		}
+		if c != want {
+			t.Fatalf("edge %d after shrink-all: capacity %d, want %d", e, c, want)
+		}
+	}
+}
+
+// TestGrowShrinkRoundTripDigestIdentity is the no-op resize property:
+// growing an edge and shrinking it back to its original capacity with no
+// arrivals in between is digest-identical to never resizing at all — for
+// the engine that resized AND against an independent engine that processed
+// the same stream without resizing. Run over many seeds, shard counts and
+// edges so the property covers the per-shard fan-out.
+func TestGrowShrinkRoundTripDigestIdentity(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		for _, shards := range []int{1, 3} {
+			ins := testInstance(t, seed, 150, false)
+			acfg := core.DefaultConfig()
+			acfg.Seed = seed + 1
+
+			run := func(resize bool) uint64 {
+				eng, err := New(ins.Capacities, Config{Shards: shards, Algorithm: acfg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eng.Close()
+				for _, req := range ins.Requests {
+					if _, err := eng.Submit(context.Background(), req); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if resize {
+					edge := int(seed) % len(ins.Capacities)
+					units := 1 + int(seed)%3
+					g, err := eng.GrowCapacity(context.Background(), edge, units)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if g.Applied != units {
+						t.Fatalf("seed %d: grow applied %d of %d", seed, g.Applied, units)
+					}
+					s, err := eng.ShrinkCapacity(context.Background(), edge, units)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Shrinking freshly raised units never needs to preempt:
+					// the load fit the pre-grow capacity already.
+					if s.Applied != units || len(s.Preempted) != 0 {
+						t.Fatalf("seed %d: shrink-back %+v, want %d applied, no preemptions", seed, s, units)
+					}
+				}
+				return eng.StateDigest()
+			}
+
+			plain := run(false)
+			roundTrip := run(true)
+			if plain != roundTrip {
+				t.Fatalf("seed %d shards %d: digest after grow+shrink-back %#x != never-resized %#x",
+					seed, shards, roundTrip, plain)
+			}
+		}
+	}
+}
+
+// TestMidStreamResizeDeterministic replays the same arrival stream with
+// the same interleaved resize schedule twice, across ≥50 seeds, and
+// requires bit-identical decision streams, resize outcomes and final
+// digests — the determinism contract the admin plane rides on (a resize
+// is just another op in each shard's arrival order when the interleaving
+// is fixed).
+func TestMidStreamResizeDeterministic(t *testing.T) {
+	const seeds = 50
+	for seed := uint64(0); seed < seeds; seed++ {
+		ins := testInstance(t, seed, 240, false)
+		acfg := core.DefaultConfig()
+		acfg.Seed = seed * 31
+
+		trace := func() string {
+			eng, err := New(ins.Capacities, Config{Shards: 2, Algorithm: acfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			var out string
+			for i, req := range ins.Requests {
+				d, err := eng.Submit(context.Background(), req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out += fmt.Sprintf("%d:%v:%v;", d.ID, d.Accepted, problem.SortedCopy(d.Preempted))
+				switch i {
+				case 60:
+					r, err := eng.ShrinkCapacity(context.Background(), int(seed)%len(ins.Capacities), 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out += fmt.Sprintf("shrink:%d:%v;", r.Applied, problem.SortedCopy(r.Preempted))
+				case 120:
+					r, err := eng.GrowCapacity(context.Background(), AllEdges, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out += fmt.Sprintf("grow:%d;", r.Applied)
+				case 180:
+					r, err := eng.ShrinkCapacity(context.Background(), AllEdges, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out += fmt.Sprintf("shrink:%d:%v;", r.Applied, problem.SortedCopy(r.Preempted))
+				}
+			}
+			return out + fmt.Sprintf("digest:%#x", eng.StateDigest())
+		}
+
+		if a, b := trace(), trace(); a != b {
+			t.Fatalf("seed %d: mid-stream resize not deterministic:\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestResizeUnderConcurrentLoad races resizes against concurrent
+// submissions (the -race exercise) and checks the terminal invariants:
+// loads never exceed capacities, and the net capacity change is exactly
+// the sum of applied grows minus applied shrinks.
+func TestResizeUnderConcurrentLoad(t *testing.T) {
+	ins := testInstance(t, 3, 1200, false)
+	eng, err := New(ins.Capacities, Config{Shards: 4, Algorithm: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ins.Requests); i += 4 {
+				if _, err := eng.Submit(context.Background(), ins.Requests[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	var grown, shrunk int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			edge := i % len(ins.Capacities)
+			if i%2 == 0 {
+				r, err := eng.GrowCapacity(context.Background(), edge, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				grown += r.Applied
+			} else {
+				r, err := eng.ShrinkCapacity(context.Background(), edge, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				shrunk += r.Applied
+			}
+		}
+	}()
+	wg.Wait()
+	if err := eng.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	st := eng.Snapshot()
+	var base, now int
+	for e, c := range st.Capacities {
+		if st.Loads[e] > c {
+			t.Fatalf("edge %d: load %d > capacity %d", e, st.Loads[e], c)
+		}
+		base += ins.Capacities[e]
+		now += c
+	}
+	if now != base+grown-shrunk {
+		t.Fatalf("net capacity %d, want %d + %d grown - %d shrunk = %d",
+			now, base, grown, shrunk, base+grown-shrunk)
+	}
+}

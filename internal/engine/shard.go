@@ -28,6 +28,18 @@ const (
 	opCommit
 	// opStats asks for a state snapshot.
 	opStats
+	// opGrow raises the capacity of the listed edges by op.units each (the
+	// admin control plane's scale-up). Serialized through the event loop
+	// like every other op, so it lands at a well-defined point of the
+	// shard's decision stream and never races an offer.
+	opGrow
+	// opShrink removes up to op.units capacity units from each listed edge
+	// with the §4 drain semantics: accepted requests are preempted in
+	// decreasing fractional-weight order until the integral solution fits
+	// the reduced capacity. Units that cannot be shrunk (capacity already
+	// exhausted, or fractional capacity consumed by permanent accepts) are
+	// skipped and reported via the applied count.
+	opShrink
 )
 
 // op is one message into a shard's queue. edges are local indices.
@@ -35,6 +47,7 @@ type op struct {
 	kind     opKind
 	globalID int
 	edges    []int
+	units    int // opGrow/opShrink: capacity units per listed edge
 	cost     float64
 	reply    chan reply
 }
@@ -42,6 +55,7 @@ type op struct {
 // reply is a shard's answer, sent on the op's buffered reply channel.
 type reply struct {
 	ok        bool
+	applied   int   // opGrow/opShrink: capacity units actually applied
 	preempted []int // global request IDs
 	err       error
 	stats     shardSnapshot
@@ -53,6 +67,7 @@ type shardSnapshot struct {
 	rejectedCost float64
 	preemptions  int
 	loads        []int // per local edge: algorithm load + reservations
+	caps         []int // per local edge: effective capacity + reservations
 }
 
 // replyPool recycles the per-operation reply channels: every op's channel
@@ -154,6 +169,10 @@ func (s *shard) handle(o op) reply {
 		return s.commit(o)
 	case opStats:
 		return reply{stats: s.snapshot()}
+	case opGrow:
+		return s.grow(o)
+	case opShrink:
+		return s.shrink(o)
 	default:
 		return reply{err: fmt.Errorf("engine: shard %d: unknown op %d", s.idx, o.kind)}
 	}
@@ -236,17 +255,65 @@ func (s *shard) commit(o op) reply {
 	return reply{ok: true}
 }
 
+// grow raises each listed edge's capacity by op.units fresh units (the
+// admin scale-up). Growing never preempts, so it always applies fully.
+func (s *shard) grow(o op) reply {
+	applied := 0
+	for _, le := range o.edges {
+		for u := 0; u < o.units; u++ {
+			if err := s.alg.RaiseCapacity(le); err != nil {
+				return reply{applied: applied, err: fmt.Errorf("engine: shard %d: grow: %w", s.idx, err)}
+			}
+			applied++
+		}
+	}
+	return reply{ok: true, applied: applied}
+}
+
+// shrink removes up to op.units capacity units from each listed edge,
+// preempting accepted requests as needed (drain semantics). Units the §3
+// instance refuses — capacity exhausted, or the fractional adjusted
+// capacity consumed by permanent cross-shard accepts — are skipped rather
+// than failed: the admin caller learns how much actually drained from the
+// applied count and the evicted requests from the preempted list.
+func (s *shard) shrink(o op) reply {
+	applied := 0
+	var preempted []int
+	for _, le := range o.edges {
+		for u := 0; u < o.units; u++ {
+			if !s.alg.CanShrink(le) {
+				break
+			}
+			out, err := s.alg.ShrinkCapacity(le)
+			if err != nil {
+				return reply{applied: applied, preempted: preempted,
+					err: fmt.Errorf("engine: shard %d: shrink: %w", s.idx, err)}
+			}
+			applied++
+			preempted = append(preempted, s.toGlobal(out.Preempted)...)
+		}
+	}
+	return reply{ok: true, applied: applied, preempted: preempted}
+}
+
 // snapshot captures the shard's accounting.
 func (s *shard) snapshot() shardSnapshot {
 	loads := s.alg.Loads()
+	caps := s.alg.Capacities()
 	for le, r := range s.reserved {
 		loads[le] += r + s.committed[le]
+		// A reservation consumed capacity via shrink; the observable
+		// capacity counts it back so the admin view separates "capacity
+		// lent to a cross-shard accept" (load) from "capacity removed by an
+		// operator" (gone from caps), and loads ≤ caps holds throughout.
+		caps[le] += r + s.committed[le]
 	}
 	return shardSnapshot{
 		requests:     len(s.reqGlobal),
 		rejectedCost: s.alg.RejectedCost(),
 		preemptions:  s.alg.Preemptions(),
 		loads:        loads,
+		caps:         caps,
 	}
 }
 

@@ -58,8 +58,8 @@ func TestTableCSV(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(reg))
+	if len(reg) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(reg))
 	}
 	ids := map[string]bool{}
 	for _, e := range reg {
@@ -402,6 +402,35 @@ func TestE19ClusterTier(t *testing.T) {
 	}
 	if !ok {
 		t.Fatalf("E19: no PASS verdict\n%s", tbl.ASCII())
+	}
+}
+
+// TestE20LiveOps is the E20 acceptance criterion: the flash-crowd churn
+// scenario — admin capacity grow under the spike, preempting
+// drain-and-shrink after — keeps every decision valid (load within
+// capacity at every scraped instant, client-side ledger reconciling
+// exactly with server occupancy post-drain), the resize is visible in the
+// scraped capacity series, and unauthenticated admin requests answer 401
+// without mutating anything. The experiment errors out on any violation,
+// so it completing at all proves the properties; the test additionally
+// checks the table shape and verdict.
+func TestE20LiveOps(t *testing.T) {
+	tables := runExperiment(t, "E20", 1)
+	tbl := tables[0]
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("E20: %d rows, want 6\n%s", len(tbl.Rows), tbl.ASCII())
+	}
+	ok := false
+	for _, note := range tbl.Notes {
+		if strings.Contains(note, "FAIL") {
+			t.Fatalf("E20 verdict failed: %s", note)
+		}
+		if strings.Contains(note, "PASS") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("E20: no PASS verdict\n%s", tbl.ASCII())
 	}
 }
 

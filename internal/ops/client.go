@@ -1,0 +1,203 @@
+// Package ops is the client side of the live-operations subsystem
+// (DESIGN.md §15): a token-bearing HTTP client for the server's
+// /admin/v1/* control plane, and a scraper that polls a server's metrics
+// and occupancy surfaces into internal/timeseries rings for the cmd/acops
+// dashboard and the E20 operations experiment.
+//
+// The package implements no paper section; it is operations plumbing over
+// the serving layer.
+//
+// Concurrency contract: an AdminClient is safe for concurrent use. A
+// Scraper is single-threaded — one goroutine calls Scrape; renderers read
+// the underlying timeseries.Set concurrently.
+package ops
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"admission/internal/engine"
+	"admission/internal/server"
+)
+
+// StatusError is a non-2xx control-plane response: the HTTP status code
+// plus the server's error message. Callers branch on Code to distinguish
+// e.g. a 409 durable-mount resize refusal from a 401 bad token.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Msg is the server's error message (its JSON error body, or the
+	// status text when the body carried none).
+	Msg string
+}
+
+// Error satisfies the error interface.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("ops: server answered %d: %s", e.Code, e.Msg)
+}
+
+// AdminClient drives a server's admin control plane (/admin/v1/*) and its
+// token-gated observability surfaces (/metrics, stats). Every request
+// carries the configured token as an Authorization Bearer credential; an
+// empty token sends no header (valid against a server with the admin
+// plane disabled, where /metrics and stats are open).
+type AdminClient struct {
+	base  string
+	token string
+	hc    *http.Client
+}
+
+// NewAdminClient creates a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080") authenticating with token.
+func NewAdminClient(baseURL, token string) *AdminClient {
+	return &AdminClient{
+		base:  strings.TrimRight(baseURL, "/"),
+		token: token,
+		hc:    &http.Client{},
+	}
+}
+
+// do runs one JSON exchange: marshals body (when non-nil), attaches the
+// token, decodes a 2xx response into out (when non-nil), and converts any
+// other status into a *StatusError.
+func (c *AdminClient) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	hr, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		hr.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return &StatusError{Code: resp.StatusCode, Msg: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Occupancy fetches the structured control-plane view
+// (GET /admin/v1/occupancy).
+func (c *AdminClient) Occupancy(ctx context.Context) (server.OccupancyJSON, error) {
+	var out server.OccupancyJSON
+	err := c.do(ctx, http.MethodGet, "/admin/v1/occupancy", nil, &out)
+	return out, err
+}
+
+// Resize changes live capacity by delta units on one edge
+// (engine.AllEdges targets every edge): positive grows, negative shrinks
+// with drain semantics. The response carries the applied unit count and
+// any preempted request IDs.
+func (c *AdminClient) Resize(ctx context.Context, edge, delta int) (server.ResizeResponseJSON, error) {
+	req := server.ResizeRequestJSON{Delta: delta}
+	if edge != engine.AllEdges {
+		req.Edge = &edge
+	}
+	var out server.ResizeResponseJSON
+	err := c.do(ctx, http.MethodPost, "/admin/v1/capacity", req, &out)
+	return out, err
+}
+
+// Pause pauses intake: submissions answer 503 until Resume.
+func (c *AdminClient) Pause(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/admin/v1/pause", nil, nil)
+}
+
+// Resume lifts an administrative pause.
+func (c *AdminClient) Resume(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/admin/v1/resume", nil, nil)
+}
+
+// Snapshot triggers a WAL snapshot on the named workload, or on every
+// durable workload when workload is empty.
+func (c *AdminClient) Snapshot(ctx context.Context, workload string) (server.SnapshotResponseJSON, error) {
+	var body any
+	if workload != "" {
+		body = server.SnapshotRequestJSON{Workload: workload}
+	}
+	var out server.SnapshotResponseJSON
+	err := c.do(ctx, http.MethodPost, "/admin/v1/snapshot", body, &out)
+	return out, err
+}
+
+// Stats fetches /v1/<workload>/stats (token-gated once an admin token is
+// configured) and decodes it into out.
+func (c *AdminClient) Stats(ctx context.Context, workload string, out any) error {
+	return c.do(ctx, http.MethodGet, "/v1/"+workload+"/stats", nil, out)
+}
+
+// Metrics fetches the raw /metrics exposition text with the token
+// attached.
+func (c *AdminClient) Metrics(ctx context.Context) (string, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	if c.token != "" {
+		hr.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(b))}
+	}
+	return string(b), nil
+}
+
+// WaitHealthy polls /healthz until it answers 200 or the deadline passes.
+func (c *AdminClient) WaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := c.hc.Get(c.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ops: server at %s not healthy after %v", c.base, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// CloseIdle releases pooled connections.
+func (c *AdminClient) CloseIdle() { c.hc.CloseIdleConnections() }

@@ -1,0 +1,200 @@
+package ops
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"admission/internal/core"
+	"admission/internal/engine"
+	"admission/internal/problem"
+	"admission/internal/server"
+	"admission/internal/timeseries"
+)
+
+const testToken = "ops-test-token"
+
+// newOpsServer stands up an engine + admin-enabled server + listener.
+func newOpsServer(t testing.TB, caps []int, shards int) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	acfg := core.DefaultConfig()
+	acfg.Seed = 1
+	eng, err := engine.New(caps, engine.Config{Shards: shards, Algorithm: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{AdminToken: testToken}, server.Admission(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Drain(context.Background())
+		eng.Close()
+	})
+	return eng, ts
+}
+
+func TestAdminClientRoundTrip(t *testing.T) {
+	eng, ts := newOpsServer(t, []int{4, 4, 4, 4}, 2)
+	c := NewAdminClient(ts.URL, testToken)
+	defer c.CloseIdle()
+	ctx := context.Background()
+
+	if err := c.WaitHealthy(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	occ, err := c.Occupancy(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.Admission == nil || occ.Admission.Capacity != 16 {
+		t.Fatalf("occupancy %+v", occ.Admission)
+	}
+
+	res, err := c.Resize(ctx, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 || res.Capacity != 6 {
+		t.Fatalf("resize %+v", res)
+	}
+	if res, err = c.Resize(ctx, engine.AllEdges, -1); err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 4 || res.Edge != engine.AllEdges {
+		t.Fatalf("all-edges shrink %+v", res)
+	}
+	if got := eng.Capacities(); got[0] != 3 || got[1] != 5 {
+		t.Fatalf("capacities %v", got)
+	}
+
+	if err := c.Pause(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if occ, err = c.Occupancy(ctx); err != nil || !occ.Paused {
+		t.Fatalf("paused not visible: %+v %v", occ, err)
+	}
+	if err := c.Resume(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot on an in-memory mount is a 409 surfaced as a StatusError.
+	if _, err := c.Snapshot(ctx, ""); err == nil {
+		t.Fatal("snapshot on in-memory mount succeeded")
+	} else {
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != 409 {
+			t.Fatalf("snapshot error %v, want StatusError 409", err)
+		}
+		if msg := se.Error(); !strings.Contains(msg, "409") {
+			t.Fatalf("StatusError.Error() = %q, want the status code in it", msg)
+		}
+	}
+
+	var stats server.StatsJSON
+	if err := c.Stats(ctx, server.WorkloadAdmission, &stats); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := timeseries.ParsePrometheus(text); err != nil {
+		t.Fatalf("metrics text unparsable: %v", err)
+	}
+}
+
+func TestAdminClientBadToken(t *testing.T) {
+	_, ts := newOpsServer(t, []int{4, 4}, 1)
+	c := NewAdminClient(ts.URL, "wrong")
+	ctx := context.Background()
+
+	var se *StatusError
+	if _, err := c.Occupancy(ctx); !errors.As(err, &se) || se.Code != 401 {
+		t.Fatalf("occupancy with bad token: %v, want 401", err)
+	}
+	if _, err := c.Resize(ctx, 0, 1); !errors.As(err, &se) || se.Code != 401 {
+		t.Fatalf("resize with bad token: %v, want 401", err)
+	}
+	if _, err := c.Metrics(ctx); !errors.As(err, &se) || se.Code != 401 {
+		t.Fatalf("metrics with bad token: %v, want 401", err)
+	}
+	// Healthz stays open regardless of the token.
+	if err := c.WaitHealthy(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScraper(t *testing.T) {
+	_, ts := newOpsServer(t, []int{6, 6, 6, 6}, 2)
+	admin := NewAdminClient(ts.URL, testToken)
+	sc := NewScraper(admin, 32)
+	clock := time.Unix(1000, 0)
+	sc.Now = func() time.Time { return clock }
+	ctx := context.Background()
+
+	if err := sc.Scrape(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// First scrape: level series only, no rate yet.
+	if s := sc.Set.Series(SeriesDecisionsPerSec); s != nil {
+		t.Fatal("rate series emitted on first scrape")
+	}
+	if s := sc.Set.Series(SeriesCapacityTotal); s == nil {
+		t.Fatal("no capacity series")
+	} else if p, _ := s.Last(); p.V != 24 {
+		t.Fatalf("capacity sample %v, want 24", p.V)
+	}
+
+	// Ten decisions through the serving path (the decision counters live
+	// in the pipeline), then a second scrape two seconds later: rate = 5/s.
+	wc := server.NewAdmissionClient(ts.URL, 1)
+	var reqs []problem.Request
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, problem.Request{Edges: []int{i % 4}, Cost: 1})
+	}
+	if _, err := wc.Submit(ctx, reqs); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(2 * time.Second)
+	if err := sc.Scrape(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s := sc.Set.Series(SeriesDecisionsPerSec)
+	if s == nil {
+		t.Fatal("no rate series after second scrape")
+	}
+	if p, _ := s.Last(); p.V != 5 {
+		t.Fatalf("decisions/s %v, want 5", p.V)
+	}
+	if s := sc.Set.Series(SeriesAcceptRatio); s == nil {
+		t.Fatal("no accept-ratio series")
+	} else if p, _ := s.Last(); p.V <= 0 || p.V > 1 {
+		t.Fatalf("accept ratio %v", p.V)
+	}
+	// Per-shard occupancy gauges become per-shard series.
+	for _, name := range []string{SeriesShardPrefix + "0", SeriesShardPrefix + "1"} {
+		if sc.Set.Series(name) == nil {
+			t.Fatalf("no series %s (have %v)", name, sc.Set.Names())
+		}
+	}
+	// A resize shows up in the capacity series on the next scrape — the
+	// E20 visibility property at unit scope.
+	if _, err := admin.Resize(ctx, engine.AllEdges, 1); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(time.Second)
+	if err := sc.Scrape(ctx); err != nil {
+		t.Fatal(err)
+	}
+	pts := sc.Set.Series(SeriesCapacityTotal).Points()
+	if pts[len(pts)-1].V != 28 || pts[0].V != 24 {
+		t.Fatalf("capacity series %v does not show the resize 24 -> 28", pts)
+	}
+}

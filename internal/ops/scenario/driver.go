@@ -1,0 +1,245 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"admission/internal/ops"
+	"admission/internal/problem"
+	"admission/internal/server"
+)
+
+// Driver replays one scenario against a live server: admin actions go
+// through the control-plane client, traffic through the workload client,
+// and every decision updates a client-side per-edge ledger keyed by the
+// engine's global request IDs.
+type Driver struct {
+	// Client submits the scenario's traffic (NDJSON or wire protocol).
+	Client *server.Client[problem.Request, server.DecisionJSON]
+	// Admin drives the control plane; required when the scenario scripts
+	// admin actions, and used to fetch the starting capacity vector.
+	Admin *ops.AdminClient
+	// Caps is the starting per-edge capacity vector; nil means fetch it
+	// from Admin's occupancy view.
+	Caps []int
+	// Seed seeds the scenario's traffic generator.
+	Seed int64
+}
+
+// TickStat is one tick's row of a Report.
+type TickStat struct {
+	// Tick is the 0-based tick index.
+	Tick int
+	// Submitted, Accepted and Preempted count this tick's requests in,
+	// accepts, and preemptions (of any earlier accept) surfaced this tick.
+	Submitted int
+	Accepted  int
+	Preempted int
+}
+
+// Report is the outcome of one scenario run. Loads is the client-side
+// ledger — per-edge accepted-minus-preempted occupancy derived purely
+// from decision lines — and Reconcile checks it against the server's own
+// occupancy view.
+type Report struct {
+	// Scenario and Seed identify the run.
+	Scenario string
+	Seed     int64
+	// Ticks .. Errors are run totals. Errors counts per-line engine
+	// failures (malformed requests); transport failures abort the run.
+	Ticks     int
+	Submitted int
+	Accepted  int
+	Rejected  int
+	Preempted int
+	Errors    int
+	// GrownUnits and ShrunkUnits sum the applied capacity units of the
+	// run's resizes.
+	GrownUnits  int
+	ShrunkUnits int
+	// Resizes records every control-plane resize response, in order.
+	Resizes []server.ResizeResponseJSON
+	// Loads and Caps are the final ledger and last-known capacity vector.
+	Loads []int
+	Caps  []int
+	// TickStats has one row per tick.
+	TickStats []TickStat
+
+	// live maps accepted request ID → its edges, the ledger's source of
+	// truth for undoing a preemption.
+	live map[int][]int
+}
+
+// Live returns the IDs of requests accepted and not (yet) preempted,
+// sorted.
+func (r *Report) Live() []int {
+	out := make([]int, 0, len(r.live))
+	for id := range r.live {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Reconcile checks the client-side ledger against the server's occupancy
+// view: every edge's load must match exactly, and occupancy itself must
+// be internally consistent (load ≤ capacity, free = capacity − load).
+// A mismatch means a decision line and the engine state diverged — the
+// exact failure E20 gates on. Exactness assumes the run started on an
+// idle engine: the ledger tracks only this run's request IDs, so load
+// predating the run cannot be attributed edge by edge.
+func (r *Report) Reconcile(occ server.OccupancyJSON) error {
+	adm := occ.Admission
+	if adm == nil {
+		return fmt.Errorf("scenario: occupancy has no admission block to reconcile against")
+	}
+	if len(adm.Edges) != len(r.Loads) {
+		return fmt.Errorf("scenario: occupancy has %d edges, ledger has %d", len(adm.Edges), len(r.Loads))
+	}
+	for _, e := range adm.Edges {
+		if e.Load > e.Capacity || e.Free != e.Capacity-e.Load {
+			return fmt.Errorf("scenario: edge %d occupancy inconsistent: cap %d load %d free %d",
+				e.Edge, e.Capacity, e.Load, e.Free)
+		}
+		if e.Load != r.Loads[e.Edge] {
+			return fmt.Errorf("scenario: edge %d: server load %d, ledger %d (ledger and decision stream diverged)",
+				e.Edge, e.Load, r.Loads[e.Edge])
+		}
+	}
+	return nil
+}
+
+// Run replays sc tick by tick: admin actions first, then the tick's
+// traffic batch, updating the ledger from the decision lines (accepts add
+// the request's edges, preemptions — whether from later arrivals or a
+// shrink's drain — remove them).
+func (d *Driver) Run(ctx context.Context, sc Scenario) (*Report, error) {
+	caps := append([]int(nil), d.Caps...)
+	if caps == nil {
+		if d.Admin == nil {
+			return nil, fmt.Errorf("scenario: driver needs Caps or an Admin client to learn the capacity vector")
+		}
+		occ, err := d.Admin.Occupancy(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: fetching starting occupancy: %w", err)
+		}
+		if occ.Admission == nil {
+			return nil, fmt.Errorf("scenario: server has no admission workload mounted")
+		}
+		for _, e := range occ.Admission.Edges {
+			caps = append(caps, e.Capacity)
+		}
+	}
+	rep := &Report{
+		Scenario: sc.Name,
+		Seed:     d.Seed,
+		Ticks:    sc.Ticks,
+		Loads:    make([]int, len(caps)),
+		Caps:     caps,
+		live:     make(map[int][]int),
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+
+	for tick := 0; tick < sc.Ticks; tick++ {
+		v := View{Tick: tick, Loads: append([]int(nil), rep.Loads...), Caps: append([]int(nil), rep.Caps...)}
+		if sc.Admin != nil {
+			for _, a := range sc.Admin(tick, v) {
+				if err := d.apply(ctx, a, rep); err != nil {
+					return rep, fmt.Errorf("scenario: tick %d: %w", tick, err)
+				}
+			}
+		}
+		reqs := sc.Traffic(tick, rng, v)
+		ts := TickStat{Tick: tick, Submitted: len(reqs)}
+		if len(reqs) > 0 {
+			decs, err := d.Client.Submit(ctx, reqs)
+			if err != nil {
+				return rep, fmt.Errorf("scenario: tick %d: submit: %w", tick, err)
+			}
+			for i, dec := range decs {
+				rep.Submitted++
+				switch {
+				case dec.ErrorText() != "":
+					rep.Errors++
+				case dec.Accepted:
+					rep.Accepted++
+					ts.Accepted++
+					rep.live[dec.ID] = reqs[i].Edges
+					for _, e := range reqs[i].Edges {
+						rep.Loads[e]++
+					}
+				default:
+					rep.Rejected++
+				}
+				ts.Preempted += rep.evict(dec.Preempted)
+			}
+		}
+		rep.TickStats = append(rep.TickStats, ts)
+	}
+	return rep, nil
+}
+
+// evict removes preempted IDs from the ledger and returns how many were
+// live. IDs the ledger never saw (another client's requests) are ignored.
+func (r *Report) evict(ids []int) int {
+	n := 0
+	for _, id := range ids {
+		edges, ok := r.live[id]
+		if !ok {
+			continue
+		}
+		for _, e := range edges {
+			r.Loads[e]--
+		}
+		delete(r.live, id)
+		n++
+		r.Preempted++
+	}
+	return n
+}
+
+// apply runs one admin action. A resize's preempted IDs go through the
+// ledger like any other preemption, and the capacity vector is refreshed
+// from the authoritative occupancy view (an all-edges shrink may apply
+// unevenly when some edges are already exhausted).
+func (d *Driver) apply(ctx context.Context, a Action, rep *Report) error {
+	if d.Admin == nil {
+		return fmt.Errorf("scenario scripts admin actions but the driver has no Admin client")
+	}
+	switch a.Kind {
+	case ActResize:
+		res, err := d.Admin.Resize(ctx, a.Edge, a.Delta)
+		if err != nil {
+			return fmt.Errorf("resize edge %d delta %d: %w", a.Edge, a.Delta, err)
+		}
+		rep.Resizes = append(rep.Resizes, res)
+		if a.Delta > 0 {
+			rep.GrownUnits += res.Applied
+		} else {
+			rep.ShrunkUnits += res.Applied
+		}
+		rep.evict(res.Preempted)
+		occ, err := d.Admin.Occupancy(ctx)
+		if err != nil {
+			return fmt.Errorf("refreshing occupancy after resize: %w", err)
+		}
+		if occ.Admission == nil || len(occ.Admission.Edges) != len(rep.Caps) {
+			return fmt.Errorf("occupancy after resize lost the admission block")
+		}
+		for _, e := range occ.Admission.Edges {
+			rep.Caps[e.Edge] = e.Capacity
+		}
+		return nil
+	case ActPause:
+		return d.Admin.Pause(ctx)
+	case ActResume:
+		return d.Admin.Resume(ctx)
+	case ActSnapshot:
+		_, err := d.Admin.Snapshot(ctx, "")
+		return err
+	default:
+		return fmt.Errorf("unknown action kind %d", a.Kind)
+	}
+}

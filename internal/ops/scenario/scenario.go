@@ -1,0 +1,231 @@
+// Package scenario is the churn scenario driver of the live-operations
+// subsystem (DESIGN.md §15): a registry of named, seeded operational
+// scripts — diurnal traffic, a flash crowd with an admin capacity grow,
+// a mid-stream drain-and-shrink, an occupancy-reactive adversary — and a
+// Driver that replays one against a live server through the submission
+// path and the admin control plane, keeping a client-side per-edge ledger
+// of accepted-minus-preempted requests that must reconcile exactly with
+// the server's occupancy view afterwards.
+//
+// Scenarios model the operational churn the paper's model abstracts away:
+// the request sequence stays adversarial-arrival online admission
+// (PAPER.md §2), but capacity itself now moves mid-stream.
+//
+// Concurrency contract: a Driver runs one scenario at a time from one
+// goroutine; the server it drives is concurrent-safe.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"admission/internal/engine"
+	"admission/internal/problem"
+)
+
+// ActionKind enumerates the admin control-plane actions a scenario step
+// can take.
+type ActionKind int
+
+const (
+	// ActResize grows (Delta > 0) or shrinks (Delta < 0) capacity.
+	ActResize ActionKind = iota
+	// ActPause pauses intake; submissions answer 503 until ActResume.
+	ActPause
+	// ActResume lifts a pause.
+	ActResume
+	// ActSnapshot triggers a WAL snapshot on durable workloads.
+	ActSnapshot
+)
+
+// Action is one admin control-plane step of a scenario tick.
+type Action struct {
+	// Kind selects the control-plane verb.
+	Kind ActionKind
+	// Edge targets one edge for ActResize; engine.AllEdges means all.
+	Edge int
+	// Delta is the signed per-edge capacity change for ActResize.
+	Delta int
+}
+
+// View is the state a scenario script sees at the start of a tick: the
+// driver's client-side ledger, not a server round trip, so scripted
+// traffic stays cheap and the reactive adversary reacts to the same state
+// the reconciliation check audits.
+type View struct {
+	// Tick is the current tick, 0-based.
+	Tick int
+	// Loads is the ledger's live per-edge load (accepts minus preempts).
+	Loads []int
+	// Caps is the last-known per-edge capacity (start-of-run occupancy
+	// plus applied resizes).
+	Caps []int
+}
+
+// Free returns edge e's known free capacity, clamped at zero.
+func (v View) Free(e int) int {
+	f := v.Caps[e] - v.Loads[e]
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// Scenario is one named churn script. Traffic and Admin are pure
+// functions of (tick, rng, view), so a scenario replays identically for a
+// fixed seed against a deterministic server.
+type Scenario struct {
+	// Name is the registry key (acload -scenario <name>).
+	Name string
+	// About is a one-line description for listings.
+	About string
+	// Ticks is the number of driver ticks.
+	Ticks int
+	// Traffic returns the tick's request batch (may be empty).
+	Traffic func(tick int, rng *rand.Rand, v View) []problem.Request
+	// Admin returns the tick's control-plane actions, applied before the
+	// tick's traffic; nil means none.
+	Admin func(tick int, v View) []Action
+}
+
+// request draws one random request: 1–3 distinct edges, cost in (0.5, 4.5).
+func request(rng *rand.Rand, m int) problem.Request {
+	k := 1 + rng.Intn(3)
+	if k > m {
+		k = m
+	}
+	edges := rng.Perm(m)[:k]
+	sort.Ints(edges)
+	return problem.Request{Edges: edges, Cost: 0.5 + 4*rng.Float64()}
+}
+
+// batch draws n random requests.
+func batch(rng *rand.Rand, m, n int) []problem.Request {
+	out := make([]problem.Request, n)
+	for i := range out {
+		out[i] = request(rng, m)
+	}
+	return out
+}
+
+// Diurnal is a pure-traffic scenario: batch size follows one sine period
+// over the run (a day of load), exercising the series layer's rate and
+// occupancy tracking without admin churn.
+func Diurnal(m int) Scenario {
+	const ticks, base = 48, 8
+	return Scenario{
+		Name:  "diurnal",
+		About: "sine-modulated request rate over one period, no admin actions",
+		Ticks: ticks,
+		Traffic: func(tick int, rng *rand.Rand, v View) []problem.Request {
+			phase := 2 * math.Pi * float64(tick) / float64(ticks)
+			n := int(math.Round(base * (1 + 0.8*math.Sin(phase))))
+			return batch(rng, m, n)
+		},
+	}
+}
+
+// FlashCrowd spikes traffic 6× for a third of the run; the control plane
+// grows every edge by 2 units at the spike's onset and drains the extra
+// capacity back out (shrink with preemptions) after the crowd passes.
+func FlashCrowd(m int) Scenario {
+	const ticks, quiet, spike = 30, 4, 24
+	return Scenario{
+		Name:  "flash-crowd",
+		About: "6x traffic spike; admin grows +2/edge at onset, drain-and-shrinks -2/edge after",
+		Ticks: ticks,
+		Traffic: func(tick int, rng *rand.Rand, v View) []problem.Request {
+			n := quiet
+			if tick >= 10 && tick < 20 {
+				n = spike
+			}
+			return batch(rng, m, n)
+		},
+		Admin: func(tick int, v View) []Action {
+			switch tick {
+			case 10:
+				return []Action{{Kind: ActResize, Edge: engine.AllEdges, Delta: 2}}
+			case 25:
+				return []Action{{Kind: ActResize, Edge: engine.AllEdges, Delta: -2}}
+			}
+			return nil
+		},
+	}
+}
+
+// DrainShrink runs steady traffic and shrinks every edge by one unit
+// mid-stream: the shrink's drain preempts accepted requests, and the
+// driver's ledger must still reconcile exactly afterwards.
+func DrainShrink(m int) Scenario {
+	const ticks, steady = 30, 8
+	return Scenario{
+		Name:  "drain-shrink",
+		About: "steady traffic with a mid-stream -1/edge drain-and-shrink",
+		Ticks: ticks,
+		Traffic: func(tick int, rng *rand.Rand, v View) []problem.Request {
+			return batch(rng, m, steady)
+		},
+		Admin: func(tick int, v View) []Action {
+			if tick == 15 {
+				return []Action{{Kind: ActResize, Edge: engine.AllEdges, Delta: -1}}
+			}
+			return nil
+		},
+	}
+}
+
+// Adversary is occupancy-reactive: every tick it aims a burst of
+// high-cost single-edge requests at the edge its view says has the most
+// free capacity, then pads with random traffic — the greedy load-packer
+// the paper's adversarial arrival model allows.
+func Adversary(m int) Scenario {
+	const ticks, aimed, padding = 36, 4, 2
+	return Scenario{
+		Name:  "adversary",
+		About: "occupancy-reactive: bursts high-cost requests at the freest edge each tick",
+		Ticks: ticks,
+		Traffic: func(tick int, rng *rand.Rand, v View) []problem.Request {
+			target, free := 0, -1
+			for e := 0; e < m; e++ {
+				if f := v.Free(e); f > free {
+					target, free = e, f
+				}
+			}
+			out := make([]problem.Request, 0, aimed+padding)
+			for i := 0; i < aimed; i++ {
+				out = append(out, problem.Request{Edges: []int{target}, Cost: 50 + 10*rng.Float64()})
+			}
+			return append(out, batch(rng, m, padding)...)
+		},
+	}
+}
+
+// All returns every registered scenario for an m-edge instance, sorted by
+// name.
+func All(m int) []Scenario {
+	out := []Scenario{Adversary(m), Diurnal(m), DrainShrink(m), FlashCrowd(m)}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	all := All(1)
+	out := make([]string, len(all))
+	for i, sc := range all {
+		out[i] = sc.Name
+	}
+	return out
+}
+
+// Lookup resolves a scenario by name for an m-edge instance.
+func Lookup(name string, m int) (Scenario, error) {
+	for _, sc := range All(m) {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+}

@@ -1,0 +1,304 @@
+package scenario
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"admission/internal/core"
+	"admission/internal/engine"
+	"admission/internal/ops"
+	"admission/internal/problem"
+	"admission/internal/server"
+)
+
+const testToken = "scenario-test-token"
+
+// newScenarioServer stands up an admin-enabled admission server.
+func newScenarioServer(t testing.TB, caps []int, shards int) *httptest.Server {
+	t.Helper()
+	acfg := core.DefaultConfig()
+	acfg.Seed = 1
+	eng, err := engine.New(caps, engine.Config{Shards: shards, Algorithm: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{AdminToken: testToken}, server.Admission(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Drain(context.Background())
+		eng.Close()
+	})
+	return ts
+}
+
+func newDriver(ts *httptest.Server, seed int64) *Driver {
+	return &Driver{
+		Client: server.NewAdmissionClient(ts.URL, 2),
+		Admin:  ops.NewAdminClient(ts.URL, testToken),
+		Seed:   seed,
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{"adversary", "diurnal", "drain-shrink", "flash-crowd"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		sc, err := Lookup(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name != name || sc.Ticks <= 0 || sc.Traffic == nil {
+			t.Fatalf("scenario %q malformed: %+v", name, sc)
+		}
+	}
+	if _, err := Lookup("nope", 4); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestTrafficDeterministic: a scenario's traffic is a pure function of
+// (tick, rng state, view), so two generators with the same seed produce
+// identical batches.
+func TestTrafficDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		sc, err := Lookup(name, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := View{Loads: make([]int, 6), Caps: []int{4, 4, 4, 4, 4, 4}}
+		r1, r2 := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+		for tick := 0; tick < sc.Ticks; tick++ {
+			v.Tick = tick
+			b1, b2 := sc.Traffic(tick, r1, v), sc.Traffic(tick, r2, v)
+			if !reflect.DeepEqual(b1, b2) {
+				t.Fatalf("%s tick %d: batches diverge", name, tick)
+			}
+			for _, r := range b1 {
+				if err := r.Validate(6); err != nil {
+					t.Fatalf("%s tick %d: invalid request: %v", name, tick, err)
+				}
+			}
+		}
+	}
+}
+
+// TestViewFree pins the clamp.
+func TestViewFree(t *testing.T) {
+	v := View{Loads: []int{1, 5}, Caps: []int{4, 4}}
+	if v.Free(0) != 3 || v.Free(1) != 0 {
+		t.Fatalf("Free = %d, %d", v.Free(0), v.Free(1))
+	}
+}
+
+// runAndReconcile runs one scenario end-to-end and checks the ledger
+// against the server's occupancy.
+func runAndReconcile(t *testing.T, name string, caps []int, shards int) *Report {
+	t.Helper()
+	ts := newScenarioServer(t, caps, shards)
+	d := newDriver(ts, 42)
+	sc, err := Lookup(name, len(caps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted == 0 || rep.Accepted == 0 {
+		t.Fatalf("scenario %s: no traffic landed: %+v", name, rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("scenario %s: %d per-line errors", name, rep.Errors)
+	}
+	occ, err := d.Admin.Occupancy(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Reconcile(occ); err != nil {
+		t.Fatal(err)
+	}
+	for e, l := range rep.Loads {
+		if l > rep.Caps[e] {
+			t.Fatalf("scenario %s: edge %d load %d over cap %d", name, e, l, rep.Caps[e])
+		}
+	}
+	if len(rep.Live()) != rep.Accepted-rep.Preempted {
+		t.Fatalf("live %d, accepted %d - preempted %d", len(rep.Live()), rep.Accepted, rep.Preempted)
+	}
+	if len(rep.TickStats) != sc.Ticks {
+		t.Fatalf("%d tick stats for %d ticks", len(rep.TickStats), sc.Ticks)
+	}
+	return rep
+}
+
+func TestDriverDiurnal(t *testing.T) {
+	rep := runAndReconcile(t, "diurnal", []int{5, 5, 5, 5, 5, 5}, 2)
+	if len(rep.Resizes) != 0 {
+		t.Fatalf("diurnal resized: %+v", rep.Resizes)
+	}
+}
+
+func TestDriverAdversary(t *testing.T) {
+	runAndReconcile(t, "adversary", []int{5, 5, 5, 5}, 2)
+}
+
+func TestDriverFlashCrowd(t *testing.T) {
+	rep := runAndReconcile(t, "flash-crowd", []int{4, 4, 4, 4}, 2)
+	if rep.GrownUnits != 8 {
+		t.Fatalf("grown %d units, want 8 (+2 on 4 edges)", rep.GrownUnits)
+	}
+	if rep.ShrunkUnits == 0 {
+		t.Fatal("no capacity drained back out")
+	}
+	if len(rep.Resizes) != 2 {
+		t.Fatalf("%d resizes, want 2", len(rep.Resizes))
+	}
+}
+
+func TestDriverDrainShrink(t *testing.T) {
+	rep := runAndReconcile(t, "drain-shrink", []int{4, 4, 4, 4}, 2)
+	// The shrink may apply partially: an edge whose fractional headroom is
+	// exhausted refuses its unit. At least one unit must drain, and the
+	// final capacity vector must account for exactly the applied units.
+	if rep.ShrunkUnits < 1 || rep.ShrunkUnits > 4 {
+		t.Fatalf("shrunk %d units, want 1..4 (-1 requested on 4 edges)", rep.ShrunkUnits)
+	}
+	total := 0
+	for _, c := range rep.Caps {
+		total += c
+	}
+	if total != 16-rep.ShrunkUnits {
+		t.Fatalf("final capacity total %d with %d units shrunk, want %d", total, rep.ShrunkUnits, 16-rep.ShrunkUnits)
+	}
+}
+
+// TestDriverDeterministicLedger: same seed, fresh identical servers →
+// identical run reports (the engine is deterministic, so the whole
+// scenario replay is).
+func TestDriverDeterministicLedger(t *testing.T) {
+	run := func() *Report {
+		ts := newScenarioServer(t, []int{4, 4, 4, 4}, 2)
+		d := newDriver(ts, 99)
+		sc, err := Lookup("drain-shrink", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := d.Run(context.Background(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Loads, b.Loads) || a.Accepted != b.Accepted ||
+		a.Preempted != b.Preempted || !reflect.DeepEqual(a.Live(), b.Live()) {
+		t.Fatalf("replays diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDriverNeedsCapsOrAdmin(t *testing.T) {
+	d := &Driver{Client: server.NewAdmissionClient("http://127.0.0.1:0", 1), Seed: 1}
+	if _, err := d.Run(context.Background(), Diurnal(4)); err == nil {
+		t.Fatal("driver without Caps or Admin ran")
+	}
+}
+
+// TestReconcileCatchesDivergence: a doctored ledger fails reconciliation.
+func TestReconcileCatchesDivergence(t *testing.T) {
+	ts := newScenarioServer(t, []int{4, 4}, 1)
+	d := newDriver(ts, 3)
+	c := server.NewAdmissionClient(ts.URL, 1)
+	if _, err := c.Submit(context.Background(), []problem.Request{{Edges: []int{0}, Cost: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Loads: []int{0, 0}, Caps: []int{4, 4}, live: map[int][]int{}}
+	occ, err := d.Admin.Occupancy(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Reconcile(occ); err == nil {
+		t.Fatal("reconcile missed a ledger/server divergence")
+	}
+}
+
+// TestDriverPauseResumeActions: a scripted pause/resume pair goes through
+// apply and submissions resume afterwards.
+func TestDriverPauseResumeActions(t *testing.T) {
+	ts := newScenarioServer(t, []int{4, 4}, 1)
+	d := newDriver(ts, 7)
+	sc := Scenario{
+		Name:  "pause-resume",
+		Ticks: 3,
+		Traffic: func(tick int, rng *rand.Rand, v View) []problem.Request {
+			if tick < 2 {
+				return nil // intake is gated while paused
+			}
+			return []problem.Request{{Edges: []int{0}, Cost: 1}}
+		},
+		Admin: func(tick int, v View) []Action {
+			switch tick {
+			case 0:
+				return []Action{{Kind: ActPause}}
+			case 1:
+				return []Action{{Kind: ActResume}}
+			}
+			return nil
+		},
+	}
+	rep, err := d.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 1 {
+		t.Fatalf("accepted %d after resume, want 1", rep.Accepted)
+	}
+}
+
+// TestDriverBadActions: unknown action kinds and a missing Admin client
+// abort the run with descriptive errors.
+func TestDriverBadActions(t *testing.T) {
+	ts := newScenarioServer(t, []int{4}, 1)
+	bad := Scenario{
+		Name:    "bad-kind",
+		Ticks:   1,
+		Traffic: func(int, *rand.Rand, View) []problem.Request { return nil },
+		Admin:   func(int, View) []Action { return []Action{{Kind: ActionKind(99)}} },
+	}
+	d := newDriver(ts, 1)
+	if _, err := d.Run(context.Background(), bad); err == nil {
+		t.Fatal("unknown action kind ran")
+	}
+	noAdmin := &Driver{Client: server.NewAdmissionClient(ts.URL, 1), Caps: []int{4}, Seed: 1}
+	bad.Admin = func(int, View) []Action { return []Action{{Kind: ActPause}} }
+	if _, err := noAdmin.Run(context.Background(), bad); err == nil {
+		t.Fatal("admin action without an Admin client ran")
+	}
+}
+
+// TestReconcileStructuralErrors: the occupancy-shape branches of Reconcile.
+func TestReconcileStructuralErrors(t *testing.T) {
+	rep := &Report{Loads: []int{0, 0}, Caps: []int{4, 4}, live: map[int][]int{}}
+	if err := rep.Reconcile(server.OccupancyJSON{}); err == nil {
+		t.Fatal("reconcile accepted occupancy without an admission block")
+	}
+	one := &server.AdmissionOccupancyJSON{Edges: []server.EdgeOccupancyJSON{{Edge: 0, Capacity: 4}}}
+	if err := rep.Reconcile(server.OccupancyJSON{Admission: one}); err == nil {
+		t.Fatal("reconcile accepted an edge-count mismatch")
+	}
+	inconsistent := &server.AdmissionOccupancyJSON{Edges: []server.EdgeOccupancyJSON{
+		{Edge: 0, Capacity: 4, Load: 5, Free: -1},
+		{Edge: 1, Capacity: 4},
+	}}
+	if err := rep.Reconcile(server.OccupancyJSON{Admission: inconsistent}); err == nil {
+		t.Fatal("reconcile accepted load > capacity")
+	}
+}

@@ -1,0 +1,124 @@
+package ops
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"admission/internal/timeseries"
+)
+
+// Series names the Scraper maintains. Per-shard occupancy series are
+// derived as SeriesShardPrefix + shard index ("shard_occupancy_0", ...).
+const (
+	// SeriesDecisionsPerSec is the decision throughput (accepts plus
+	// rejects per second), a rate over consecutive scrapes of the
+	// admission counters.
+	SeriesDecisionsPerSec = "decisions_per_sec"
+	// SeriesAcceptRatio is lifetime accepted/requests from occupancy.
+	SeriesAcceptRatio = "accept_ratio"
+	// SeriesCapacityTotal and SeriesLoadTotal are the engine-wide sums.
+	SeriesCapacityTotal = "capacity_total"
+	SeriesLoadTotal     = "load_total"
+	// SeriesWALSyncMs is the mean WAL fsync latency in milliseconds over
+	// the last scrape interval; only emitted when fsyncs happened.
+	SeriesWALSyncMs = "wal_fsync_ms"
+	// SeriesShardPrefix prefixes the per-shard occupancy gauges.
+	SeriesShardPrefix = "shard_occupancy_"
+)
+
+// metric names scraped from the exposition text.
+const (
+	metricAccepts    = "acserve_admission_accept_total"
+	metricRejects    = "acserve_admission_reject_total"
+	metricShardOcc   = "acserve_admission_shard_occupancy{shard="
+	metricFsyncSum   = "acserve_wal_fsync_seconds_sum"
+	metricFsyncCount = "acserve_wal_fsync_seconds_count"
+)
+
+// Scraper polls one server's /metrics text and admin occupancy view and
+// appends derived samples (throughput rate, accept ratio, per-shard and
+// per-edge occupancy, WAL sync latency) into a timeseries.Set. Rates need
+// two scrapes; the first Scrape seeds the baseline and emits only the
+// level series.
+type Scraper struct {
+	// Admin is the scraped server's control-plane client.
+	Admin *AdminClient
+	// Set receives the derived samples.
+	Set *timeseries.Set
+	// Now stamps samples; nil means time.Now. Tests inject a fake clock.
+	Now func() time.Time
+
+	prev struct {
+		valid      bool
+		t          time.Time
+		decisions  float64
+		fsyncSum   float64
+		fsyncCount float64
+	}
+}
+
+// NewScraper creates a scraper over admin whose series each keep the last
+// window points.
+func NewScraper(admin *AdminClient, window int) *Scraper {
+	return &Scraper{Admin: admin, Set: timeseries.NewSet(window)}
+}
+
+// Scrape takes one sample: fetches /metrics and the occupancy view,
+// derives the series values, and appends them to the Set.
+func (s *Scraper) Scrape(ctx context.Context) error {
+	now := time.Now
+	if s.Now != nil {
+		now = s.Now
+	}
+	t := now()
+
+	text, err := s.Admin.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("ops: scraping metrics: %w", err)
+	}
+	vals, err := timeseries.ParsePrometheus(text)
+	if err != nil {
+		return err
+	}
+	occ, err := s.Admin.Occupancy(ctx)
+	if err != nil {
+		return fmt.Errorf("ops: scraping occupancy: %w", err)
+	}
+
+	decisions := vals[metricAccepts] + vals[metricRejects]
+	if s.prev.valid {
+		if dt := t.Sub(s.prev.t).Seconds(); dt > 0 {
+			s.Set.Observe(SeriesDecisionsPerSec, t, (decisions-s.prev.decisions)/dt)
+		}
+		if dc := vals[metricFsyncCount] - s.prev.fsyncCount; dc > 0 {
+			ds := vals[metricFsyncSum] - s.prev.fsyncSum
+			s.Set.Observe(SeriesWALSyncMs, t, ds/dc*1000)
+		}
+	}
+	s.prev.valid = true
+	s.prev.t = t
+	s.prev.decisions = decisions
+	s.prev.fsyncSum = vals[metricFsyncSum]
+	s.prev.fsyncCount = vals[metricFsyncCount]
+
+	if adm := occ.Admission; adm != nil {
+		ratio := 0.0
+		if adm.Requests > 0 {
+			ratio = float64(adm.Accepted) / float64(adm.Requests)
+		}
+		s.Set.Observe(SeriesAcceptRatio, t, ratio)
+		s.Set.Observe(SeriesCapacityTotal, t, float64(adm.Capacity))
+		s.Set.Observe(SeriesLoadTotal, t, float64(adm.Load))
+	}
+	for id, v := range vals {
+		if !strings.HasPrefix(id, metricShardOcc) {
+			continue
+		}
+		shard := strings.TrimSuffix(strings.TrimPrefix(id, metricShardOcc), `"}`)
+		shard = strings.Trim(shard, `"`)
+		s.Set.Observe(SeriesShardPrefix+shard, t, v)
+	}
+	return nil
+}

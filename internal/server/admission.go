@@ -18,9 +18,17 @@ const WorkloadAdmission = "admission"
 // "admission" workload: POST /v1/admission takes one request
 // {"edges":[0,1],"cost":2.5} or an array of them and streams one NDJSON
 // decision line per request; GET /v1/admission/stats reports engine and
-// pipeline statistics. The caller retains ownership of the engine.
+// pipeline statistics. The caller retains ownership of the engine. The
+// engine is also recorded as the admin control plane's capacity-resize
+// target (effective when Config.AdminToken mounts the /admin/v1/* group).
 func Admission(eng *engine.Engine) Registration {
-	return Register(WorkloadAdmission, eng, admissionCodec(eng))
+	return func(s *Server) error {
+		if err := Register(WorkloadAdmission, eng, admissionCodec(eng))(s); err != nil {
+			return err
+		}
+		s.setAdminEngine(eng, false)
+		return nil
+	}
 }
 
 // AdmissionDurable mounts the admission workload with its decisions logged
@@ -29,7 +37,11 @@ func Admission(eng *engine.Engine) Registration {
 // and the pipeline snapshots the log every opts.SnapshotEvery decisions.
 // The log must be open with the engine's Fingerprint, and — when the
 // directory held prior state — already replayed into eng with
-// RecoverAdmission. All engine traffic must flow through the server.
+// RecoverAdmission. All engine traffic must flow through the server. The
+// engine is recorded as the admin control plane's resize target but marked
+// durable, so live capacity resizes are refused with 409: resizes are not
+// WAL-logged, and a recovery replay into the constructed capacity vector
+// would silently diverge from the resized history.
 func AdmissionDurable(eng *engine.Engine, log *wal.Log, opts DurableOptions) Registration {
 	codec := admissionCodec(eng)
 	codec.Durability = &Durability[problem.Request, engine.Decision]{
@@ -53,7 +65,13 @@ func AdmissionDurable(eng *engine.Engine, log *wal.Log, opts DurableOptions) Reg
 			}
 		},
 	}
-	return Register(WorkloadAdmission, eng, codec)
+	return func(s *Server) error {
+		if err := Register(WorkloadAdmission, eng, codec)(s); err != nil {
+			return err
+		}
+		s.setAdminEngine(eng, true)
+		return nil
+	}
 }
 
 // admissionCodec is the admission workload's codec, shared by the durable

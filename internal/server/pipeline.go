@@ -62,6 +62,11 @@ type pipe[Req any, Dec service.Decision] struct {
 	dur   *Durability[Req, Dec]
 	probe *walProbe
 	ackCh chan ackBatch[Req, Dec]
+	// snapCh carries admin snapshot triggers to the flusher, which serves
+	// them at its quiescent points (idle, or between batches) — the only
+	// places the engine's state digest is meaningful. Nil on in-memory
+	// pipelines.
+	snapCh chan chan error
 }
 
 // ackBatch is one flushed batch in flight between the flusher (which
@@ -136,6 +141,7 @@ func newPipe[Req any, Dec service.Decision](s *Server, name string, svc service.
 		p.dur = codec.Durability
 		p.probe = s.registerDurable(name, p.dur.Replay)
 		p.ackCh = make(chan ackBatch[Req, Dec], 64)
+		p.snapCh = make(chan chan error)
 		p.loops.Add(1)
 		go p.ackLoop()
 	}
@@ -187,12 +193,20 @@ func (p *pipe[Req, Dec]) flushLoop() {
 	closed := false
 	for {
 		if cur == nil {
+			// Idle: nothing queued, nothing half-consumed — a quiescent
+			// point, so admin snapshot triggers are served here (snapCh is
+			// nil on in-memory pipelines and never fires).
 			var ok bool
-			cur, ok = <-p.queue
-			if !ok {
-				return
+			select {
+			case cur, ok = <-p.queue:
+				if !ok {
+					return
+				}
+				off = 0
+			case done := <-p.snapCh:
+				done <- p.snapshotNow()
+				continue
 			}
-			off = 0
 		}
 		// A fresh batch starts now; arm its flush deadline.
 		if !timer.Stop() {
@@ -237,6 +251,15 @@ func (p *pipe[Req, Dec]) flushLoop() {
 		}
 		p.flush(reqs, spans)
 		p.maybeSnapshot()
+		if p.snapCh != nil {
+			// Between batches everything submitted is decided — the other
+			// quiescent point; serve a pending trigger without blocking.
+			select {
+			case done := <-p.snapCh:
+				done <- p.snapshotNow()
+			default:
+			}
+		}
 		if closed && cur == nil {
 			return
 		}
@@ -313,6 +336,39 @@ func (p *pipe[Req, Dec]) ackLoop() {
 	}
 }
 
+// snapshotNow writes one WAL snapshot, stamping the engine's current state
+// digest. Runs only on the flusher, at a quiescent point.
+func (p *pipe[Req, Dec]) snapshotNow() error {
+	err := p.dur.Log.WriteSnapshot(p.dur.StateDigest())
+	if err == nil {
+		p.probe.lastSnapUnix.Store(time.Now().Unix())
+	}
+	return err
+}
+
+// triggerSnapshot hands the flusher a snapshot request and waits for the
+// result. The flusher takes it at its next quiescent point — immediately
+// when idle, after the current batch otherwise — so the wait is bounded by
+// one flush; ctx bounds it anyway (a drained flusher that already exited
+// would otherwise block the send forever).
+func (p *pipe[Req, Dec]) triggerSnapshot(ctx context.Context) error {
+	if p.dur == nil {
+		return errNotDurable
+	}
+	done := make(chan error, 1)
+	select {
+	case p.snapCh <- done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // maybeSnapshot compacts the WAL once enough decisions accumulated since
 // the last snapshot. It runs on the flusher between batches — the only
 // quiescent point where the engine's state digest is meaningful (every
@@ -324,9 +380,7 @@ func (p *pipe[Req, Dec]) maybeSnapshot() {
 	if d == nil || d.SnapshotEvery <= 0 || d.Log.RecordsSinceSnapshot() < d.SnapshotEvery {
 		return
 	}
-	if err := d.Log.WriteSnapshot(d.StateDigest()); err == nil {
-		p.probe.lastSnapUnix.Store(time.Now().Unix())
-	}
+	_ = p.snapshotNow()
 }
 
 // deliver hands each submission its chunk of decisions, folding every
@@ -533,6 +587,12 @@ func (p *pipe[Req, Dec]) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if s.paused.Load() {
+		// Administrative pause: the door is closed but the server is
+		// healthy — clients get a retryable 503, queued work keeps flowing.
+		httpError(w, http.StatusServiceUnavailable, "intake paused by the admin control plane")
+		return
+	}
 	wireMode := isWireContentType(r.Header.Get("Content-Type"))
 	if wireMode && (p.codec.Wire == nil || s.cfg.JSONOnly) {
 		httpError(w, http.StatusUnsupportedMediaType,
@@ -633,9 +693,16 @@ func (p *pipe[Req, Dec]) releaseItems(n int) {
 }
 
 // handleStats renders the workload's statistics (via its codec) as JSON.
+// Once an admin token is configured the route requires it: stats expose
+// per-shard occupancy, which is the signal an occupancy-reactive adversary
+// steers by (with no token configured the route stays open, as before the
+// admin plane existed).
 func (p *pipe[Req, Dec]) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if !p.srv.authorize(w, r) {
 		return
 	}
 	p.qmu.Lock()

@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"admission/internal/engine"
 	"admission/internal/metrics"
 	"admission/internal/service"
 	"admission/internal/wal"
@@ -89,6 +90,20 @@ type Config struct {
 	// codec defines a wire format. The default (false) negotiates the
 	// codec per submission from the Content-Type header.
 	JSONOnly bool
+	// AdminToken enables the authenticated admin control plane (DESIGN.md
+	// §15): when non-empty, the /admin/v1/* route group is mounted
+	// (capacity resize, pause/resume intake, snapshot trigger, structured
+	// occupancy) and every admin, /v1/<name>/stats and /metrics request
+	// must present the token as "Authorization: Bearer <token>" —
+	// occupancy is exactly what a reactive adversary wants to read, so
+	// configuring the admin plane also closes the read-only surfaces.
+	// Submissions and /healthz stay open. The zero value means the admin
+	// plane is disabled (no /admin routes, open stats/metrics), matching
+	// the package convention that a zero Config field always means the
+	// documented default; a token that is configured but blank (only
+	// whitespace) or contains whitespace/control characters is rejected by
+	// New, because it cannot round-trip through an Authorization header.
+	AdminToken string
 }
 
 // validate rejects negative fields with a descriptive error; zero always
@@ -105,6 +120,16 @@ func (c Config) validate() error {
 	}
 	if c.MaxSubmit < 0 {
 		return fmt.Errorf("server: MaxSubmit %d is negative; use 0 for the default %d", c.MaxSubmit, DefaultMaxSubmit)
+	}
+	if c.AdminToken != "" {
+		if strings.TrimSpace(c.AdminToken) == "" {
+			return errors.New("server: AdminToken is configured but blank; use the empty string to disable the admin plane")
+		}
+		for _, r := range c.AdminToken {
+			if r <= ' ' || r == 0x7f {
+				return fmt.Errorf("server: AdminToken contains whitespace or control character %q, which cannot travel in an Authorization header", r)
+			}
+		}
 	}
 	return nil
 }
@@ -263,6 +288,10 @@ type workloadPipe interface {
 	// await waits for the flusher to finish deciding and answering
 	// everything that was queued, or for ctx.
 	await(ctx context.Context) error
+	// triggerSnapshot asks the flusher to write a WAL snapshot at its next
+	// quiescent point and waits for the result, or for ctx. Returns
+	// errNotDurable on an in-memory pipeline.
+	triggerSnapshot(ctx context.Context) error
 }
 
 // Server is the workload registry plus the shared HTTP surface: one
@@ -275,7 +304,16 @@ type Server struct {
 	names     []string
 
 	draining   atomic.Bool
+	paused     atomic.Bool  // admin pause: submissions answer 503 until resumed
 	submitters atomic.Int64 // handlers currently enqueueing; see enter/exit
+
+	// adminEng is the capacity-resize target recorded by the admission
+	// registrations (nil when no admission workload is mounted);
+	// adminDurable notes that its decisions flow through a WAL, in which
+	// case live resizes are refused (the log's replay would diverge from a
+	// capacity vector it never recorded). Written only during New.
+	adminEng     *engine.Engine
+	adminDurable bool
 	// drainMu serializes Drain; queuesClosed records that every pipe's
 	// intake has been closed, so a Drain that timed out can be retried
 	// with a fresh context and resume waiting instead of replaying a
@@ -364,6 +402,9 @@ func New(cfg Config, regs ...Registration) (*Server, error) {
 		"HTTP submissions rejected before reaching an engine (bad JSON or invalid items).")
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.AdminToken != "" {
+		s.mountAdmin()
+	}
 	for _, reg := range regs {
 		if err := reg(s); err != nil {
 			// Unwind pipes already mounted so their flushers exit.
@@ -445,7 +486,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 //	GET  /healthz             liveness (503 while draining)
 //
 // with one route pair per registered workload (e.g. /v1/admission and
-// /v1/cover for the built-ins).
+// /v1/cover for the built-ins). With Config.AdminToken set, the
+// token-authenticated /admin/v1/* control-plane group is mounted too and
+// the stats/metrics routes require the same token (see mountAdmin).
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // errorJSON is the body of a non-200 response and of per-item error lines
@@ -531,10 +574,16 @@ func readBodyInto(r *http.Request, dst []byte) ([]byte, error) {
 	}
 }
 
-// handleMetrics renders the Prometheus text exposition.
+// handleMetrics renders the Prometheus text exposition. Like the stats
+// routes it requires the admin token once one is configured — the
+// exposition carries per-shard occupancy, the signal an occupancy-reactive
+// adversary steers by.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if !s.authorize(w, r) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -542,7 +591,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz reports liveness; 503 once draining so load balancers stop
-// routing new traffic during shutdown.
+// routing new traffic during shutdown. It stays unauthenticated even when
+// an admin token is configured (a probe holds no secrets), and reports —
+// but does not fail on — an admin pause: a paused server is alive, it is
+// just refusing intake.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if s.draining.Load() {
@@ -550,5 +602,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
 		return
 	}
-	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	status := "ok"
+	if s.paused.Load() {
+		status = "paused"
+	}
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": status})
 }

@@ -1,0 +1,65 @@
+package timeseries
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePrometheus parses a Prometheus text exposition body (the format
+// internal/metrics writes) into a flat sample map. Keys are the rendered
+// sample identifiers exactly as they appear on the line — the bare metric
+// name for unlabelled samples, or `name{k="v",...}` with the exposition's
+// label rendering for labelled ones — so a caller looks up e.g.
+// "acserve_admission_accept_total" or
+// `acserve_admission_shard_occupancy{shard="0"}`.
+//
+// Comment lines (# HELP / # TYPE) and blank lines are skipped. A duplicate
+// sample identifier or an unparsable value is an error: both indicate a
+// corrupt scrape, and silently keeping either half would skew derived
+// rates.
+func ParsePrometheus(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The sample id ends at the first space outside a {...} label block
+		// (label values are quoted and may contain spaces).
+		cut := -1
+		depth := 0
+		for i, r := range line {
+			switch {
+			case r == '{':
+				depth++
+			case r == '}':
+				depth--
+			case r == ' ' && depth == 0:
+				cut = i
+			}
+			if cut >= 0 {
+				break
+			}
+		}
+		if cut <= 0 {
+			return nil, fmt.Errorf("timeseries: metrics line %d: no value: %q", ln+1, line)
+		}
+		id := line[:cut]
+		val := strings.TrimSpace(line[cut+1:])
+		// A trailing timestamp (second field) is allowed by the format;
+		// internal/metrics never writes one but a foreign scrape might.
+		if sp := strings.IndexByte(val, ' '); sp >= 0 {
+			val = val[:sp]
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: metrics line %d: value %q: %v", ln+1, val, err)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("timeseries: metrics line %d: duplicate sample %q", ln+1, id)
+		}
+		out[id] = v
+	}
+	return out, nil
+}

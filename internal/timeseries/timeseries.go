@@ -1,0 +1,179 @@
+// Package timeseries is a minimal, dependency-free in-memory time-series
+// store for the live-operations layer (DESIGN.md §15): fixed-size rings of
+// timestamped samples, grouped into a named Set, plus a parser for the
+// Prometheus text exposition format produced by internal/metrics. The ops
+// scraper (internal/ops) polls a server's /metrics and admin occupancy
+// endpoints and appends derived samples here; cmd/acops renders the rings
+// as a terminal dashboard or streams them as NDJSON.
+//
+// The package implements no paper section; it is observability plumbing.
+//
+// Concurrency contract: every method on Series and Set is safe for
+// concurrent use (one scraper appending while a renderer reads).
+package timeseries
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Point is one timestamped sample.
+type Point struct {
+	// T is the sample time.
+	T time.Time `json:"-"`
+	// V is the sample value.
+	V float64 `json:"v"`
+}
+
+// pointJSON is the NDJSON wire form of one point of one series.
+type pointJSON struct {
+	Series string  `json:"series"`
+	TUnix  int64   `json:"t_unix_ms"`
+	V      float64 `json:"v"`
+}
+
+// Series is a fixed-capacity ring of points: appending beyond the capacity
+// overwrites the oldest sample, so a series holds the most recent window at
+// a bounded, allocation-free cost per sample.
+type Series struct {
+	mu   sync.Mutex
+	name string
+	ring []Point
+	head int // index of the next write
+	n    int // number of live points, ≤ len(ring)
+}
+
+// NewSeries creates a series holding at most capacity points (min 1).
+func NewSeries(name string, capacity int) *Series {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Series{name: name, ring: make([]Point, capacity)}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Append records one sample, evicting the oldest when the ring is full.
+func (s *Series) Append(t time.Time, v float64) {
+	s.mu.Lock()
+	s.ring[s.head] = Point{T: t, V: v}
+	s.head = (s.head + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the number of live points.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Points returns a copy of the live points, oldest first.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, s.n)
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.n; i++ {
+		out[i] = s.ring[(start+i)%len(s.ring)]
+	}
+	return out
+}
+
+// Last returns the newest point, if any.
+func (s *Series) Last() (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Point{}, false
+	}
+	i := s.head - 1
+	if i < 0 {
+		i += len(s.ring)
+	}
+	return s.ring[i], true
+}
+
+// MinMax returns the extrema over the live window.
+func (s *Series) MinMax() (min, max float64, ok bool) {
+	pts := s.Points()
+	if len(pts) == 0 {
+		return 0, 0, false
+	}
+	min, max = pts[0].V, pts[0].V
+	for _, p := range pts[1:] {
+		if p.V < min {
+			min = p.V
+		}
+		if p.V > max {
+			max = p.V
+		}
+	}
+	return min, max, true
+}
+
+// Set is a group of series sharing one ring capacity, keyed by name and
+// kept in first-observation order (the order a dashboard renders them in).
+type Set struct {
+	mu       sync.Mutex
+	capacity int
+	series   map[string]*Series
+	order    []string
+}
+
+// NewSet creates a set whose series each hold at most capacity points.
+func NewSet(capacity int) *Set {
+	return &Set{capacity: capacity, series: make(map[string]*Series)}
+}
+
+// Observe appends one sample to the named series, creating it on first use.
+func (st *Set) Observe(name string, t time.Time, v float64) {
+	st.mu.Lock()
+	s, ok := st.series[name]
+	if !ok {
+		s = NewSeries(name, st.capacity)
+		st.series[name] = s
+		st.order = append(st.order, name)
+	}
+	st.mu.Unlock()
+	s.Append(t, v)
+}
+
+// Series returns the named series, or nil when it has never been observed.
+func (st *Set) Series(name string) *Series {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.series[name]
+}
+
+// Names returns the series names in first-observation order.
+func (st *Set) Names() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]string(nil), st.order...)
+}
+
+// WriteNDJSON writes every live point of every series as one NDJSON line
+// {"series":...,"t_unix_ms":...,"v":...}, series in first-observation
+// order, points oldest first.
+func (st *Set) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, name := range st.Names() {
+		for _, p := range st.Series(name).Points() {
+			if err := enc.Encode(pointJSON{Series: name, TUnix: p.T.UnixMilli(), V: p.V}); err != nil {
+				return fmt.Errorf("timeseries: encoding %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}

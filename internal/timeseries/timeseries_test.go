@@ -1,0 +1,177 @@
+package timeseries
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func at(sec int) time.Time { return time.Unix(int64(sec), 0) }
+
+func TestSeriesRing(t *testing.T) {
+	s := NewSeries("x", 4)
+	if _, ok := s.Last(); ok {
+		t.Fatal("empty series has a last point")
+	}
+	if _, _, ok := s.MinMax(); ok {
+		t.Fatal("empty series has extrema")
+	}
+	for i := 0; i < 10; i++ {
+		s.Append(at(i), float64(i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len %d, want 4 (ring capacity)", s.Len())
+	}
+	pts := s.Points()
+	want := []float64{6, 7, 8, 9}
+	for i, p := range pts {
+		if p.V != want[i] || !p.T.Equal(at(int(want[i]))) {
+			t.Fatalf("point %d: %+v, want v=%v", i, p, want[i])
+		}
+	}
+	last, ok := s.Last()
+	if !ok || last.V != 9 {
+		t.Fatalf("last %+v %v", last, ok)
+	}
+	min, max, ok := s.MinMax()
+	if !ok || min != 6 || max != 9 {
+		t.Fatalf("minmax %v %v %v", min, max, ok)
+	}
+}
+
+func TestSeriesPartialFill(t *testing.T) {
+	s := NewSeries("x", 8)
+	if s.Name() != "x" {
+		t.Fatalf("name %q", s.Name())
+	}
+	s.Append(at(1), 1.5)
+	s.Append(at(2), -2)
+	pts := s.Points()
+	if len(pts) != 2 || pts[0].V != 1.5 || pts[1].V != -2 {
+		t.Fatalf("points %+v", pts)
+	}
+	min, max, _ := s.MinMax()
+	if min != -2 || max != 1.5 {
+		t.Fatalf("minmax %v %v", min, max)
+	}
+}
+
+func TestSetOrderAndObserve(t *testing.T) {
+	set := NewSet(3)
+	set.Observe("b", at(0), 1)
+	set.Observe("a", at(0), 2)
+	set.Observe("b", at(1), 3)
+	if got := set.Names(); !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Fatalf("names %v, want first-observation order [b a]", got)
+	}
+	if set.Series("missing") != nil {
+		t.Fatal("unobserved series is non-nil")
+	}
+	if b := set.Series("b"); b.Len() != 2 {
+		t.Fatalf("series b len %d", b.Len())
+	}
+}
+
+func TestSetWriteNDJSON(t *testing.T) {
+	set := NewSet(4)
+	set.Observe("rate", at(1), 10)
+	set.Observe("rate", at(2), 20)
+	set.Observe("occ", at(2), 0.5)
+	var buf bytes.Buffer
+	if err := set.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	if lines[0]["series"] != "rate" || lines[0]["v"].(float64) != 10 ||
+		lines[0]["t_unix_ms"].(float64) != float64(at(1).UnixMilli()) {
+		t.Fatalf("first line %v", lines[0])
+	}
+	if lines[2]["series"] != "occ" {
+		t.Fatalf("last line %v", lines[2])
+	}
+}
+
+func TestSeriesConcurrent(t *testing.T) {
+	s := NewSeries("x", 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Append(at(i), float64(i))
+				s.Points()
+				s.Last()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 16 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+func TestParsePrometheus(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP acserve_admission_accept_total Requests admitted.",
+		"# TYPE acserve_admission_accept_total counter",
+		"acserve_admission_accept_total 42",
+		`acserve_admission_shard_occupancy{shard="0"} 0.25`,
+		`acserve_admission_shard_occupancy{shard="1"} 0.75`,
+		"acserve_wal_fsync_seconds_sum 0.125",
+		"acserve_wal_fsync_seconds_count 10",
+		`weird_label{msg="has space inside"} 7`,
+		"with_timestamp 3 1700000000",
+		"",
+	}, "\n")
+	vals, err := ParsePrometheus(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"acserve_admission_accept_total":               42,
+		`acserve_admission_shard_occupancy{shard="0"}`: 0.25,
+		`acserve_admission_shard_occupancy{shard="1"}`: 0.75,
+		"acserve_wal_fsync_seconds_sum":                0.125,
+		"acserve_wal_fsync_seconds_count":              10,
+		`weird_label{msg="has space inside"}`:          7,
+		"with_timestamp":                               3,
+	}
+	for k, want := range checks {
+		if got, ok := vals[k]; !ok || math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%s = %v (present %v), want %v", k, got, ok, want)
+		}
+	}
+	if len(vals) != len(checks) {
+		t.Fatalf("parsed %d samples, want %d: %v", len(vals), len(checks), vals)
+	}
+}
+
+func TestParsePrometheusErrors(t *testing.T) {
+	for _, bad := range []string{
+		"no_value",
+		"bad_value abc",
+		"dup 1\ndup 2",
+	} {
+		if _, err := ParsePrometheus(bad); err == nil {
+			t.Fatalf("ParsePrometheus(%q) accepted", bad)
+		}
+	}
+}

@@ -11,9 +11,9 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 
-pattern='BenchmarkRandomizedOfferWeighted$|BenchmarkRandomizedOfferUnweighted$|BenchmarkRandomizedScalingM|BenchmarkRandomizedScalingC|BenchmarkEngineThroughput|BenchmarkServerLoopback|BenchmarkCoverEngineThroughput|BenchmarkCoverLoopback|BenchmarkWireLoopback|BenchmarkWALLoopback|BenchmarkQueryLoopback|BenchmarkClusterLoopback'
+pattern='BenchmarkRandomizedOfferWeighted$|BenchmarkRandomizedOfferUnweighted$|BenchmarkRandomizedScalingM|BenchmarkRandomizedScalingC|BenchmarkEngineThroughput|BenchmarkServerLoopback|BenchmarkCoverEngineThroughput|BenchmarkCoverLoopback|BenchmarkWireLoopback|BenchmarkWALLoopback|BenchmarkQueryLoopback|BenchmarkClusterLoopback|BenchmarkAdminResize'
 
 raw="$(go test -run '^$' -bench "$pattern" -benchmem -count=1 .)"
 echo "$raw" >&2
